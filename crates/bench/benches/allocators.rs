@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the four allocators (the paper's Fig. 8 /
+//! §VI-B6 running-time comparison, at benchmark-friendly scale).
+//!
+//! Run with `cargo bench -p txallo-bench --bench allocators`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use txallo_bench::{build_dataset, run_allocator, AllocatorKind, ExperimentScale};
+
+fn bench_allocators(c: &mut Criterion) {
+    // ~30k transactions: enough structure for realistic behaviour, small
+    // enough for Criterion's repeated sampling.
+    let scale = ExperimentScale { factor: 0.15, seed: 42 };
+    let dataset = build_dataset(scale);
+    let eta = 2.0;
+
+    let mut group = c.benchmark_group("allocators");
+    group.sample_size(10);
+    for k in [10usize, 20, 60] {
+        for kind in [
+            AllocatorKind::TxAllo,
+            AllocatorKind::Random,
+            AllocatorKind::Metis,
+            AllocatorKind::Scheduler,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind}"), k),
+                &k,
+                |b, &k| {
+                    b.iter(|| run_allocator(kind, &dataset, k, eta, None));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the pipeline components: graph construction,
+//! Louvain initialization, the G-TxAllo optimization phase and a single
+//! A-TxAllo epoch update. These decompose the Fig. 10 running-time story
+//! (the paper: init 67.6 s of G-TxAllo's 122.3 s; A-TxAllo 0.55 s).
+//!
+//! Run with `cargo bench -p txallo-bench --bench components`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use txallo_core::{AtxAllo, GTxAllo, TxAlloParams};
+use txallo_graph::TxGraph;
+use txallo_louvain::{louvain, LouvainConfig};
+use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
+
+fn workload() -> WorkloadConfig {
+    WorkloadConfig {
+        accounts: 5_000,
+        transactions: 40_000,
+        block_size: 100,
+        groups: 80,
+        ..WorkloadConfig::default()
+    }
+}
+
+fn bench_components(_: &mut Criterion) {
+    // Heavier-than-micro benchmarks: cap sampling so the suite stays fast.
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    let c = &mut c;
+    let mut generator = EthereumLikeGenerator::new(workload(), 42);
+    let ledger = generator.default_ledger();
+    let graph = TxGraph::from_ledger(&ledger);
+    let k = 20;
+    let params = TxAlloParams::for_graph(&graph, k);
+
+    c.bench_function("graph/from_ledger", |b| {
+        b.iter(|| TxGraph::from_ledger(&ledger));
+    });
+
+    c.bench_function("louvain/full", |b| {
+        b.iter(|| louvain(&graph, &LouvainConfig::default()));
+    });
+
+    let init = louvain(&graph, &LouvainConfig::default());
+    let order = graph.nodes_in_canonical_order();
+    c.bench_function("gtxallo/optimize_only", |b| {
+        let gtx = GTxAllo::new(params.clone());
+        b.iter(|| gtx.allocate_with_init(&graph, &init, &order));
+    });
+
+    c.bench_function("gtxallo/end_to_end", |b| {
+        let gtx = GTxAllo::new(params.clone());
+        b.iter(|| gtx.allocate_graph(&graph));
+    });
+
+    // A-TxAllo: one epoch of fresh blocks on top of the warm allocation.
+    let prev = GTxAllo::new(params).allocate_graph(&graph);
+    let mut graph2 = graph.clone();
+    let new_blocks = generator.blocks(10);
+    let mut touched = Vec::new();
+    for b in &new_blocks {
+        touched.extend(graph2.ingest_block(b));
+    }
+    touched.sort_unstable();
+    touched.dedup();
+    let params2 = TxAlloParams::for_graph(&graph2, k);
+    c.bench_function("atxallo/epoch_update", |b| {
+        let atx = AtxAllo::new(params2.clone());
+        b.iter(|| atx.update(&graph2, &prev, &touched));
+    });
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

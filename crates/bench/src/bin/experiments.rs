@@ -1,0 +1,125 @@
+//! Regenerates every table and figure of the paper's evaluation (§VI).
+//!
+//! ```text
+//! cargo run --release -p txallo-bench --bin experiments -- <experiment> [--scale F] [--seed N] [--quick]
+//!
+//! experiments:
+//!   fig1            dataset structure statistics
+//!   fig2 .. fig8    the (k, η, allocator) sweep figures
+//!   fig9            A-TxAllo throughput evolution (τ₂ sweep)
+//!   fig10           running time: pure G-TxAllo vs hybrid
+//!   runtime-table   §VI-B6 running-time comparison
+//!   ablation        G-TxAllo design-choice ablations
+//!   latency-validation   measured queue latency vs capacity headroom
+//!   measure-eta     empirical η from the consensus substrate
+//!   broker          BrokerChain-style hot-account splitting on TxAllo
+//!   recency         full-history vs window vs decayed training graphs
+//!   headline        γ at k = 60 (98% / 28% / 12% in the paper)
+//!   all             everything above
+//! ```
+//!
+//! `--scale` multiplies the default workload (20k accounts / 200k
+//! transactions); `--quick` shrinks the sweeps for smoke testing.
+
+use txallo_bench::figures;
+use txallo_bench::{build_dataset, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = None;
+    let mut scale = ExperimentScale::default();
+    let mut quick = false;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale.factor = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--seed" => {
+                scale.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--quick" => quick = true,
+            name if experiment.is_none() && !name.starts_with('-') => {
+                experiment = Some(name.to_string());
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    let experiment = experiment.unwrap_or_else(|| "all".to_string());
+
+    let needs_sweep = matches!(
+        experiment.as_str(),
+        "fig2" | "fig3" | "fig5" | "fig6" | "fig7" | "fig8" | "all"
+    );
+    let sweep_rows = if needs_sweep {
+        eprintln!("# building dataset (scale {:.2}, seed {})...", scale.factor, scale.seed);
+        let dataset = build_dataset(scale);
+        eprintln!(
+            "# dataset: {} transactions / {} accounts",
+            dataset.ledger().transaction_count(),
+            {
+                use txallo_graph::WeightedGraph;
+                dataset.graph().node_count()
+            }
+        );
+        eprintln!("# running (k, eta, allocator) sweep...");
+        Some(figures::run_sweep(&dataset, quick))
+    } else {
+        None
+    };
+
+    match experiment.as_str() {
+        "fig1" => figures::fig1(scale),
+        "fig2" => figures::fig2(sweep_rows.as_deref().expect("sweep computed")),
+        "fig3" => figures::fig3(sweep_rows.as_deref().expect("sweep computed")),
+        "fig4" => figures::fig4(scale),
+        "fig5" => figures::fig5(sweep_rows.as_deref().expect("sweep computed")),
+        "fig6" => figures::fig6(sweep_rows.as_deref().expect("sweep computed")),
+        "fig7" => figures::fig7(sweep_rows.as_deref().expect("sweep computed")),
+        "fig8" => figures::fig8(sweep_rows.as_deref().expect("sweep computed")),
+        "fig9" => figures::fig9(scale, quick),
+        "fig10" => figures::fig10(scale, quick),
+        "runtime-table" => figures::runtime_table(scale),
+        "ablation" => figures::ablation(scale),
+        "latency-validation" => figures::latency_validation(scale),
+        "measure-eta" => figures::measure_eta(scale),
+        "broker" => figures::broker(scale),
+        "recency" => figures::recency(scale),
+        "headline" => figures::headline(scale),
+        "all" => {
+            let rows = sweep_rows.as_deref().expect("sweep computed");
+            figures::fig1(scale);
+            figures::fig2(rows);
+            figures::fig3(rows);
+            figures::fig4(scale);
+            figures::fig5(rows);
+            figures::fig6(rows);
+            figures::fig7(rows);
+            figures::fig8(rows);
+            figures::fig9(scale, quick);
+            figures::fig10(scale, quick);
+            figures::runtime_table(scale);
+            figures::ablation(scale);
+            figures::latency_validation(scale);
+            figures::measure_eta(scale);
+            figures::broker(scale);
+            figures::recency(scale);
+            figures::headline(scale);
+        }
+        other => die(&format!(
+            "unknown experiment {other:?} (expected fig1..fig10, runtime-table, ablation, headline, all)"
+        )),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,218 @@
+//! Dataset construction, allocator dispatch and result recording.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use txallo_core::{
+    Allocation, Dataset, GTxAllo, HashAllocator, MetisAllocator, SchedulerConfig, ShardScheduler,
+    TxAlloParams,
+};
+use txallo_graph::WeightedGraph;
+use txallo_louvain::LouvainResult;
+use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
+
+/// Scale knobs for the experiments (the paper runs 91.8M transactions on a
+/// cluster node; the default here reproduces the shapes on a laptop).
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// Scale factor relative to the default workload (1.0 → 20k accounts /
+    /// 200k transactions).
+    pub factor: f64,
+    /// Seed for the synthetic trace.
+    pub seed: u64,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self { factor: 1.0, seed: 42 }
+    }
+}
+
+impl ExperimentScale {
+    /// The workload configuration at this scale.
+    pub fn config(&self) -> WorkloadConfig {
+        WorkloadConfig::scaled(self.factor)
+    }
+}
+
+/// Builds the shared experiment dataset.
+pub fn build_dataset(scale: ExperimentScale) -> Dataset {
+    let mut generator = EthereumLikeGenerator::new(scale.config(), scale.seed);
+    Dataset::from_ledger(generator.default_ledger())
+}
+
+/// The four methods of the paper's comparison (legend of Figs. 2–8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocatorKind {
+    /// G-TxAllo ("Our Method").
+    TxAllo,
+    /// Hash-based random allocation.
+    Random,
+    /// METIS-style graph partitioning.
+    Metis,
+    /// Shard Scheduler (transaction-level).
+    Scheduler,
+}
+
+/// All four, in the paper's legend order.
+pub const ALL_ALLOCATORS: [AllocatorKind; 4] =
+    [AllocatorKind::TxAllo, AllocatorKind::Random, AllocatorKind::Metis, AllocatorKind::Scheduler];
+
+impl fmt::Display for AllocatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AllocatorKind::TxAllo => "Our Method",
+            AllocatorKind::Random => "Random",
+            AllocatorKind::Metis => "Metis",
+            AllocatorKind::Scheduler => "Shard Scheduler",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Runs one allocator, timing the full allocation (for G-TxAllo a cached
+/// Louvain initialization may be supplied — the init is independent of both
+/// `k` and `η`, so sweeps reuse it; pass `None` to time end-to-end).
+pub fn run_allocator(
+    kind: AllocatorKind,
+    dataset: &Dataset,
+    k: usize,
+    eta: f64,
+    cached_init: Option<&LouvainResult>,
+) -> (Allocation, Duration) {
+    let start = Instant::now();
+    let allocation = match kind {
+        AllocatorKind::TxAllo => {
+            let params = TxAlloParams::for_graph(dataset.graph(), k).with_eta(eta);
+            let gtx = GTxAllo::new(params);
+            match cached_init {
+                Some(init) => {
+                    let order = dataset.graph().nodes_in_canonical_order();
+                    gtx.allocate_with_init(dataset.graph(), init, &order).allocation
+                }
+                None => gtx.allocate_graph(dataset.graph()),
+            }
+        }
+        AllocatorKind::Random => HashAllocator::new(k).allocate_graph(dataset.graph()),
+        AllocatorKind::Metis => MetisAllocator::new(k).allocate_graph(dataset.graph()),
+        AllocatorKind::Scheduler => {
+            let cfg = SchedulerConfig::new(k, dataset.graph().total_weight()).with_eta(eta);
+            ShardScheduler::new(cfg).allocate_dataset(dataset)
+        }
+    };
+    (allocation, start.elapsed())
+}
+
+/// Prints CSV rows to stdout and mirrors them into `results/<name>.csv`.
+pub struct ResultWriter {
+    file: Option<fs::File>,
+    name: String,
+}
+
+impl ResultWriter {
+    /// Opens `results/<name>.csv` (best-effort — falls back to
+    /// stdout-only when the directory cannot be created).
+    pub fn new(name: &str) -> Self {
+        let dir = PathBuf::from("results");
+        let file = fs::create_dir_all(&dir)
+            .ok()
+            .and_then(|_| fs::File::create(dir.join(format!("{name}.csv"))).ok());
+        Self { file, name: name.to_string() }
+    }
+
+    /// Emits one row.
+    pub fn row(&mut self, line: &str) {
+        println!("{line}");
+        if let Some(f) = &mut self.file {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+
+    /// Emits a comment/header line (prefixed `#` in the CSV mirror).
+    pub fn note(&mut self, line: &str) {
+        println!("{line}");
+        if let Some(f) = &mut self.file {
+            let _ = writeln!(f, "# {line}");
+        }
+    }
+
+    /// Experiment name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The k values swept by Figures 2–8 (paper: 2..60).
+pub fn k_sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![2, 10, 30]
+    } else {
+        vec![2, 5, 10, 20, 30, 40, 50, 60]
+    }
+}
+
+/// The η values swept by Figures 2–8.
+pub fn eta_sweep(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![2.0]
+    } else {
+        vec![2.0, 4.0, 6.0, 8.0, 10.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_have_expected_shape() {
+        assert!(k_sweep(true).len() < k_sweep(false).len());
+        assert!(eta_sweep(true).len() < eta_sweep(false).len());
+        assert!(k_sweep(false).contains(&60), "paper sweeps up to k = 60");
+        assert!(eta_sweep(false).contains(&2.0) && eta_sweep(false).contains(&10.0));
+    }
+
+    #[test]
+    fn scale_produces_usable_config() {
+        let scale = ExperimentScale { factor: 0.01, seed: 1 };
+        let cfg = scale.config();
+        cfg.validate();
+        assert!(cfg.transactions >= 1_000);
+    }
+
+    #[test]
+    fn tiny_dataset_runs_every_allocator() {
+        let dataset = build_dataset(ExperimentScale { factor: 0.01, seed: 3 });
+        for kind in ALL_ALLOCATORS {
+            let (alloc, time) = run_allocator(kind, &dataset, 4, 2.0, None);
+            assert_eq!(alloc.len(), {
+                use txallo_graph::WeightedGraph;
+                dataset.graph().node_count()
+            });
+            assert!(time.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn txallo_cached_init_matches_uncached() {
+        let dataset = build_dataset(ExperimentScale { factor: 0.01, seed: 5 });
+        let init = txallo_louvain::louvain(
+            dataset.graph(),
+            &txallo_louvain::LouvainConfig::default(),
+        );
+        let (a, _) = run_allocator(AllocatorKind::TxAllo, &dataset, 5, 2.0, Some(&init));
+        let (b, _) = run_allocator(AllocatorKind::TxAllo, &dataset, 5, 2.0, None);
+        assert_eq!(a, b, "cached Louvain init must not change the result");
+    }
+
+    #[test]
+    fn allocator_names_match_paper_legend() {
+        assert_eq!(AllocatorKind::TxAllo.to_string(), "Our Method");
+        assert_eq!(AllocatorKind::Random.to_string(), "Random");
+        assert_eq!(AllocatorKind::Metis.to_string(), "Metis");
+        assert_eq!(AllocatorKind::Scheduler.to_string(), "Shard Scheduler");
+    }
+}

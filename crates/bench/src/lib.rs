@@ -1,0 +1,14 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Every figure/table of the paper's §VI maps to one function in
+//! [`figures`]; the `experiments` binary dispatches to them. Results are
+//! printed as CSV rows (same axes as the paper) and mirrored into
+//! `results/<experiment>.csv`.
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{
+    build_dataset, eta_sweep, k_sweep, run_allocator, AllocatorKind, ExperimentScale,
+    ResultWriter, ALL_ALLOCATORS,
+};

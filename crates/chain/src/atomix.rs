@@ -1,0 +1,123 @@
+//! Cross-shard atomic commit (client-driven Atomix, OmniLedger-style).
+//!
+//! A cross-shard transaction touching shards `S = {s₁, …, s_µ}` runs:
+//!
+//! 1. **Lock phase** — every *input* shard runs a consensus round to lock
+//!    the transaction's state and emits a proof-of-acceptance (or
+//!    proof-of-rejection).
+//! 2. **Commit/abort phase** — given all proofs, every involved shard runs
+//!    a second consensus round to apply (or unlock) the transaction.
+//!
+//! Each phase is a full intra-shard consensus round per shard, which is
+//! exactly why the paper charges a cross-shard transaction `η > 1` per
+//! involved shard: processing it costs ≈ 2 consensus rounds instead of a
+//! share of one batched round, plus the client's proof relay messages.
+
+use crate::pbft::PbftShard;
+
+/// Result of running Atomix for one cross-shard transaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtomixOutcome {
+    /// Whether every shard accepted (commit) or anything aborted.
+    pub committed: bool,
+    /// Total consensus + relay messages across all phases and shards.
+    pub messages: u64,
+    /// Consensus rounds executed across all involved shards.
+    pub rounds: u32,
+}
+
+/// The 2-phase cross-shard protocol over a set of shard consensus
+/// instances.
+#[derive(Debug)]
+pub struct AtomixProtocol;
+
+impl AtomixProtocol {
+    /// Runs lock + commit for a transaction involving `shards` (indices
+    /// into `instances`). Aborts — still costing the unlock round — when
+    /// any lock round fails to commit.
+    pub fn run(instances: &mut [PbftShard], shards: &[u32]) -> AtomixOutcome {
+        assert!(shards.len() >= 2, "Atomix is only for cross-shard transactions");
+        let mut messages = 0u64;
+        let mut rounds = 0u32;
+        let mut all_locked = true;
+
+        // Phase 1: lock in every involved shard.
+        for &s in shards {
+            let out = instances[s as usize].run_round();
+            messages += out.messages;
+            rounds += 1;
+            if !out.committed {
+                all_locked = false;
+            }
+        }
+        // Client relays µ proofs to every involved shard.
+        messages += (shards.len() * shards.len()) as u64;
+
+        // Phase 2: commit (or unlock) everywhere.
+        for &s in shards {
+            let out = instances[s as usize].run_round();
+            messages += out.messages;
+            rounds += 1;
+            if !out.committed {
+                all_locked = false;
+            }
+        }
+
+        AtomixOutcome { committed: all_locked, messages, rounds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::Validator;
+
+    fn healthy_shard(n: usize) -> PbftShard {
+        PbftShard::new((0..n as u32).map(|id| Validator { id, byzantine: false }).collect())
+    }
+
+    fn broken_shard(n: usize) -> PbftShard {
+        // Majority Byzantine: can never reach quorum.
+        PbftShard::new(
+            (0..n as u32).map(|id| Validator { id, byzantine: id < (n as u32 * 2) / 3 + 1 }).collect(),
+        )
+    }
+
+    #[test]
+    fn two_shard_commit() {
+        let mut shards = vec![healthy_shard(4), healthy_shard(4)];
+        let out = AtomixProtocol::run(&mut shards, &[0, 1]);
+        assert!(out.committed);
+        assert_eq!(out.rounds, 4, "2 shards × 2 phases");
+    }
+
+    #[test]
+    fn any_failed_lock_aborts_atomically() {
+        let mut shards = vec![healthy_shard(4), broken_shard(4)];
+        let out = AtomixProtocol::run(&mut shards, &[0, 1]);
+        assert!(!out.committed, "atomicity: one rejecting shard aborts the whole tx");
+        assert_eq!(out.rounds, 4, "the unlock phase still runs");
+    }
+
+    #[test]
+    fn message_cost_grows_with_mu() {
+        let run_mu = |mu: usize| {
+            let mut shards: Vec<PbftShard> = (0..mu).map(|_| healthy_shard(4)).collect();
+            let ids: Vec<u32> = (0..mu as u32).collect();
+            AtomixProtocol::run(&mut shards, &ids).messages
+        };
+        let m2 = run_mu(2);
+        let m4 = run_mu(4);
+        assert!(m4 > m2, "more involved shards cost more");
+        // Roughly linear in µ (per-shard consensus dominates).
+        let ratio = m4 as f64 / m2 as f64;
+        assert!((1.5..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-shard")]
+    fn rejects_single_shard_use() {
+        let mut shards = vec![healthy_shard(4)];
+        let _ = AtomixProtocol::run(&mut shards, &[0]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the consensus substrate.
+
+use proptest::prelude::*;
+use txallo_chain::{AtomixProtocol, ChainEngine, ChainEngineConfig, PbftShard, Validator, ValidatorSet};
+use txallo_core::Allocation;
+use txallo_graph::{TxGraph, WeightedGraph};
+use txallo_model::{AccountId, Block, Transaction};
+
+fn members(n: usize, byz: usize) -> Vec<Validator> {
+    (0..n as u32).map(|id| Validator { id, byzantine: (id as usize) < byz }).collect()
+}
+
+proptest! {
+    /// PBFT safety/liveness boundary: commits iff honest ≥ 2f + 1.
+    #[test]
+    fn pbft_quorum_boundary(n in 4usize..40, byz_frac in 0.0f64..1.0) {
+        let byz = ((n as f64) * byz_frac) as usize;
+        let mut shard = PbftShard::new(members(n, byz));
+        let expected = (n - byz) >= shard.quorum();
+        let out = shard.run_round();
+        prop_assert_eq!(out.committed, expected, "n={} byz={} quorum={}", n, byz, shard.quorum());
+    }
+
+    /// Validator reshuffling conserves the population and keeps shard
+    /// sizes within one of each other, at every epoch.
+    #[test]
+    fn reshuffle_conserves_and_balances(
+        total in 8usize..120,
+        shards in 1usize..8,
+        epoch in 0u64..50,
+    ) {
+        prop_assume!(total >= shards);
+        let mut set = ValidatorSet::new(total, total / 5, shards);
+        set.reshuffle(epoch);
+        let sizes: Vec<usize> = (0..shards as u32).map(|s| set.shard_members(s).len()).collect();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), total);
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    /// Atomix atomicity: the outcome is commit iff every involved shard
+    /// could commit both its rounds.
+    #[test]
+    fn atomix_atomicity(healthy in prop::collection::vec(any::<bool>(), 2..6)) {
+        let mut shards: Vec<PbftShard> = healthy
+            .iter()
+            .map(|&ok| {
+                if ok {
+                    PbftShard::new(members(4, 0))
+                } else {
+                    PbftShard::new(members(4, 3)) // quorum-less
+                }
+            })
+            .collect();
+        let ids: Vec<u32> = (0..shards.len() as u32).collect();
+        let out = AtomixProtocol::run(&mut shards, &ids);
+        prop_assert_eq!(out.committed, healthy.iter().all(|&h| h));
+        prop_assert_eq!(out.rounds as usize, 2 * healthy.len());
+    }
+
+    /// The engine conserves transactions: committed + aborted equals the
+    /// number fed in, for arbitrary small traffic patterns.
+    #[test]
+    fn engine_conserves_transactions(pairs in prop::collection::vec((0u64..20, 0u64..20), 1..40)) {
+        let mut g = TxGraph::new();
+        let txs: Vec<Transaction> = pairs
+            .iter()
+            .map(|&(a, b)| Transaction::transfer(AccountId(a), AccountId(b)))
+            .collect();
+        let n_txs = txs.len() as u64;
+        let block = Block::new(0, txs);
+        g.ingest_block(&block);
+        let labels: Vec<u32> = (0..g.node_count() as u32).map(|v| v % 3).collect();
+        let alloc = Allocation::new(labels, 3);
+        let mut engine = ChainEngine::new(ChainEngineConfig {
+            shards: 3,
+            validators: 12,
+            byzantine: 0,
+            batch_size: 8,
+            reshuffle_interval: 0,
+        });
+        engine.process_block(&block, &g, &alloc);
+        let r = engine.report();
+        prop_assert_eq!(r.intra_committed + r.cross_committed + r.aborted, n_txs);
+        prop_assert_eq!(r.aborted, 0, "no faults configured");
+        prop_assert!(r.total_messages > 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Minimal `--flag value` argument parsing (no external dependencies, per
+//! DESIGN.md's dependency policy).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--flag value` pairs. Flags are normalized without the leading
+/// dashes; single-letter flags (`-k`) are accepted too.
+#[derive(Debug, Default, Clone)]
+pub struct ArgMap {
+    values: BTreeMap<String, String>,
+}
+
+impl ArgMap {
+    /// Parses an argument stream. Every flag must take a value.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut values = BTreeMap::new();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let Some(name) = arg.strip_prefix('-') else {
+                return Err(format!("expected a --flag, found {arg:?}"));
+            };
+            let name = name.trim_start_matches('-');
+            if name.is_empty() {
+                return Err("empty flag".into());
+            }
+            let Some(value) = args.next() else {
+                return Err(format!("flag --{name} needs a value"));
+            };
+            values.insert(name.to_string(), value);
+        }
+        Ok(Self { values })
+    }
+
+    /// A string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// A parsed flag with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ArgMap, String> {
+        ArgMap::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_and_values() {
+        let a = parse(&["--trace", "t.csv", "-k", "16", "--eta", "4"]).unwrap();
+        assert_eq!(a.get("trace"), Some("t.csv"));
+        assert_eq!(a.parsed_or::<usize>("k", 0).unwrap(), 16);
+        assert_eq!(a.parsed_or::<f64>("eta", 0.0).unwrap(), 4.0);
+        assert_eq!(a.parsed_or::<usize>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_missing_value_and_positional() {
+        assert!(parse(&["--trace"]).is_err());
+        assert!(parse(&["positional"]).is_err());
+    }
+
+    #[test]
+    fn required_and_bad_parse() {
+        let a = parse(&["--k", "abc"]).unwrap();
+        assert!(a.required("nope").is_err());
+        assert!(a.parsed_or::<usize>("k", 0).is_err());
+    }
+}

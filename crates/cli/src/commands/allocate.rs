@@ -1,0 +1,57 @@
+//! `txallo allocate` — compute an account-shard mapping for a trace.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::time::Instant;
+
+use txallo_core::{
+    Allocator, GTxAllo, HashAllocator, MetisAllocator, MetricsReport, SchedulerConfig,
+    ShardScheduler, TxAlloParams,
+};
+use txallo_graph::WeightedGraph;
+
+use crate::args::ArgMap;
+use crate::commands::load_dataset;
+use crate::mapping::write_mapping;
+
+/// Runs the command.
+pub fn run(args: &ArgMap) -> Result<(), String> {
+    let dataset = load_dataset(args)?;
+    let k: usize = args.parsed_or("k", 16)?;
+    let eta: f64 = args.parsed_or("eta", 2.0)?;
+    if k == 0 {
+        return Err("-k must be at least 1".into());
+    }
+    let method = args.get("method").unwrap_or("txallo");
+    let params = TxAlloParams::for_graph(dataset.graph(), k).with_eta(eta);
+
+    let mut allocator: Box<dyn Allocator> = match method {
+        "txallo" => Box::new(GTxAllo::new(params.clone())),
+        "hash" => Box::new(HashAllocator::new(k)),
+        "metis" => Box::new(MetisAllocator::new(k)),
+        "scheduler" => Box::new(ShardScheduler::new(
+            SchedulerConfig::new(k, dataset.graph().total_weight()).with_eta(eta),
+        )),
+        other => return Err(format!("unknown method {other:?} (txallo|hash|metis|scheduler)")),
+    };
+
+    let start = Instant::now();
+    let allocation = allocator.allocate(&dataset);
+    let elapsed = start.elapsed();
+    let report = MetricsReport::compute(dataset.graph(), &allocation, &params);
+
+    eprintln!("method            : {}", allocator.name());
+    eprintln!("allocation time   : {elapsed:.2?}");
+    eprintln!("cross-shard ratio : {:.2}%", 100.0 * report.cross_shard_ratio);
+    eprintln!("balance ρ/λ       : {:.3}", report.workload_std_normalized);
+    eprintln!("throughput Λ/λ    : {:.2}×", report.throughput_normalized);
+    eprintln!("avg latency ζ     : {:.2} blocks", report.avg_latency);
+
+    if let Some(out) = args.get("out") {
+        let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        write_mapping(dataset.graph(), &allocation, BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
+        eprintln!("mapping written to {out}");
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! `txallo evaluate` — score a saved mapping against a trace.
+
+use std::fs::File;
+use std::io::BufReader;
+
+use txallo_core::{MetricsReport, TxAlloParams};
+
+use crate::args::ArgMap;
+use crate::commands::load_dataset;
+use crate::mapping::read_mapping;
+
+/// Runs the command.
+pub fn run(args: &ArgMap) -> Result<(), String> {
+    let dataset = load_dataset(args)?;
+    let path = args.required("mapping")?;
+    let eta: f64 = args.parsed_or("eta", 2.0)?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let (allocation, unknown) = read_mapping(dataset.graph(), BufReader::new(file))?;
+    if unknown > 0 {
+        eprintln!("warning: {unknown} mapped accounts do not appear in the trace");
+    }
+    let params =
+        TxAlloParams::for_graph(dataset.graph(), allocation.shard_count()).with_eta(eta);
+    let report = MetricsReport::compute(dataset.graph(), &allocation, &params);
+    let tx_gamma = MetricsReport::transaction_level_cross_ratio(&dataset, &allocation);
+
+    println!("shards               : {}", allocation.shard_count());
+    println!("cross-shard γ (graph): {:.2}%", 100.0 * report.cross_shard_ratio);
+    println!("cross-shard γ (tx)   : {:.2}%", 100.0 * tx_gamma);
+    println!("balance ρ/λ          : {:.3}", report.workload_std_normalized);
+    println!("throughput Λ/λ       : {:.2}×", report.throughput_normalized);
+    println!("avg latency ζ        : {:.2} blocks", report.avg_latency);
+    println!("worst-case latency   : {:.0} blocks", report.worst_latency);
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! CLI subcommand implementations.
+
+pub mod allocate;
+pub mod convert;
+pub mod evaluate;
+pub mod generate;
+pub mod simulate;
+pub mod stats;
+
+use std::fs::File;
+use std::io::BufReader;
+
+use txallo_core::Dataset;
+use txallo_workload::read_ledger_csv;
+
+use crate::args::ArgMap;
+
+/// Loads `--trace <path>` into a dataset.
+pub fn load_dataset(args: &ArgMap) -> Result<Dataset, String> {
+    let path = args.required("trace")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let ledger = read_ledger_csv(BufReader::new(file)).map_err(|e| e.to_string())?;
+    if ledger.transaction_count() == 0 {
+        return Err(format!("{path} contains no transactions"));
+    }
+    Ok(Dataset::from_ledger(ledger))
+}

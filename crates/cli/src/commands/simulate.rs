@@ -1,0 +1,65 @@
+//! `txallo simulate` — run the epoch simulator on a synthetic stream.
+
+use txallo_graph::WeightedGraph;
+use txallo_sim::{HybridSchedule, ShardedChainSim, SimConfig, UpdateKind};
+use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
+
+use crate::args::ArgMap;
+
+/// Runs the command.
+pub fn run(args: &ArgMap) -> Result<(), String> {
+    let shards: usize = args.parsed_or("shards", 12)?;
+    let epochs: u64 = args.parsed_or("epochs", 20)?;
+    let epoch_blocks: usize = args.parsed_or("epoch-blocks", 50)?;
+    let gap: u64 = args.parsed_or("gap", 10)?;
+    let seed: u64 = args.parsed_or("seed", 42)?;
+    let eta: f64 = args.parsed_or("eta", 2.0)?;
+    if shards == 0 || epochs == 0 || epoch_blocks == 0 {
+        return Err("--shards, --epochs and --epoch-blocks must be positive".into());
+    }
+
+    let config = WorkloadConfig {
+        block_size: 100,
+        new_account_prob: 0.004,
+        ..WorkloadConfig::default()
+    };
+    let mut generator = EthereumLikeGenerator::new(config, seed);
+    let warm = generator.blocks(epoch_blocks as u64 * epochs);
+    let stream = generator.blocks(epoch_blocks as u64 * epochs);
+
+    let schedule = if gap == 0 {
+        HybridSchedule::AlwaysAdaptive
+    } else {
+        HybridSchedule::Hybrid { global_gap: gap }
+    };
+    let decay: f64 = args.parsed_or("decay", 1.0)?;
+    let decay_per_epoch = if decay < 1.0 { Some(decay) } else { None };
+    let mut sim =
+        ShardedChainSim::new(SimConfig { shards, eta, epoch_blocks, schedule, decay_per_epoch });
+    let warm_time = sim.warmup(&warm);
+    eprintln!(
+        "warm-up: {} accounts, G-TxAllo in {warm_time:.2?}",
+        sim.graph().node_count()
+    );
+
+    println!("epoch,algo,gamma,throughput_times,new_accounts,update_seconds");
+    let mut sum_tp = 0.0;
+    let reports = sim.run_stream(&stream);
+    for r in &reports {
+        sum_tp += r.metrics.throughput_normalized;
+        println!(
+            "{},{},{:.4},{:.3},{},{:.6}",
+            r.epoch,
+            match r.update {
+                UpdateKind::Global => "global",
+                UpdateKind::Adaptive => "adaptive",
+            },
+            r.metrics.cross_shard_ratio,
+            r.metrics.throughput_normalized,
+            r.new_accounts,
+            r.update_time.as_secs_f64()
+        );
+    }
+    eprintln!("average throughput: {:.3}× unsharded", sum_tp / reports.len().max(1) as f64);
+    Ok(())
+}

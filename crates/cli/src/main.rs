@@ -1,0 +1,63 @@
+//! `txallo` — command-line interface to the TxAllo toolkit.
+//!
+//! ```text
+//! txallo generate  --out trace.csv [--accounts N] [--transactions N] [--seed S]
+//! txallo stats     --trace trace.csv
+//! txallo allocate  --trace trace.csv --method txallo|hash|metis|scheduler
+//!                  [-k N] [--eta F] [--out mapping.csv]
+//! txallo evaluate  --trace trace.csv --mapping mapping.csv [--eta F]
+//! txallo simulate  [--shards N] [--epochs N] [--gap N] [--seed S]
+//! txallo convert   --etl transactions.csv --out trace.csv
+//! ```
+
+mod args;
+mod commands;
+mod mapping;
+
+use args::ArgMap;
+
+fn main() {
+    let mut raw = std::env::args().skip(1);
+    let Some(command) = raw.next() else {
+        eprintln!("{}", usage());
+        std::process::exit(2);
+    };
+    let args = match ArgMap::parse(raw) {
+        Ok(a) => a,
+        Err(e) => fail(&e),
+    };
+    let result = match command.as_str() {
+        "generate" => commands::generate::run(&args),
+        "stats" => commands::stats::run(&args),
+        "allocate" => commands::allocate::run(&args),
+        "convert" => commands::convert::run(&args),
+        "evaluate" => commands::evaluate::run(&args),
+        "simulate" => commands::simulate::run(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            return;
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    if let Err(e) = result {
+        fail(&e);
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn usage() -> &'static str {
+    "txallo — dynamic transaction allocation for sharded blockchains
+
+USAGE:
+  txallo generate  --out trace.csv [--accounts N] [--transactions N] [--seed S]
+  txallo stats     --trace trace.csv
+  txallo allocate  --trace trace.csv --method txallo|hash|metis|scheduler \\
+                   [-k N] [--eta F] [--out mapping.csv]
+  txallo evaluate  --trace trace.csv --mapping mapping.csv [--eta F]
+  txallo simulate  [--shards N] [--epochs N] [--gap N] [--seed S]
+  txallo convert   --etl transactions.csv --out trace.csv"
+}

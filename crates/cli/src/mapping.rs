@@ -1,0 +1,106 @@
+//! Account→shard mapping file I/O (`account_id,shard` per line).
+
+use std::io::{BufRead, Write};
+
+use txallo_core::Allocation;
+use txallo_graph::{TxGraph, WeightedGraph};
+
+/// Writes an allocation as `account_id,shard` rows.
+pub fn write_mapping(
+    graph: &TxGraph,
+    allocation: &Allocation,
+    mut out: impl Write,
+) -> std::io::Result<()> {
+    for v in 0..graph.node_count() as u32 {
+        writeln!(out, "{},{}", graph.account(v).0, allocation.shard_of(v).0)?;
+    }
+    Ok(())
+}
+
+/// Reads a mapping file back into an [`Allocation`] aligned with `graph`'s
+/// node ids. Accounts present in the graph but absent from the file are an
+/// error (the mapping must be complete); unknown accounts in the file are
+/// ignored with a warning count returned.
+pub fn read_mapping(graph: &TxGraph, input: impl BufRead) -> Result<(Allocation, usize), String> {
+    let n = graph.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut max_shard = 0u32;
+    let mut unknown = 0usize;
+    for (idx, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| format!("I/O error at line {}: {e}", idx + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (acct, shard) = trimmed
+            .split_once(',')
+            .ok_or_else(|| format!("line {}: expected account,shard", idx + 1))?;
+        let acct: u64 =
+            acct.trim().parse().map_err(|e| format!("line {}: bad account: {e}", idx + 1))?;
+        let shard: u32 =
+            shard.trim().parse().map_err(|e| format!("line {}: bad shard: {e}", idx + 1))?;
+        match graph.node_of(txallo_model::AccountId(acct)) {
+            Some(node) => {
+                labels[node as usize] = shard;
+                max_shard = max_shard.max(shard);
+            }
+            None => unknown += 1,
+        }
+    }
+    if let Some(v) = labels.iter().position(|&l| l == u32::MAX) {
+        return Err(format!(
+            "mapping is incomplete: account {} has no shard",
+            graph.account(v as u32)
+        ));
+    }
+    Ok((Allocation::new(labels, max_shard as usize + 1), unknown))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+    use txallo_model::{AccountId, Transaction};
+
+    fn graph() -> TxGraph {
+        let mut g = TxGraph::new();
+        g.ingest_transaction(&Transaction::transfer(AccountId(10), AccountId(20)));
+        g.ingest_transaction(&Transaction::transfer(AccountId(20), AccountId(30)));
+        g
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = graph();
+        let alloc = Allocation::new(vec![0, 1, 1], 2);
+        let mut buf = Vec::new();
+        write_mapping(&g, &alloc, &mut buf).unwrap();
+        let (back, unknown) = read_mapping(&g, BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.labels(), alloc.labels());
+        assert_eq!(unknown, 0);
+    }
+
+    #[test]
+    fn unknown_accounts_are_counted() {
+        let g = graph();
+        let text = "10,0\n20,1\n30,0\n999,1\n";
+        let (alloc, unknown) = read_mapping(&g, BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(unknown, 1);
+        assert_eq!(alloc.len(), 3);
+    }
+
+    #[test]
+    fn incomplete_mapping_is_an_error() {
+        let g = graph();
+        let text = "10,0\n20,1\n";
+        assert!(read_mapping(&g, BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        let g = graph();
+        assert!(read_mapping(&g, BufReader::new("10;0\n".as_bytes())).is_err());
+        assert!(read_mapping(&g, BufReader::new("x,0\n".as_bytes())).is_err());
+        assert!(read_mapping(&g, BufReader::new("10,y\n".as_bytes())).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! The account-shard mapping (Definition 1).
+
+use txallo_graph::{NodeId, TxGraph};
+use txallo_model::{AccountId, ShardId};
+
+/// An account-shard mapping `{A₁, …, A_k}`: every graph node carries
+/// exactly one shard label (uniqueness + completeness of Definition 1 hold
+/// by construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    labels: Vec<u32>,
+    shard_count: usize,
+}
+
+impl Allocation {
+    /// Wraps a label vector. Every label must be `< shard_count`.
+    pub fn new(labels: Vec<u32>, shard_count: usize) -> Self {
+        debug_assert!(
+            labels.iter().all(|&l| (l as usize) < shard_count),
+            "labels must be within 0..shard_count"
+        );
+        Self { labels, shard_count }
+    }
+
+    /// All-zero allocation of `n` nodes into one shard (the unsharded
+    /// baseline `k = 1`).
+    pub fn single_shard(n: usize) -> Self {
+        Self { labels: vec![0; n], shard_count: 1 }
+    }
+
+    /// Shard of a graph node.
+    #[inline]
+    pub fn shard_of(&self, node: NodeId) -> ShardId {
+        ShardId(self.labels[node as usize])
+    }
+
+    /// Shard of an account, resolved through the graph's interner.
+    /// Returns `None` for accounts absent from the history.
+    pub fn shard_of_account(&self, graph: &TxGraph, account: AccountId) -> Option<ShardId> {
+        graph.node_of(account).map(|n| self.shard_of(n))
+    }
+
+    /// The raw label vector (index = node id).
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Mutable access for in-place updates (A-TxAllo).
+    pub fn labels_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.labels
+    }
+
+    /// Number of shards `k`.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Number of allocated nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the allocation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Nodes grouped per shard (index = shard id).
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.shard_count];
+        for (v, &s) in self.labels.iter().enumerate() {
+            groups[s as usize].push(v as NodeId);
+        }
+        groups
+    }
+
+    /// Number of accounts per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.shard_count];
+        for &s in &self.labels {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Number of shards a transaction over `accounts` touches (`µ(Tx)`),
+    /// given the graph used to intern them. Accounts missing from the graph
+    /// are ignored (they have no assigned shard yet).
+    pub fn shards_touched(&self, graph: &TxGraph, accounts: &[AccountId]) -> usize {
+        let mut shards: Vec<u32> = accounts
+            .iter()
+            .filter_map(|&a| graph.node_of(a))
+            .map(|n| self.labels[n as usize])
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txallo_model::Transaction;
+
+    #[test]
+    fn groups_and_sizes_are_consistent() {
+        let a = Allocation::new(vec![0, 1, 0, 2, 1, 0], 3);
+        assert_eq!(a.shard_sizes(), vec![3, 2, 1]);
+        let groups = a.groups();
+        assert_eq!(groups[0], vec![0, 2, 5]);
+        assert_eq!(groups[1], vec![1, 4]);
+        assert_eq!(groups[2], vec![3]);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.shard_count(), 3);
+    }
+
+    #[test]
+    fn account_resolution() {
+        let mut g = TxGraph::new();
+        g.ingest_transaction(&Transaction::transfer(AccountId(10), AccountId(20)));
+        let alloc = Allocation::new(vec![1, 0], 2);
+        assert_eq!(alloc.shard_of_account(&g, AccountId(10)), Some(ShardId(1)));
+        assert_eq!(alloc.shard_of_account(&g, AccountId(20)), Some(ShardId(0)));
+        assert_eq!(alloc.shard_of_account(&g, AccountId(99)), None);
+    }
+
+    #[test]
+    fn shards_touched_counts_distinct() {
+        let mut g = TxGraph::new();
+        g.ingest_transaction(&Transaction::transfer(AccountId(1), AccountId(2)));
+        g.ingest_transaction(&Transaction::transfer(AccountId(3), AccountId(4)));
+        let alloc = Allocation::new(vec![0, 0, 1, 1], 2);
+        assert_eq!(alloc.shards_touched(&g, &[AccountId(1), AccountId(2)]), 1);
+        assert_eq!(alloc.shards_touched(&g, &[AccountId(1), AccountId(3)]), 2);
+        assert_eq!(alloc.shards_touched(&g, &[AccountId(1), AccountId(99)]), 1);
+    }
+
+    #[test]
+    fn single_shard_helper() {
+        let a = Allocation::single_shard(4);
+        assert_eq!(a.shard_count(), 1);
+        assert!(a.labels().iter().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,310 @@
+//! A-TxAllo — the adaptive allocation algorithm (Algorithm 2).
+
+use txallo_graph::{NodeId, TxGraph, WeightedGraph};
+
+use crate::allocation::Allocation;
+use crate::params::TxAlloParams;
+use crate::state::{CommunityState, MoveScratch, UNASSIGNED};
+
+/// The adaptive TxAllo algorithm: starting from the previous allocation, it
+/// (1) places the brand-new accounts of the freshly committed blocks and
+/// (2) re-optimizes only the touched node set `V̂`, giving `O(|V̂|·k)`
+/// running time — constant in chain length (§V-C).
+#[derive(Debug, Clone)]
+pub struct AtxAllo {
+    params: TxAlloParams,
+}
+
+/// Outcome of an adaptive update.
+#[derive(Debug, Clone)]
+pub struct AtxAlloOutcome {
+    /// The updated account-shard mapping (covers every node of the graph).
+    pub allocation: Allocation,
+    /// How many brand-new accounts were placed (phase 1).
+    pub new_nodes: usize,
+    /// Optimization sweeps over `V̂` (phase 2).
+    pub sweeps: usize,
+    /// Total throughput gain accumulated in phase 2.
+    pub total_gain: f64,
+    /// Node moves committed across both phases.
+    pub moves: usize,
+}
+
+impl AtxAllo {
+    /// Creates the adaptive allocator.
+    pub fn new(params: TxAlloParams) -> Self {
+        Self { params }
+    }
+
+    /// The hyper-parameters in use.
+    pub fn params(&self) -> &TxAlloParams {
+        &self.params
+    }
+
+    /// Updates `previous` after the graph has ingested new blocks.
+    ///
+    /// * `graph` — the transaction graph *after* ingestion;
+    /// * `previous` — the allocation produced for the graph before
+    ///   ingestion (its labels cover a prefix of the node ids, because the
+    ///   interner only appends);
+    /// * `touched` — the node set `V̂` returned by
+    ///   [`TxGraph::ingest_block`] for the new blocks.
+    pub fn update(
+        &self,
+        graph: &TxGraph,
+        previous: &Allocation,
+        touched: &[NodeId],
+    ) -> AtxAlloOutcome {
+        let n = graph.node_count();
+        let k = self.params.shards;
+        assert_eq!(previous.shard_count(), k, "shard count cannot change between updates");
+        assert!(previous.len() <= n, "previous allocation labels unknown nodes");
+
+        // Extend the label vector: new nodes start unassigned.
+        let mut labels: Vec<u32> = Vec::with_capacity(n);
+        labels.extend_from_slice(previous.labels());
+        labels.resize(n, UNASSIGNED);
+
+        let mut state =
+            CommunityState::from_labels(graph, &labels, k, self.params.eta, self.params.capacity);
+        let mut scratch = MoveScratch::default();
+
+        // Deterministic sweep order over V̂: canonical account-hash order.
+        let mut order: Vec<NodeId> = touched.to_vec();
+        order.sort_unstable_by_key(|&v| {
+            let a = graph.account(v);
+            (a.address_hash(), a.0)
+        });
+
+        // ---- Phase 1 (lines 1–8): place brand-new nodes.
+        let mut new_nodes = 0usize;
+        let mut moves = 0usize;
+        for &v in &order {
+            if labels[v as usize] != UNASSIGNED {
+                continue;
+            }
+            new_nodes += 1;
+            state.gather_links(graph, &labels, v, &mut scratch);
+            let self_w = graph.self_loop(v);
+            let d_v = graph.incident_weight(v);
+            // Ties broken toward the least-loaded community (see
+            // `GTxAllo::best_join` for why this matters).
+            let mut best: Option<(u32, f64, f64)> = None; // (q, gain, sigma)
+            let consider = |q: u32, w_vq: f64, best: &mut Option<(u32, f64, f64)>| {
+                let gain = state.join_gain(q, self_w, d_v, w_vq);
+                let sigma = state.sigma(q);
+                let better = match *best {
+                    None => true,
+                    Some((_, bg, bs)) => gain > bg || (gain == bg && sigma < bs),
+                };
+                if better {
+                    *best = Some((q, gain, sigma));
+                }
+            };
+            if scratch.link.is_empty() {
+                // C_v = ∅: consider every community (lines 3–5).
+                for q in 0..k as u32 {
+                    consider(q, 0.0, &mut best);
+                }
+            } else {
+                let mut candidates: Vec<(u32, f64)> =
+                    scratch.link.iter().map(|(&c, &w)| (c, w)).collect();
+                candidates.sort_unstable_by_key(|&(c, _)| c);
+                for (q, w_vq) in candidates {
+                    consider(q, w_vq, &mut best);
+                }
+            }
+            let q = best.expect("k ≥ 1").0;
+            let w_vq = scratch.link.get(&q).copied().unwrap_or(0.0);
+            state.apply_join(q, self_w, d_v, w_vq);
+            labels[v as usize] = q;
+            moves += 1;
+        }
+
+        // ---- Phase 2 (lines 9–17): optimize over V̂ only.
+        let mut sweeps = 0usize;
+        let mut total_gain = 0.0;
+        loop {
+            let mut delta = 0.0;
+            for &v in &order {
+                let p = labels[v as usize];
+                state.gather_links(graph, &labels, v, &mut scratch);
+                if scratch.link.is_empty()
+                    || (scratch.link.len() == 1 && scratch.link.contains_key(&p))
+                {
+                    continue;
+                }
+                let self_w = graph.self_loop(v);
+                let d_v = graph.incident_weight(v);
+                let w_vp = scratch.link.get(&p).copied().unwrap_or(0.0);
+                let leave = state.leave_gain(p, self_w, d_v, w_vp);
+                let mut candidates: Vec<(u32, f64)> =
+                    scratch.link.iter().map(|(&c, &w)| (c, w)).collect();
+                candidates.sort_unstable_by_key(|&(c, _)| c);
+                let mut best: Option<(u32, f64, f64)> = None;
+                for (q, w_vq) in candidates {
+                    if q == p {
+                        continue;
+                    }
+                    let gain = leave + state.join_gain(q, self_w, d_v, w_vq);
+                    match best {
+                        Some((_, bg, _)) if gain <= bg => {}
+                        _ => best = Some((q, gain, w_vq)),
+                    }
+                }
+                if let Some((q, gain, w_vq)) = best {
+                    if gain > 0.0 {
+                        state.apply_leave(p, self_w, d_v, w_vp);
+                        state.apply_join(q, self_w, d_v, w_vq);
+                        labels[v as usize] = q;
+                        delta += gain;
+                        total_gain += gain;
+                        moves += 1;
+                    }
+                }
+            }
+            sweeps += 1;
+            if delta < self.params.epsilon || sweeps >= self.params.max_sweeps {
+                break;
+            }
+        }
+
+        AtxAlloOutcome {
+            allocation: Allocation::new(labels, k),
+            new_nodes,
+            sweeps,
+            total_gain,
+            moves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gtxallo::GTxAllo;
+    use txallo_model::{AccountId, Block, Transaction};
+
+    fn base_graph() -> TxGraph {
+        let mut g = TxGraph::new();
+        // Two clusters: {0..5} and {10..15}.
+        for base in [0u64, 10] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    g.ingest_transaction(&Transaction::transfer(
+                        AccountId(base + i),
+                        AccountId(base + j),
+                    ));
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn new_account_joins_its_cluster() {
+        let mut g = base_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
+
+        // New account 100 transacts heavily with cluster 0.
+        let block = Block::new(
+            0,
+            vec![
+                Transaction::transfer(AccountId(100), AccountId(0)),
+                Transaction::transfer(AccountId(100), AccountId(1)),
+                Transaction::transfer(AccountId(100), AccountId(2)),
+            ],
+        );
+        let touched = g.ingest_block(&block);
+        let out = AtxAllo::new(params).update(&g, &prev, &touched);
+        assert_eq!(out.new_nodes, 1);
+        let n100 = g.node_of(AccountId(100)).unwrap();
+        let n0 = g.node_of(AccountId(0)).unwrap();
+        assert_eq!(
+            out.allocation.shard_of(n100),
+            out.allocation.shard_of(n0),
+            "account 100 must join cluster 0's shard"
+        );
+    }
+
+    #[test]
+    fn preserves_untouched_assignments() {
+        let mut g = base_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
+        let block =
+            Block::new(0, vec![Transaction::transfer(AccountId(200), AccountId(201))]);
+        let touched = g.ingest_block(&block);
+        let out = AtxAllo::new(params).update(&g, &prev, &touched);
+        // Every pre-existing node keeps its shard (none were touched).
+        for v in 0..prev.len() as NodeId {
+            assert_eq!(out.allocation.shard_of(v), prev.shard_of(v), "node {v} moved");
+        }
+    }
+
+    #[test]
+    fn migrating_account_follows_its_new_partners() {
+        let mut g = base_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
+        let n0 = g.node_of(AccountId(0)).unwrap();
+        let n10 = g.node_of(AccountId(10)).unwrap();
+        assert_ne!(prev.shard_of(n0), prev.shard_of(n10), "clusters start apart");
+
+        // Account 0 now interacts overwhelmingly with cluster 1.
+        let txs: Vec<Transaction> = (0..40)
+            .map(|i| Transaction::transfer(AccountId(0), AccountId(10 + (i % 5))))
+            .collect();
+        let block = Block::new(0, txs);
+        let touched = g.ingest_block(&block);
+        let out = AtxAllo::new(params).update(&g, &prev, &touched);
+        let n0_shard = out.allocation.shard_of(n0);
+        assert_eq!(n0_shard, out.allocation.shard_of(n10), "account 0 must migrate");
+        assert!(out.total_gain > 0.0);
+    }
+
+    #[test]
+    fn disconnected_new_account_is_still_placed() {
+        let mut g = base_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
+        let block =
+            Block::new(0, vec![Transaction::transfer(AccountId(500), AccountId(500))]);
+        let touched = g.ingest_block(&block);
+        let out = AtxAllo::new(params).update(&g, &prev, &touched);
+        let n = g.node_of(AccountId(500)).unwrap();
+        assert!(out.allocation.shard_of(n).index() < 2);
+        assert_eq!(out.allocation.len(), g.node_count());
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let mut g = base_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
+        let block = Block::new(
+            0,
+            vec![
+                Transaction::transfer(AccountId(100), AccountId(0)),
+                Transaction::transfer(AccountId(101), AccountId(10)),
+                Transaction::transfer(AccountId(100), AccountId(101)),
+            ],
+        );
+        let touched = g.ingest_block(&block);
+        let a = AtxAllo::new(params.clone()).update(&g, &prev, &touched);
+        let b = AtxAllo::new(params).update(&g, &prev, &touched);
+        assert_eq!(a.allocation, b.allocation);
+    }
+
+    #[test]
+    fn empty_touched_set_is_a_noop() {
+        let g = base_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
+        let out = AtxAllo::new(params).update(&g, &prev, &[]);
+        assert_eq!(out.allocation, prev);
+        assert_eq!(out.new_nodes, 0);
+        assert_eq!(out.moves, 0);
+    }
+}

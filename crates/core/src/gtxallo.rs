@@ -1,0 +1,400 @@
+//! G-TxAllo — the global allocation algorithm (Algorithm 1).
+
+use txallo_graph::{NodeId, TxGraph, WeightedGraph};
+use txallo_louvain::{louvain, LouvainResult};
+
+use crate::allocation::Allocation;
+use crate::dataset::Dataset;
+use crate::params::TxAlloParams;
+use crate::state::{CommunityState, MoveScratch, UNASSIGNED};
+use crate::Allocator;
+
+/// The global TxAllo algorithm: Louvain initialization, truncation to the
+/// `k` heaviest communities, then deterministic throughput-gain sweeps.
+///
+/// ```
+/// use txallo_core::{GTxAllo, MetricsReport, TxAlloParams};
+/// use txallo_graph::TxGraph;
+/// use txallo_model::{AccountId, Transaction};
+///
+/// // Two obvious 3-account clusters.
+/// let mut g = TxGraph::new();
+/// for base in [0u64, 10] {
+///     for (i, j) in [(0, 1), (1, 2), (0, 2)] {
+///         g.ingest_transaction(&Transaction::transfer(
+///             AccountId(base + i),
+///             AccountId(base + j),
+///         ));
+///     }
+/// }
+/// let params = TxAlloParams::for_graph(&g, 2);
+/// let allocation = GTxAllo::new(params.clone()).allocate_graph(&g);
+/// let report = MetricsReport::compute(&g, &allocation, &params);
+/// assert_eq!(report.cross_shard_ratio, 0.0); // clusters map onto shards
+/// ```
+#[derive(Debug, Clone)]
+pub struct GTxAllo {
+    params: TxAlloParams,
+}
+
+/// Detailed outcome of a G-TxAllo run (the counters the paper's running
+/// time discussion §VI-B6 refers to).
+#[derive(Debug, Clone)]
+pub struct GTxAlloOutcome {
+    /// The final account-shard mapping.
+    pub allocation: Allocation,
+    /// Number of communities Louvain produced before truncation (`l`).
+    pub initial_communities: usize,
+    /// Modularity of the Louvain initialization.
+    pub louvain_modularity: f64,
+    /// Optimization sweeps executed until `ΔΛ < ε`.
+    pub sweeps: usize,
+    /// Total throughput gain accumulated by the optimization phase.
+    pub total_gain: f64,
+    /// Number of node moves committed across both phases.
+    pub moves: usize,
+}
+
+impl GTxAllo {
+    /// Creates the allocator with the given hyper-parameters.
+    pub fn new(params: TxAlloParams) -> Self {
+        Self { params }
+    }
+
+    /// The hyper-parameters in use.
+    pub fn params(&self) -> &TxAlloParams {
+        &self.params
+    }
+
+    /// Runs the full pipeline on a transaction graph.
+    pub fn allocate_graph(&self, graph: &TxGraph) -> Allocation {
+        self.allocate_detailed(graph).allocation
+    }
+
+    /// Runs the full pipeline, returning counters as well.
+    pub fn allocate_detailed(&self, graph: &TxGraph) -> GTxAlloOutcome {
+        let init = louvain(graph, &self.params.louvain);
+        let order = graph.nodes_in_canonical_order();
+        self.allocate_with_init(graph, &init, &order)
+    }
+
+    /// Runs truncation + optimization from a precomputed Louvain result and
+    /// node sweep order.
+    ///
+    /// Exposed separately because the Louvain initialization depends on
+    /// neither `k` nor `η` — experiment sweeps reuse it across the whole
+    /// parameter grid (this is also how the paper reports initialization
+    /// time separately: 67.6 s of the 122.3 s total).
+    pub fn allocate_with_init(
+        &self,
+        graph: &impl WeightedGraph,
+        init: &LouvainResult,
+        order: &[NodeId],
+    ) -> GTxAlloOutcome {
+        let n = graph.node_count();
+        let k = self.params.shards;
+        assert_eq!(init.communities.len(), n, "initialization must label every node");
+        assert_eq!(order.len(), n, "sweep order must cover every node");
+
+        if n == 0 {
+            return GTxAlloOutcome {
+                allocation: Allocation::new(Vec::new(), k),
+                initial_communities: 0,
+                louvain_modularity: init.modularity,
+                sweeps: 0,
+                total_gain: 0.0,
+                moves: 0,
+            };
+        }
+
+        let l = init.community_count.max(1);
+        let mut moves = 0usize;
+
+        // ---- Truncation: keep the k communities with the largest workload.
+        let mut labels: Vec<u32> = init.communities.clone();
+        if l > k {
+            let full = CommunityState::from_labels(
+                graph,
+                &labels,
+                l,
+                self.params.eta,
+                self.params.capacity,
+            );
+            let mut by_sigma: Vec<u32> = (0..l as u32).collect();
+            by_sigma.sort_unstable_by(|&a, &b| {
+                full.sigma(b)
+                    .partial_cmp(&full.sigma(a))
+                    .expect("finite workloads")
+                    .then(a.cmp(&b))
+            });
+            let mut remap = vec![UNASSIGNED; l];
+            for (new_id, &old_id) in by_sigma.iter().take(k).enumerate() {
+                remap[old_id as usize] = new_id as u32;
+            }
+            for label in labels.iter_mut() {
+                *label = remap[*label as usize];
+            }
+        }
+        // (If l <= k the Louvain labels already fit in 0..k, with the
+        // remaining communities empty — the paper's "uncommon situation".)
+
+        let mut state =
+            CommunityState::from_labels(graph, &labels, k, self.params.eta, self.params.capacity);
+        let mut scratch = MoveScratch::default();
+
+        // ---- Initialization phase (lines 2–9): place V_small members.
+        for &v in order {
+            if labels[v as usize] != UNASSIGNED {
+                continue;
+            }
+            let q = self.best_join(graph, &state, &labels, v, &mut scratch);
+            let (self_w, d_v) = (graph.self_loop(v), graph.incident_weight(v));
+            let w_vq = scratch.link.get(&q).copied().unwrap_or(0.0);
+            state.apply_join(q, self_w, d_v, w_vq);
+            labels[v as usize] = q;
+            moves += 1;
+        }
+
+        // ---- Optimization phase (lines 10–19).
+        let mut sweeps = 0usize;
+        let mut total_gain = 0.0;
+        loop {
+            let mut delta = 0.0;
+            for &v in order {
+                let p = labels[v as usize];
+                state.gather_links(graph, &labels, v, &mut scratch);
+                if scratch.link.is_empty()
+                    || (scratch.link.len() == 1 && scratch.link.contains_key(&p))
+                {
+                    continue; // C_v = ∅: v only touches its own community.
+                }
+                let self_w = graph.self_loop(v);
+                let d_v = graph.incident_weight(v);
+                let w_vp = scratch.link.get(&p).copied().unwrap_or(0.0);
+                let leave = state.leave_gain(p, self_w, d_v, w_vp);
+
+                let mut candidates: Vec<(u32, f64)> =
+                    scratch.link.iter().map(|(&c, &w)| (c, w)).collect();
+                candidates.sort_unstable_by_key(|&(c, _)| c);
+                let mut best: Option<(u32, f64, f64)> = None; // (q, gain, w_vq)
+                for (q, w_vq) in candidates {
+                    if q == p {
+                        continue;
+                    }
+                    let gain = leave + state.join_gain(q, self_w, d_v, w_vq);
+                    match best {
+                        Some((_, bg, _)) if gain <= bg => {}
+                        _ => best = Some((q, gain, w_vq)),
+                    }
+                }
+                if let Some((q, gain, w_vq)) = best {
+                    if gain > 0.0 {
+                        state.apply_leave(p, self_w, d_v, w_vp);
+                        state.apply_join(q, self_w, d_v, w_vq);
+                        labels[v as usize] = q;
+                        delta += gain;
+                        total_gain += gain;
+                        moves += 1;
+                    }
+                }
+            }
+            sweeps += 1;
+            if delta < self.params.epsilon || sweeps >= self.params.max_sweeps {
+                break;
+            }
+        }
+
+        GTxAlloOutcome {
+            allocation: Allocation::new(labels, k),
+            initial_communities: init.community_count,
+            louvain_modularity: init.modularity,
+            sweeps,
+            total_gain,
+            moves,
+        }
+    }
+
+    /// Best community for an unassigned node by join gain (Eq. 6);
+    /// candidates per Eq. 9, falling back to all communities when the node
+    /// touches none (line 4–6 of Algorithm 1).
+    ///
+    /// Ties on the gain are broken toward the *least-loaded* community
+    /// (then the smaller id). This matters: nodes from dissolved small
+    /// communities often have identical gains across every candidate, and
+    /// an id-based tie-break would funnel them all — plus their neighbors,
+    /// by cascade — into community 0, wrecking the balance the objective
+    /// is supposed to protect.
+    fn best_join(
+        &self,
+        graph: &impl WeightedGraph,
+        state: &CommunityState,
+        labels: &[u32],
+        v: NodeId,
+        scratch: &mut MoveScratch,
+    ) -> u32 {
+        state.gather_links(graph, labels, v, scratch);
+        let self_w = graph.self_loop(v);
+        let d_v = graph.incident_weight(v);
+        let k = state.community_count() as u32;
+        let mut best: Option<(u32, f64, f64)> = None; // (q, gain, sigma)
+        let consider = |q: u32, w_vq: f64, best: &mut Option<(u32, f64, f64)>| {
+            let gain = state.join_gain(q, self_w, d_v, w_vq);
+            let sigma = state.sigma(q);
+            let better = match *best {
+                None => true,
+                Some((_, bg, bs)) => gain > bg || (gain == bg && sigma < bs),
+            };
+            if better {
+                *best = Some((q, gain, sigma));
+            }
+        };
+        if scratch.link.is_empty() {
+            for q in 0..k {
+                consider(q, 0.0, &mut best);
+            }
+        } else {
+            let mut candidates: Vec<(u32, f64)> =
+                scratch.link.iter().map(|(&c, &w)| (c, w)).collect();
+            candidates.sort_unstable_by_key(|&(c, _)| c);
+            for (q, w_vq) in candidates {
+                consider(q, w_vq, &mut best);
+            }
+        }
+        best.expect("k ≥ 1 guarantees a candidate").0
+    }
+}
+
+impl Allocator for GTxAllo {
+    fn name(&self) -> &str {
+        "G-TxAllo"
+    }
+
+    fn allocate(&mut self, dataset: &Dataset) -> Allocation {
+        self.allocate_graph(dataset.graph())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txallo_model::{AccountId, Transaction};
+
+    /// Builds a graph of `c` dense clusters of `size` accounts plus a few
+    /// cross-cluster transfers.
+    fn clustered_graph(c: u64, size: u64, cross: u64) -> TxGraph {
+        let mut g = TxGraph::new();
+        for cluster in 0..c {
+            let base = cluster * size;
+            for i in 0..size {
+                for j in (i + 1)..size {
+                    g.ingest_transaction(&Transaction::transfer(
+                        AccountId(base + i),
+                        AccountId(base + j),
+                    ));
+                }
+            }
+        }
+        for x in 0..cross {
+            let from = (x % c) * size;
+            let to = ((x + 1) % c) * size + 1;
+            g.ingest_transaction(&Transaction::transfer(AccountId(from), AccountId(to)));
+        }
+        g
+    }
+
+    #[test]
+    fn recovers_clusters_as_shards() {
+        let g = clustered_graph(4, 6, 4);
+        let params = TxAlloParams::for_graph(&g, 4);
+        let out = GTxAllo::new(params.clone()).allocate_detailed(&g);
+        let alloc = &out.allocation;
+        assert_eq!(alloc.shard_count(), 4);
+        // Each cluster must land in a single shard.
+        for cluster in 0..4u64 {
+            let shard0 = alloc.shard_of(g.node_of(AccountId(cluster * 6)).unwrap());
+            for i in 1..6 {
+                let s = alloc.shard_of(g.node_of(AccountId(cluster * 6 + i)).unwrap());
+                assert_eq!(s, shard0, "cluster {cluster} split");
+            }
+        }
+        let report = crate::MetricsReport::compute(&g, alloc, &params);
+        assert!(report.cross_shard_ratio < 0.1, "γ = {}", report.cross_shard_ratio);
+    }
+
+    #[test]
+    fn beats_hash_allocation_on_clusters() {
+        let g = clustered_graph(6, 5, 10);
+        let params = TxAlloParams::for_graph(&g, 6);
+        let tx_alloc = GTxAllo::new(params.clone()).allocate_graph(&g);
+        let hash_labels: Vec<u32> = (0..g.node_count() as NodeId)
+            .map(|v| g.account(v).hash_shard(6).0)
+            .collect();
+        let hash_alloc = Allocation::new(hash_labels, 6);
+        let r_tx = crate::MetricsReport::compute(&g, &tx_alloc, &params);
+        let r_hash = crate::MetricsReport::compute(&g, &hash_alloc, &params);
+        assert!(
+            r_tx.cross_shard_ratio < r_hash.cross_shard_ratio / 2.0,
+            "TxAllo γ = {} vs hash γ = {}",
+            r_tx.cross_shard_ratio,
+            r_hash.cross_shard_ratio
+        );
+        assert!(r_tx.throughput >= r_hash.throughput);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let g = clustered_graph(3, 7, 5);
+        let params = TxAlloParams::for_graph(&g, 3);
+        let a = GTxAllo::new(params.clone()).allocate_graph(&g);
+        let b = GTxAllo::new(params).allocate_graph(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fewer_louvain_communities_than_shards() {
+        // One dense cluster, k=4: Louvain finds ~1 community (l < k).
+        let g = clustered_graph(1, 8, 0);
+        let params = TxAlloParams::for_graph(&g, 4);
+        let out = GTxAllo::new(params).allocate_detailed(&g);
+        assert_eq!(out.allocation.shard_count(), 4);
+        assert_eq!(out.allocation.len(), 8);
+        // All labels valid.
+        assert!(out.allocation.labels().iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_allocation() {
+        let g = TxGraph::new();
+        let params = TxAlloParams::for_total_weight(1.0, 3);
+        let out = GTxAllo::new(params).allocate_detailed(&g);
+        assert!(out.allocation.is_empty());
+        assert_eq!(out.allocation.shard_count(), 3);
+    }
+
+    #[test]
+    fn optimization_never_reduces_throughput() {
+        let g = clustered_graph(5, 5, 15);
+        let params = TxAlloParams::for_graph(&g, 5);
+        let init = txallo_louvain::louvain(&g, &params.louvain);
+        let order = g.nodes_in_canonical_order();
+        let gt = GTxAllo::new(params.clone());
+        let out = gt.allocate_with_init(&g, &init, &order);
+        assert!(out.total_gain >= 0.0);
+        // The final state's throughput equals state recomputation.
+        let report = crate::MetricsReport::compute(&g, &out.allocation, &params);
+        assert!(report.throughput > 0.0);
+    }
+
+    #[test]
+    fn self_loops_do_not_break_allocation() {
+        let mut g = clustered_graph(2, 4, 2);
+        for i in 0..4u64 {
+            g.ingest_transaction(&Transaction::transfer(AccountId(i), AccountId(i)));
+        }
+        let params = TxAlloParams::for_graph(&g, 2);
+        let alloc = GTxAllo::new(params.clone()).allocate_graph(&g);
+        assert_eq!(alloc.len(), g.node_count());
+        let report = crate::MetricsReport::compute(&g, &alloc, &params);
+        assert!(report.throughput > 0.0);
+    }
+}

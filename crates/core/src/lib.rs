@@ -1,0 +1,55 @@
+//! The TxAllo allocation framework (§III–§V of the paper).
+//!
+//! This crate holds the paper's primary contribution:
+//!
+//! * the blockchain-level performance model — cross-shard ratio `γ`,
+//!   per-shard workload `σᵢ`, balance `ρ`, capacity-capped throughput `Λ`
+//!   and confirmation latency `ζ` ([`metrics`]);
+//! * the per-community accounting and the throughput-gain delta formulas
+//!   of §V-B ([`state`]);
+//! * the two TxAllo algorithms — global [`GTxAllo`] (Algorithm 1) and
+//!   adaptive [`AtxAllo`] (Algorithm 2);
+//! * the evaluation baselines: hash-based random allocation
+//!   ([`HashAllocator`]), the METIS-backed graph partitioner
+//!   ([`MetisAllocator`]) and the transaction-level
+//!   [`ShardScheduler`].
+//!
+//! All allocators implement [`Allocator`] over a [`Dataset`] (ledger +
+//! transaction graph), so the experiment harness can sweep them uniformly.
+
+pub mod ablation;
+pub mod allocation;
+pub mod atxallo;
+pub mod broker;
+pub mod dataset;
+pub mod gtxallo;
+pub mod hash_alloc;
+pub mod metis_alloc;
+pub mod metrics;
+pub mod params;
+pub mod scheduler;
+pub mod state;
+
+pub use ablation::{gtxallo_full_scan, gtxallo_with_init_strategy, InitStrategy};
+pub use allocation::Allocation;
+pub use atxallo::{AtxAllo, AtxAlloOutcome};
+pub use broker::{allocate_with_brokers, evaluate_with_brokers, select_split_accounts, BrokerConfig, BrokeredReport, MaskedGraph};
+pub use dataset::Dataset;
+pub use gtxallo::{GTxAllo, GTxAlloOutcome};
+pub use hash_alloc::HashAllocator;
+pub use metis_alloc::MetisAllocator;
+pub use metrics::{latency_of_normalized_load, MetricsReport};
+pub use params::TxAlloParams;
+pub use scheduler::{SchedulerConfig, ShardScheduler};
+pub use state::CommunityState;
+
+/// A transaction-allocation algorithm: maps a dataset to an account-shard
+/// assignment (Definition 1 of the paper).
+pub trait Allocator {
+    /// Human-readable name used in experiment output (matches the legend
+    /// labels of the paper's figures).
+    fn name(&self) -> &str;
+
+    /// Computes the account-shard mapping for `dataset`.
+    fn allocate(&mut self, dataset: &Dataset) -> Allocation;
+}

@@ -1,0 +1,245 @@
+//! Blockchain-level performance metrics (§III-B) evaluated on an
+//! account-shard mapping.
+
+use txallo_graph::WeightedGraph;
+
+use crate::allocation::Allocation;
+use crate::dataset::Dataset;
+use crate::params::TxAlloParams;
+use crate::state::{capped_throughput, CommunityState};
+
+/// Average confirmation latency of a shard with normalized workload
+/// `x = σ/λ` (Eq. 4), in block time units.
+///
+/// Derivation: transactions are processed chronologically; in each of the
+/// `T = ⌈x⌉` time units a `1/x` fraction finishes, so the mean latency is
+/// `(∫₀ˣ ⌈t⌉ dt) / x = [T(T−1)/2 + (x − T + 1)·T] / x`. For `x ≤ 1` every
+/// transaction confirms within one unit.
+pub fn latency_of_normalized_load(x: f64) -> f64 {
+    if x <= 1.0 {
+        return 1.0;
+    }
+    let t = x.ceil();
+    ((t - 1.0) * t / 2.0 + (x - (t - 1.0)) * t) / x
+}
+
+/// Worst-case confirmation latency of a shard with normalized load `x`:
+/// the number of time units until the backlog drains, `⌈x⌉`.
+pub fn worst_latency_of_normalized_load(x: f64) -> f64 {
+    x.ceil().max(1.0)
+}
+
+/// A full evaluation of one allocation: every metric the paper's Figures
+/// 2–7 plot.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Number of shards `k`.
+    pub shards: usize,
+    /// Cross-shard workload parameter `η`.
+    pub eta: f64,
+    /// Shard capacity `λ`.
+    pub capacity: f64,
+    /// Total transaction weight `|T|`.
+    pub total_weight: f64,
+    /// Cross-shard transaction ratio `γ` (graph form: inter-community
+    /// weight over total weight).
+    pub cross_shard_ratio: f64,
+    /// Per-shard normalized workloads `σᵢ/λ` (Fig. 4's y-axis).
+    pub shard_loads: Vec<f64>,
+    /// Workload standard deviation `ρ` (Eq. 1), in absolute units.
+    pub workload_std: f64,
+    /// `ρ/λ` — the normalized balance metric the paper's Fig. 3 plots.
+    pub workload_std_normalized: f64,
+    /// System throughput `Λ` (Eq. 2–3), absolute.
+    pub throughput: f64,
+    /// `Λ/λ` — "how many times an unsharded chain" (Fig. 5's y-axis).
+    pub throughput_normalized: f64,
+    /// Average confirmation latency `ζ` in blocks (Fig. 6).
+    pub avg_latency: f64,
+    /// Worst-case latency of the most overloaded shard in blocks (Fig. 7).
+    pub worst_latency: f64,
+}
+
+impl MetricsReport {
+    /// Evaluates `allocation` on `graph` under `params`.
+    ///
+    /// Every node must carry a real shard label (no
+    /// [`crate::state::UNASSIGNED`]).
+    pub fn compute(
+        graph: &impl WeightedGraph,
+        allocation: &Allocation,
+        params: &TxAlloParams,
+    ) -> Self {
+        let k = allocation.shard_count();
+        let state =
+            CommunityState::from_labels(graph, allocation.labels(), k, params.eta, params.capacity);
+        let m = graph.total_weight();
+
+        // Each inter-community edge contributes to exactly two cuts.
+        let cut_total: f64 = (0..k as u32).map(|c| state.cut(c)).sum::<f64>() / 2.0;
+        let gamma = if m > 0.0 { cut_total / m } else { 0.0 };
+
+        let sigmas: Vec<f64> = (0..k as u32).map(|c| state.sigma(c)).collect();
+        let mean = sigmas.iter().sum::<f64>() / k as f64;
+        let variance = sigmas.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / k as f64;
+        let rho = variance.sqrt();
+
+        let throughput: f64 = (0..k as u32)
+            .map(|c| capped_throughput(state.sigma(c), state.lambda_hat(c), params.capacity))
+            .sum();
+
+        let loads: Vec<f64> = sigmas.iter().map(|s| s / params.capacity).collect();
+        let avg_latency =
+            loads.iter().map(|&x| latency_of_normalized_load(x)).sum::<f64>() / k as f64;
+        let worst_load = loads.iter().copied().fold(0.0f64, f64::max);
+
+        Self {
+            shards: k,
+            eta: params.eta,
+            capacity: params.capacity,
+            total_weight: m,
+            cross_shard_ratio: gamma,
+            shard_loads: loads,
+            workload_std: rho,
+            workload_std_normalized: rho / params.capacity,
+            throughput,
+            throughput_normalized: throughput / params.capacity,
+            avg_latency,
+            worst_latency: worst_latency_of_normalized_load(worst_load),
+        }
+    }
+
+    /// Transaction-level cross-shard ratio: the fraction of ledger
+    /// transactions with `µ(Tx) > 1`. For 1-input/1-output traffic this
+    /// coincides with the graph-level `γ`; multi-IO transactions can make
+    /// it slightly higher (one clique edge crossing shards suffices).
+    pub fn transaction_level_cross_ratio(dataset: &Dataset, allocation: &Allocation) -> f64 {
+        let total = dataset.ledger().transaction_count();
+        if total == 0 {
+            return 0.0;
+        }
+        let graph = dataset.graph();
+        let cross = dataset
+            .ledger()
+            .transactions()
+            .filter(|tx| allocation.shards_touched(graph, &tx.account_set()) > 1)
+            .count();
+        cross as f64 / total as f64
+    }
+}
+
+/// Computes `µ(Tx)`-weighted throughput shares for a single transaction:
+/// each involved shard counts `1/µ(Tx)` (§III-B). Exposed for tests and
+/// the simulator.
+pub fn throughput_share(mu: usize) -> f64 {
+    if mu == 0 {
+        0.0
+    } else {
+        1.0 / mu as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txallo_graph::{AdjacencyGraph, TxGraph};
+    use txallo_model::{AccountId, Block, Ledger, Transaction};
+
+    #[test]
+    fn latency_formula_matches_integral() {
+        assert!((latency_of_normalized_load(0.5) - 1.0).abs() < 1e-12);
+        assert!((latency_of_normalized_load(1.0) - 1.0).abs() < 1e-12);
+        assert!((latency_of_normalized_load(2.0) - 1.5).abs() < 1e-12);
+        // x = 2.5, T = 3: (3 + 0.5·3)/2.5 = 1.8 (paper's closed form).
+        assert!((latency_of_normalized_load(2.5) - 1.8).abs() < 1e-12);
+        // Monotonically nondecreasing.
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let x = i as f64 * 0.1;
+            let l = latency_of_normalized_load(x.max(0.01));
+            assert!(l >= prev - 1e-12, "latency must not decrease at x={x}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn worst_latency_is_ceiling() {
+        assert_eq!(worst_latency_of_normalized_load(0.3), 1.0);
+        assert_eq!(worst_latency_of_normalized_load(2.1), 3.0);
+        assert_eq!(worst_latency_of_normalized_load(5.0), 5.0);
+    }
+
+    /// Two shards, one cross edge: γ = 1/3, throughput accounting by hand.
+    #[test]
+    fn report_on_tiny_graph() {
+        let g = AdjacencyGraph::from_edges(4, vec![(0u32, 1, 1.0), (2, 3, 1.0), (1, 2, 1.0)]);
+        let alloc = Allocation::new(vec![0, 0, 1, 1], 2);
+        let params = TxAlloParams::for_graph(&g, 2); // λ = 1.5, η = 2
+        let r = MetricsReport::compute(&g, &alloc, &params);
+        assert!((r.cross_shard_ratio - 1.0 / 3.0).abs() < 1e-12);
+        // σ per shard = 1 + 2·1 = 3 > λ = 1.5 → capped: Λ_i = 1.5/3 · 1.5 = 0.75
+        assert!((r.throughput - 1.5).abs() < 1e-12);
+        assert!((r.throughput_normalized - 1.0).abs() < 1e-12);
+        assert!((r.workload_std - 0.0).abs() < 1e-12, "perfectly balanced");
+        // loads = 2 each → avg latency 1.5, worst 2.
+        assert!((r.avg_latency - 1.5).abs() < 1e-12);
+        assert!((r.worst_latency - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_intra_allocation_is_ideal() {
+        let g = AdjacencyGraph::from_edges(4, vec![(0u32, 1, 2.0), (2, 3, 2.0)]);
+        let alloc = Allocation::new(vec![0, 0, 1, 1], 2);
+        let params = TxAlloParams::for_graph(&g, 2); // λ = 2
+        let r = MetricsReport::compute(&g, &alloc, &params);
+        assert_eq!(r.cross_shard_ratio, 0.0);
+        assert!((r.throughput - 4.0).abs() < 1e-12, "ideal throughput = |T|");
+        assert!((r.throughput_normalized - 2.0).abs() < 1e-12, "k× an unsharded chain");
+        assert!((r.avg_latency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_shard_throughput_is_capacity_bound() {
+        // Everything in one shard of a k=2 system: σ₀ = 2m > λ.
+        let g = AdjacencyGraph::from_edges(3, vec![(0u32, 1, 1.0), (1, 2, 1.0)]);
+        let alloc = Allocation::new(vec![0, 0, 0], 2);
+        let params = TxAlloParams::for_graph(&g, 2); // λ = 1
+        let r = MetricsReport::compute(&g, &alloc, &params);
+        assert_eq!(r.cross_shard_ratio, 0.0);
+        // σ₀ = 2, Λ̂₀ = 2 → Λ = 1·2/2 = 1 = λ; shard 1 idle.
+        assert!((r.throughput - 1.0).abs() < 1e-12);
+        assert!(r.workload_std > 0.0, "maximally imbalanced");
+    }
+
+    #[test]
+    fn transaction_level_gamma_counts_mu() {
+        let ledger = Ledger::from_blocks(vec![Block::new(
+            0,
+            vec![
+                Transaction::transfer(AccountId(1), AccountId(2)), // intra
+                Transaction::transfer(AccountId(1), AccountId(3)), // cross
+                Transaction::new(vec![AccountId(1)], vec![AccountId(2), AccountId(3)]).unwrap(), // cross (µ=2)
+            ],
+        )])
+        .unwrap();
+        let ds = Dataset::from_ledger(ledger);
+        let g: &TxGraph = ds.graph();
+        let n1 = g.node_of(AccountId(1)).unwrap() as usize;
+        let n2 = g.node_of(AccountId(2)).unwrap() as usize;
+        let n3 = g.node_of(AccountId(3)).unwrap() as usize;
+        let mut labels = vec![0u32; 3];
+        labels[n1] = 0;
+        labels[n2] = 0;
+        labels[n3] = 1;
+        let alloc = Allocation::new(labels, 2);
+        let gamma = MetricsReport::transaction_level_cross_ratio(&ds, &alloc);
+        assert!((gamma - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_share_is_reciprocal() {
+        assert_eq!(throughput_share(1), 1.0);
+        assert_eq!(throughput_share(2), 0.5);
+        assert_eq!(throughput_share(0), 0.0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Per-community workload/throughput accounting and the §V-B gain formulas.
+
+use txallo_graph::{NodeId, WeightedGraph};
+use txallo_model::FxHashMap;
+
+/// Label value for nodes not yet assigned to any community.
+///
+/// A-TxAllo sees brand-new accounts; during G-TxAllo's initialization the
+/// members of truncated small communities pass through this state. Edges
+/// toward unassigned nodes are counted as *cut* from the assigned side —
+/// the conservative reading (such a transaction is cross-shard unless the
+/// counterparty lands in the same shard, at which point the join delta
+/// flips the edge to intra).
+pub const UNASSIGNED: u32 = u32::MAX;
+
+/// Mutable per-community accounting: intra-community weight and cut weight
+/// for each community, from which the paper's quantities derive:
+///
+/// * workload  `σᵢ = intra᙮ + η · cutᵢ` (Eq. 5)
+/// * uncapped throughput `Λ̂ᵢ = intraᵢ + cutᵢ / 2`
+/// * capped throughput (Eq. 3) and the move deltas (Eq. 6–8).
+#[derive(Debug, Clone)]
+pub struct CommunityState {
+    intra: Vec<f64>,
+    cut: Vec<f64>,
+    eta: f64,
+    capacity: f64,
+}
+
+/// Scratch buffers for evaluating one node's candidate moves, reused across
+/// the sweep (perf-book: workhorse collections).
+#[derive(Debug, Default)]
+pub struct MoveScratch {
+    /// weight from the node to each connected community.
+    pub link: FxHashMap<u32, f64>,
+    /// weight from the node to unassigned nodes.
+    pub to_unassigned: f64,
+}
+
+impl CommunityState {
+    /// Builds the state for `labels` over `graph`.
+    ///
+    /// `labels[v]` may be [`UNASSIGNED`]; such nodes contribute only to the
+    /// `cut` of their assigned neighbors.
+    pub fn from_labels(
+        graph: &impl WeightedGraph,
+        labels: &[u32],
+        community_count: usize,
+        eta: f64,
+        capacity: f64,
+    ) -> Self {
+        assert_eq!(labels.len(), graph.node_count());
+        let mut intra = vec![0.0f64; community_count];
+        let mut cut = vec![0.0f64; community_count];
+        for v in 0..graph.node_count() as NodeId {
+            let cv = labels[v as usize];
+            if cv == UNASSIGNED {
+                continue;
+            }
+            let c = cv as usize;
+            intra[c] += graph.self_loop(v);
+            graph.for_each_neighbor(v, |u, w| {
+                let cu = labels[u as usize];
+                if cu == cv {
+                    if u > v {
+                        intra[c] += w;
+                    }
+                } else {
+                    // Includes cu == UNASSIGNED: cut from v's side.
+                    cut[c] += w;
+                }
+            });
+        }
+        Self { intra, cut, eta, capacity }
+    }
+
+    /// Number of communities tracked.
+    pub fn community_count(&self) -> usize {
+        self.intra.len()
+    }
+
+    /// η used by this state.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// λ used by this state.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Intra-community weight of `c`.
+    pub fn intra(&self, c: u32) -> f64 {
+        self.intra[c as usize]
+    }
+
+    /// Cut weight of `c`.
+    pub fn cut(&self, c: u32) -> f64 {
+        self.cut[c as usize]
+    }
+
+    /// Workload `σ_c = intra + η·cut` (Eq. 5).
+    #[inline]
+    pub fn sigma(&self, c: u32) -> f64 {
+        self.intra[c as usize] + self.eta * self.cut[c as usize]
+    }
+
+    /// Uncapped throughput `Λ̂_c = intra + cut/2`.
+    #[inline]
+    pub fn lambda_hat(&self, c: u32) -> f64 {
+        self.intra[c as usize] + self.cut[c as usize] / 2.0
+    }
+
+    /// Capacity-capped throughput of `c` (Eq. 3).
+    #[inline]
+    pub fn throughput(&self, c: u32) -> f64 {
+        capped_throughput(self.sigma(c), self.lambda_hat(c), self.capacity)
+    }
+
+    /// Total system throughput `Λ = Σ Λᵢ` (Eq. 2).
+    pub fn total_throughput(&self) -> f64 {
+        (0..self.intra.len() as u32).map(|c| self.throughput(c)).sum()
+    }
+
+    /// Gathers the per-community link weights of `v` into `scratch`
+    /// (weights toward [`UNASSIGNED`] neighbors are summed separately).
+    pub fn gather_links(
+        &self,
+        graph: &impl WeightedGraph,
+        labels: &[u32],
+        v: NodeId,
+        scratch: &mut MoveScratch,
+    ) {
+        scratch.link.clear();
+        scratch.to_unassigned = 0.0;
+        graph.for_each_neighbor(v, |u, w| {
+            let cu = labels[u as usize];
+            if cu == UNASSIGNED {
+                scratch.to_unassigned += w;
+            } else {
+                *scratch.link.entry(cu).or_insert(0.0) += w;
+            }
+        });
+    }
+
+    /// Throughput gain `Δ_{join} Λ_q` of `v` joining `q` (Eq. 6), where `v`
+    /// is currently outside every community (left already / brand new).
+    ///
+    /// * `self_w` — self-loop weight `w{v,v}`;
+    /// * `d_v` — total incident weight of `v` (self-loop once);
+    /// * `w_vq` — weight between `v` and community `q`.
+    pub fn join_gain(&self, q: u32, self_w: f64, d_v: f64, w_vq: f64) -> f64 {
+        let (sigma_new, hat_new) = self.joined_state(q, self_w, d_v, w_vq);
+        capped_throughput(sigma_new, hat_new, self.capacity) - self.throughput(q)
+    }
+
+    fn joined_state(&self, q: u32, self_w: f64, d_v: f64, w_vq: f64) -> (f64, f64) {
+        // σ'_q = σ_q + w_vv + η(d_v − w_vv − w_vq) + (1−η) w_vq
+        let sigma_new = self.sigma(q)
+            + self_w
+            + self.eta * (d_v - self_w - w_vq)
+            + (1.0 - self.eta) * w_vq;
+        // Λ̂'_q = Λ̂_q + w_vv + (d_v − w_vv)/2
+        let hat_new = self.lambda_hat(q) + self_w + (d_v - self_w) / 2.0;
+        (sigma_new, hat_new)
+    }
+
+    /// Throughput gain `Δ_{leave} Λ_p` of `v` leaving its community `p`
+    /// (the leaving half of Eq. 8). `w_vp` is the weight between `v` and
+    /// the *other* members of `p` (`w{v, V_p \ v}`).
+    pub fn leave_gain(&self, p: u32, self_w: f64, d_v: f64, w_vp: f64) -> f64 {
+        let (sigma_new, hat_new) = self.left_state(p, self_w, d_v, w_vp);
+        capped_throughput(sigma_new, hat_new, self.capacity) - self.throughput(p)
+    }
+
+    fn left_state(&self, p: u32, self_w: f64, d_v: f64, w_vp: f64) -> (f64, f64) {
+        // σ'_p = σ_p − w_vv − η(d_v − w_vv − w_vp) + (η−1) w_vp
+        let sigma_new = self.sigma(p) - self_w - self.eta * (d_v - self_w - w_vp)
+            + (self.eta - 1.0) * w_vp;
+        // Λ̂'_p = Λ̂_p − w_vv − (d_v − w_vv)/2
+        let hat_new = self.lambda_hat(p) - self_w - (d_v - self_w) / 2.0;
+        (sigma_new, hat_new)
+    }
+
+    /// Full move gain `Δ_{(i,p,q)}Λ = Δ_{leave}Λ_p + Δ_{join}Λ_q` (Eq. 8).
+    pub fn move_gain(&self, p: u32, q: u32, self_w: f64, d_v: f64, w_vp: f64, w_vq: f64) -> f64 {
+        debug_assert_ne!(p, q);
+        self.leave_gain(p, self_w, d_v, w_vp) + self.join_gain(q, self_w, d_v, w_vq)
+    }
+
+    /// Commits `v` joining community `q` (updates `intra`/`cut`). The caller
+    /// updates the label vector.
+    pub fn apply_join(&mut self, q: u32, self_w: f64, d_v: f64, w_vq: f64) {
+        self.intra[q as usize] += self_w + w_vq;
+        self.cut[q as usize] += (d_v - self_w - w_vq) - w_vq;
+    }
+
+    /// Commits `v` leaving community `p`.
+    pub fn apply_leave(&mut self, p: u32, self_w: f64, d_v: f64, w_vp: f64) {
+        self.intra[p as usize] -= self_w + w_vp;
+        self.cut[p as usize] -= (d_v - self_w - w_vp) - w_vp;
+    }
+
+    /// Verifies Lemma 1 numerically: only `p` and `q` change. Debug aid for
+    /// tests; O(k).
+    #[cfg(test)]
+    fn snapshot(&self) -> (Vec<f64>, Vec<f64>) {
+        (self.intra.clone(), self.cut.clone())
+    }
+}
+
+/// The capacity-capped shard throughput of Eq. 3:
+/// `Λ = Λ̂` when `σ ≤ λ`, else `Λ = (λ/σ)·Λ̂`.
+#[inline]
+pub fn capped_throughput(sigma: f64, lambda_hat: f64, capacity: f64) -> f64 {
+    if sigma <= capacity {
+        lambda_hat
+    } else {
+        capacity / sigma * lambda_hat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txallo_graph::AdjacencyGraph;
+
+    /// Line graph 0-1-2-3 plus a self-loop on 0; labels {0,1} per pair.
+    fn fixture() -> (AdjacencyGraph, Vec<u32>) {
+        let g = AdjacencyGraph::from_edges(
+            4,
+            vec![(0u32, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 0, 0.5)],
+        );
+        (g, vec![0, 0, 1, 1])
+    }
+
+    #[test]
+    fn from_labels_accounts_intra_and_cut() {
+        let (g, labels) = fixture();
+        let s = CommunityState::from_labels(&g, &labels, 2, 2.0, 100.0);
+        // Community 0: intra = edge(0,1) + loop(0) = 1.5, cut = edge(1,2) = 2.
+        assert!((s.intra(0) - 1.5).abs() < 1e-12);
+        assert!((s.cut(0) - 2.0).abs() < 1e-12);
+        assert!((s.intra(1) - 1.0).abs() < 1e-12);
+        assert!((s.cut(1) - 2.0).abs() < 1e-12);
+        assert!((s.sigma(0) - 5.5).abs() < 1e-12, "σ₀ = 1.5 + 2η");
+        assert!((s.lambda_hat(0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unassigned_neighbors_count_as_cut() {
+        let (g, mut labels) = fixture();
+        labels[2] = UNASSIGNED;
+        let s = CommunityState::from_labels(&g, &labels, 2, 2.0, 100.0);
+        // Community 1 = {3}: its only neighbor 2 is unassigned => cut 1.
+        assert!((s.intra(1) - 0.0).abs() < 1e-12);
+        assert!((s.cut(1) - 1.0).abs() < 1e-12);
+        // Community 0 unchanged: node 1's edge to 2 is still cut.
+        assert!((s.cut(0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capped_throughput_cases() {
+        assert_eq!(capped_throughput(5.0, 4.0, 10.0), 4.0, "sufficient capacity");
+        assert!((capped_throughput(20.0, 4.0, 10.0) - 2.0).abs() < 1e-12, "halved");
+        assert_eq!(capped_throughput(0.0, 0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn join_then_leave_is_identity() {
+        let (g, labels) = fixture();
+        let mut s = CommunityState::from_labels(&g, &labels, 2, 3.0, 100.0);
+        let before = s.snapshot();
+        // Move node 1 (community 0): self_w=0, d_v=3, w_to_0 = 1 (node 0), w_to_1 = 2 (node 2).
+        s.apply_leave(0, 0.0, 3.0, 1.0);
+        s.apply_join(0, 0.0, 3.0, 1.0);
+        let after = s.snapshot();
+        for (a, b) in before.0.iter().zip(after.0.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in before.1.iter().zip(after.1.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gain_matches_recomputation() {
+        // Move node 2 from community 1 to community 0 and compare the
+        // incremental gain against a from-scratch recomputation.
+        let (g, labels) = fixture();
+        let eta = 2.0;
+        let cap = 2.0; // tight capacity so the capped branch is exercised
+        let s = CommunityState::from_labels(&g, &labels, 2, eta, cap);
+        let v: NodeId = 2;
+        let self_w = g.self_loop(v);
+        let d_v = g.incident_weight(v);
+        let mut scratch = MoveScratch::default();
+        s.gather_links(&g, &labels, v, &mut scratch);
+        let w_vp = scratch.link.get(&1).copied().unwrap_or(0.0);
+        let w_vq = scratch.link.get(&0).copied().unwrap_or(0.0);
+        let predicted = s.move_gain(1, 0, self_w, d_v, w_vp, w_vq);
+
+        let mut new_labels = labels.clone();
+        new_labels[v as usize] = 0;
+        let s2 = CommunityState::from_labels(&g, &new_labels, 2, eta, cap);
+        let actual = s2.total_throughput() - s.total_throughput();
+        assert!(
+            (predicted - actual).abs() < 1e-9,
+            "delta formula ({predicted}) must equal recomputation ({actual})"
+        );
+    }
+
+    #[test]
+    fn lemma1_only_two_communities_change() {
+        // Three communities; moving a node between 0 and 1 must not touch 2.
+        let g = AdjacencyGraph::from_edges(
+            6,
+            vec![(0u32, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0), (1, 2, 0.5), (3, 4, 0.5)],
+        );
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        let mut s = CommunityState::from_labels(&g, &labels, 3, 2.0, 10.0);
+        let before_2 = (s.intra(2), s.cut(2));
+        // Move node 2 from community 1 to community 0.
+        let (self_w, d_v) = (g.self_loop(2), g.incident_weight(2));
+        s.apply_leave(1, self_w, d_v, 1.0);
+        s.apply_join(0, self_w, d_v, 0.5);
+        assert_eq!((s.intra(2), s.cut(2)), before_2, "community 2 untouched (Lemma 1)");
+    }
+
+    #[test]
+    fn apply_join_matches_from_labels() {
+        // Incremental updates must agree with a from-scratch rebuild.
+        let (g, labels) = fixture();
+        let mut labels2 = labels.clone();
+        let mut s = CommunityState::from_labels(&g, &labels, 2, 2.0, 100.0);
+        let v: NodeId = 1;
+        let (self_w, d_v) = (g.self_loop(v), g.incident_weight(v));
+        let mut scratch = MoveScratch::default();
+        s.gather_links(&g, &labels, v, &mut scratch);
+        let w_vp = scratch.link.get(&0).copied().unwrap_or(0.0);
+        let w_vq = scratch.link.get(&1).copied().unwrap_or(0.0);
+        s.apply_leave(0, self_w, d_v, w_vp);
+        s.apply_join(1, self_w, d_v, w_vq);
+        labels2[v as usize] = 1;
+        let rebuilt = CommunityState::from_labels(&g, &labels2, 2, 2.0, 100.0);
+        for c in 0..2u32 {
+            assert!((s.intra(c) - rebuilt.intra(c)).abs() < 1e-12, "intra({c})");
+            assert!((s.cut(c) - rebuilt.cut(c)).abs() < 1e-12, "cut({c})");
+        }
+    }
+
+    #[test]
+    fn gather_links_separates_unassigned() {
+        let (g, mut labels) = fixture();
+        labels[3] = UNASSIGNED;
+        let s = CommunityState::from_labels(&g, &labels, 2, 2.0, 100.0);
+        let mut scratch = MoveScratch::default();
+        s.gather_links(&g, &labels, 2, &mut scratch);
+        assert!((scratch.link.get(&0).copied().unwrap_or(0.0) - 2.0).abs() < 1e-12);
+        assert!((scratch.to_unassigned - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,197 @@
+//! Exponential time-decay of edge weights.
+//!
+//! §VI-A recommends initializing from recent history "to prevent noise
+//! from out-of-date transactions", and the paper's future work is
+//! predicting future transaction patterns. Exponential decay is the
+//! standard middle ground between those: old interactions fade smoothly
+//! instead of falling off a cliff at a window boundary, so the graph is a
+//! recency-weighted estimate of the *next* epoch's pattern.
+//!
+//! Usage: call [`TxGraph::apply_decay`] once per epoch before ingesting
+//! the epoch's blocks; occasionally [`TxGraph::prune_dust`] to drop edges
+//! that have decayed to noise (bounding memory over long horizons).
+
+use crate::traits::NodeId;
+use crate::txgraph::TxGraph;
+
+impl TxGraph {
+    /// Multiplies every edge, self-loop and derived weight by `factor`
+    /// (`0 < factor ≤ 1`), in `O(V + E)`.
+    ///
+    /// `transaction_count` still counts raw ingested transactions;
+    /// `total_weight` becomes the decayed effective weight (callers using
+    /// `λ = total_weight / k` automatically adapt).
+    pub fn apply_decay(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "decay factor must be in (0, 1], got {factor}"
+        );
+        if factor == 1.0 {
+            return;
+        }
+        self.scale_all_weights(factor);
+    }
+
+    /// Removes edges whose decayed weight fell below `threshold`,
+    /// returning how many were dropped. Self-loops below the threshold are
+    /// zeroed as well. Node ids remain stable.
+    pub fn prune_dust(&mut self, threshold: f64) -> usize {
+        assert!(threshold >= 0.0);
+        self.drop_edges_below(threshold)
+    }
+}
+
+/// A convenience wrapper driving decay per block batch: `push_blocks`
+/// first decays the existing weights, then ingests the new blocks, so the
+/// graph always holds `Σ decay^age · weight(block)`.
+#[derive(Debug, Clone)]
+pub struct DecayingGraph {
+    graph: TxGraph,
+    decay_per_epoch: f64,
+    prune_threshold: f64,
+    epochs: u64,
+}
+
+impl DecayingGraph {
+    /// Creates the wrapper. `decay_per_epoch ∈ (0, 1]`; `prune_threshold`
+    /// of 0 disables pruning.
+    pub fn new(decay_per_epoch: f64, prune_threshold: f64) -> Self {
+        assert!(decay_per_epoch > 0.0 && decay_per_epoch <= 1.0);
+        Self { graph: TxGraph::new(), decay_per_epoch, prune_threshold, epochs: 0 }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &TxGraph {
+        &self.graph
+    }
+
+    /// Epochs ingested so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Decays, then ingests one epoch of blocks; returns touched nodes.
+    pub fn push_epoch(&mut self, blocks: &[txallo_model::Block]) -> Vec<NodeId> {
+        self.graph.apply_decay(self.decay_per_epoch);
+        if self.prune_threshold > 0.0 {
+            self.graph.prune_dust(self.prune_threshold);
+        }
+        let mut touched = Vec::new();
+        for b in blocks {
+            touched.extend(self.graph.ingest_block(b));
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        self.epochs += 1;
+        touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::WeightedGraph;
+    use txallo_model::{AccountId, Block, Transaction};
+
+    fn tx(a: u64, b: u64) -> Transaction {
+        Transaction::transfer(AccountId(a), AccountId(b))
+    }
+
+    #[test]
+    fn decay_scales_everything_consistently() {
+        let mut g = TxGraph::new();
+        g.ingest_transaction(&tx(1, 2));
+        g.ingest_transaction(&tx(2, 3));
+        g.ingest_transaction(&tx(4, 4));
+        g.apply_decay(0.5);
+        assert!((g.total_weight() - 1.5).abs() < 1e-12);
+        let n2 = g.node_of(AccountId(2)).unwrap();
+        assert!((g.incident_weight(n2) - 1.0).abs() < 1e-12);
+        let n4 = g.node_of(AccountId(4)).unwrap();
+        assert!((g.self_loop(n4) - 0.5).abs() < 1e-12);
+        // Invariant: incident = Σ neighbors + loop, for every node.
+        for v in 0..g.node_count() as NodeId {
+            let mut s = g.self_loop(v);
+            g.for_each_neighbor(v, |_, w| s += w);
+            assert!((s - g.incident_weight(v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decay_of_one_is_identity() {
+        let mut g = TxGraph::new();
+        g.ingest_transaction(&tx(1, 2));
+        g.apply_decay(1.0);
+        assert!((g.total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn zero_decay_panics() {
+        TxGraph::new().apply_decay(0.0);
+    }
+
+    #[test]
+    fn prune_drops_faded_edges() {
+        let mut g = TxGraph::new();
+        g.ingest_transaction(&tx(1, 2));
+        g.ingest_transaction(&tx(3, 4));
+        g.apply_decay(0.01); // both edges at 0.01
+        g.ingest_transaction(&tx(1, 2)); // edge (1,2) back to 1.01
+        let dropped = g.prune_dust(0.1);
+        assert_eq!(dropped, 1, "only the faded (3,4) edge goes");
+        let (n1, n2) = (g.node_of(AccountId(1)).unwrap(), g.node_of(AccountId(2)).unwrap());
+        assert!(g.weight_between(n1, n2) > 1.0);
+        let (n3, n4) = (g.node_of(AccountId(3)).unwrap(), g.node_of(AccountId(4)).unwrap());
+        assert_eq!(g.weight_between(n3, n4), 0.0);
+        assert!(g.incident_weight(n3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decaying_graph_prefers_recent_patterns() {
+        // Epoch 1: account 1 trades heavily with 2. Epoch 2: with 3.
+        // After strong decay, edge (1,3) must dominate (1,2).
+        let mut dg = DecayingGraph::new(0.2, 0.0);
+        let old: Vec<Transaction> = (0..10).map(|_| tx(1, 2)).collect();
+        dg.push_epoch(&[Block::new(0, old)]);
+        let new: Vec<Transaction> = (0..4).map(|_| tx(1, 3)).collect();
+        dg.push_epoch(&[Block::new(1, new)]);
+        let g = dg.graph();
+        let n1 = g.node_of(AccountId(1)).unwrap();
+        let n2 = g.node_of(AccountId(2)).unwrap();
+        let n3 = g.node_of(AccountId(3)).unwrap();
+        let w_old = g.weight_between(n1, n2); // 10 · 0.2 = 2
+        let w_new = g.weight_between(n1, n3); // 4
+        assert!(
+            w_new > w_old,
+            "recent pattern must dominate: old {w_old} vs new {w_new}"
+        );
+        assert_eq!(dg.epochs(), 2);
+    }
+
+    #[test]
+    fn decayed_allocation_follows_the_drift() {
+        // A raw graph still sees the stale heavy edge as dominant; the
+        // decayed graph re-weights toward the new partner. This is the
+        // behavioural difference that matters for allocation.
+        let mut raw = TxGraph::new();
+        let mut dg = DecayingGraph::new(0.1, 0.0);
+        let old: Vec<Transaction> = (0..20).map(|_| tx(1, 2)).collect();
+        let old_block = Block::new(0, old);
+        raw.ingest_block(&old_block);
+        dg.push_epoch(&[old_block]);
+        let new: Vec<Transaction> = (0..5).map(|_| tx(1, 3)).collect();
+        let new_block = Block::new(1, new);
+        raw.ingest_block(&new_block);
+        dg.push_epoch(&[new_block]);
+
+        let stronger = |g: &TxGraph| {
+            let n1 = g.node_of(AccountId(1)).unwrap();
+            let n2 = g.node_of(AccountId(2)).unwrap();
+            let n3 = g.node_of(AccountId(3)).unwrap();
+            g.weight_between(n1, n3) > g.weight_between(n1, n2)
+        };
+        assert!(!stronger(&raw), "raw history is dominated by the stale edge");
+        assert!(stronger(dg.graph()), "decayed history follows the drift");
+    }
+}

@@ -1,0 +1,94 @@
+//! Account → dense node-id interning.
+
+use txallo_model::{AccountId, FxHashMap};
+
+use crate::traits::NodeId;
+
+/// Bidirectional mapping between sparse [`AccountId`]s and dense [`NodeId`]s.
+///
+/// Node ids are assigned in first-seen order, which is deterministic for a
+/// given transaction stream — the property the paper's determinism argument
+/// (§IV-A) relies on.
+#[derive(Debug, Clone, Default)]
+pub struct AccountInterner {
+    to_node: FxHashMap<AccountId, NodeId>,
+    to_account: Vec<AccountId>,
+}
+
+impl AccountInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `account`, returning its node id (allocating one on first
+    /// sight).
+    pub fn intern(&mut self, account: AccountId) -> NodeId {
+        if let Some(&n) = self.to_node.get(&account) {
+            return n;
+        }
+        let n = self.to_account.len() as NodeId;
+        self.to_node.insert(account, n);
+        self.to_account.push(account);
+        n
+    }
+
+    /// Looks up the node id of an already-interned account.
+    pub fn get(&self, account: AccountId) -> Option<NodeId> {
+        self.to_node.get(&account).copied()
+    }
+
+    /// The account behind a node id.
+    ///
+    /// # Panics
+    /// Panics if `node` was never allocated.
+    pub fn account(&self, node: NodeId) -> AccountId {
+        self.to_account[node as usize]
+    }
+
+    /// Number of interned accounts.
+    pub fn len(&self) -> usize {
+        self.to_account.len()
+    }
+
+    /// Whether no account has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.to_account.is_empty()
+    }
+
+    /// All accounts in node-id order.
+    pub fn accounts(&self) -> &[AccountId] {
+        &self.to_account
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut it = AccountInterner::new();
+        let a = it.intern(AccountId(100));
+        let b = it.intern(AccountId(200));
+        assert_ne!(a, b);
+        assert_eq!(it.intern(AccountId(100)), a);
+        assert_eq!(it.get(AccountId(200)), Some(b));
+        assert_eq!(it.get(AccountId(300)), None);
+        assert_eq!(it.account(a), AccountId(100));
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_first_seen_ordered() {
+        let mut it = AccountInterner::new();
+        for v in [5u64, 3, 9, 3, 5, 1] {
+            it.intern(AccountId(v));
+        }
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.accounts(), &[AccountId(5), AccountId(3), AccountId(9), AccountId(1)]);
+        for (i, &acct) in it.accounts().iter().enumerate() {
+            assert_eq!(it.get(acct), Some(i as NodeId));
+        }
+    }
+}

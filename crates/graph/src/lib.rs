@@ -1,0 +1,27 @@
+//! The transaction graph of TxAllo (§III-C, Definition 2).
+//!
+//! Accounts are nodes; every transaction distributes a total weight of `1`
+//! over the clique expansion of its (deduplicated) account set, so edge
+//! weights directly measure "number of transactions between these accounts".
+//! Self-transfers become self-loop weight (§V-B handles these explicitly in
+//! the gain formulas).
+//!
+//! The graph supports **incremental ingestion**: [`TxGraph::ingest_block`]
+//! updates adjacency in `O(edges added)` and reports the set of touched
+//! nodes `V̂`, which is exactly the input A-TxAllo (Alg. 2) needs.
+
+pub mod adjacency;
+pub mod decay;
+pub mod interner;
+pub mod stats;
+pub mod traits;
+pub mod txgraph;
+pub mod window;
+
+pub use adjacency::AdjacencyGraph;
+pub use interner::AccountInterner;
+pub use stats::GraphStats;
+pub use traits::{NodeId, WeightedGraph};
+pub use txgraph::TxGraph;
+pub use decay::DecayingGraph;
+pub use window::SlidingWindowGraph;

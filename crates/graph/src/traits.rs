@@ -1,0 +1,45 @@
+//! Graph abstractions shared by the allocators and community detectors.
+
+/// Dense node index. Accounts are interned to consecutive `NodeId`s so that
+/// per-node state can live in flat vectors (perf-book: prefer indices over
+/// hashing in hot loops).
+pub type NodeId = u32;
+
+/// An undirected weighted graph with optional self-loops.
+///
+/// Conventions (these must agree across every implementor, they are what
+/// makes the paper's Eq. 5–8 algebra line up):
+/// * `total_weight` counts every unordered edge once, self-loops included
+///   once. For a transaction graph this equals `|T|` (each transaction
+///   contributes total weight 1).
+/// * `incident_weight(v)` is `d_v = Σ_u w{v,u}` with the self-loop counted
+///   **once** — the quantity the TxAllo delta formulas call `w{v, V}`.
+/// * `strength(v)` is the graph-theoretic weighted degree with the
+///   self-loop counted **twice** — the quantity Louvain modularity uses.
+pub trait WeightedGraph {
+    /// Number of nodes (node ids are `0..node_count()`).
+    fn node_count(&self) -> usize;
+
+    /// Sum of all edge weights, each unordered edge once, self-loops once.
+    fn total_weight(&self) -> f64;
+
+    /// Self-loop weight of `v` (0 if none).
+    fn self_loop(&self, v: NodeId) -> f64;
+
+    /// `d_v`: incident weight with self-loop counted once.
+    fn incident_weight(&self, v: NodeId) -> f64;
+
+    /// Weighted degree with self-loop counted twice (modularity convention).
+    fn strength(&self, v: NodeId) -> f64 {
+        self.incident_weight(v) + self.self_loop(v)
+    }
+
+    /// Calls `f(u, w)` for every neighbor `u ≠ v` with edge weight `w`.
+    ///
+    /// Iteration order is unspecified; deterministic algorithms must not
+    /// depend on it (they accumulate into per-community buckets instead).
+    fn for_each_neighbor(&self, v: NodeId, f: impl FnMut(NodeId, f64));
+
+    /// Number of neighbors of `v` (excluding the self-loop).
+    fn neighbor_count(&self, v: NodeId) -> usize;
+}

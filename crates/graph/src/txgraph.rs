@@ -1,0 +1,414 @@
+//! The incremental transaction graph.
+
+use txallo_model::{AccountId, Block, FxHashMap, FxHashSet, Ledger, Transaction};
+
+use crate::interner::AccountInterner;
+use crate::traits::{NodeId, WeightedGraph};
+
+/// Weighted undirected transaction graph (Definition 2) with incremental
+/// ingestion.
+///
+/// ```
+/// use txallo_graph::{TxGraph, WeightedGraph};
+/// use txallo_model::{AccountId, Transaction};
+///
+/// let mut g = TxGraph::new();
+/// g.ingest_transaction(&Transaction::transfer(AccountId(1), AccountId(2)));
+/// g.ingest_transaction(&Transaction::transfer(AccountId(2), AccountId(3)));
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.total_weight(), 2.0); // one unit of weight per transaction
+/// ```
+///
+/// Per-node adjacency is a hash map keyed by neighbor id so that repeated
+/// transactions between the same pair accumulate weight in `O(1)`; per-node
+/// scalars (`incident weight`, self-loop) are flat vectors, following the
+/// perf-book advice to keep hot per-node state unboxed and index-addressed.
+#[derive(Debug, Clone, Default)]
+pub struct TxGraph {
+    interner: AccountInterner,
+    adjacency: Vec<FxHashMap<NodeId, f64>>,
+    self_loops: Vec<f64>,
+    incident: Vec<f64>,
+    total_weight: f64,
+    edge_count: usize,
+    transaction_count: usize,
+}
+
+impl TxGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the graph of an entire ledger.
+    pub fn from_ledger(ledger: &Ledger) -> Self {
+        let mut g = Self::new();
+        for block in ledger.blocks() {
+            for tx in block.transactions() {
+                g.ingest_transaction(tx);
+            }
+        }
+        g
+    }
+
+    /// Builds the graph from a flat transaction slice.
+    pub fn from_transactions<'a>(txs: impl IntoIterator<Item = &'a Transaction>) -> Self {
+        let mut g = Self::new();
+        for tx in txs {
+            g.ingest_transaction(tx);
+        }
+        g
+    }
+
+    fn ensure_node(&mut self, account: AccountId) -> NodeId {
+        let n = self.interner.intern(account);
+        if n as usize >= self.adjacency.len() {
+            self.adjacency.push(FxHashMap::default());
+            self.self_loops.push(0.0);
+            self.incident.push(0.0);
+        }
+        n
+    }
+
+    /// Adds raw weight between two accounts (interning them as needed).
+    /// `a == b` adds self-loop weight.
+    pub fn add_weight(&mut self, a: AccountId, b: AccountId, w: f64) {
+        debug_assert!(w > 0.0, "edge weights must be positive");
+        let na = self.ensure_node(a);
+        let nb = self.ensure_node(b);
+        self.total_weight += w;
+        if na == nb {
+            self.self_loops[na as usize] += w;
+            self.incident[na as usize] += w;
+            return;
+        }
+        use std::collections::hash_map::Entry;
+        match self.adjacency[na as usize].entry(nb) {
+            Entry::Occupied(mut o) => *o.get_mut() += w,
+            Entry::Vacant(slot) => {
+                slot.insert(w);
+                self.edge_count += 1;
+            }
+        }
+        *self.adjacency[nb as usize].entry(na).or_insert(0.0) += w;
+        self.incident[na as usize] += w;
+        self.incident[nb as usize] += w;
+    }
+
+    /// Subtracts self-loop weight from a node (sliding-window eviction).
+    pub(crate) fn subtract_self_loop(&mut self, n: NodeId, w: f64) {
+        let slot = &mut self.self_loops[n as usize];
+        *slot = (*slot - w).max(0.0);
+        self.incident[n as usize] = (self.incident[n as usize] - w).max(0.0);
+        self.total_weight = (self.total_weight - w).max(0.0);
+    }
+
+    /// Decrements the ingested-transaction counter (used by
+    /// [`TxGraph::remove_transaction`]).
+    pub(crate) fn note_transaction_removed(&mut self) {
+        self.transaction_count = self.transaction_count.saturating_sub(1);
+    }
+
+    /// Multiplies every stored weight by `factor` (decay support).
+    pub(crate) fn scale_all_weights(&mut self, factor: f64) {
+        for adj in &mut self.adjacency {
+            for w in adj.values_mut() {
+                *w *= factor;
+            }
+        }
+        for w in &mut self.self_loops {
+            *w *= factor;
+        }
+        for w in &mut self.incident {
+            *w *= factor;
+        }
+        self.total_weight *= factor;
+    }
+
+    /// Drops edges (and zeroes self-loops) lighter than `threshold`,
+    /// updating all derived weights. Returns the number of edges dropped.
+    pub(crate) fn drop_edges_below(&mut self, threshold: f64) -> usize {
+        let mut dropped = 0usize;
+        for a in 0..self.adjacency.len() {
+            let doomed: Vec<(NodeId, f64)> = self.adjacency[a]
+                .iter()
+                .filter(|&(&b, &w)| (a as NodeId) < b && w < threshold)
+                .map(|(&b, &w)| (b, w))
+                .collect();
+            for (b, w) in doomed {
+                self.adjacency[a].remove(&b);
+                self.adjacency[b as usize].remove(&(a as NodeId));
+                self.incident[a] = (self.incident[a] - w).max(0.0);
+                self.incident[b as usize] = (self.incident[b as usize] - w).max(0.0);
+                self.total_weight = (self.total_weight - w).max(0.0);
+                self.edge_count -= 1;
+                dropped += 1;
+            }
+        }
+        for n in 0..self.self_loops.len() {
+            let w = self.self_loops[n];
+            if w > 0.0 && w < threshold {
+                self.self_loops[n] = 0.0;
+                self.incident[n] = (self.incident[n] - w).max(0.0);
+                self.total_weight = (self.total_weight - w).max(0.0);
+            }
+        }
+        dropped
+    }
+
+    /// Subtracts edge weight between two distinct nodes, dropping the edge
+    /// when its weight reaches zero (up to float dust).
+    pub(crate) fn subtract_edge(&mut self, a: NodeId, b: NodeId, w: f64) {
+        const DUST: f64 = 1e-9;
+        debug_assert_ne!(a, b, "use subtract_self_loop for loops");
+        let mut drop_edge = false;
+        if let Some(entry) = self.adjacency[a as usize].get_mut(&b) {
+            *entry -= w;
+            if *entry <= DUST {
+                drop_edge = true;
+            }
+        } else {
+            debug_assert!(false, "subtracting a non-existent edge");
+            return;
+        }
+        if let Some(entry) = self.adjacency[b as usize].get_mut(&a) {
+            *entry -= w;
+        }
+        if drop_edge {
+            self.adjacency[a as usize].remove(&b);
+            self.adjacency[b as usize].remove(&a);
+            self.edge_count -= 1;
+        }
+        self.incident[a as usize] = (self.incident[a as usize] - w).max(0.0);
+        self.incident[b as usize] = (self.incident[b as usize] - w).max(0.0);
+        self.total_weight = (self.total_weight - w).max(0.0);
+    }
+
+    /// Ingests a single transaction: distributes weight `1/π(Tx)` over its
+    /// clique expansion and returns the touched node ids.
+    pub fn ingest_transaction(&mut self, tx: &Transaction) -> Vec<NodeId> {
+        self.transaction_count += 1;
+        let set = tx.account_set();
+        let mut touched = Vec::with_capacity(set.len());
+        if set.len() == 1 {
+            let n = self.ensure_node(set[0]);
+            self.self_loops[n as usize] += 1.0;
+            self.incident[n as usize] += 1.0;
+            self.total_weight += 1.0;
+            touched.push(n);
+            return touched;
+        }
+        let w = 1.0 / (set.len() * (set.len() - 1) / 2) as f64;
+        for &acct in &set {
+            touched.push(self.ensure_node(acct));
+        }
+        for i in 0..set.len() {
+            for j in (i + 1)..set.len() {
+                self.add_weight(set[i], set[j], w);
+            }
+        }
+        touched
+    }
+
+    /// Ingests every transaction of a block, returning the deduplicated set
+    /// of touched nodes `V̂` — the working set of A-TxAllo.
+    pub fn ingest_block(&mut self, block: &Block) -> Vec<NodeId> {
+        let mut touched: FxHashSet<NodeId> = FxHashSet::default();
+        for tx in block.transactions() {
+            for n in self.ingest_transaction(tx) {
+                touched.insert(n);
+            }
+        }
+        let mut v: Vec<NodeId> = touched.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The account ↔ node mapping.
+    pub fn interner(&self) -> &AccountInterner {
+        &self.interner
+    }
+
+    /// The account behind a node id.
+    pub fn account(&self, node: NodeId) -> AccountId {
+        self.interner.account(node)
+    }
+
+    /// Node id of an account, if it has appeared in any transaction.
+    pub fn node_of(&self, account: AccountId) -> Option<NodeId> {
+        self.interner.get(account)
+    }
+
+    /// Number of distinct unordered edges (self-loops excluded).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of transactions ingested so far (`|T|`).
+    pub fn transaction_count(&self) -> usize {
+        self.transaction_count
+    }
+
+    /// Edge weight between two nodes (0 if absent); `a == b` returns the
+    /// self-loop weight.
+    pub fn weight_between(&self, a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            return self.self_loops[a as usize];
+        }
+        self.adjacency[a as usize].get(&b).copied().unwrap_or(0.0)
+    }
+
+    /// Nodes sorted by the canonical account-hash order the paper prescribes
+    /// for deterministic sweeps (§V-B).
+    pub fn nodes_in_canonical_order(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = (0..self.node_count() as NodeId).collect();
+        nodes.sort_unstable_by_key(|&n| {
+            let a = self.interner.account(n);
+            (a.address_hash(), a.0)
+        });
+        nodes
+    }
+}
+
+impl WeightedGraph for TxGraph {
+    fn node_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    fn self_loop(&self, v: NodeId) -> f64 {
+        self.self_loops[v as usize]
+    }
+
+    fn incident_weight(&self, v: NodeId) -> f64 {
+        self.incident[v as usize]
+    }
+
+    fn for_each_neighbor(&self, v: NodeId, mut f: impl FnMut(NodeId, f64)) {
+        for (&u, &w) in &self.adjacency[v as usize] {
+            f(u, w);
+        }
+    }
+
+    fn neighbor_count(&self, v: NodeId) -> usize {
+        self.adjacency[v as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(v: u64) -> AccountId {
+        AccountId(v)
+    }
+
+    #[test]
+    fn transfer_creates_unit_edge() {
+        let mut g = TxGraph::new();
+        g.ingest_transaction(&Transaction::transfer(a(1), a(2)));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let (n1, n2) = (g.node_of(a(1)).unwrap(), g.node_of(a(2)).unwrap());
+        assert!((g.weight_between(n1, n2) - 1.0).abs() < 1e-12);
+        assert!((g.total_weight() - 1.0).abs() < 1e-12);
+        assert!((g.incident_weight(n1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_transfers_accumulate() {
+        let mut g = TxGraph::new();
+        for _ in 0..5 {
+            g.ingest_transaction(&Transaction::transfer(a(1), a(2)));
+        }
+        let (n1, n2) = (g.node_of(a(1)).unwrap(), g.node_of(a(2)).unwrap());
+        assert!((g.weight_between(n1, n2) - 5.0).abs() < 1e-12);
+        assert_eq!(g.edge_count(), 1, "parallel edges merge");
+        assert_eq!(g.transaction_count(), 5);
+    }
+
+    #[test]
+    fn self_loop_accounting() {
+        let mut g = TxGraph::new();
+        g.ingest_transaction(&Transaction::transfer(a(9), a(9)));
+        let n = g.node_of(a(9)).unwrap();
+        assert!((g.self_loop(n) - 1.0).abs() < 1e-12);
+        assert!((g.incident_weight(n) - 1.0).abs() < 1e-12);
+        assert!((g.strength(n) - 2.0).abs() < 1e-12, "strength counts loop twice");
+        assert_eq!(g.neighbor_count(n), 0);
+        assert!((g.total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_io_distributes_unit_weight() {
+        let mut g = TxGraph::new();
+        let tx = Transaction::new(vec![a(1), a(2)], vec![a(3)]).unwrap();
+        g.ingest_transaction(&tx);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!((g.total_weight() - 1.0).abs() < 1e-9);
+        let n1 = g.node_of(a(1)).unwrap();
+        let n2 = g.node_of(a(2)).unwrap();
+        assert!((g.weight_between(n1, n2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_weight_equals_transaction_count() {
+        // Each transaction contributes exactly 1 regardless of arity.
+        let mut g = TxGraph::new();
+        g.ingest_transaction(&Transaction::transfer(a(1), a(2)));
+        g.ingest_transaction(&Transaction::new(vec![a(1)], vec![a(2), a(3), a(4)]).unwrap());
+        g.ingest_transaction(&Transaction::transfer(a(5), a(5)));
+        assert!((g.total_weight() - 3.0).abs() < 1e-9);
+        assert_eq!(g.transaction_count(), 3);
+    }
+
+    #[test]
+    fn ingest_block_reports_touched_nodes() {
+        let mut g = TxGraph::new();
+        g.ingest_transaction(&Transaction::transfer(a(1), a(2)));
+        let block = Block::new(
+            0,
+            vec![Transaction::transfer(a(2), a(3)), Transaction::transfer(a(4), a(5))],
+        );
+        let touched = g.ingest_block(&block);
+        let accounts: Vec<u64> = touched.iter().map(|&n| g.account(n).0).collect();
+        assert_eq!(accounts.len(), 4);
+        for acct in [2, 3, 4, 5] {
+            assert!(accounts.contains(&acct));
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_a_permutation_and_stable() {
+        let mut g = TxGraph::new();
+        for i in 0..50u64 {
+            g.ingest_transaction(&Transaction::transfer(a(i), a(i + 1)));
+        }
+        let order = g.nodes_in_canonical_order();
+        assert_eq!(order.len(), g.node_count());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..g.node_count() as NodeId).collect::<Vec<_>>());
+        assert_eq!(order, g.nodes_in_canonical_order());
+    }
+
+    #[test]
+    fn incident_weight_matches_neighbor_sum() {
+        let mut g = TxGraph::new();
+        g.ingest_transaction(&Transaction::new(vec![a(1), a(2)], vec![a(3), a(4)]).unwrap());
+        g.ingest_transaction(&Transaction::transfer(a(1), a(1)));
+        g.ingest_transaction(&Transaction::transfer(a(1), a(3)));
+        for v in 0..g.node_count() as NodeId {
+            let mut sum = g.self_loop(v);
+            g.for_each_neighbor(v, |_, w| sum += w);
+            assert!(
+                (sum - g.incident_weight(v)).abs() < 1e-9,
+                "incident weight cache out of sync for node {v}"
+            );
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Sliding-window transaction graphs.
+//!
+//! §VI-A: *"We expect miners to initialize the G-TxAllo using only recent
+//! history rather than the full history, as also recommended in Shard
+//! Scheduler. This prevents noise from out-of-date transactions."* This
+//! module maintains a transaction graph over the most recent `W` blocks:
+//! ingesting a new block evicts the oldest one by subtracting its edge
+//! weights, so the window slides in `O(edges changed)` without rebuilding.
+
+use std::collections::VecDeque;
+
+use txallo_model::{Block, FxHashSet, Transaction};
+
+use crate::traits::NodeId;
+use crate::txgraph::TxGraph;
+
+/// A transaction graph restricted to the last `window` blocks.
+///
+/// Node ids are stable across evictions (the interner only grows); evicted
+/// accounts simply end up with zero incident weight, which the allocators
+/// treat as isolated nodes.
+#[derive(Debug, Clone)]
+pub struct SlidingWindowGraph {
+    graph: TxGraph,
+    window: usize,
+    blocks: VecDeque<Block>,
+}
+
+impl SlidingWindowGraph {
+    /// Creates an empty window of `window` blocks.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must hold at least one block");
+        Self { graph: TxGraph::new(), window, blocks: VecDeque::new() }
+    }
+
+    /// The current graph (over exactly the retained blocks).
+    pub fn graph(&self) -> &TxGraph {
+        &self.graph
+    }
+
+    /// The window length in blocks.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Blocks currently inside the window, oldest first.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Number of retained blocks (≤ window).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Ingests `block`, evicting the oldest block if the window is full.
+    /// Returns the touched node set of the *new* block (the `V̂` input for
+    /// A-TxAllo), like [`TxGraph::ingest_block`].
+    pub fn push_block(&mut self, block: Block) -> Vec<NodeId> {
+        if self.blocks.len() == self.window {
+            let evicted = self.blocks.pop_front().expect("len == window > 0");
+            for tx in evicted.transactions() {
+                self.graph.remove_transaction(tx);
+            }
+        }
+        let touched = self.graph.ingest_block(&block);
+        self.blocks.push_back(block);
+        touched
+    }
+
+    /// Accounts that still carry weight in the window (non-isolated).
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        use crate::traits::WeightedGraph;
+        let mut active: FxHashSet<NodeId> = FxHashSet::default();
+        for block in &self.blocks {
+            for tx in block.transactions() {
+                for account in tx.account_set() {
+                    if let Some(node) = self.graph.node_of(account) {
+                        active.insert(node);
+                    }
+                }
+            }
+        }
+        let mut v: Vec<NodeId> = active.into_iter().collect();
+        v.sort_unstable();
+        debug_assert!(v.iter().all(|&n| self.graph.incident_weight(n) > 0.0));
+        v
+    }
+}
+
+/// Removal support lives here (as an extension impl) to keep the hot
+/// ingestion path in `txgraph.rs` focused.
+impl TxGraph {
+    /// Removes a previously ingested transaction, subtracting its clique
+    /// weights. Edges whose weight reaches zero are dropped from the
+    /// adjacency; nodes are never removed (ids must stay stable).
+    ///
+    /// # Panics
+    /// Debug builds panic if the transaction's accounts were never interned
+    /// (i.e. it was never ingested).
+    pub fn remove_transaction(&mut self, tx: &Transaction) {
+        self.note_transaction_removed();
+        let set = tx.account_set();
+        if set.len() == 1 {
+            let n = self.node_of(set[0]).expect("removing a transaction that was ingested");
+            self.subtract_self_loop(n, 1.0);
+            return;
+        }
+        let w = 1.0 / (set.len() * (set.len() - 1) / 2) as f64;
+        for i in 0..set.len() {
+            for j in (i + 1)..set.len() {
+                let a = self.node_of(set[i]).expect("account was interned");
+                let b = self.node_of(set[j]).expect("account was interned");
+                self.subtract_edge(a, b, w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::WeightedGraph;
+    use txallo_model::AccountId;
+
+    fn tx(a: u64, b: u64) -> Transaction {
+        Transaction::transfer(AccountId(a), AccountId(b))
+    }
+
+    fn block(height: u64, txs: Vec<Transaction>) -> Block {
+        Block::new(height, txs)
+    }
+
+    #[test]
+    fn window_matches_fresh_build() {
+        let mut win = SlidingWindowGraph::new(2);
+        let blocks = vec![
+            block(0, vec![tx(1, 2), tx(2, 3)]),
+            block(1, vec![tx(3, 4), tx(1, 2)]),
+            block(2, vec![tx(5, 6), tx(2, 3)]),
+            block(3, vec![tx(1, 6)]),
+        ];
+        for b in &blocks {
+            win.push_block(b.clone());
+        }
+        // Fresh graph over the last two blocks.
+        let mut fresh = TxGraph::new();
+        for b in &blocks[2..] {
+            fresh.ingest_block(b);
+        }
+        assert!((win.graph().total_weight() - fresh.total_weight()).abs() < 1e-9);
+        // Edge weights of surviving pairs agree.
+        for (a, b) in [(5u64, 6u64), (2, 3), (1, 6)] {
+            let wa = win.graph().node_of(AccountId(a)).unwrap();
+            let wb = win.graph().node_of(AccountId(b)).unwrap();
+            let fa = fresh.node_of(AccountId(a)).unwrap();
+            let fb = fresh.node_of(AccountId(b)).unwrap();
+            assert!(
+                (win.graph().weight_between(wa, wb) - fresh.weight_between(fa, fb)).abs() < 1e-9,
+                "pair ({a},{b}) weight mismatch"
+            );
+        }
+        // Evicted traffic (1,2)/(3,4) carries no weight any more.
+        let w1 = win.graph().node_of(AccountId(1)).unwrap();
+        let w2 = win.graph().node_of(AccountId(2)).unwrap();
+        assert_eq!(win.graph().weight_between(w1, w2), 0.0);
+    }
+
+    #[test]
+    fn eviction_only_starts_when_full() {
+        let mut win = SlidingWindowGraph::new(3);
+        for h in 0..3u64 {
+            win.push_block(block(h, vec![tx(h * 2, h * 2 + 1)]));
+        }
+        assert_eq!(win.len(), 3);
+        assert!((win.graph().total_weight() - 3.0).abs() < 1e-12);
+        win.push_block(block(3, vec![tx(100, 101)]));
+        assert_eq!(win.len(), 3, "window stays at capacity");
+        assert!((win.graph().total_weight() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_eviction() {
+        let mut win = SlidingWindowGraph::new(1);
+        win.push_block(block(0, vec![tx(7, 7)]));
+        let n = win.graph().node_of(AccountId(7)).unwrap();
+        assert!((win.graph().self_loop(n) - 1.0).abs() < 1e-12);
+        win.push_block(block(1, vec![tx(8, 9)]));
+        assert_eq!(win.graph().self_loop(n), 0.0);
+        assert_eq!(win.graph().incident_weight(n), 0.0);
+    }
+
+    #[test]
+    fn active_nodes_excludes_evicted() {
+        let mut win = SlidingWindowGraph::new(1);
+        win.push_block(block(0, vec![tx(1, 2)]));
+        win.push_block(block(1, vec![tx(3, 4)]));
+        let active = win.active_nodes();
+        let accounts: Vec<u64> = active.iter().map(|&n| win.graph().account(n).0).collect();
+        assert_eq!(accounts, vec![3, 4]);
+    }
+
+    #[test]
+    fn multi_io_removal_restores_weights() {
+        let mut g = TxGraph::new();
+        let multi = Transaction::new(
+            vec![AccountId(1), AccountId(2)],
+            vec![AccountId(3)],
+        )
+        .unwrap();
+        g.ingest_transaction(&tx(1, 2));
+        g.ingest_transaction(&multi);
+        g.remove_transaction(&multi);
+        assert!((g.total_weight() - 1.0).abs() < 1e-9);
+        let (n1, n2) = (g.node_of(AccountId(1)).unwrap(), g.node_of(AccountId(2)).unwrap());
+        assert!((g.weight_between(n1, n2) - 1.0).abs() < 1e-9);
+        let n3 = g.node_of(AccountId(3)).unwrap();
+        assert!(g.incident_weight(n3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the transaction graph invariants.
+
+use proptest::prelude::*;
+use txallo_graph::{AdjacencyGraph, NodeId, SlidingWindowGraph, TxGraph, WeightedGraph};
+use txallo_model::{AccountId, Block, Transaction};
+
+fn txs_strategy(max_acct: u64, len: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0..max_acct, 0..max_acct), 1..len)
+}
+
+fn build(pairs: &[(u64, u64)]) -> TxGraph {
+    let mut g = TxGraph::new();
+    for &(a, b) in pairs {
+        g.ingest_transaction(&Transaction::transfer(AccountId(a), AccountId(b)));
+    }
+    g
+}
+
+proptest! {
+    /// Total weight equals transaction count; incident weights are
+    /// consistent with adjacency; strength double-counts self-loops.
+    #[test]
+    fn weight_accounting(pairs in txs_strategy(40, 80)) {
+        let g = build(&pairs);
+        prop_assert!((g.total_weight() - pairs.len() as f64).abs() < 1e-9);
+        let mut incident_sum = 0.0;
+        let mut loop_sum = 0.0;
+        for v in 0..g.node_count() as NodeId {
+            let mut s = g.self_loop(v);
+            g.for_each_neighbor(v, |_, w| s += w);
+            prop_assert!((s - g.incident_weight(v)).abs() < 1e-9);
+            prop_assert!((g.strength(v) - (g.incident_weight(v) + g.self_loop(v))).abs() < 1e-12);
+            incident_sum += g.incident_weight(v);
+            loop_sum += g.self_loop(v);
+        }
+        // Σ incident = 2·(non-loop weight) + loop weight.
+        let non_loop = g.total_weight() - loop_sum;
+        prop_assert!((incident_sum - (2.0 * non_loop + loop_sum)).abs() < 1e-6);
+    }
+
+    /// Removing the same transactions that were added restores the empty
+    /// weight state (node ids persist).
+    #[test]
+    fn add_remove_roundtrip(pairs in txs_strategy(30, 40)) {
+        let mut g = build(&pairs);
+        for &(a, b) in &pairs {
+            g.remove_transaction(&Transaction::transfer(AccountId(a), AccountId(b)));
+        }
+        prop_assert!(g.total_weight().abs() < 1e-6);
+        prop_assert_eq!(g.transaction_count(), 0);
+        for v in 0..g.node_count() as NodeId {
+            prop_assert!(g.incident_weight(v).abs() < 1e-6);
+            prop_assert!(g.self_loop(v).abs() < 1e-6);
+        }
+    }
+
+    /// A sliding window over blocks equals a fresh graph over the same
+    /// retained suffix.
+    #[test]
+    fn window_equals_fresh_suffix(
+        blocks in prop::collection::vec(txs_strategy(20, 10), 2..8),
+        window in 1usize..4,
+    ) {
+        let mut win = SlidingWindowGraph::new(window);
+        let all: Vec<Block> = blocks
+            .iter()
+            .enumerate()
+            .map(|(h, pairs)| {
+                Block::new(
+                    h as u64,
+                    pairs
+                        .iter()
+                        .map(|&(a, b)| Transaction::transfer(AccountId(a), AccountId(b)))
+                        .collect(),
+                )
+            })
+            .collect();
+        for b in &all {
+            win.push_block(b.clone());
+        }
+        let start = all.len().saturating_sub(window);
+        let mut fresh = TxGraph::new();
+        for b in &all[start..] {
+            fresh.ingest_block(b);
+        }
+        prop_assert!((win.graph().total_weight() - fresh.total_weight()).abs() < 1e-6);
+        prop_assert_eq!(win.graph().transaction_count(), fresh.transaction_count());
+        // Compare all surviving pair weights through account identity.
+        for v in 0..fresh.node_count() as NodeId {
+            let acct_v = fresh.account(v);
+            let wv = win.graph().node_of(acct_v).expect("account interned in window");
+            fresh.for_each_neighbor(v, |u, w| {
+                let acct_u = fresh.account(u);
+                let wu = win.graph().node_of(acct_u).expect("interned");
+                assert!(
+                    (win.graph().weight_between(wv, wu) - w).abs() < 1e-6,
+                    "weight mismatch {acct_v}-{acct_u}"
+                );
+            });
+        }
+    }
+
+    /// AdjacencyGraph::from_graph is weight-preserving for arbitrary input.
+    #[test]
+    fn adjacency_snapshot_preserves(pairs in txs_strategy(25, 50)) {
+        let g = build(&pairs);
+        let snap = AdjacencyGraph::from_graph(&g);
+        prop_assert_eq!(snap.node_count(), g.node_count());
+        prop_assert!((snap.total_weight() - g.total_weight()).abs() < 1e-9);
+        for v in 0..g.node_count() as NodeId {
+            prop_assert!((snap.incident_weight(v) - g.incident_weight(v)).abs() < 1e-9);
+            prop_assert!((snap.self_loop(v) - g.self_loop(v)).abs() < 1e-9);
+            prop_assert_eq!(snap.neighbor_count(v), g.neighbor_count(v));
+        }
+    }
+
+    /// The canonical order is a permutation, independent of weights, and
+    /// identical across graphs interning the same accounts in the same
+    /// order.
+    #[test]
+    fn canonical_order_permutation(pairs in txs_strategy(30, 40)) {
+        let g = build(&pairs);
+        let order = g.nodes_in_canonical_order();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..g.node_count() as NodeId).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,75 @@
+//! Community aggregation: collapsing a partition into a super-node graph.
+
+use txallo_graph::{AdjacencyGraph, NodeId, WeightedGraph};
+
+/// Builds the condensed graph where each community becomes one node.
+///
+/// Intra-community weight (including member self-loops) becomes the
+/// super-node's self-loop; inter-community weight accumulates on the
+/// super-edge. Total weight is preserved exactly, which keeps modularity
+/// comparable across levels.
+pub fn aggregate_graph(
+    graph: &impl WeightedGraph,
+    communities: &[u32],
+    community_count: usize,
+) -> AdjacencyGraph {
+    assert_eq!(communities.len(), graph.node_count());
+    let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    for v in 0..graph.node_count() as NodeId {
+        let cv = communities[v as usize];
+        let loop_w = graph.self_loop(v);
+        if loop_w > 0.0 {
+            edges.push((cv, cv, loop_w));
+        }
+        graph.for_each_neighbor(v, |u, w| {
+            let cu = communities[u as usize];
+            if cu == cv {
+                // Count each intra edge once (when v < u).
+                if v < u {
+                    edges.push((cv, cv, w));
+                }
+            } else if v < u {
+                edges.push((cv.min(cu), cv.max(cu), w));
+            }
+        });
+    }
+    AdjacencyGraph::from_edges(community_count, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_total_weight() {
+        let g = AdjacencyGraph::from_edges(
+            4,
+            vec![(0u32, 1, 2.0), (2, 3, 1.0), (1, 2, 0.5), (0, 0, 0.25)],
+        );
+        let agg = aggregate_graph(&g, &[0, 0, 1, 1], 2);
+        assert_eq!(agg.node_count(), 2);
+        assert!((agg.total_weight() - g.total_weight()).abs() < 1e-12);
+        // Community 0 self-loop: edge (0,1)=2.0 plus node-0 loop 0.25.
+        assert!((agg.self_loop(0) - 2.25).abs() < 1e-12);
+        assert!((agg.self_loop(1) - 1.0).abs() < 1e-12);
+        assert!((agg.weight_between(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_partition_keeps_structure() {
+        let g = AdjacencyGraph::from_edges(3, vec![(0u32, 1, 1.0), (1, 2, 3.0)]);
+        let agg = aggregate_graph(&g, &[0, 1, 2], 3);
+        assert_eq!(agg.node_count(), 3);
+        assert!((agg.weight_between(0, 1) - 1.0).abs() < 1e-12);
+        assert!((agg.weight_between(1, 2) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapse_to_single_node() {
+        let g = AdjacencyGraph::from_edges(3, vec![(0u32, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
+        let agg = aggregate_graph(&g, &[0, 0, 0], 1);
+        assert_eq!(agg.node_count(), 1);
+        assert!((agg.self_loop(0) - 3.0).abs() < 1e-12);
+        assert_eq!(agg.edge_count(), 0);
+    }
+}

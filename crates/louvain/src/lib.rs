@@ -1,0 +1,250 @@
+//! Deterministic Louvain community detection.
+//!
+//! The paper initializes G-TxAllo with "a classic community detection
+//! algorithm, the Louvain method" (§V-B, citing Blondel et al. 2008). This
+//! crate implements it from scratch on top of the
+//! [`txallo_graph::WeightedGraph`] abstraction:
+//!
+//! 1. **Local moving** — sweep nodes in a fixed order; each node moves to
+//!    the neighboring community with the largest modularity gain.
+//! 2. **Aggregation** — collapse communities into super-nodes and repeat on
+//!    the condensed graph, until modularity stops improving.
+//!
+//! Determinism (required by §IV-A): sweeps iterate nodes in ascending id
+//! order (callers hand the canonical account-hash order to the node-id
+//! assignment), gains tie-break toward the smallest community id, and no
+//! randomness is used anywhere.
+
+pub mod aggregate;
+pub mod local_move;
+pub mod modularity;
+pub mod refine;
+
+pub use aggregate::aggregate_graph;
+pub use local_move::{local_moving_pass, LocalMoveOutcome};
+pub use modularity::modularity;
+pub use refine::{count_disconnected, split_disconnected};
+
+use txallo_graph::{AdjacencyGraph, NodeId, WeightedGraph};
+
+/// Tuning knobs for the Louvain run.
+#[derive(Debug, Clone)]
+pub struct LouvainConfig {
+    /// Maximum number of aggregation levels (safety bound; convergence
+    /// normally happens in < 10 levels).
+    pub max_levels: usize,
+    /// Maximum local-moving sweeps per level.
+    pub max_sweeps: usize,
+    /// Minimum total modularity gain for a sweep to count as progress.
+    pub min_gain: f64,
+    /// Resolution parameter γ of generalized modularity (1.0 = classic).
+    pub resolution: f64,
+}
+
+impl Default for LouvainConfig {
+    fn default() -> Self {
+        Self { max_levels: 32, max_sweeps: 64, min_gain: 1e-9, resolution: 1.0 }
+    }
+}
+
+/// Result of a Louvain run.
+#[derive(Debug, Clone)]
+pub struct LouvainResult {
+    /// Community id per node, compacted to `0..community_count`.
+    pub communities: Vec<u32>,
+    /// Number of detected communities (`l` in the paper, usually `> k`).
+    pub community_count: usize,
+    /// Number of aggregation levels performed.
+    pub levels: usize,
+    /// Modularity of the final partition.
+    pub modularity: f64,
+}
+
+/// Runs the full Louvain method on `graph`.
+pub fn louvain(graph: &impl WeightedGraph, config: &LouvainConfig) -> LouvainResult {
+    let n = graph.node_count();
+    if n == 0 {
+        return LouvainResult { communities: Vec::new(), community_count: 0, levels: 0, modularity: 0.0 };
+    }
+
+    // Mapping from original node to current-level super-node.
+    let mut membership: Vec<u32> = (0..n as u32).collect();
+    let mut level_graph = AdjacencyGraph::from_graph(graph);
+    let mut levels = 0usize;
+
+    for _ in 0..config.max_levels {
+        let outcome = local_moving_pass(&level_graph, config);
+        levels += 1;
+        if !outcome.moved_any {
+            break;
+        }
+        let compact = compact_labels(&outcome.communities);
+        // Update the original-node membership through this level's mapping.
+        for m in membership.iter_mut() {
+            *m = compact.labels[*m as usize];
+        }
+        if compact.count == level_graph.node_count() {
+            break; // No coarsening happened: converged.
+        }
+        level_graph = aggregate_graph(&level_graph, &compact.labels, compact.count);
+        if compact.count <= 1 {
+            break;
+        }
+    }
+
+    let compact = compact_labels(&membership);
+    let q = modularity(graph, &compact.labels, config.resolution);
+    LouvainResult {
+        communities: compact.labels,
+        community_count: compact.count,
+        levels,
+        modularity: q,
+    }
+}
+
+/// A label vector compacted to dense `0..count` ids, preserving first-seen
+/// order (deterministic).
+pub struct CompactLabels {
+    /// The relabelled vector.
+    pub labels: Vec<u32>,
+    /// Number of distinct labels.
+    pub count: usize,
+}
+
+/// Compacts arbitrary community labels to dense ids in first-seen order.
+pub fn compact_labels(labels: &[u32]) -> CompactLabels {
+    let max_label = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+    let mut remap: Vec<u32> = vec![u32::MAX; max_label];
+    let mut next = 0u32;
+    let mut out = Vec::with_capacity(labels.len());
+    for &l in labels {
+        let slot = &mut remap[l as usize];
+        if *slot == u32::MAX {
+            *slot = next;
+            next += 1;
+        }
+        out.push(*slot);
+    }
+    CompactLabels { labels: out, count: next as usize }
+}
+
+/// Convenience: run Louvain with default configuration.
+pub fn louvain_default(graph: &impl WeightedGraph) -> LouvainResult {
+    louvain(graph, &LouvainConfig::default())
+}
+
+/// Returns nodes grouped by community (index = community id).
+pub fn group_by_community(communities: &[u32], count: usize) -> Vec<Vec<NodeId>> {
+    let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); count];
+    for (v, &c) in communities.iter().enumerate() {
+        groups[c as usize].push(v as NodeId);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txallo_graph::AdjacencyGraph;
+
+    /// Two 5-cliques joined by a single weak edge.
+    fn two_cliques() -> AdjacencyGraph {
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push((a, b, 1.0));
+                edges.push((a + 5, b + 5, 1.0));
+            }
+        }
+        edges.push((0, 5, 0.1));
+        AdjacencyGraph::from_edges(10, edges)
+    }
+
+    #[test]
+    fn splits_two_cliques() {
+        let r = louvain_default(&two_cliques());
+        assert_eq!(r.community_count, 2, "two cliques must become two communities");
+        for v in 1..5 {
+            assert_eq!(r.communities[v], r.communities[0]);
+            assert_eq!(r.communities[v + 5], r.communities[5]);
+        }
+        assert_ne!(r.communities[0], r.communities[5]);
+        assert!(r.modularity > 0.3, "modularity should be high, got {}", r.modularity);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let g = two_cliques();
+        let a = louvain_default(&g);
+        let b = louvain_default(&g);
+        assert_eq!(a.communities, b.communities);
+        assert_eq!(a.modularity, b.modularity);
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = AdjacencyGraph::from_edges(1, vec![(0u32, 0u32, 3.0)]);
+        let r = louvain_default(&g);
+        assert_eq!(r.community_count, 1);
+        assert_eq!(r.communities, vec![0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = AdjacencyGraph::from_edges(0, Vec::new());
+        let r = louvain_default(&g);
+        assert_eq!(r.community_count, 0);
+        assert!(r.communities.is_empty());
+    }
+
+    #[test]
+    fn disconnected_components_stay_separate() {
+        // Three disjoint triangles.
+        let mut edges = Vec::new();
+        for t in 0..3u32 {
+            let b = t * 3;
+            edges.push((b, b + 1, 1.0));
+            edges.push((b + 1, b + 2, 1.0));
+            edges.push((b, b + 2, 1.0));
+        }
+        let g = AdjacencyGraph::from_edges(9, edges);
+        let r = louvain_default(&g);
+        assert_eq!(r.community_count, 3);
+    }
+
+    #[test]
+    fn compact_labels_first_seen_order() {
+        let c = compact_labels(&[7, 7, 2, 7, 2, 5]);
+        assert_eq!(c.labels, vec![0, 0, 1, 0, 1, 2]);
+        assert_eq!(c.count, 3);
+    }
+
+    #[test]
+    fn group_by_community_partitions_nodes() {
+        let groups = group_by_community(&[0, 1, 0, 2, 1], 3);
+        assert_eq!(groups[0], vec![0, 2]);
+        assert_eq!(groups[1], vec![1, 4]);
+        assert_eq!(groups[2], vec![3]);
+    }
+
+    #[test]
+    fn ring_of_cliques_finds_all_cliques() {
+        // Classic Louvain benchmark: r cliques of size s in a ring.
+        let (r, s) = (6u32, 4u32);
+        let mut edges = Vec::new();
+        for c in 0..r {
+            let base = c * s;
+            for a in 0..s {
+                for b in (a + 1)..s {
+                    edges.push((base + a, base + b, 1.0));
+                }
+            }
+            let next_base = ((c + 1) % r) * s;
+            edges.push((base, next_base, 0.05));
+        }
+        let g = AdjacencyGraph::from_edges((r * s) as usize, edges);
+        let res = louvain_default(&g);
+        assert_eq!(res.community_count, r as usize, "each clique is its own community");
+        assert!(res.modularity > 0.6);
+    }
+}

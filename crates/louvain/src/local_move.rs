@@ -1,0 +1,140 @@
+//! The local-moving phase of Louvain.
+
+use txallo_graph::{NodeId, WeightedGraph};
+use txallo_model::FxHashMap;
+
+use crate::LouvainConfig;
+
+/// Result of repeated local-moving sweeps on one level.
+#[derive(Debug, Clone)]
+pub struct LocalMoveOutcome {
+    /// Community label per node of this level's graph.
+    pub communities: Vec<u32>,
+    /// Whether any node changed community (drives level termination).
+    pub moved_any: bool,
+    /// Number of sweeps executed.
+    pub sweeps: usize,
+}
+
+/// Runs local-moving sweeps until a sweep makes no move (or limits hit).
+///
+/// Each node starts in its own singleton community. For node `v`, the gain
+/// of moving the (isolated) node into community `c` is the standard Louvain
+/// delta: `ΔQ = w(v→c)/m − γ·Σ_tot(c)·k_v/(2m²)`. The node joins the
+/// neighboring community maximizing the gain; staying put wins ties, and
+/// among equal-gain candidates the smallest community id wins
+/// (determinism).
+pub fn local_moving_pass(graph: &impl WeightedGraph, config: &LouvainConfig) -> LocalMoveOutcome {
+    let n = graph.node_count();
+    let m = graph.total_weight();
+    let mut communities: Vec<u32> = (0..n as u32).collect();
+    if n == 0 || m <= 0.0 {
+        return LocalMoveOutcome { communities, moved_any: false, sweeps: 0 };
+    }
+
+    // Σ_tot per community (strengths, self-loops twice).
+    let mut sigma_tot: Vec<f64> = (0..n as NodeId).map(|v| graph.strength(v)).collect();
+    let mut moved_any = false;
+    let mut sweeps = 0usize;
+
+    // Workhorse map: weight from v to each neighboring community.
+    let mut link_weight: FxHashMap<u32, f64> = FxHashMap::default();
+
+    for _ in 0..config.max_sweeps {
+        sweeps += 1;
+        let mut moved_this_sweep = false;
+
+        for v in 0..n as NodeId {
+            let k_v = graph.strength(v);
+            let current = communities[v as usize];
+
+            link_weight.clear();
+            graph.for_each_neighbor(v, |u, w| {
+                *link_weight.entry(communities[u as usize]).or_insert(0.0) += w;
+            });
+
+            // Remove v from its community while evaluating.
+            sigma_tot[current as usize] -= k_v;
+            let w_current = link_weight.get(&current).copied().unwrap_or(0.0);
+            let gain_stay =
+                w_current / m - config.resolution * sigma_tot[current as usize] * k_v / (2.0 * m * m);
+
+            let mut best_comm = current;
+            let mut best_gain = gain_stay;
+            // Deterministic candidate order: sort neighboring communities.
+            let mut candidates: Vec<(u32, f64)> =
+                link_weight.iter().map(|(&c, &w)| (c, w)).collect();
+            candidates.sort_unstable_by_key(|&(c, _)| c);
+            for (c, w_vc) in candidates {
+                if c == current {
+                    continue;
+                }
+                let gain =
+                    w_vc / m - config.resolution * sigma_tot[c as usize] * k_v / (2.0 * m * m);
+                if gain > best_gain + 1e-15 {
+                    best_gain = gain;
+                    best_comm = c;
+                }
+            }
+
+            sigma_tot[best_comm as usize] += k_v;
+            if best_comm != current {
+                communities[v as usize] = best_comm;
+                moved_this_sweep = true;
+                moved_any = true;
+            }
+        }
+
+        if !moved_this_sweep {
+            break;
+        }
+    }
+
+    LocalMoveOutcome { communities, moved_any, sweeps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txallo_graph::AdjacencyGraph;
+
+    #[test]
+    fn merges_a_triangle() {
+        let g = AdjacencyGraph::from_edges(3, vec![(0u32, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
+        let out = local_moving_pass(&g, &LouvainConfig::default());
+        assert!(out.moved_any);
+        assert_eq!(out.communities[0], out.communities[1]);
+        assert_eq!(out.communities[1], out.communities[2]);
+    }
+
+    #[test]
+    fn keeps_disconnected_nodes_apart() {
+        let g = AdjacencyGraph::from_edges(4, vec![(0u32, 1, 1.0), (2, 3, 1.0)]);
+        let out = local_moving_pass(&g, &LouvainConfig::default());
+        assert_eq!(out.communities[0], out.communities[1]);
+        assert_eq!(out.communities[2], out.communities[3]);
+        assert_ne!(out.communities[0], out.communities[2]);
+    }
+
+    #[test]
+    fn no_move_on_empty_graph() {
+        let g = AdjacencyGraph::from_edges(0, Vec::new());
+        let out = local_moving_pass(&g, &LouvainConfig::default());
+        assert!(!out.moved_any);
+        assert!(out.communities.is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut edges = Vec::new();
+        for a in 0..20u32 {
+            edges.push((a, (a + 1) % 20, 1.0));
+            edges.push((a, (a + 2) % 20, 0.5));
+        }
+        let g = AdjacencyGraph::from_edges(20, edges);
+        let a = local_moving_pass(&g, &LouvainConfig::default());
+        let b = local_moving_pass(&g, &LouvainConfig::default());
+        assert_eq!(a.communities, b.communities);
+        assert_eq!(a.sweeps, b.sweeps);
+    }
+}

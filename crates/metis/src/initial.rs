@@ -1,0 +1,163 @@
+//! Initial partitioning via greedy graph growing (GGGP).
+
+use txallo_graph::{AdjacencyGraph, NodeId, WeightedGraph};
+use txallo_model::FxHashMap;
+
+/// Produces an initial `k`-way partition of (the coarsest) `graph`.
+///
+/// For each part in turn, the heaviest unassigned vertex seeds a region,
+/// which greedily absorbs the unassigned neighbor with the strongest
+/// connection to the region until the region reaches the target vertex
+/// weight `total/k`. Unreached vertices are swept into the currently
+/// lightest parts at the end.
+pub fn greedy_growing_partition(
+    graph: &AdjacencyGraph,
+    vertex_weights: &[f64],
+    k: usize,
+    balance_factor: f64,
+) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut parts = vec![u32::MAX; n];
+    if n == 0 {
+        return parts;
+    }
+    if k == 1 {
+        return vec![0; n];
+    }
+    let total: f64 = vertex_weights.iter().sum();
+    let target = total / k as f64;
+    let cap = target * balance_factor;
+
+    // Heaviest-first seed order, ties toward smaller id (determinism).
+    let mut by_weight: Vec<NodeId> = (0..n as NodeId).collect();
+    by_weight.sort_unstable_by(|&a, &b| {
+        vertex_weights[b as usize]
+            .partial_cmp(&vertex_weights[a as usize])
+            .expect("finite weights")
+            .then(a.cmp(&b))
+    });
+
+    let mut part_weight = vec![0.0f64; k];
+    let mut seed_cursor = 0usize;
+
+    for part in 0..k as u32 {
+        // Find the next unassigned seed.
+        while seed_cursor < n && parts[by_weight[seed_cursor] as usize] != u32::MAX {
+            seed_cursor += 1;
+        }
+        if seed_cursor >= n {
+            break;
+        }
+        let seed = by_weight[seed_cursor];
+        parts[seed as usize] = part;
+        part_weight[part as usize] += vertex_weights[seed as usize];
+
+        // Gain map: connectivity of unassigned nodes to the growing region.
+        let mut gain: FxHashMap<NodeId, f64> = FxHashMap::default();
+        let absorb_frontier = |v: NodeId, gain: &mut FxHashMap<NodeId, f64>, parts: &[u32]| {
+            graph.for_each_neighbor(v, |u, w| {
+                if parts[u as usize] == u32::MAX {
+                    *gain.entry(u).or_insert(0.0) += w;
+                }
+            });
+        };
+        absorb_frontier(seed, &mut gain, &parts);
+
+        while part_weight[part as usize] < target {
+            // Deterministic max: largest gain; ties prefer the node whose
+            // gain is the largest fraction of its strength (an "absorption"
+            // preference that keeps the region from leaking across weak
+            // bridge edges into foreign clusters); final tie → smallest id.
+            let mut best: Option<(NodeId, f64, f64)> = None;
+            for (&u, &g) in &gain {
+                let ratio = g / graph.strength(u).max(1e-12);
+                let better = match best {
+                    None => true,
+                    Some((bu, bg, br)) => {
+                        g > bg || (g == bg && (ratio > br || (ratio == br && u < bu)))
+                    }
+                };
+                if better {
+                    best = Some((u, g, ratio));
+                }
+            }
+            let Some((u, _, _)) = best else { break };
+            gain.remove(&u);
+            if parts[u as usize] != u32::MAX {
+                continue;
+            }
+            if part_weight[part as usize] + vertex_weights[u as usize] > cap {
+                // Too big for this part; leave it for later parts.
+                continue;
+            }
+            parts[u as usize] = part;
+            part_weight[part as usize] += vertex_weights[u as usize];
+            absorb_frontier(u, &mut gain, &parts);
+        }
+    }
+
+    // Sweep leftovers into the lightest part.
+    for v in 0..n {
+        if parts[v] == u32::MAX {
+            let lightest = (0..k)
+                .min_by(|&a, &b| part_weight[a].partial_cmp(&part_weight[b]).expect("finite"))
+                .expect("k > 0");
+            parts[v] = lightest as u32;
+            part_weight[lightest] += vertex_weights[v];
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_node_within_k() {
+        let mut edges = Vec::new();
+        for a in 0..50u32 {
+            edges.push((a, (a + 1) % 50, 1.0));
+        }
+        let g = AdjacencyGraph::from_edges(50, edges);
+        let parts = greedy_growing_partition(&g, &vec![1.0; 50], 5, 1.1);
+        assert!(parts.iter().all(|&p| p < 5));
+    }
+
+    #[test]
+    fn roughly_balances_unit_weights() {
+        let mut edges = Vec::new();
+        for a in 0..60u32 {
+            edges.push((a, (a + 1) % 60, 1.0));
+            edges.push((a, (a + 2) % 60, 1.0));
+        }
+        let g = AdjacencyGraph::from_edges(60, edges);
+        let parts = greedy_growing_partition(&g, &vec![1.0; 60], 3, 1.1);
+        let mut counts = [0usize; 3];
+        for &p in &parts {
+            counts[p as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c >= 10, "part badly underfilled: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let g = AdjacencyGraph::from_edges(4, vec![(0u32, 1, 1.0)]);
+        assert_eq!(greedy_growing_partition(&g, &[1.0; 4], 1, 1.05), vec![0; 4]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut edges = Vec::new();
+        for a in 0..40u32 {
+            edges.push((a, (a * 7 + 3) % 40, 1.0 + (a % 4) as f64));
+        }
+        let g = AdjacencyGraph::from_edges(40, edges);
+        let w: Vec<f64> = (0..40).map(|i| 1.0 + (i % 3) as f64).collect();
+        let a = greedy_growing_partition(&g, &w, 4, 1.05);
+        let b = greedy_growing_partition(&g, &w, 4, 1.05);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,246 @@
+//! A METIS-style multilevel k-way graph partitioner.
+//!
+//! The graph-based baselines of the paper (\[17\] Fynn & Pedone, \[18\] Mizrahi
+//! & Rottenstreich, \[19\] BrokerChain) all use METIS (Karypis & Kumar) as
+//! their backbone allocation algorithm. METIS itself is a C library, so this
+//! crate re-implements its three classic phases (§II-C of the paper) from
+//! scratch:
+//!
+//! 1. **Coarsening** — repeated heavy-edge matching collapses the graph
+//!    until it is small.
+//! 2. **Initial partitioning** — greedy graph growing produces a `k`-way
+//!    partition of the coarsest graph, balanced by *vertex weight*.
+//! 3. **Uncoarsening + refinement** — the partition is projected back level
+//!    by level; at each level a boundary FM pass moves nodes to reduce edge
+//!    cut subject to the balance constraint.
+//!
+//! Faithful to the paper's critique, balance is measured on **vertex
+//! weights**, not blockchain workload — that mismatch (plus no η-awareness)
+//! is exactly why TxAllo outperforms it on workload balance and throughput.
+
+pub mod bisection;
+pub mod coarsen;
+pub mod initial;
+pub mod refine;
+
+pub use bisection::recursive_bisection_partition;
+pub use coarsen::{coarsen, heavy_edge_matching, CoarseLevel};
+pub use initial::greedy_growing_partition;
+pub use refine::{edge_cut, fm_refine, fm_refine_with_targets};
+
+use txallo_graph::{AdjacencyGraph, NodeId, WeightedGraph};
+
+/// How vertices are weighted for the balance constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VertexWeighting {
+    /// Every account weighs 1 (balance = equal account counts).
+    Unit,
+    /// An account weighs its weighted degree (balance ≈ equal transaction
+    /// involvement). This is the closest analogue of how the blockchain
+    /// partitioning literature feeds account graphs to METIS.
+    #[default]
+    Strength,
+}
+
+/// Configuration for [`metis_partition`].
+#[derive(Debug, Clone)]
+pub struct MetisConfig {
+    /// Number of parts `k`.
+    pub parts: usize,
+    /// Allowed imbalance: a part may hold at most `balance_factor ×` the
+    /// average vertex weight (METIS's `ub` parameter, default 1.05).
+    pub balance_factor: f64,
+    /// Stop coarsening when the graph has at most this many nodes
+    /// (clamped below by `20 × parts`).
+    pub coarsen_target: usize,
+    /// Maximum FM refinement passes per level.
+    pub refine_passes: usize,
+    /// Vertex weighting scheme.
+    pub weighting: VertexWeighting,
+}
+
+impl MetisConfig {
+    /// Reasonable defaults for `k` parts.
+    pub fn new(parts: usize) -> Self {
+        Self {
+            parts,
+            balance_factor: 1.05,
+            coarsen_target: 2_000,
+            refine_passes: 8,
+            weighting: VertexWeighting::default(),
+        }
+    }
+}
+
+/// Result of a multilevel partition run.
+#[derive(Debug, Clone)]
+pub struct MetisResult {
+    /// Part id per node, in `0..parts`.
+    pub parts: Vec<u32>,
+    /// Total weight of edges crossing parts.
+    pub edge_cut: f64,
+    /// Number of coarsening levels used.
+    pub levels: usize,
+}
+
+/// Partitions `graph` into `config.parts` parts.
+pub fn metis_partition(graph: &impl WeightedGraph, config: &MetisConfig) -> MetisResult {
+    assert!(config.parts > 0, "parts must be positive");
+    let n = graph.node_count();
+    if n == 0 {
+        return MetisResult { parts: Vec::new(), edge_cut: 0.0, levels: 0 };
+    }
+    if config.parts == 1 {
+        return MetisResult { parts: vec![0; n], edge_cut: 0.0, levels: 0 };
+    }
+
+    let base = AdjacencyGraph::from_graph(graph);
+    let vertex_weights: Vec<f64> = match config.weighting {
+        VertexWeighting::Unit => vec![1.0; n],
+        VertexWeighting::Strength => (0..n as NodeId).map(|v| graph.strength(v).max(1e-9)).collect(),
+    };
+
+    // Phase 1: coarsen.
+    let coarsen_floor = config.coarsen_target.max(20 * config.parts);
+    let hierarchy = coarsen(base, vertex_weights, coarsen_floor);
+    let levels = hierarchy.len();
+    let coarsest = hierarchy.last().expect("hierarchy always has the base level");
+
+    // Phase 2: initial partition of the coarsest graph.
+    let mut parts = greedy_growing_partition(
+        &coarsest.graph,
+        &coarsest.vertex_weights,
+        config.parts,
+        config.balance_factor,
+    );
+    fm_refine(
+        &coarsest.graph,
+        &coarsest.vertex_weights,
+        &mut parts,
+        config.parts,
+        config.balance_factor,
+        config.refine_passes,
+    );
+
+    // Phase 3: project back and refine at every level.
+    for level in (0..levels - 1).rev() {
+        let fine = &hierarchy[level];
+        let coarse_map = hierarchy[level + 1]
+            .fine_to_coarse
+            .as_ref()
+            .expect("non-base levels store their projection map");
+        let mut fine_parts = vec![0u32; fine.graph.node_count()];
+        for (v, p) in fine_parts.iter_mut().enumerate() {
+            *p = parts[coarse_map[v] as usize];
+        }
+        parts = fine_parts;
+        fm_refine(
+            &fine.graph,
+            &fine.vertex_weights,
+            &mut parts,
+            config.parts,
+            config.balance_factor,
+            config.refine_passes,
+        );
+    }
+
+    let cut = edge_cut(&hierarchy[0].graph, &parts);
+    MetisResult { parts, edge_cut: cut, levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques(bridge: f64) -> AdjacencyGraph {
+        let mut edges = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                edges.push((a, b, 1.0));
+                edges.push((a + 6, b + 6, 1.0));
+            }
+        }
+        edges.push((0, 6, bridge));
+        AdjacencyGraph::from_edges(12, edges)
+    }
+
+    #[test]
+    fn bisects_two_cliques_along_the_bridge() {
+        let g = two_cliques(0.1);
+        let r = metis_partition(&g, &MetisConfig::new(2));
+        assert_eq!(r.parts.len(), 12);
+        for v in 1..6 {
+            assert_eq!(r.parts[v], r.parts[0], "clique A must stay together");
+            assert_eq!(r.parts[v + 6], r.parts[6], "clique B must stay together");
+        }
+        assert_ne!(r.parts[0], r.parts[6]);
+        assert!((r.edge_cut - 0.1).abs() < 1e-9, "only the bridge is cut, got {}", r.edge_cut);
+    }
+
+    #[test]
+    fn one_part_is_trivial() {
+        let g = two_cliques(1.0);
+        let r = metis_partition(&g, &MetisConfig::new(1));
+        assert!(r.parts.iter().all(|&p| p == 0));
+        assert_eq!(r.edge_cut, 0.0);
+    }
+
+    #[test]
+    fn respects_part_count() {
+        let mut edges = Vec::new();
+        for a in 0..100u32 {
+            edges.push((a, (a + 1) % 100, 1.0));
+        }
+        let g = AdjacencyGraph::from_edges(100, edges);
+        for k in [2usize, 3, 5, 8] {
+            let r = metis_partition(&g, &MetisConfig::new(k));
+            let used: std::collections::HashSet<u32> = r.parts.iter().copied().collect();
+            assert!(used.len() <= k);
+            assert!(used.iter().all(|&p| (p as usize) < k));
+            // A ring splits into k contiguous arcs: cut = k edges (roughly).
+            assert!(r.edge_cut <= 2.0 * k as f64 + 1.0, "cut {} too high for k={k}", r.edge_cut);
+        }
+    }
+
+    #[test]
+    fn balances_unit_weights() {
+        // 4 cliques of 8 nodes, lightly interconnected; k = 4.
+        let mut edges = Vec::new();
+        for c in 0..4u32 {
+            let b = c * 8;
+            for i in 0..8 {
+                for j in (i + 1)..8 {
+                    edges.push((b + i, b + j, 1.0));
+                }
+            }
+            edges.push((b, ((c + 1) % 4) * 8, 0.1));
+        }
+        let g = AdjacencyGraph::from_edges(32, edges);
+        let mut cfg = MetisConfig::new(4);
+        cfg.weighting = VertexWeighting::Unit;
+        let r = metis_partition(&g, &cfg);
+        let mut counts = [0usize; 4];
+        for &p in &r.parts {
+            counts[p as usize] += 1;
+        }
+        for &c in &counts {
+            assert_eq!(c, 8, "each part must hold one clique, got {counts:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = two_cliques(0.5);
+        let a = metis_partition(&g, &MetisConfig::new(3));
+        let b = metis_partition(&g, &MetisConfig::new(3));
+        assert_eq!(a.parts, b.parts);
+        assert_eq!(a.edge_cut, b.edge_cut);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = AdjacencyGraph::from_edges(0, Vec::new());
+        let r = metis_partition(&g, &MetisConfig::new(4));
+        assert!(r.parts.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Blocks: ordered batches of transactions.
+
+use crate::transaction::Transaction;
+
+/// Height of a block within the ledger (0-based in this reproduction).
+pub type BlockHeight = u64;
+
+/// A block `B_i := {Tx_1, ..., Tx_|B_i|}` (§III-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    height: BlockHeight,
+    transactions: Vec<Transaction>,
+}
+
+impl Block {
+    /// Creates a block at `height` containing `transactions` in order.
+    pub fn new(height: BlockHeight, transactions: Vec<Transaction>) -> Self {
+        Self { height, transactions }
+    }
+
+    /// The block's height.
+    pub fn height(&self) -> BlockHeight {
+        self.height
+    }
+
+    /// The block's transactions, in commit order.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Number of transactions in the block (`|B_i|`).
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the block carries no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::AccountId;
+
+    #[test]
+    fn block_accessors() {
+        let txs = vec![
+            Transaction::transfer(AccountId(1), AccountId(2)),
+            Transaction::transfer(AccountId(2), AccountId(3)),
+        ];
+        let b = Block::new(7, txs.clone());
+        assert_eq!(b.height(), 7);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.transactions(), &txs[..]);
+    }
+
+    #[test]
+    fn empty_block() {
+        let b = Block::new(0, vec![]);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

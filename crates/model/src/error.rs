@@ -1,0 +1,46 @@
+//! Error types for the domain model.
+
+use std::fmt;
+
+/// Errors raised when constructing domain objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A transaction was created with an empty input or output set,
+    /// violating `A_in, A_out ≠ ∅` (§III-A).
+    EmptyEndpointSet,
+    /// Blocks appended to a ledger must have contiguous heights.
+    NonContiguousBlocks {
+        /// The height the ledger expected next.
+        expected: u64,
+        /// The height that was provided.
+        found: u64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyEndpointSet => {
+                write!(f, "transaction input and output account sets must be non-empty")
+            }
+            ModelError::NonContiguousBlocks { expected, found } => {
+                write!(f, "non-contiguous block height: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ModelError::EmptyEndpointSet.to_string().contains("non-empty"));
+        let e = ModelError::NonContiguousBlocks { expected: 2, found: 5 };
+        assert!(e.to_string().contains("expected 2"));
+        assert!(e.to_string().contains("found 5"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the domain model invariants.
+
+use proptest::prelude::*;
+use txallo_model::{AccountId, Block, Ledger, Transaction};
+
+/// Strategy: non-empty account-id vectors.
+fn accounts(max: u64, len: usize) -> impl Strategy<Value = Vec<AccountId>> {
+    prop::collection::vec((0..max).prop_map(AccountId), 1..len)
+}
+
+proptest! {
+    /// The clique expansion always distributes exactly weight 1 and its
+    /// edge count matches π(Tx) = C(|A_Tx|, 2).
+    #[test]
+    fn clique_expansion_distributes_unit_weight(
+        ins in accounts(50, 5),
+        outs in accounts(50, 5),
+    ) {
+        let tx = Transaction::new(ins, outs).expect("non-empty by strategy");
+        let edges: Vec<_> = tx.expanded_edges().collect();
+        prop_assert_eq!(edges.len(), tx.pair_count());
+        let total: f64 = edges.iter().map(|e| e.2).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total weight {total}");
+        // Each pair is unordered-unique and within the account set.
+        let set = tx.account_set();
+        for &(a, b, w) in &edges {
+            prop_assert!(set.contains(&a) && set.contains(&b));
+            prop_assert!(w > 0.0);
+            if set.len() > 1 {
+                prop_assert!(a < b, "expanded pairs are ordered");
+            }
+        }
+    }
+
+    /// `account_count` equals the deduplicated set size, and `pair_count`
+    /// follows the binomial formula.
+    #[test]
+    fn pair_count_formula(ins in accounts(20, 4), outs in accounts(20, 4)) {
+        let tx = Transaction::new(ins, outs).unwrap();
+        let n = tx.account_count();
+        prop_assert_eq!(n, tx.account_set().len());
+        let expected = if n <= 1 { 1 } else { n * (n - 1) / 2 };
+        prop_assert_eq!(tx.pair_count(), expected);
+        prop_assert!((tx.edge_weight() * tx.pair_count() as f64 - 1.0).abs() < 1e-12);
+    }
+
+    /// Hash-based shard assignment is total, stable and in range for any k.
+    #[test]
+    fn hash_shard_total_and_in_range(addr in any::<u64>(), k in 1usize..100) {
+        let shard = AccountId(addr).hash_shard(k);
+        prop_assert!(shard.index() < k);
+        prop_assert_eq!(shard, AccountId(addr).hash_shard(k));
+    }
+
+    /// Ledger construction accepts exactly the contiguous-height block
+    /// sequences.
+    #[test]
+    fn ledger_contiguity(base in 0u64..1000, lens in prop::collection::vec(0usize..5, 1..8)) {
+        let blocks: Vec<Block> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                let txs = (0..l)
+                    .map(|j| Transaction::transfer(AccountId(j as u64), AccountId(j as u64 + 1)))
+                    .collect();
+                Block::new(base + i as u64, txs)
+            })
+            .collect();
+        let ledger = Ledger::from_blocks(blocks.clone()).expect("contiguous by construction");
+        prop_assert_eq!(ledger.block_count(), lens.len());
+        prop_assert_eq!(ledger.transaction_count(), lens.iter().sum::<usize>());
+        // A gap anywhere breaks it.
+        if blocks.len() >= 2 {
+            let mut gapped = blocks;
+            let last = gapped.len() - 1;
+            let h = gapped[last].height();
+            gapped[last] = Block::new(h + 1, vec![]);
+            prop_assert!(Ledger::from_blocks(gapped).is_err());
+        }
+    }
+
+    /// Ledger stats are internally consistent.
+    #[test]
+    fn stats_consistency(pairs in prop::collection::vec((0u64..30, 0u64..30), 1..60)) {
+        let txs: Vec<Transaction> = pairs
+            .iter()
+            .map(|&(a, b)| Transaction::transfer(AccountId(a), AccountId(b)))
+            .collect();
+        let ledger = Ledger::from_blocks(vec![Block::new(0, txs)]).unwrap();
+        let stats = ledger.stats();
+        prop_assert_eq!(stats.transaction_count, pairs.len());
+        prop_assert!(stats.self_loop_count <= stats.transaction_count);
+        prop_assert!(stats.max_account_activity as usize <= stats.transaction_count);
+        prop_assert!(stats.hottest_account_share() <= 1.0 + 1e-12);
+        let activity = ledger.account_activity();
+        prop_assert_eq!(activity.len(), stats.account_count);
+        prop_assert_eq!(
+            activity.values().copied().max().unwrap_or(0),
+            stats.max_account_activity
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! The simulation driver: warm-up, epoch loop, allocation updates.
+
+use std::time::Instant;
+
+use txallo_core::{Allocation, AtxAllo, GTxAllo, TxAlloParams};
+use txallo_graph::{NodeId, TxGraph, WeightedGraph};
+use txallo_model::{Block, FxHashSet};
+
+use crate::epoch::{epoch_metrics, EpochReport, UpdateKind};
+use crate::schedule::HybridSchedule;
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of shards `k`.
+    pub shards: usize,
+    /// Cross-shard workload `η`.
+    pub eta: f64,
+    /// Epoch length `τ₁` in blocks (paper: 300 ≈ one hour).
+    pub epoch_blocks: usize,
+    /// The reallocation schedule.
+    pub schedule: HybridSchedule,
+    /// Optional per-epoch exponential decay of the accumulated graph's
+    /// edge weights (`(0, 1]`; `None` keeps raw history). See
+    /// `txallo_graph::decay` — recency weighting per §VI-A's "recent
+    /// history" recommendation.
+    pub decay_per_epoch: Option<f64>,
+}
+
+impl SimConfig {
+    /// Paper-default simulation parameters: η = 2, τ₁ = 300 blocks, hybrid
+    /// schedule with a 20-epoch global gap.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            eta: 2.0,
+            epoch_blocks: 300,
+            schedule: HybridSchedule::Hybrid { global_gap: 20 },
+            decay_per_epoch: None,
+        }
+    }
+}
+
+/// The sharded-chain simulator.
+///
+/// Usage: [`warmup`] on the historical prefix (the paper trains on 90% of
+/// the trace), then feed epochs of blocks through [`run_epoch`].
+///
+/// [`warmup`]: ShardedChainSim::warmup
+/// [`run_epoch`]: ShardedChainSim::run_epoch
+#[derive(Debug)]
+pub struct ShardedChainSim {
+    config: SimConfig,
+    graph: TxGraph,
+    allocation: Allocation,
+    epoch: u64,
+    warmed_up: bool,
+}
+
+impl ShardedChainSim {
+    /// Creates an empty simulator.
+    pub fn new(config: SimConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(config.epoch_blocks > 0, "epochs must contain blocks");
+        let shards = config.shards;
+        Self {
+            config,
+            graph: TxGraph::new(),
+            allocation: Allocation::new(Vec::new(), shards),
+            epoch: 0,
+            warmed_up: false,
+        }
+    }
+
+    /// The accumulated transaction graph.
+    pub fn graph(&self) -> &TxGraph {
+        &self.graph
+    }
+
+    /// The current account-shard mapping.
+    pub fn allocation(&self) -> &Allocation {
+        &self.allocation
+    }
+
+    /// Epochs processed since warm-up.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn current_params(&self) -> TxAlloParams {
+        TxAlloParams::for_graph(&self.graph, self.config.shards).with_eta(self.config.eta)
+    }
+
+    /// Ingests the historical prefix and runs G-TxAllo once to produce the
+    /// initial mapping. Returns the wall-clock time of that global run.
+    pub fn warmup(&mut self, blocks: &[Block]) -> std::time::Duration {
+        for b in blocks {
+            self.graph.ingest_block(b);
+        }
+        let start = Instant::now();
+        self.allocation = GTxAllo::new(self.current_params()).allocate_graph(&self.graph);
+        self.warmed_up = true;
+        start.elapsed()
+    }
+
+    /// Processes one epoch: ingest `blocks`, update the allocation per the
+    /// schedule, then score the epoch's transactions under the new mapping.
+    ///
+    /// # Panics
+    /// Panics if called before [`ShardedChainSim::warmup`] or with an empty
+    /// block slice.
+    pub fn run_epoch(&mut self, blocks: &[Block]) -> EpochReport {
+        assert!(self.warmed_up, "call warmup() before run_epoch()");
+        assert!(!blocks.is_empty(), "an epoch must contain blocks");
+
+        if let Some(factor) = self.config.decay_per_epoch {
+            self.graph.apply_decay(factor);
+        }
+        let mut touched: FxHashSet<NodeId> = FxHashSet::default();
+        for b in blocks {
+            for v in self.graph.ingest_block(b) {
+                touched.insert(v);
+            }
+        }
+        let mut touched: Vec<NodeId> = touched.into_iter().collect();
+        touched.sort_unstable();
+
+        let params = self.current_params();
+        let run_global = self.config.schedule.is_global_epoch(self.epoch);
+        let new_accounts = self.graph.node_count() - self.allocation.len();
+        let start = Instant::now();
+        let update = if run_global {
+            self.allocation = GTxAllo::new(params).allocate_graph(&self.graph);
+            UpdateKind::Global
+        } else {
+            let outcome = AtxAllo::new(params).update(&self.graph, &self.allocation, &touched);
+            self.allocation = outcome.allocation;
+            UpdateKind::Adaptive
+        };
+        let update_time = start.elapsed();
+
+        let metrics =
+            epoch_metrics(blocks, &self.graph, &self.allocation, self.config.shards, self.config.eta);
+        let report = EpochReport {
+            epoch: self.epoch,
+            height_range: (blocks[0].height(), blocks[blocks.len() - 1].height()),
+            update,
+            update_time,
+            new_accounts,
+            metrics,
+        };
+        self.epoch += 1;
+        report
+    }
+
+    /// Convenience: run a whole stream of blocks in `epoch_blocks`-sized
+    /// epochs, returning one report per complete epoch.
+    pub fn run_stream(&mut self, blocks: &[Block]) -> Vec<EpochReport> {
+        let epoch_blocks = self.config.epoch_blocks;
+        blocks
+            .chunks(epoch_blocks)
+            .filter(|chunk| chunk.len() == epoch_blocks)
+            .map(|chunk| self.run_epoch(chunk))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
+
+    fn generator() -> EthereumLikeGenerator {
+        let cfg = WorkloadConfig {
+            accounts: 1_500,
+            transactions: 40_000,
+            block_size: 50,
+            groups: 30,
+            ..WorkloadConfig::default()
+        };
+        EthereumLikeGenerator::new(cfg, 21)
+    }
+
+    #[test]
+    fn warmup_then_adaptive_epochs() {
+        let mut gen = generator();
+        let warm = gen.blocks(100);
+        let mut sim = ShardedChainSim::new(SimConfig {
+            shards: 4,
+            eta: 2.0,
+            epoch_blocks: 20,
+            schedule: HybridSchedule::AlwaysAdaptive,
+            decay_per_epoch: None,
+        });
+        sim.warmup(&warm);
+        let stream = gen.blocks(60);
+        let reports = sim.run_stream(&stream);
+        assert_eq!(reports.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.epoch, i as u64);
+            assert_eq!(r.update, UpdateKind::Adaptive);
+            assert_eq!(r.metrics.transactions, 20 * 50);
+            assert!(r.metrics.throughput_normalized > 1.0, "sharding must help");
+            assert!(r.metrics.cross_shard_ratio < 0.9);
+        }
+        // Heights carry through.
+        assert_eq!(reports[0].height_range, (100, 119));
+        assert_eq!(reports[2].height_range, (140, 159));
+    }
+
+    #[test]
+    fn hybrid_schedule_runs_global_on_gap() {
+        let mut gen = generator();
+        let warm = gen.blocks(60);
+        let mut sim = ShardedChainSim::new(SimConfig {
+            shards: 3,
+            eta: 2.0,
+            epoch_blocks: 10,
+            schedule: HybridSchedule::Hybrid { global_gap: 2 },
+            decay_per_epoch: None,
+        });
+        sim.warmup(&warm);
+        let stream = gen.blocks(40);
+        let reports = sim.run_stream(&stream);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports[0].update, UpdateKind::Adaptive);
+        assert_eq!(reports[1].update, UpdateKind::Adaptive);
+        assert_eq!(reports[2].update, UpdateKind::Global, "epoch 2 hits the gap");
+        assert_eq!(reports[3].update, UpdateKind::Adaptive);
+    }
+
+    #[test]
+    fn adaptive_is_faster_than_global() {
+        let mut gen = generator();
+        let warm = gen.blocks(200);
+        let mut sim = ShardedChainSim::new(SimConfig {
+            shards: 4,
+            eta: 2.0,
+            epoch_blocks: 10,
+            schedule: HybridSchedule::AlwaysAdaptive,
+            decay_per_epoch: None,
+        });
+        let global_time = sim.warmup(&warm);
+        let stream = gen.blocks(10);
+        let report = sim.run_stream(&stream).pop().unwrap();
+        // The adaptive update touches a fraction of the graph; it must be
+        // significantly faster than the global warm-up run.
+        assert!(
+            report.update_time < global_time,
+            "adaptive {:?} should beat global {:?}",
+            report.update_time,
+            global_time
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup")]
+    fn epoch_before_warmup_panics() {
+        let mut gen = generator();
+        let blocks = gen.blocks(10);
+        let mut sim = ShardedChainSim::new(SimConfig::new(2));
+        let _ = sim.run_epoch(&blocks);
+    }
+
+    #[test]
+    fn decay_keeps_graph_weight_bounded() {
+        let mut gen = generator();
+        let warm = gen.blocks(40);
+        let mut sim = ShardedChainSim::new(SimConfig {
+            shards: 3,
+            eta: 2.0,
+            epoch_blocks: 10,
+            schedule: HybridSchedule::AlwaysAdaptive,
+            decay_per_epoch: Some(0.5),
+        });
+        sim.warmup(&warm);
+        use txallo_graph::WeightedGraph;
+        let stream = gen.blocks(100);
+        let mut last_weight = f64::INFINITY;
+        for (i, r) in sim.run_stream(&stream).iter().enumerate() {
+            assert!(r.metrics.throughput_normalized > 0.5, "epoch {i} collapsed");
+            // With decay 0.5 and 500 tx/epoch, total weight converges to
+            // < 1000 + epoch contribution instead of growing linearly.
+            let w = sim.graph().total_weight();
+            assert!(w < 2_500.0, "decayed weight must stay bounded, got {w}");
+            last_weight = w;
+        }
+        assert!(last_weight < 2_500.0);
+    }
+
+    #[test]
+    fn throughput_stays_reasonable_across_drift() {
+        let mut gen = generator();
+        let warm = gen.blocks(150);
+        let mut sim = ShardedChainSim::new(SimConfig {
+            shards: 4,
+            eta: 2.0,
+            epoch_blocks: 25,
+            schedule: HybridSchedule::Hybrid { global_gap: 3 },
+            decay_per_epoch: None,
+        });
+        sim.warmup(&warm);
+        let stream = gen.blocks(150);
+        let reports = sim.run_stream(&stream);
+        for r in &reports {
+            assert!(
+                r.metrics.throughput_normalized > 0.9,
+                "epoch {}: throughput collapsed to {}",
+                r.epoch,
+                r.metrics.throughput_normalized
+            );
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of workload generation and trace I/O.
+
+use proptest::prelude::*;
+use std::io::BufReader;
+use txallo_workload::{
+    read_ledger_csv, write_ledger_csv, EthereumLikeGenerator, WorkloadConfig, ZipfTable,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (validated) configuration yields a well-formed ledger: right
+    /// block count/size, contiguous heights, all transactions valid.
+    #[test]
+    fn generator_is_well_formed(
+        accounts in 100usize..2_000,
+        block_size in 10usize..200,
+        groups in 2usize..50,
+        intra in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let config = WorkloadConfig {
+            accounts,
+            transactions: block_size * 10,
+            block_size,
+            groups,
+            intra_group_prob: intra,
+            ..WorkloadConfig::default()
+        };
+        config.validate();
+        let mut generator = EthereumLikeGenerator::new(config, seed);
+        let ledger = generator.ledger(10);
+        prop_assert_eq!(ledger.block_count(), 10);
+        for (i, b) in ledger.blocks().iter().enumerate() {
+            prop_assert_eq!(b.height(), i as u64);
+            prop_assert_eq!(b.len(), block_size);
+        }
+        for tx in ledger.transactions() {
+            prop_assert!(!tx.inputs().is_empty() && !tx.outputs().is_empty());
+            prop_assert!(tx.account_count() >= 1);
+        }
+    }
+
+    /// The CSV round trip is lossless for generated traces of any shape.
+    #[test]
+    fn csv_roundtrip_lossless(seed in any::<u64>(), multi in 0.0f64..0.5) {
+        let config = WorkloadConfig {
+            accounts: 300,
+            transactions: 2_000,
+            block_size: 50,
+            groups: 10,
+            multi_io_prob: multi,
+            ..WorkloadConfig::default()
+        };
+        let mut generator = EthereumLikeGenerator::new(config, seed);
+        let ledger = generator.ledger(8);
+        let mut buf = Vec::new();
+        write_ledger_csv(&ledger, &mut buf).unwrap();
+        let back = read_ledger_csv(BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(back.transaction_count(), ledger.transaction_count());
+        prop_assert_eq!(back.block_count(), ledger.block_count());
+        for (a, b) in ledger.transactions().zip(back.transactions()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Zipf tables: probabilities sum to 1, are non-increasing in rank,
+    /// and sampling always lands in range.
+    #[test]
+    fn zipf_table_properties(n in 1usize..500, s in 0.0f64..3.0, seed in any::<u64>()) {
+        let t = ZipfTable::new(n, s);
+        prop_assert_eq!(t.len(), n);
+        let total: f64 = (0..n).map(|r| t.probability(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..n {
+            prop_assert!(t.probability(r) <= t.probability(r - 1) + 1e-12);
+        }
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(t.sample(&mut rng) < n);
+        }
+    }
+
+    /// Same seed ⇒ identical stream even when consumed in different chunk
+    /// sizes (the generator is a deterministic stream, not per-call).
+    #[test]
+    fn chunking_does_not_change_the_stream(seed in any::<u64>()) {
+        let config = WorkloadConfig {
+            accounts: 200,
+            transactions: 3_000,
+            block_size: 30,
+            groups: 8,
+            ..WorkloadConfig::default()
+        };
+        let mut a = EthereumLikeGenerator::new(config.clone(), seed);
+        let mut b = EthereumLikeGenerator::new(config, seed);
+        let whole = a.blocks(6);
+        let mut chunked = b.blocks(2);
+        chunked.extend(b.blocks(3));
+        chunked.extend(b.blocks(1));
+        prop_assert_eq!(whole.len(), chunked.len());
+        for (x, y) in whole.iter().zip(chunked.iter()) {
+            prop_assert_eq!(x.height(), y.height());
+            prop_assert_eq!(x.transactions(), y.transactions());
+        }
+    }
+}

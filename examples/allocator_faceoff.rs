@@ -1,0 +1,61 @@
+//! Head-to-head comparison of all four allocators on one workload — a
+//! single-k slice of the paper's Figures 2–8.
+//!
+//! Run with: `cargo run --release --example allocator_faceoff [k] [eta]`
+
+use std::time::Instant;
+
+use txallo::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
+    let eta: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2.0);
+
+    let config = WorkloadConfig {
+        accounts: 20_000,
+        transactions: 150_000,
+        block_size: 150,
+        groups: 200,
+        ..WorkloadConfig::default()
+    };
+    let ledger = EthereumLikeGenerator::new(config, 7).default_ledger();
+    let dataset = Dataset::from_ledger(ledger);
+    let params = TxAlloParams::for_graph(dataset.graph(), k).with_eta(eta);
+
+    println!(
+        "workload: {} tx / {} accounts — k = {k}, η = {eta}\n",
+        dataset.ledger().transaction_count(),
+        dataset.graph().node_count(),
+    );
+    println!(
+        "{:<16} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "allocator", "γ %", "ρ/λ", "Λ/λ", "ζ avg", "ζ worst", "time"
+    );
+
+    let mut allocators: Vec<Box<dyn Allocator>> = vec![
+        Box::new(GTxAllo::new(params.clone())),
+        Box::new(HashAllocator::new(k)),
+        Box::new(MetisAllocator::new(k)),
+        Box::new(ShardScheduler::new(
+            SchedulerConfig::new(k, dataset.graph().total_weight()).with_eta(eta),
+        )),
+    ];
+
+    for alloc in allocators.iter_mut() {
+        let start = Instant::now();
+        let allocation = alloc.allocate(&dataset);
+        let elapsed = start.elapsed();
+        let r = MetricsReport::compute(dataset.graph(), &allocation, &params);
+        println!(
+            "{:<16} {:>8.1} {:>8.3} {:>10.2} {:>10.2} {:>10.0} {:>9.2?}",
+            alloc.name(),
+            100.0 * r.cross_shard_ratio,
+            r.workload_std_normalized,
+            r.throughput_normalized,
+            r.avg_latency,
+            r.worst_latency,
+            elapsed
+        );
+    }
+}

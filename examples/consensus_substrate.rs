@@ -1,0 +1,67 @@
+//! Run a trace through the full consensus substrate: per-shard PBFT,
+//! cross-shard Atomix, validator reshuffling — and measure η empirically.
+//!
+//! The paper treats the cross-shard workload factor η as a hyper-parameter
+//! (swept 2–10). This example shows where it physically comes from: a
+//! cross-shard transaction costs dedicated lock + commit consensus rounds
+//! in every involved shard, while intra-shard transactions amortize one
+//! round across a whole batch.
+//!
+//! Run with: `cargo run --release --example consensus_substrate`
+
+use txallo::prelude::*;
+
+fn main() {
+    let config = WorkloadConfig {
+        accounts: 5_000,
+        transactions: 50_000,
+        block_size: 100,
+        groups: 60,
+        ..WorkloadConfig::default()
+    };
+    let ledger = EthereumLikeGenerator::new(config, 99).default_ledger();
+    let graph = TxGraph::from_ledger(&ledger);
+    let k = 8;
+    let params = TxAlloParams::for_graph(&graph, k);
+
+    println!(
+        "{} transactions, {} accounts, k = {k}, {} validators ({} Byzantine)\n",
+        graph.transaction_count(),
+        graph.node_count(),
+        k * 16,
+        k * 16 / 10
+    );
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "allocator", "γ %", "msgs/intra", "msgs/cross", "measured η", "reshuffles", "aborted"
+    );
+
+    for (name, allocation) in [
+        ("G-TxAllo", GTxAllo::new(params.clone()).allocate_graph(&graph)),
+        ("hash", HashAllocator::new(k).allocate_graph(&graph)),
+    ] {
+        let metrics = MetricsReport::compute(&graph, &allocation, &params);
+        let mut engine = ChainEngine::new(ChainEngineConfig::new(k));
+        for block in ledger.blocks() {
+            engine.process_block(block, &graph, &allocation);
+        }
+        let r = engine.report();
+        println!(
+            "{name:<12} {:>8.1} {:>12.1} {:>12.1} {:>12.2} {:>10} {:>8}",
+            100.0 * metrics.cross_shard_ratio,
+            r.intra_cost_per_shard,
+            r.cross_cost_per_shard,
+            r.measured_eta(),
+            r.reshuffles,
+            r.aborted
+        );
+    }
+
+    println!(
+        "\nη is endogenous: with few cross-shard transactions (G-TxAllo), Atomix\n\
+         batches stay small and each cross transaction pays nearly full consensus\n\
+         rounds; under hash allocation almost everything is cross-shard, so the\n\
+         batches amortize and the per-transaction ratio shrinks. The paper's\n\
+         η ∈ [2, 10] sweep brackets exactly this range."
+    );
+}

@@ -1,0 +1,114 @@
+//! Optimality properties of G-TxAllo on small instances.
+//!
+//! Two checks that pin down what Algorithm 1 guarantees:
+//! 1. **Local optimality over C_v** (exact): in the final allocation, no
+//!    move of an account into a community it *touches* (Eq. 9's candidate
+//!    set) increases throughput. Moves into untouched communities can
+//!    still gain through the capacity term alone — that is precisely what
+//!    the Eq. 9 restriction trades away (measured by the full-scan
+//!    ablation), so they are excluded here too.
+//! 2. **Near-global optimality** (empirical): on instances small enough to
+//!    brute-force, the local optimum reaches a large fraction of the best
+//!    achievable throughput, and the full-scan variant only improves it.
+
+use txallo::core::state::{CommunityState, MoveScratch};
+use txallo::prelude::*;
+
+fn tiny_graph(seed: u64) -> TxGraph {
+    // Deterministic pseudo-random small graph: 8 accounts, 20 transfers.
+    let mut g = TxGraph::new();
+    let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for _ in 0..20 {
+        let a = next() % 8;
+        let b = next() % 8;
+        g.ingest_transaction(&Transaction::transfer(AccountId(a), AccountId(b)));
+    }
+    g
+}
+
+/// Exhaustive best throughput over all `k^n` labelings.
+fn brute_force_best(graph: &TxGraph, k: usize, params: &TxAlloParams) -> f64 {
+    let n = graph.node_count();
+    assert!(k.pow(n as u32) <= 1 << 20, "instance too large to brute-force");
+    let mut best = f64::MIN;
+    let mut labels = vec![0u32; n];
+    let total = k.pow(n as u32);
+    for code in 0..total {
+        let mut c = code;
+        for l in labels.iter_mut() {
+            *l = (c % k) as u32;
+            c /= k;
+        }
+        let alloc = Allocation::new(labels.clone(), k);
+        let r = MetricsReport::compute(graph, &alloc, params);
+        if r.throughput > best {
+            best = r.throughput;
+        }
+    }
+    best
+}
+
+#[test]
+fn gtxallo_result_is_locally_optimal() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let g = tiny_graph(seed);
+        let k = 3;
+        let params = TxAlloParams::for_graph(&g, k);
+        let alloc = GTxAllo::new(params.clone()).allocate_graph(&g);
+        let labels = alloc.labels().to_vec();
+        let state =
+            CommunityState::from_labels(&g, &labels, k, params.eta, params.capacity);
+        let mut scratch = MoveScratch::default();
+        for v in 0..g.node_count() as NodeId {
+            let p = labels[v as usize];
+            state.gather_links(&g, &labels, v, &mut scratch);
+            let self_w = g.self_loop(v);
+            let d_v = g.incident_weight(v);
+            let w_vp = scratch.link.get(&p).copied().unwrap_or(0.0);
+            for (&q, &w_vq) in scratch.link.iter() {
+                if q == p {
+                    continue;
+                }
+                let gain = state.move_gain(p, q, self_w, d_v, w_vp, w_vq);
+                assert!(
+                    gain <= params.epsilon + 1e-9,
+                    "seed {seed}: moving node {v} from {p} to {q} still gains {gain}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gtxallo_reaches_near_global_optimum_on_tiny_instances() {
+    let mut total_ratio = 0.0;
+    let cases = [1u64, 2, 3, 4, 5, 6];
+    for &seed in &cases {
+        let g = tiny_graph(seed);
+        let k = 2;
+        let params = TxAlloParams::for_graph(&g, k);
+        let alloc = GTxAllo::new(params.clone()).allocate_graph(&g);
+        let achieved = MetricsReport::compute(&g, &alloc, &params).throughput;
+        let full = txallo::core::gtxallo_full_scan(&params, &g);
+        let full_achieved = MetricsReport::compute(&g, &full, &params).throughput;
+        let best = brute_force_best(&g, k, &params);
+        let ratio = achieved / best;
+        assert!(
+            ratio >= 0.8,
+            "seed {seed}: achieved {achieved} vs optimal {best} (ratio {ratio:.3})"
+        );
+        assert!(
+            full_achieved >= achieved - 1e-9,
+            "full scan must not be worse: {full_achieved} vs {achieved}"
+        );
+        total_ratio += ratio;
+    }
+    let avg = total_ratio / cases.len() as f64;
+    assert!(avg >= 0.9, "average optimality ratio {avg:.3} too low");
+}
