@@ -10,7 +10,10 @@ use txallo_bench::{build_dataset, run_allocator, AllocatorKind, ExperimentScale}
 fn bench_allocators(c: &mut Criterion) {
     // ~30k transactions: enough structure for realistic behaviour, small
     // enough for Criterion's repeated sampling.
-    let scale = ExperimentScale { factor: 0.15, seed: 42 };
+    let scale = ExperimentScale {
+        factor: 0.15,
+        seed: 42,
+    };
     let dataset = build_dataset(scale);
     let eta = 2.0;
 
@@ -23,13 +26,9 @@ fn bench_allocators(c: &mut Criterion) {
             AllocatorKind::Metis,
             AllocatorKind::Scheduler,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{kind}"), k),
-                &k,
-                |b, &k| {
-                    b.iter(|| run_allocator(kind, &dataset, k, eta, None));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{kind}"), k), &k, |b, &k| {
+                b.iter(|| run_allocator(kind, &dataset, k, eta, None));
+            });
         }
     }
     group.finish();

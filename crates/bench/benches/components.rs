@@ -3,13 +3,19 @@
 //! A-TxAllo epoch update. These decompose the Fig. 10 running-time story
 //! (the paper: init 67.6 s of G-TxAllo's 122.3 s; A-TxAllo 0.55 s).
 //!
+//! The `gather/*` pair isolates the per-node link-weight gathering that
+//! dominates every sweep: `gather/hashmap` is the seed implementation
+//! (fresh `FxHashMap` + copy + sort per node), `gather/dense` is the CSR +
+//! dense-scratch hot path that replaced it.
+//!
 //! Run with `cargo bench -p txallo-bench --bench components`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use txallo_core::{AtxAllo, GTxAllo, TxAlloParams};
-use txallo_graph::TxGraph;
-use txallo_louvain::{louvain, LouvainConfig};
+use txallo_core::{AtxAllo, CommunityState, GTxAllo, GTxAlloPlan, MoveScratch, TxAlloParams};
+use txallo_graph::{CsrGraph, NodeId, TxGraph, WeightedGraph};
+use txallo_louvain::{louvain, louvain_csr, LouvainConfig};
+use txallo_model::FxHashMap;
 use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
 
 fn workload() -> WorkloadConfig {
@@ -20,6 +26,45 @@ fn workload() -> WorkloadConfig {
         groups: 80,
         ..WorkloadConfig::default()
     }
+}
+
+/// Seed-style gather: hash every neighbor's community into a fresh map,
+/// copy the entries out and sort them — what the sweeps did before the
+/// dense-scratch refactor. Returns a checksum so the work cannot be
+/// optimized away.
+fn gather_sweep_hashmap(graph: &CsrGraph, labels: &[u32]) -> f64 {
+    let mut link: FxHashMap<u32, f64> = FxHashMap::default();
+    let mut checksum = 0.0;
+    for v in 0..graph.node_count() as NodeId {
+        link.clear();
+        graph.for_each_neighbor(v, |u, w| {
+            *link.entry(labels[u as usize]).or_insert(0.0) += w;
+        });
+        let mut candidates: Vec<(u32, f64)> = link.iter().map(|(&c, &w)| (c, w)).collect();
+        candidates.sort_unstable_by_key(|&(c, _)| c);
+        if let Some(&(_, w)) = candidates.first() {
+            checksum += w;
+        }
+    }
+    checksum
+}
+
+/// Dense-scratch gather via `CommunityState::gather_links` — the
+/// production hot path.
+fn gather_sweep_dense(
+    graph: &CsrGraph,
+    labels: &[u32],
+    state: &CommunityState,
+    scratch: &mut MoveScratch,
+) -> f64 {
+    let mut checksum = 0.0;
+    for v in 0..graph.node_count() as NodeId {
+        state.gather_links(graph, labels, v, scratch);
+        if let Some((_, w)) = scratch.candidates().next() {
+            checksum += w;
+        }
+    }
+    checksum
 }
 
 fn bench_components(_: &mut Criterion) {
@@ -36,20 +81,49 @@ fn bench_components(_: &mut Criterion) {
         b.iter(|| TxGraph::from_ledger(&ledger));
     });
 
+    c.bench_function("graph/csr_snapshot", |b| {
+        b.iter(|| CsrGraph::from_graph(&graph));
+    });
+
     c.bench_function("louvain/full", |b| {
         b.iter(|| louvain(&graph, &LouvainConfig::default()));
     });
 
-    let init = louvain(&graph, &LouvainConfig::default());
-    let order = graph.nodes_in_canonical_order();
+    let csr = CsrGraph::from_graph(&graph);
+    c.bench_function("louvain/csr", |b| {
+        b.iter(|| louvain_csr(&csr, &LouvainConfig::default()));
+    });
+
+    // The optimization phase as production runs it: sweeps over the shared
+    // renumbered CSR snapshot (the plan is built once in
+    // `allocate_detailed`, outside this timer).
+    let init = louvain_csr(&csr, &LouvainConfig::default());
+    let plan = GTxAlloPlan::new(&graph, &LouvainConfig::default());
     c.bench_function("gtxallo/optimize_only", |b| {
         let gtx = GTxAllo::new(params.clone());
-        b.iter(|| gtx.allocate_with_init(&graph, &init, &order));
+        b.iter(|| gtx.allocate_planned(&plan));
     });
 
     c.bench_function("gtxallo/end_to_end", |b| {
         let gtx = GTxAllo::new(params.clone());
         b.iter(|| gtx.allocate_graph(&graph));
+    });
+
+    // Link-gathering micro-benchmark: one full sweep over every node.
+    let labels = init.communities.clone();
+    let state = CommunityState::from_labels(
+        &csr,
+        &labels,
+        init.community_count,
+        params.eta,
+        params.capacity,
+    );
+    c.bench_function("gather/hashmap", |b| {
+        b.iter(|| black_box(gather_sweep_hashmap(&csr, &labels)));
+    });
+    c.bench_function("gather/dense", |b| {
+        let mut scratch = MoveScratch::default();
+        b.iter(|| black_box(gather_sweep_dense(&csr, &labels, &state, &mut scratch)));
     });
 
     // A-TxAllo: one epoch of fresh blocks on top of the warm allocation.

@@ -15,11 +15,13 @@
 //!   broker          BrokerChain-style hot-account splitting on TxAllo
 //!   recency         full-history vs window vs decayed training graphs
 //!   headline        γ at k = 60 (98% / 28% / 12% in the paper)
+//!   bench-snapshot  hot-path component timings -> BENCH_pr1.json (or --out FILE)
 //!   all             everything above
 //! ```
 //!
 //! `--scale` multiplies the default workload (20k accounts / 200k
-//! transactions); `--quick` shrinks the sweeps for smoke testing.
+//! transactions); `--quick` shrinks the sweeps for smoke testing; `--out`
+//! redirects the bench-snapshot JSON.
 
 use txallo_bench::figures;
 use txallo_bench::{build_dataset, ExperimentScale};
@@ -29,6 +31,9 @@ fn main() {
     let mut experiment = None;
     let mut scale = ExperimentScale::default();
     let mut quick = false;
+    // Default snapshot name for `bench-snapshot`; later PRs bump it (or
+    // pass `--out BENCH_prN.json`) so the PR-1 baseline is never clobbered.
+    let mut out_path = String::from("BENCH_pr1.json");
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -46,6 +51,12 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
             "--quick" => quick = true,
+            "--out" => {
+                out_path = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--out needs a file path"));
+            }
             name if experiment.is_none() && !name.starts_with('-') => {
                 experiment = Some(name.to_string());
             }
@@ -59,7 +70,10 @@ fn main() {
         "fig2" | "fig3" | "fig5" | "fig6" | "fig7" | "fig8" | "all"
     );
     let sweep_rows = if needs_sweep {
-        eprintln!("# building dataset (scale {:.2}, seed {})...", scale.factor, scale.seed);
+        eprintln!(
+            "# building dataset (scale {:.2}, seed {})...",
+            scale.factor, scale.seed
+        );
         let dataset = build_dataset(scale);
         eprintln!(
             "# dataset: {} transactions / {} accounts",
@@ -93,6 +107,7 @@ fn main() {
         "broker" => figures::broker(scale),
         "recency" => figures::recency(scale),
         "headline" => figures::headline(scale),
+        "bench-snapshot" => figures::bench_snapshot(&out_path),
         "all" => {
             let rows = sweep_rows.as_deref().expect("sweep computed");
             figures::fig1(scale);
@@ -112,9 +127,11 @@ fn main() {
             figures::broker(scale);
             figures::recency(scale);
             figures::headline(scale);
+            figures::bench_snapshot(&out_path);
         }
         other => die(&format!(
-            "unknown experiment {other:?} (expected fig1..fig10, runtime-table, ablation, headline, all)"
+            "unknown experiment {other:?} (expected fig1..fig10, runtime-table, ablation, \
+             headline, bench-snapshot, all)"
         )),
     }
 }

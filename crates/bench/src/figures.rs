@@ -6,15 +6,15 @@
 
 use std::time::Duration;
 
-use txallo_core::{Dataset, GTxAllo, MetricsReport, TxAlloParams};
+use txallo_core::{Dataset, GTxAllo, GTxAlloPlan, MetricsReport, TxAlloParams};
 use txallo_graph::GraphStats;
-use txallo_louvain::{louvain, LouvainResult};
+use txallo_louvain::louvain;
 use txallo_sim::{HybridSchedule, ShardedChainSim, SimConfig, UpdateKind};
 use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
 
 use crate::harness::{
-    build_dataset, eta_sweep, k_sweep, run_allocator, AllocatorKind, ExperimentScale,
-    ResultWriter, ALL_ALLOCATORS,
+    build_dataset, eta_sweep, k_sweep, run_allocator, AllocatorKind, ExperimentScale, ResultWriter,
+    ALL_ALLOCATORS,
 };
 
 /// One row of the Figures 2–8 sweep.
@@ -38,12 +38,12 @@ pub struct SweepRow {
 /// cost so Fig. 8 remains honest about end-to-end runtime.
 pub fn run_sweep(dataset: &Dataset, quick: bool) -> Vec<SweepRow> {
     let init_start = std::time::Instant::now();
-    let init: LouvainResult =
-        louvain(dataset.graph(), &txallo_louvain::LouvainConfig::default());
+    let plan = GTxAlloPlan::new(dataset.graph(), &txallo_louvain::LouvainConfig::default());
     let init_time = init_start.elapsed();
     eprintln!(
-        "# louvain init: {} communities in {:?} (shared across the sweep)",
-        init.community_count, init_time
+        "# louvain init: {} communities in {:?} (plan shared across the sweep)",
+        plan.init().community_count,
+        init_time
     );
 
     let mut rows = Vec::new();
@@ -70,14 +70,19 @@ pub fn run_sweep(dataset: &Dataset, quick: bool) -> Vec<SweepRow> {
                         (allocation.clone(), *time)
                     }
                     AllocatorKind::TxAllo => {
-                        let (allocation, time) =
-                            run_allocator(alloc, dataset, k, eta, Some(&init));
+                        let (allocation, time) = run_allocator(alloc, dataset, k, eta, Some(&plan));
                         (allocation, time + init_time)
                     }
                     AllocatorKind::Scheduler => run_allocator(alloc, dataset, k, eta, None),
                 };
                 let report = MetricsReport::compute(dataset.graph(), &allocation, &params);
-                rows.push(SweepRow { k, eta, allocator: alloc, report, time });
+                rows.push(SweepRow {
+                    k,
+                    eta,
+                    allocator: alloc,
+                    report,
+                    time,
+                });
             }
         }
     }
@@ -114,9 +119,15 @@ pub fn fig1(scale: ExperimentScale) {
     w.row(&format!("accounts,{}", ledger_stats.account_count));
     w.row(&format!("self_loops,{}", ledger_stats.self_loop_count));
     w.row(&format!("multi_io,{}", ledger_stats.multi_io_count));
-    w.row(&format!("hottest_account_share,{:.4}", ledger_stats.hottest_account_share()));
+    w.row(&format!(
+        "hottest_account_share,{:.4}",
+        ledger_stats.hottest_account_share()
+    ));
     w.row(&format!("activity_gini,{:.4}", graph_stats.gini));
-    w.row(&format!("low_activity_fraction,{:.4}", graph_stats.low_activity_fraction));
+    w.row(&format!(
+        "low_activity_fraction,{:.4}",
+        graph_stats.low_activity_fraction
+    ));
     for (i, d) in graph_stats.incident_deciles.iter().enumerate() {
         w.row(&format!("incident_weight_decile_{},{:.3}", (i + 1) * 10, d));
     }
@@ -131,7 +142,9 @@ pub fn fig2(rows: &[SweepRow]) {
 /// Fig. 3 — workload balance ρ/λ vs k, per η.
 pub fn fig3(rows: &[SweepRow]) {
     let mut w = ResultWriter::new("fig3_workload_balance");
-    emit_metric(rows, &mut w, "rho_over_lambda", |r| r.report.workload_std_normalized);
+    emit_metric(rows, &mut w, "rho_over_lambda", |r| {
+        r.report.workload_std_normalized
+    });
 }
 
 /// Fig. 4 — per-shard workload distribution case study (η = 2, k = 20).
@@ -156,7 +169,9 @@ pub fn fig4(scale: ExperimentScale) {
 /// Fig. 5 — normalized throughput Λ/λ vs k, per η.
 pub fn fig5(rows: &[SweepRow]) {
     let mut w = ResultWriter::new("fig5_throughput");
-    emit_metric(rows, &mut w, "throughput_times", |r| r.report.throughput_normalized);
+    emit_metric(rows, &mut w, "throughput_times", |r| {
+        r.report.throughput_normalized
+    });
 }
 
 /// Fig. 6 — average confirmation latency ζ vs k, per η.
@@ -168,7 +183,9 @@ pub fn fig6(rows: &[SweepRow]) {
 /// Fig. 7 — worst-case latency vs k, per η.
 pub fn fig7(rows: &[SweepRow]) {
     let mut w = ResultWriter::new("fig7_worst_latency");
-    emit_metric(rows, &mut w, "worst_latency_blocks", |r| r.report.worst_latency);
+    emit_metric(rows, &mut w, "worst_latency_blocks", |r| {
+        r.report.worst_latency
+    });
 }
 
 /// Fig. 8 — allocation running time vs k, per η.
@@ -232,7 +249,10 @@ pub fn fig9(scale: ExperimentScale, quick: bool) {
         let reports = sim.run_stream(&stream);
         let mut sum = 0.0;
         for r in &reports {
-            w.row(&format!("{name},{},{:.4}", r.epoch, r.metrics.throughput_normalized));
+            w.row(&format!(
+                "{name},{},{:.4}",
+                r.epoch, r.metrics.throughput_normalized
+            ));
             sum += r.metrics.throughput_normalized;
         }
         averages.push((name.clone(), sum / reports.len() as f64));
@@ -256,7 +276,10 @@ pub fn fig10(scale: ExperimentScale, quick: bool) {
     w.note("# Fig.10: columns: schedule,epoch,update,seconds");
     for (name, schedule) in [
         ("Pure G-TxAllo".to_string(), HybridSchedule::AlwaysGlobal),
-        (format!("Hybrid gap={gap}"), HybridSchedule::Hybrid { global_gap: gap }),
+        (
+            format!("Hybrid gap={gap}"),
+            HybridSchedule::Hybrid { global_gap: gap },
+        ),
     ] {
         let mut generator = EthereumLikeGenerator::new(adaptive_workload(scale), scale.seed);
         let warm = generator.blocks(warmup_blocks);
@@ -274,7 +297,11 @@ pub fn fig10(scale: ExperimentScale, quick: bool) {
                 UpdateKind::Global => "global",
                 UpdateKind::Adaptive => "adaptive",
             };
-            w.row(&format!("{name},{},{kind},{:.6}", r.epoch, r.update_time.as_secs_f64()));
+            w.row(&format!(
+                "{name},{},{kind},{:.6}",
+                r.epoch,
+                r.update_time.as_secs_f64()
+            ));
         }
     }
 }
@@ -298,13 +325,19 @@ pub fn runtime_table(scale: ExperimentScale) {
     for &k in &ks {
         let start = std::time::Instant::now();
         let _ = txallo_core::MetisAllocator::recursive(k).allocate_graph(dataset.graph());
-        w.row(&format!("Metis (recursive bisection),{k},{:.4}", start.elapsed().as_secs_f64()));
+        w.row(&format!(
+            "Metis (recursive bisection),{k},{:.4}",
+            start.elapsed().as_secs_f64()
+        ));
     }
     // G-TxAllo initialization share (paper: 67.6 s of 122.3 s).
     let start = std::time::Instant::now();
     let init = louvain(dataset.graph(), &txallo_louvain::LouvainConfig::default());
     let init_time = start.elapsed();
-    w.row(&format!("G-TxAllo louvain init,-,{:.4}", init_time.as_secs_f64()));
+    w.row(&format!(
+        "G-TxAllo louvain init,-,{:.4}",
+        init_time.as_secs_f64()
+    ));
     w.note(&format!("# louvain communities: {}", init.community_count));
 }
 
@@ -316,7 +349,11 @@ pub fn headline(scale: ExperimentScale) {
     let (k, eta) = (60usize, 2.0);
     let params = TxAlloParams::for_graph(dataset.graph(), k).with_eta(eta);
     w.note("# headline: gamma at k=60, eta=2 (paper: Random 98%, METIS 28%, TxAllo 12%)");
-    for alloc in [AllocatorKind::Random, AllocatorKind::Metis, AllocatorKind::TxAllo] {
+    for alloc in [
+        AllocatorKind::Random,
+        AllocatorKind::Metis,
+        AllocatorKind::TxAllo,
+    ] {
         let (allocation, _) = run_allocator(alloc, &dataset, k, eta, None);
         let r = MetricsReport::compute(dataset.graph(), &allocation, &params);
         w.row(&format!("{alloc},{:.4}", r.cross_shard_ratio));
@@ -393,7 +430,10 @@ pub fn latency_validation(scale: ExperimentScale) {
     let mut w = ResultWriter::new("latency_validation");
     let (k, eta) = (16usize, 2.0);
     let mut generator = EthereumLikeGenerator::new(
-        WorkloadConfig { block_size: 100, ..scale.config() },
+        WorkloadConfig {
+            block_size: 100,
+            ..scale.config()
+        },
         scale.seed,
     );
     let warm = generator.blocks(500);
@@ -403,10 +443,9 @@ pub fn latency_validation(scale: ExperimentScale) {
     for b in warm.iter().chain(eval.iter()) {
         graph.ingest_block(b);
     }
-    let ledger = txallo_model::Ledger::from_blocks(
-        warm.iter().chain(eval.iter()).cloned().collect(),
-    )
-    .expect("contiguous");
+    let ledger =
+        txallo_model::Ledger::from_blocks(warm.iter().chain(eval.iter()).cloned().collect())
+            .expect("contiguous");
     let dataset = txallo_core::Dataset::from_parts(ledger, graph.clone());
 
     w.note("# columns: allocator,headroom,measured_mean,measured_p99,unconfirmed");
@@ -436,7 +475,10 @@ pub fn measure_eta(scale: ExperimentScale) {
     use txallo_chain::{ChainEngine, ChainEngineConfig};
 
     let mut w = ResultWriter::new("measure_eta");
-    let dataset = build_dataset(ExperimentScale { factor: scale.factor.min(0.25), ..scale });
+    let dataset = build_dataset(ExperimentScale {
+        factor: scale.factor.min(0.25),
+        ..scale
+    });
     let k = 8;
     w.note("# columns: allocator,intra_msgs_per_shard_tx,cross_msgs_per_shard_tx,measured_eta,cross_committed,aborted");
     for &alloc_kind in &ALL_ALLOCATORS {
@@ -533,8 +575,11 @@ pub fn recency(scale: ExperimentScale) {
     }
 
     w.note("# columns: history_view,gamma_next_epoch,throughput_next_epoch");
-    let views: Vec<(&str, &TxGraph)> =
-        vec![("full-history", &full), ("window-200", window.graph()), ("decay-0.8", decayed.graph())];
+    let views: Vec<(&str, &TxGraph)> = vec![
+        ("full-history", &full),
+        ("window-200", window.graph()),
+        ("decay-0.8", decayed.graph()),
+    ];
     for (name, graph) in views {
         let params = TxAlloParams::for_graph(graph, k).with_eta(eta);
         let alloc = GTxAllo::new(params).allocate_graph(graph);
@@ -546,6 +591,100 @@ pub fn recency(scale: ExperimentScale) {
         }
         let extended = txallo_core::Allocation::new(labels, k);
         let m = txallo_sim::epoch_metrics(&future, &scoring, &extended, k, eta);
-        w.row(&format!("{name},{:.4},{:.4}", m.cross_shard_ratio, m.throughput_normalized));
+        w.row(&format!(
+            "{name},{:.4},{:.4}",
+            m.cross_shard_ratio, m.throughput_normalized
+        ));
+    }
+}
+
+/// Timed snapshot of the sweep hot-path components on the 5k-account /
+/// 40k-transaction component workload, dumped as JSON (`BENCH_pr<N>.json`)
+/// so successive PRs accumulate a perf trajectory. Each number is the
+/// median of `reps` runs, in milliseconds.
+pub fn bench_snapshot(out_path: &str) {
+    use std::time::Instant;
+    use txallo_core::{AtxAllo, GTxAllo, GTxAlloPlan};
+    use txallo_graph::CsrGraph;
+    use txallo_louvain::{louvain_csr, LouvainConfig};
+
+    fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+        let mut samples: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples[samples.len() / 2]
+    }
+
+    let cfg = WorkloadConfig {
+        accounts: 5_000,
+        transactions: 40_000,
+        block_size: 100,
+        groups: 80,
+        ..WorkloadConfig::default()
+    };
+    let mut generator = EthereumLikeGenerator::new(cfg, 42);
+    let ledger = generator.default_ledger();
+    let graph = txallo_graph::TxGraph::from_ledger(&ledger);
+    let k = 20;
+    let params = TxAlloParams::for_graph(&graph, k);
+    let reps = 15;
+
+    let from_ledger = median_ms(reps, || {
+        std::hint::black_box(txallo_graph::TxGraph::from_ledger(&ledger));
+    });
+    let csr_snapshot = median_ms(reps, || {
+        std::hint::black_box(CsrGraph::from_graph(&graph));
+    });
+    let csr = CsrGraph::from_graph(&graph);
+    let louvain_full = median_ms(reps, || {
+        std::hint::black_box(txallo_louvain::louvain(&graph, &LouvainConfig::default()));
+    });
+    let louvain_flat = median_ms(reps, || {
+        std::hint::black_box(louvain_csr(&csr, &LouvainConfig::default()));
+    });
+    let plan = GTxAlloPlan::new(&graph, &LouvainConfig::default());
+    let gtx = GTxAllo::new(params.clone());
+    let optimize_only = median_ms(reps, || {
+        std::hint::black_box(gtx.allocate_planned(&plan));
+    });
+    let end_to_end = median_ms(reps, || {
+        std::hint::black_box(gtx.allocate_graph(&graph));
+    });
+
+    let prev = gtx.allocate_graph(&graph);
+    let mut graph2 = graph.clone();
+    let mut touched = Vec::new();
+    for b in generator.blocks(10) {
+        touched.extend(graph2.ingest_block(&b));
+    }
+    touched.sort_unstable();
+    touched.dedup();
+    let params2 = TxAlloParams::for_graph(&graph2, k);
+    let atx = AtxAllo::new(params2);
+    let atxallo_epoch = median_ms(reps, || {
+        std::hint::black_box(atx.update(&graph2, &prev, &touched));
+    });
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"accounts\": 5000, \"transactions\": 40000, \"k\": {k}, \"seed\": 42}},\n  \
+         \"unit\": \"ms (median of {reps})\",\n  \
+         \"graph_from_ledger\": {from_ledger:.3},\n  \
+         \"csr_snapshot\": {csr_snapshot:.3},\n  \
+         \"louvain_full\": {louvain_full:.3},\n  \
+         \"louvain_csr\": {louvain_flat:.3},\n  \
+         \"gtxallo_optimize_only\": {optimize_only:.3},\n  \
+         \"gtxallo_end_to_end\": {end_to_end:.3},\n  \
+         \"atxallo_epoch_update\": {atxallo_epoch:.3}\n}}\n"
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("# could not write {out_path}: {e}");
+    } else {
+        eprintln!("# wrote {out_path}");
     }
 }

@@ -7,11 +7,10 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use txallo_core::{
-    Allocation, Dataset, GTxAllo, HashAllocator, MetisAllocator, SchedulerConfig, ShardScheduler,
-    TxAlloParams,
+    Allocation, Dataset, GTxAllo, GTxAlloPlan, HashAllocator, MetisAllocator, SchedulerConfig,
+    ShardScheduler, TxAlloParams,
 };
 use txallo_graph::WeightedGraph;
-use txallo_louvain::LouvainResult;
 use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
 
 /// Scale knobs for the experiments (the paper runs 91.8M transactions on a
@@ -27,7 +26,10 @@ pub struct ExperimentScale {
 
 impl Default for ExperimentScale {
     fn default() -> Self {
-        Self { factor: 1.0, seed: 42 }
+        Self {
+            factor: 1.0,
+            seed: 42,
+        }
     }
 }
 
@@ -58,8 +60,12 @@ pub enum AllocatorKind {
 }
 
 /// All four, in the paper's legend order.
-pub const ALL_ALLOCATORS: [AllocatorKind; 4] =
-    [AllocatorKind::TxAllo, AllocatorKind::Random, AllocatorKind::Metis, AllocatorKind::Scheduler];
+pub const ALL_ALLOCATORS: [AllocatorKind; 4] = [
+    AllocatorKind::TxAllo,
+    AllocatorKind::Random,
+    AllocatorKind::Metis,
+    AllocatorKind::Scheduler,
+];
 
 impl fmt::Display for AllocatorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -74,25 +80,23 @@ impl fmt::Display for AllocatorKind {
 }
 
 /// Runs one allocator, timing the full allocation (for G-TxAllo a cached
-/// Louvain initialization may be supplied — the init is independent of both
-/// `k` and `η`, so sweeps reuse it; pass `None` to time end-to-end).
+/// [`GTxAlloPlan`] — canonical order + CSR snapshot + Louvain init — may be
+/// supplied; the plan is independent of both `k` and `η`, so sweeps reuse
+/// it; pass `None` to time end-to-end).
 pub fn run_allocator(
     kind: AllocatorKind,
     dataset: &Dataset,
     k: usize,
     eta: f64,
-    cached_init: Option<&LouvainResult>,
+    cached_plan: Option<&GTxAlloPlan>,
 ) -> (Allocation, Duration) {
     let start = Instant::now();
     let allocation = match kind {
         AllocatorKind::TxAllo => {
             let params = TxAlloParams::for_graph(dataset.graph(), k).with_eta(eta);
             let gtx = GTxAllo::new(params);
-            match cached_init {
-                Some(init) => {
-                    let order = dataset.graph().nodes_in_canonical_order();
-                    gtx.allocate_with_init(dataset.graph(), init, &order).allocation
-                }
+            match cached_plan {
+                Some(plan) => gtx.allocate_planned(plan).allocation,
                 None => gtx.allocate_graph(dataset.graph()),
             }
         }
@@ -120,7 +124,10 @@ impl ResultWriter {
         let file = fs::create_dir_all(&dir)
             .ok()
             .and_then(|_| fs::File::create(dir.join(format!("{name}.csv"))).ok());
-        Self { file, name: name.to_string() }
+        Self {
+            file,
+            name: name.to_string(),
+        }
     }
 
     /// Emits one row.
@@ -177,7 +184,10 @@ mod tests {
 
     #[test]
     fn scale_produces_usable_config() {
-        let scale = ExperimentScale { factor: 0.01, seed: 1 };
+        let scale = ExperimentScale {
+            factor: 0.01,
+            seed: 1,
+        };
         let cfg = scale.config();
         cfg.validate();
         assert!(cfg.transactions >= 1_000);
@@ -185,7 +195,10 @@ mod tests {
 
     #[test]
     fn tiny_dataset_runs_every_allocator() {
-        let dataset = build_dataset(ExperimentScale { factor: 0.01, seed: 3 });
+        let dataset = build_dataset(ExperimentScale {
+            factor: 0.01,
+            seed: 3,
+        });
         for kind in ALL_ALLOCATORS {
             let (alloc, time) = run_allocator(kind, &dataset, 4, 2.0, None);
             assert_eq!(alloc.len(), {
@@ -197,15 +210,15 @@ mod tests {
     }
 
     #[test]
-    fn txallo_cached_init_matches_uncached() {
-        let dataset = build_dataset(ExperimentScale { factor: 0.01, seed: 5 });
-        let init = txallo_louvain::louvain(
-            dataset.graph(),
-            &txallo_louvain::LouvainConfig::default(),
-        );
-        let (a, _) = run_allocator(AllocatorKind::TxAllo, &dataset, 5, 2.0, Some(&init));
+    fn txallo_cached_plan_matches_uncached() {
+        let dataset = build_dataset(ExperimentScale {
+            factor: 0.01,
+            seed: 5,
+        });
+        let plan = GTxAlloPlan::new(dataset.graph(), &txallo_louvain::LouvainConfig::default());
+        let (a, _) = run_allocator(AllocatorKind::TxAllo, &dataset, 5, 2.0, Some(&plan));
         let (b, _) = run_allocator(AllocatorKind::TxAllo, &dataset, 5, 2.0, None);
-        assert_eq!(a, b, "cached Louvain init must not change the result");
+        assert_eq!(a, b, "cached plan must not change the result");
     }
 
     #[test]

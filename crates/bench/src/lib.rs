@@ -9,6 +9,6 @@ pub mod figures;
 pub mod harness;
 
 pub use harness::{
-    build_dataset, eta_sweep, k_sweep, run_allocator, AllocatorKind, ExperimentScale,
-    ResultWriter, ALL_ALLOCATORS,
+    build_dataset, eta_sweep, k_sweep, run_allocator, AllocatorKind, ExperimentScale, ResultWriter,
+    ALL_ALLOCATORS,
 };

@@ -36,7 +36,10 @@ impl AtomixProtocol {
     /// into `instances`). Aborts — still costing the unlock round — when
     /// any lock round fails to commit.
     pub fn run(instances: &mut [PbftShard], shards: &[u32]) -> AtomixOutcome {
-        assert!(shards.len() >= 2, "Atomix is only for cross-shard transactions");
+        assert!(
+            shards.len() >= 2,
+            "Atomix is only for cross-shard transactions"
+        );
         let mut messages = 0u64;
         let mut rounds = 0u32;
         let mut all_locked = true;
@@ -63,7 +66,11 @@ impl AtomixProtocol {
             }
         }
 
-        AtomixOutcome { committed: all_locked, messages, rounds }
+        AtomixOutcome {
+            committed: all_locked,
+            messages,
+            rounds,
+        }
     }
 }
 
@@ -73,13 +80,25 @@ mod tests {
     use crate::validator::Validator;
 
     fn healthy_shard(n: usize) -> PbftShard {
-        PbftShard::new((0..n as u32).map(|id| Validator { id, byzantine: false }).collect())
+        PbftShard::new(
+            (0..n as u32)
+                .map(|id| Validator {
+                    id,
+                    byzantine: false,
+                })
+                .collect(),
+        )
     }
 
     fn broken_shard(n: usize) -> PbftShard {
         // Majority Byzantine: can never reach quorum.
         PbftShard::new(
-            (0..n as u32).map(|id| Validator { id, byzantine: id < (n as u32 * 2) / 3 + 1 }).collect(),
+            (0..n as u32)
+                .map(|id| Validator {
+                    id,
+                    byzantine: id < (n as u32 * 2) / 3 + 1,
+                })
+                .collect(),
         )
     }
 
@@ -95,7 +114,10 @@ mod tests {
     fn any_failed_lock_aborts_atomically() {
         let mut shards = vec![healthy_shard(4), broken_shard(4)];
         let out = AtomixProtocol::run(&mut shards, &[0, 1]);
-        assert!(!out.committed, "atomicity: one rejecting shard aborts the whole tx");
+        assert!(
+            !out.committed,
+            "atomicity: one rejecting shard aborts the whole tx"
+        );
         assert_eq!(out.rounds, 4, "the unlock phase still runs");
     }
 

@@ -103,7 +103,9 @@ impl ChainEngine {
     }
 
     fn build_instances(validators: &ValidatorSet, shards: usize) -> Vec<PbftShard> {
-        (0..shards as u32).map(|s| PbftShard::new(validators.shard_members(s))).collect()
+        (0..shards as u32)
+            .map(|s| PbftShard::new(validators.shard_members(s)))
+            .collect()
     }
 
     /// Current validator assignment.
@@ -114,7 +116,9 @@ impl ChainEngine {
     /// Processes one block's transactions under `allocation`.
     pub fn process_block(&mut self, block: &Block, graph: &TxGraph, allocation: &Allocation) {
         if self.config.reshuffle_interval > 0
-            && block.height().is_multiple_of(self.config.reshuffle_interval)
+            && block
+                .height()
+                .is_multiple_of(self.config.reshuffle_interval)
             && block.height() > 0
         {
             let epoch = block.height() / self.config.reshuffle_interval;
@@ -132,7 +136,9 @@ impl ChainEngine {
         for tx in block.transactions() {
             scratch.clear();
             for account in tx.account_set() {
-                let node = graph.node_of(account).expect("accounts ingested before processing");
+                let node = graph
+                    .node_of(account)
+                    .expect("accounts ingested before processing");
                 scratch.push(allocation.shard_of(node).0);
             }
             scratch.sort_unstable();
@@ -261,7 +267,10 @@ mod tests {
         let mut txs = Vec::new();
         // 16 intra on shard 0, 16 cross between shards 0 and 1.
         for i in 0..16u64 {
-            txs.push(Transaction::transfer(AccountId(i * 2), AccountId(i * 2 + 1)));
+            txs.push(Transaction::transfer(
+                AccountId(i * 2),
+                AccountId(i * 2 + 1),
+            ));
         }
         for i in 0..16u64 {
             txs.push(Transaction::transfer(AccountId(i * 2), AccountId(1000 + i)));
@@ -278,7 +287,10 @@ mod tests {
         assert_eq!(r.intra_committed, 16);
         assert_eq!(r.cross_committed, 16);
         let eta = r.measured_eta();
-        assert!(eta > 1.0, "cross must cost more per shard, measured η = {eta}");
+        assert!(
+            eta > 1.0,
+            "cross must cost more per shard, measured η = {eta}"
+        );
         assert!(eta < 20.0, "η should stay in a sane band, measured {eta}");
     }
 
@@ -287,7 +299,10 @@ mod tests {
         let mut g = TxGraph::new();
         let mut e = engine(2);
         for h in 0..25u64 {
-            let block = Block::new(h, vec![Transaction::transfer(AccountId(h), AccountId(h + 1))]);
+            let block = Block::new(
+                h,
+                vec![Transaction::transfer(AccountId(h), AccountId(h + 1))],
+            );
             g.ingest_block(&block);
             let alloc = Allocation::new(vec![0; g.node_count()], 2);
             e.process_block(&block, &g, &alloc);

@@ -78,7 +78,11 @@ impl PbftShard {
         }
         if self.leader().byzantine {
             // Every replica is Byzantine: nothing can commit.
-            return ConsensusOutcome { committed: false, messages, phases };
+            return ConsensusOutcome {
+                committed: false,
+                messages,
+                phases,
+            };
         }
 
         // Pre-prepare: leader → all.
@@ -93,7 +97,11 @@ impl PbftShard {
         if committed {
             self.view += 1; // stable leader rotation per committed batch
         }
-        ConsensusOutcome { committed, messages, phases }
+        ConsensusOutcome {
+            committed,
+            messages,
+            phases,
+        }
     }
 }
 
@@ -150,22 +158,41 @@ mod tests {
         // the membership is permuted, so find a case where the leader is
         // faulty by building members directly.
         let members = vec![
-            Validator { id: 0, byzantine: true },
-            Validator { id: 1, byzantine: false },
-            Validator { id: 2, byzantine: false },
-            Validator { id: 3, byzantine: false },
+            Validator {
+                id: 0,
+                byzantine: true,
+            },
+            Validator {
+                id: 1,
+                byzantine: false,
+            },
+            Validator {
+                id: 2,
+                byzantine: false,
+            },
+            Validator {
+                id: 3,
+                byzantine: false,
+            },
         ];
         let mut s = PbftShard::new(members);
         assert!(s.leader().byzantine);
         let out = s.run_round();
-        assert!(out.committed, "view change must route around the faulty leader");
+        assert!(
+            out.committed,
+            "view change must route around the faulty leader"
+        );
         assert!(out.phases > 3, "extra view-change phase must be counted");
     }
 
     #[test]
     fn all_byzantine_shard_never_commits() {
-        let members: Vec<Validator> =
-            (0..4).map(|id| Validator { id, byzantine: true }).collect();
+        let members: Vec<Validator> = (0..4)
+            .map(|id| Validator {
+                id,
+                byzantine: true,
+            })
+            .collect();
         let mut s = PbftShard::new(members);
         let out = s.run_round();
         assert!(!out.committed);

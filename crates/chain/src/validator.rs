@@ -35,11 +35,26 @@ impl ValidatorSet {
     /// faulty, split across `shard_count` shards at epoch 0.
     pub fn new(total: usize, byzantine: usize, shard_count: usize) -> Self {
         assert!(shard_count > 0, "need at least one shard");
-        assert!(total >= shard_count, "need at least one validator per shard");
-        assert!(byzantine <= total, "cannot have more faults than validators");
-        let validators: Vec<Validator> =
-            (0..total as u32).map(|id| Validator { id, byzantine: (id as usize) < byzantine }).collect();
-        let mut set = Self { validators, shard_of: vec![0; total], shard_count, epoch: 0 };
+        assert!(
+            total >= shard_count,
+            "need at least one validator per shard"
+        );
+        assert!(
+            byzantine <= total,
+            "cannot have more faults than validators"
+        );
+        let validators: Vec<Validator> = (0..total as u32)
+            .map(|id| Validator {
+                id,
+                byzantine: (id as usize) < byzantine,
+            })
+            .collect();
+        let mut set = Self {
+            validators,
+            shard_of: vec![0; total],
+            shard_count,
+            epoch: 0,
+        };
         set.reshuffle(0);
         set
     }
@@ -84,7 +99,10 @@ impl ValidatorSet {
 
     /// Number of Byzantine members currently in `shard`.
     pub fn byzantine_in_shard(&self, shard: u32) -> usize {
-        self.shard_members(shard).iter().filter(|v| v.byzantine).count()
+        self.shard_members(shard)
+            .iter()
+            .filter(|v| v.byzantine)
+            .count()
     }
 }
 
@@ -118,8 +136,13 @@ mod tests {
             assert_eq!(a.shard_of(id), b.shard_of(id));
         }
         b.reshuffle(8);
-        let moved = (0..40u32).filter(|&id| a.shard_of(id) != b.shard_of(id)).count();
-        assert!(moved > 10, "a new epoch must reassign a large fraction, moved {moved}");
+        let moved = (0..40u32)
+            .filter(|&id| a.shard_of(id) != b.shard_of(id))
+            .count();
+        assert!(
+            moved > 10,
+            "a new epoch must reassign a large fraction, moved {moved}"
+        );
     }
 
     #[test]

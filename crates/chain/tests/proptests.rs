@@ -1,13 +1,20 @@
 //! Property-based tests of the consensus substrate.
 
 use proptest::prelude::*;
-use txallo_chain::{AtomixProtocol, ChainEngine, ChainEngineConfig, PbftShard, Validator, ValidatorSet};
+use txallo_chain::{
+    AtomixProtocol, ChainEngine, ChainEngineConfig, PbftShard, Validator, ValidatorSet,
+};
 use txallo_core::Allocation;
 use txallo_graph::{TxGraph, WeightedGraph};
 use txallo_model::{AccountId, Block, Transaction};
 
 fn members(n: usize, byz: usize) -> Vec<Validator> {
-    (0..n as u32).map(|id| Validator { id, byzantine: (id as usize) < byz }).collect()
+    (0..n as u32)
+        .map(|id| Validator {
+            id,
+            byzantine: (id as usize) < byz,
+        })
+        .collect()
 }
 
 proptest! {

@@ -32,7 +32,11 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
         "scheduler" => Box::new(ShardScheduler::new(
             SchedulerConfig::new(k, dataset.graph().total_weight()).with_eta(eta),
         )),
-        other => return Err(format!("unknown method {other:?} (txallo|hash|metis|scheduler)")),
+        other => {
+            return Err(format!(
+                "unknown method {other:?} (txallo|hash|metis|scheduler)"
+            ))
+        }
     };
 
     let start = Instant::now();
@@ -42,7 +46,10 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
 
     eprintln!("method            : {}", allocator.name());
     eprintln!("allocation time   : {elapsed:.2?}");
-    eprintln!("cross-shard ratio : {:.2}%", 100.0 * report.cross_shard_ratio);
+    eprintln!(
+        "cross-shard ratio : {:.2}%",
+        100.0 * report.cross_shard_ratio
+    );
     eprintln!("balance ρ/λ       : {:.3}", report.workload_std_normalized);
     eprintln!("throughput Λ/λ    : {:.2}×", report.throughput_normalized);
     eprintln!("avg latency ζ     : {:.2} blocks", report.avg_latency);

@@ -19,16 +19,24 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     if unknown > 0 {
         eprintln!("warning: {unknown} mapped accounts do not appear in the trace");
     }
-    let params =
-        TxAlloParams::for_graph(dataset.graph(), allocation.shard_count()).with_eta(eta);
+    let params = TxAlloParams::for_graph(dataset.graph(), allocation.shard_count()).with_eta(eta);
     let report = MetricsReport::compute(dataset.graph(), &allocation, &params);
     let tx_gamma = MetricsReport::transaction_level_cross_ratio(&dataset, &allocation);
 
     println!("shards               : {}", allocation.shard_count());
-    println!("cross-shard γ (graph): {:.2}%", 100.0 * report.cross_shard_ratio);
+    println!(
+        "cross-shard γ (graph): {:.2}%",
+        100.0 * report.cross_shard_ratio
+    );
     println!("cross-shard γ (tx)   : {:.2}%", 100.0 * tx_gamma);
-    println!("balance ρ/λ          : {:.3}", report.workload_std_normalized);
-    println!("throughput Λ/λ       : {:.2}×", report.throughput_normalized);
+    println!(
+        "balance ρ/λ          : {:.3}",
+        report.workload_std_normalized
+    );
+    println!(
+        "throughput Λ/λ       : {:.2}×",
+        report.throughput_normalized
+    );
     println!("avg latency ζ        : {:.2} blocks", report.avg_latency);
     println!("worst-case latency   : {:.0} blocks", report.worst_latency);
     Ok(())

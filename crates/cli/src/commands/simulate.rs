@@ -34,8 +34,13 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     };
     let decay: f64 = args.parsed_or("decay", 1.0)?;
     let decay_per_epoch = if decay < 1.0 { Some(decay) } else { None };
-    let mut sim =
-        ShardedChainSim::new(SimConfig { shards, eta, epoch_blocks, schedule, decay_per_epoch });
+    let mut sim = ShardedChainSim::new(SimConfig {
+        shards,
+        eta,
+        epoch_blocks,
+        schedule,
+        decay_per_epoch,
+    });
     let warm_time = sim.warmup(&warm);
     eprintln!(
         "warm-up: {} accounts, G-TxAllo in {warm_time:.2?}",
@@ -60,6 +65,9 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
             r.update_time.as_secs_f64()
         );
     }
-    eprintln!("average throughput: {:.3}× unsharded", sum_tp / reports.len().max(1) as f64);
+    eprintln!(
+        "average throughput: {:.3}× unsharded",
+        sum_tp / reports.len().max(1) as f64
+    );
     Ok(())
 }

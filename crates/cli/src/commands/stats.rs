@@ -11,7 +11,10 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     let ledger_stats = dataset.ledger().stats();
     let graph_stats = GraphStats::compute(dataset.graph());
     println!("blocks                 : {}", ledger_stats.block_count);
-    println!("transactions           : {}", ledger_stats.transaction_count);
+    println!(
+        "transactions           : {}",
+        ledger_stats.transaction_count
+    );
     println!("accounts               : {}", ledger_stats.account_count);
     println!("self-loop transactions : {}", ledger_stats.self_loop_count);
     println!("multi-IO transactions  : {}", ledger_stats.multi_io_count);

@@ -35,10 +35,14 @@ pub fn read_mapping(graph: &TxGraph, input: impl BufRead) -> Result<(Allocation,
         let (acct, shard) = trimmed
             .split_once(',')
             .ok_or_else(|| format!("line {}: expected account,shard", idx + 1))?;
-        let acct: u64 =
-            acct.trim().parse().map_err(|e| format!("line {}: bad account: {e}", idx + 1))?;
-        let shard: u32 =
-            shard.trim().parse().map_err(|e| format!("line {}: bad shard: {e}", idx + 1))?;
+        let acct: u64 = acct
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: bad account: {e}", idx + 1))?;
+        let shard: u32 = shard
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: bad shard: {e}", idx + 1))?;
         match graph.node_of(txallo_model::AccountId(acct)) {
             Some(node) => {
                 labels[node as usize] = shard;

@@ -33,7 +33,11 @@ fn generate_stats_allocate_evaluate_pipeline() {
         ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(trace.exists());
 
     // stats
@@ -61,7 +65,11 @@ fn generate_stats_allocate_evaluate_pipeline() {
         ])
         .output()
         .expect("run allocate");
-    assert!(out.status.success(), "allocate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "allocate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(mapping.exists());
 
     // evaluate the saved mapping
@@ -75,7 +83,11 @@ fn generate_stats_allocate_evaluate_pipeline() {
         ])
         .output()
         .expect("run evaluate");
-    assert!(out.status.success(), "evaluate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "evaluate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("cross-shard"), "evaluate output: {stdout}");
     assert!(stdout.contains("throughput"));
@@ -99,7 +111,15 @@ fn allocate_all_methods_work() {
     assert!(out.status.success());
     for method in ["txallo", "hash", "metis", "scheduler"] {
         let out = txallo_bin()
-            .args(["allocate", "--trace", trace.to_str().unwrap(), "--method", method, "-k", "3"])
+            .args([
+                "allocate",
+                "--trace",
+                trace.to_str().unwrap(),
+                "--method",
+                method,
+                "-k",
+                "3",
+            ])
             .output()
             .unwrap();
         assert!(out.status.success(), "method {method} failed");
@@ -109,19 +129,39 @@ fn allocate_all_methods_work() {
 #[test]
 fn simulate_produces_epoch_rows() {
     let out = txallo_bin()
-        .args(["simulate", "--shards", "3", "--epochs", "3", "--epoch-blocks", "10", "--gap", "2"])
+        .args([
+            "simulate",
+            "--shards",
+            "3",
+            "--epochs",
+            "3",
+            "--epoch-blocks",
+            "10",
+            "--gap",
+            "2",
+        ])
         .output()
         .expect("run simulate");
-    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    let data_rows = stdout.lines().filter(|l| l.starts_with(char::is_numeric)).count();
+    let data_rows = stdout
+        .lines()
+        .filter(|l| l.starts_with(char::is_numeric))
+        .count();
     assert_eq!(data_rows, 3, "one row per epoch: {stdout}");
 }
 
 #[test]
 fn helpful_errors() {
     // Unknown command.
-    let out = txallo_bin().args(["frobnicate", "--x", "1"]).output().unwrap();
+    let out = txallo_bin()
+        .args(["frobnicate", "--x", "1"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     // Missing required flag.
     let out = txallo_bin().args(["stats"]).output().unwrap();
@@ -130,11 +170,25 @@ fn helpful_errors() {
     // Unknown method.
     let trace = tmp("err_trace.csv");
     txallo_bin()
-        .args(["generate", "--out", trace.to_str().unwrap(), "--accounts", "200", "--transactions", "2000"])
+        .args([
+            "generate",
+            "--out",
+            trace.to_str().unwrap(),
+            "--accounts",
+            "200",
+            "--transactions",
+            "2000",
+        ])
         .output()
         .unwrap();
     let out = txallo_bin()
-        .args(["allocate", "--trace", trace.to_str().unwrap(), "--method", "nope"])
+        .args([
+            "allocate",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--method",
+            "nope",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -161,13 +215,29 @@ fn convert_etl_export_roundtrip() {
     )
     .unwrap();
     let result = txallo_bin()
-        .args(["convert", "--etl", etl.to_str().unwrap(), "--out", out.to_str().unwrap()])
+        .args([
+            "convert",
+            "--etl",
+            etl.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ])
         .output()
         .expect("run convert");
-    assert!(result.status.success(), "convert failed: {}", String::from_utf8_lossy(&result.stderr));
+    assert!(
+        result.status.success(),
+        "convert failed: {}",
+        String::from_utf8_lossy(&result.stderr)
+    );
     // The converted trace is loadable by stats.
-    let result = txallo_bin().args(["stats", "--trace", out.to_str().unwrap()]).output().unwrap();
+    let result = txallo_bin()
+        .args(["stats", "--trace", out.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(result.status.success());
     let stdout = String::from_utf8_lossy(&result.stdout);
-    assert!(stdout.contains("transactions           : 3"), "stats: {stdout}");
+    assert!(
+        stdout.contains("transactions           : 3"),
+        "stats: {stdout}"
+    );
 }

@@ -65,9 +65,9 @@ fn synthetic_init(graph: &TxGraph, k: usize, strategy: InitStrategy) -> LouvainR
         InitStrategy::Louvain | InitStrategy::LouvainSplit => {
             unreachable!("handled by the real Louvain")
         }
-        InitStrategy::Hash => {
-            (0..n as NodeId).map(|v| graph.account(v).hash_shard(k).0).collect()
-        }
+        InitStrategy::Hash => (0..n as NodeId)
+            .map(|v| graph.account(v).hash_shard(k).0)
+            .collect(),
         InitStrategy::RoundRobin => {
             let order = graph.nodes_in_canonical_order();
             let mut labels = vec![0u32; n];
@@ -132,8 +132,7 @@ pub fn gtxallo_full_scan(params: &TxAlloParams, graph: &TxGraph) -> Allocation {
     let k = params.shards;
 
     // …then run extra full-scan sweeps on top.
-    let mut state =
-        CommunityState::from_labels(graph, &labels, k, params.eta, params.capacity);
+    let mut state = CommunityState::from_labels(graph, &labels, k, params.eta, params.capacity);
     let mut scratch = MoveScratch::default();
     for _ in 0..params.max_sweeps {
         let mut delta = 0.0;
@@ -142,17 +141,17 @@ pub fn gtxallo_full_scan(params: &TxAlloParams, graph: &TxGraph) -> Allocation {
             state.gather_links(graph, &labels, v, &mut scratch);
             let self_w = graph.self_loop(v);
             let d_v = graph.incident_weight(v);
-            let w_vp = scratch.link.get(&p).copied().unwrap_or(0.0);
+            let w_vp = scratch.weight_to(p);
             let leave = state.leave_gain(p, self_w, d_v, w_vp);
             let mut best: Option<(u32, f64, f64)> = None;
             for q in 0..k as u32 {
                 if q == p {
                     continue;
                 }
-                let w_vq = scratch.link.get(&q).copied().unwrap_or(0.0);
+                let w_vq = scratch.weight_to(q);
                 let gain = leave + state.join_gain(q, self_w, d_v, w_vq);
                 match best {
-                    Some((_, bg, _)) if gain <= bg => {}
+                    Some((_, bg, _)) if gain <= bg + txallo_louvain::GAIN_EPS => {}
                     _ => best = Some((q, gain, w_vq)),
                 }
             }
@@ -191,7 +190,10 @@ mod tests {
             }
         }
         for x in 0..4u64 {
-            g.ingest_transaction(&Transaction::transfer(AccountId(x * 10), AccountId(x * 10 + 11)));
+            g.ingest_transaction(&Transaction::transfer(
+                AccountId(x * 10),
+                AccountId(x * 10 + 11),
+            ));
         }
         g
     }

@@ -19,13 +19,19 @@ impl Allocation {
             labels.iter().all(|&l| (l as usize) < shard_count),
             "labels must be within 0..shard_count"
         );
-        Self { labels, shard_count }
+        Self {
+            labels,
+            shard_count,
+        }
     }
 
     /// All-zero allocation of `n` nodes into one shard (the unsharded
     /// baseline `k = 1`).
     pub fn single_shard(n: usize) -> Self {
-        Self { labels: vec![0; n], shard_count: 1 }
+        Self {
+            labels: vec![0; n],
+            shard_count: 1,
+        }
     }
 
     /// Shard of a graph node.

@@ -1,6 +1,7 @@
 //! A-TxAllo — the adaptive allocation algorithm (Algorithm 2).
 
 use txallo_graph::{NodeId, TxGraph, WeightedGraph};
+use txallo_louvain::GAIN_EPS;
 
 use crate::allocation::Allocation;
 use crate::params::TxAlloParams;
@@ -57,8 +58,15 @@ impl AtxAllo {
     ) -> AtxAlloOutcome {
         let n = graph.node_count();
         let k = self.params.shards;
-        assert_eq!(previous.shard_count(), k, "shard count cannot change between updates");
-        assert!(previous.len() <= n, "previous allocation labels unknown nodes");
+        assert_eq!(
+            previous.shard_count(),
+            k,
+            "shard count cannot change between updates"
+        );
+        assert!(
+            previous.len() <= n,
+            "previous allocation labels unknown nodes"
+        );
 
         // Extend the label vector: new nodes start unassigned.
         let mut labels: Vec<u32> = Vec::with_capacity(n);
@@ -87,35 +95,41 @@ impl AtxAllo {
             state.gather_links(graph, &labels, v, &mut scratch);
             let self_w = graph.self_loop(v);
             let d_v = graph.incident_weight(v);
-            // Ties broken toward the least-loaded community (see
-            // `GTxAllo::best_join` for why this matters).
+            // Ties (within GAIN_EPS of the running maximum gain) broken
+            // toward the least-loaded community (see `GTxAllo::best_join`
+            // for why this matters and for the anchoring rule).
             let mut best: Option<(u32, f64, f64)> = None; // (q, gain, sigma)
-            let consider = |q: u32, w_vq: f64, best: &mut Option<(u32, f64, f64)>| {
-                let gain = state.join_gain(q, self_w, d_v, w_vq);
-                let sigma = state.sigma(q);
-                let better = match *best {
-                    None => true,
-                    Some((_, bg, bs)) => gain > bg || (gain == bg && sigma < bs),
+            let mut max_gain = f64::NEG_INFINITY;
+            let consider =
+                |q: u32, w_vq: f64, best: &mut Option<(u32, f64, f64)>, max_gain: &mut f64| {
+                    let gain = state.join_gain(q, self_w, d_v, w_vq);
+                    let sigma = state.sigma(q);
+                    if gain > *max_gain {
+                        *max_gain = gain;
+                    }
+                    let better = match *best {
+                        None => true,
+                        Some((_, bg, bs)) => {
+                            bg < *max_gain - GAIN_EPS
+                                || (gain >= *max_gain - GAIN_EPS && sigma < bs)
+                        }
+                    };
+                    if better {
+                        *best = Some((q, gain, sigma));
+                    }
                 };
-                if better {
-                    *best = Some((q, gain, sigma));
-                }
-            };
-            if scratch.link.is_empty() {
+            if scratch.is_empty() {
                 // C_v = ∅: consider every community (lines 3–5).
                 for q in 0..k as u32 {
-                    consider(q, 0.0, &mut best);
+                    consider(q, 0.0, &mut best, &mut max_gain);
                 }
             } else {
-                let mut candidates: Vec<(u32, f64)> =
-                    scratch.link.iter().map(|(&c, &w)| (c, w)).collect();
-                candidates.sort_unstable_by_key(|&(c, _)| c);
-                for (q, w_vq) in candidates {
-                    consider(q, w_vq, &mut best);
+                for (q, w_vq) in scratch.candidates() {
+                    consider(q, w_vq, &mut best, &mut max_gain);
                 }
             }
             let q = best.expect("k ≥ 1").0;
-            let w_vq = scratch.link.get(&q).copied().unwrap_or(0.0);
+            let w_vq = scratch.weight_to(q);
             state.apply_join(q, self_w, d_v, w_vq);
             labels[v as usize] = q;
             moves += 1;
@@ -129,26 +143,21 @@ impl AtxAllo {
             for &v in &order {
                 let p = labels[v as usize];
                 state.gather_links(graph, &labels, v, &mut scratch);
-                if scratch.link.is_empty()
-                    || (scratch.link.len() == 1 && scratch.link.contains_key(&p))
-                {
+                if scratch.is_empty() || scratch.only_touches(p) {
                     continue;
                 }
                 let self_w = graph.self_loop(v);
                 let d_v = graph.incident_weight(v);
-                let w_vp = scratch.link.get(&p).copied().unwrap_or(0.0);
+                let w_vp = scratch.weight_to(p);
                 let leave = state.leave_gain(p, self_w, d_v, w_vp);
-                let mut candidates: Vec<(u32, f64)> =
-                    scratch.link.iter().map(|(&c, &w)| (c, w)).collect();
-                candidates.sort_unstable_by_key(|&(c, _)| c);
                 let mut best: Option<(u32, f64, f64)> = None;
-                for (q, w_vq) in candidates {
+                for (q, w_vq) in scratch.candidates() {
                     if q == p {
                         continue;
                     }
                     let gain = leave + state.join_gain(q, self_w, d_v, w_vq);
                     match best {
-                        Some((_, bg, _)) if gain <= bg => {}
+                        Some((_, bg, _)) if gain <= bg + GAIN_EPS => {}
                         _ => best = Some((q, gain, w_vq)),
                     }
                 }
@@ -233,13 +242,19 @@ mod tests {
         let mut g = base_graph();
         let params = TxAlloParams::for_graph(&g, 2);
         let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
-        let block =
-            Block::new(0, vec![Transaction::transfer(AccountId(200), AccountId(201))]);
+        let block = Block::new(
+            0,
+            vec![Transaction::transfer(AccountId(200), AccountId(201))],
+        );
         let touched = g.ingest_block(&block);
         let out = AtxAllo::new(params).update(&g, &prev, &touched);
         // Every pre-existing node keeps its shard (none were touched).
         for v in 0..prev.len() as NodeId {
-            assert_eq!(out.allocation.shard_of(v), prev.shard_of(v), "node {v} moved");
+            assert_eq!(
+                out.allocation.shard_of(v),
+                prev.shard_of(v),
+                "node {v} moved"
+            );
         }
     }
 
@@ -250,7 +265,11 @@ mod tests {
         let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
         let n0 = g.node_of(AccountId(0)).unwrap();
         let n10 = g.node_of(AccountId(10)).unwrap();
-        assert_ne!(prev.shard_of(n0), prev.shard_of(n10), "clusters start apart");
+        assert_ne!(
+            prev.shard_of(n0),
+            prev.shard_of(n10),
+            "clusters start apart"
+        );
 
         // Account 0 now interacts overwhelmingly with cluster 1.
         let txs: Vec<Transaction> = (0..40)
@@ -260,7 +279,11 @@ mod tests {
         let touched = g.ingest_block(&block);
         let out = AtxAllo::new(params).update(&g, &prev, &touched);
         let n0_shard = out.allocation.shard_of(n0);
-        assert_eq!(n0_shard, out.allocation.shard_of(n10), "account 0 must migrate");
+        assert_eq!(
+            n0_shard,
+            out.allocation.shard_of(n10),
+            "account 0 must migrate"
+        );
         assert!(out.total_gain > 0.0);
     }
 
@@ -269,8 +292,10 @@ mod tests {
         let mut g = base_graph();
         let params = TxAlloParams::for_graph(&g, 2);
         let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
-        let block =
-            Block::new(0, vec![Transaction::transfer(AccountId(500), AccountId(500))]);
+        let block = Block::new(
+            0,
+            vec![Transaction::transfer(AccountId(500), AccountId(500))],
+        );
         let touched = g.ingest_block(&block);
         let out = AtxAllo::new(params).update(&g, &prev, &touched);
         let n = g.node_of(AccountId(500)).unwrap();

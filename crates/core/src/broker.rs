@@ -39,7 +39,11 @@ pub struct BrokerConfig {
 
 impl Default for BrokerConfig {
     fn default() -> Self {
-        Self { split_threshold: 0.5, settlement_cost: 0.1, max_split_accounts: 16 }
+        Self {
+            split_threshold: 0.5,
+            settlement_cost: 0.1,
+            max_split_accounts: 16,
+        }
     }
 }
 
@@ -120,7 +124,12 @@ impl<'a, G: WeightedGraph> MaskedGraph<'a, G> {
                 }
             });
         }
-        Self { inner, masked, incident, total }
+        Self {
+            inner,
+            masked,
+            incident,
+            total,
+        }
     }
 }
 
@@ -189,9 +198,8 @@ pub fn evaluate_with_brokers(
             }
         });
     }
-    let is_floating = |v: NodeId| -> bool {
-        !split_set.contains(&v) && anchored_weight[v as usize] <= 0.0
-    };
+    let is_floating =
+        |v: NodeId| -> bool { !split_set.contains(&v) && anchored_weight[v as usize] <= 0.0 };
 
     // Per-shard accounting with brokered edges redirected.
     let mut intra = vec![0.0f64; k];
@@ -266,8 +274,11 @@ pub fn evaluate_with_brokers(
         let mut filled = 0usize;
         while remaining > 0.0 && filled < k {
             let level = sigmas[order[filled]];
-            let next_level =
-                if filled + 1 < k { sigmas[order[filled + 1]] } else { f64::INFINITY };
+            let next_level = if filled + 1 < k {
+                sigmas[order[filled + 1]]
+            } else {
+                f64::INFINITY
+            };
             let span = (filled + 1) as f64;
             let capacity_to_next = (next_level - level) * span;
             let add = remaining.min(capacity_to_next);
@@ -291,16 +302,24 @@ pub fn evaluate_with_brokers(
     let hats: Vec<f64> = (0..k).map(|s| intra[s] + cut[s] / 2.0).collect();
     let mean = sigmas.iter().sum::<f64>() / k as f64;
     let variance = sigmas.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / k as f64;
-    let throughput: f64 =
-        (0..k).map(|s| capped_throughput(sigmas[s], hats[s], params.capacity)).sum();
+    let throughput: f64 = (0..k)
+        .map(|s| capped_throughput(sigmas[s], hats[s], params.capacity))
+        .sum();
     let loads: Vec<f64> = sigmas.iter().map(|s| s / params.capacity).collect();
-    let avg_latency =
-        loads.iter().map(|&x| latency_of_normalized_load(x)).sum::<f64>() / k as f64;
+    let avg_latency = loads
+        .iter()
+        .map(|&x| latency_of_normalized_load(x))
+        .sum::<f64>()
+        / k as f64;
     let worst = loads.iter().copied().fold(0.0f64, f64::max);
 
     BrokeredReport {
         split_accounts: split,
-        cross_shard_ratio: if total > 0.0 { cross_weight / total } else { 0.0 },
+        cross_shard_ratio: if total > 0.0 {
+            cross_weight / total
+        } else {
+            0.0
+        },
         shard_loads: loads,
         workload_std_normalized: variance.sqrt() / params.capacity,
         throughput,
@@ -402,7 +421,10 @@ mod tests {
         assert_eq!(masked.node_count(), g.node_count());
         assert_eq!(masked.neighbor_count(n1), 0);
         assert!((masked.self_loop(n1) - 1.0).abs() < 1e-12);
-        assert!((masked.incident_weight(n1) - 1.0).abs() < 1e-12, "only the loop remains");
+        assert!(
+            (masked.incident_weight(n1) - 1.0).abs() < 1e-12,
+            "only the loop remains"
+        );
         // Edge 2-3 survives; total = loop(1) + edge(2,3) = 2.
         assert!((masked.total_weight() - 2.0).abs() < 1e-12);
         let n2 = g.node_of(AccountId(2)).unwrap();
@@ -415,18 +437,22 @@ mod tests {
         // plain metrics.
         let mut g = TxGraph::new();
         for i in 0..20u64 {
-            g.ingest_transaction(&Transaction::transfer(AccountId(2 * i), AccountId(2 * i + 1)));
+            g.ingest_transaction(&Transaction::transfer(
+                AccountId(2 * i),
+                AccountId(2 * i + 1),
+            ));
         }
         let params = TxAlloParams::for_graph(&g, 4);
         let alloc = GTxAllo::new(params.clone()).allocate_graph(&g);
-        let cfg = BrokerConfig { split_threshold: 10.0, ..BrokerConfig::default() };
+        let cfg = BrokerConfig {
+            split_threshold: 10.0,
+            ..BrokerConfig::default()
+        };
         let brokered = evaluate_with_brokers(&g, &alloc, &params, &cfg);
         assert!(brokered.split_accounts.is_empty());
         let plain = MetricsReport::compute(&g, &alloc, &params);
         assert!((brokered.cross_shard_ratio - plain.cross_shard_ratio).abs() < 1e-9);
-        assert!(
-            (brokered.workload_std_normalized - plain.workload_std_normalized).abs() < 1e-9
-        );
+        assert!((brokered.workload_std_normalized - plain.workload_std_normalized).abs() < 1e-9);
         assert!((brokered.throughput - plain.throughput).abs() < 1e-9);
     }
 
@@ -439,13 +465,19 @@ mod tests {
             &g,
             &alloc,
             &params,
-            &BrokerConfig { settlement_cost: 0.0, ..BrokerConfig::default() },
+            &BrokerConfig {
+                settlement_cost: 0.0,
+                ..BrokerConfig::default()
+            },
         );
         let costly = evaluate_with_brokers(
             &g,
             &alloc,
             &params,
-            &BrokerConfig { settlement_cost: 1.0, ..BrokerConfig::default() },
+            &BrokerConfig {
+                settlement_cost: 1.0,
+                ..BrokerConfig::default()
+            },
         );
         let cheap_total: f64 = cheap.shard_loads.iter().sum();
         let costly_total: f64 = costly.shard_loads.iter().sum();
@@ -456,7 +488,11 @@ mod tests {
     fn split_cap_is_respected() {
         let g = hub_graph();
         let params = TxAlloParams::for_graph(&g, 4);
-        let cfg = BrokerConfig { split_threshold: 0.0, max_split_accounts: 3, ..BrokerConfig::default() };
+        let cfg = BrokerConfig {
+            split_threshold: 0.0,
+            max_split_accounts: 3,
+            ..BrokerConfig::default()
+        };
         let split = select_split_accounts(&g, &params, &cfg);
         assert_eq!(split.len(), 3);
         // Heaviest-first ordering.

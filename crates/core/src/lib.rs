@@ -33,15 +33,22 @@ pub mod state;
 pub use ablation::{gtxallo_full_scan, gtxallo_with_init_strategy, InitStrategy};
 pub use allocation::Allocation;
 pub use atxallo::{AtxAllo, AtxAlloOutcome};
-pub use broker::{allocate_with_brokers, evaluate_with_brokers, select_split_accounts, BrokerConfig, BrokeredReport, MaskedGraph};
+pub use broker::{
+    allocate_with_brokers, evaluate_with_brokers, select_split_accounts, BrokerConfig,
+    BrokeredReport, MaskedGraph,
+};
 pub use dataset::Dataset;
-pub use gtxallo::{GTxAllo, GTxAlloOutcome};
+pub use gtxallo::{GTxAllo, GTxAlloOutcome, GTxAlloPlan};
 pub use hash_alloc::HashAllocator;
 pub use metis_alloc::MetisAllocator;
 pub use metrics::{latency_of_normalized_load, MetricsReport};
 pub use params::TxAlloParams;
 pub use scheduler::{SchedulerConfig, ShardScheduler};
-pub use state::CommunityState;
+pub use state::{CommunityState, MoveScratch};
+// The shared gain tie-break tolerance: one constant across Louvain and the
+// TxAllo sweeps (see its docs in `txallo_louvain` for the determinism
+// contract).
+pub use txallo_louvain::GAIN_EPS;
 
 /// A transaction-allocation algorithm: maps a dataset to an account-shard
 /// assignment (Definition 1 of the paper).

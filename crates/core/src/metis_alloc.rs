@@ -23,19 +23,28 @@ impl MetisAllocator {
     /// Creates the allocator for `shards` shards with METIS defaults
     /// (direct k-way partitioning).
     pub fn new(shards: usize) -> Self {
-        Self { config: MetisConfig::new(shards), recursive: false }
+        Self {
+            config: MetisConfig::new(shards),
+            recursive: false,
+        }
     }
 
     /// Creates the allocator in recursive-bisection mode — the strategy
     /// real `pmetis` uses, with `⌈log₂ k⌉` multilevel passes (slower,
     /// often slightly better cuts).
     pub fn recursive(shards: usize) -> Self {
-        Self { config: MetisConfig::new(shards), recursive: true }
+        Self {
+            config: MetisConfig::new(shards),
+            recursive: true,
+        }
     }
 
     /// Creates the allocator with a custom partitioner configuration.
     pub fn with_config(config: MetisConfig) -> Self {
-        Self { config, recursive: false }
+        Self {
+            config,
+            recursive: false,
+        }
     }
 
     /// Partitions the accounts of `graph`.
@@ -91,7 +100,10 @@ mod tests {
     fn is_deterministic() {
         let mut g = TxGraph::new();
         for i in 0..40u64 {
-            g.ingest_transaction(&Transaction::transfer(AccountId(i), AccountId((i * 3) % 40)));
+            g.ingest_transaction(&Transaction::transfer(
+                AccountId(i),
+                AccountId((i * 3) % 40),
+            ));
         }
         let a = MetisAllocator::new(4).allocate_graph(&g);
         let b = MetisAllocator::new(4).allocate_graph(&g);

@@ -89,8 +89,11 @@ impl MetricsReport {
             .sum();
 
         let loads: Vec<f64> = sigmas.iter().map(|s| s / params.capacity).collect();
-        let avg_latency =
-            loads.iter().map(|&x| latency_of_normalized_load(x)).sum::<f64>() / k as f64;
+        let avg_latency = loads
+            .iter()
+            .map(|&x| latency_of_normalized_load(x))
+            .sum::<f64>()
+            / k as f64;
         let worst_load = loads.iter().copied().fold(0.0f64, f64::max);
 
         Self {
@@ -194,7 +197,10 @@ mod tests {
         let r = MetricsReport::compute(&g, &alloc, &params);
         assert_eq!(r.cross_shard_ratio, 0.0);
         assert!((r.throughput - 4.0).abs() < 1e-12, "ideal throughput = |T|");
-        assert!((r.throughput_normalized - 2.0).abs() < 1e-12, "k× an unsharded chain");
+        assert!(
+            (r.throughput_normalized - 2.0).abs() < 1e-12,
+            "k× an unsharded chain"
+        );
         assert!((r.avg_latency - 1.0).abs() < 1e-12);
     }
 

@@ -48,7 +48,10 @@ impl TxAlloParams {
 
     /// Returns a copy with a different `η`.
     pub fn with_eta(mut self, eta: f64) -> Self {
-        assert!(eta >= 1.0, "η must be at least 1 (cross-shard is never cheaper)");
+        assert!(
+            eta >= 1.0,
+            "η must be at least 1 (cross-shard is never cheaper)"
+        );
         self.eta = eta;
         self
     }
@@ -78,7 +81,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let p = TxAlloParams::for_total_weight(100.0, 4).with_eta(6.0).with_capacity(30.0);
+        let p = TxAlloParams::for_total_weight(100.0, 4)
+            .with_eta(6.0)
+            .with_capacity(30.0);
         assert!((p.eta - 6.0).abs() < 1e-12);
         assert!((p.capacity - 30.0).abs() < 1e-12);
     }

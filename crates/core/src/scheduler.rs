@@ -46,7 +46,12 @@ impl SchedulerConfig {
     /// `shards` shards (`λ = |T|/k`, buffer 1, η = 2).
     pub fn new(shards: usize, total_weight: f64) -> Self {
         assert!(shards > 0);
-        Self { shards, eta: 2.0, capacity: total_weight / shards as f64, buffer_ratio: 1.0 }
+        Self {
+            shards,
+            eta: 2.0,
+            capacity: total_weight / shards as f64,
+            buffer_ratio: 1.0,
+        }
     }
 
     /// Returns a copy with a different η.
@@ -93,8 +98,10 @@ impl ShardScheduler {
 
         for tx in dataset.ledger().transactions() {
             let accounts = tx.account_set();
-            let nodes: Vec<NodeId> =
-                accounts.iter().map(|&a| graph.node_of(a).expect("account in graph")).collect();
+            let nodes: Vec<NodeId> = accounts
+                .iter()
+                .map(|&a| graph.node_of(a).expect("account in graph"))
+                .collect();
 
             // Place new accounts into the least-loaded shard (rule 1).
             for &v in &nodes {
@@ -117,8 +124,7 @@ impl ShardScheduler {
                 for &v in &nodes {
                     let current = shard_of[v as usize];
                     let mut best = current;
-                    let mut best_aff =
-                        affinity[v as usize].get(&current).copied().unwrap_or(0.0);
+                    let mut best_aff = affinity[v as usize].get(&current).copied().unwrap_or(0.0);
                     let mut best_load = load[current as usize];
                     for s in 0..k as u32 {
                         if s == current || load[s as usize] >= cap {
@@ -140,7 +146,11 @@ impl ShardScheduler {
             }
 
             // Charge the workload to every involved shard.
-            let unit = if shards.len() > 1 { self.config.eta } else { 1.0 };
+            let unit = if shards.len() > 1 {
+                self.config.eta
+            } else {
+                1.0
+            };
             for &s in &shards {
                 load[s as usize] += unit;
             }
@@ -207,7 +217,10 @@ mod tests {
             txs.push(Transaction::transfer(AccountId(0), AccountId(1000 + i)));
         }
         for i in 0..200u64 {
-            txs.push(Transaction::transfer(AccountId(2000 + i), AccountId(3000 + i)));
+            txs.push(Transaction::transfer(
+                AccountId(2000 + i),
+                AccountId(3000 + i),
+            ));
         }
         let ds = dataset_from_txs(txs);
         let k = 5;
@@ -232,7 +245,10 @@ mod tests {
         }
         // Background traffic so shards have load.
         for i in 0..20u64 {
-            txs.push(Transaction::transfer(AccountId(100 + i), AccountId(200 + i)));
+            txs.push(Transaction::transfer(
+                AccountId(100 + i),
+                AccountId(200 + i),
+            ));
         }
         let ds = dataset_from_txs(txs);
         let cfg = SchedulerConfig::new(3, ds.graph().total_weight());

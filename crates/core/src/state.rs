@@ -1,7 +1,6 @@
 //! Per-community workload/throughput accounting and the §V-B gain formulas.
 
-use txallo_graph::{NodeId, WeightedGraph};
-use txallo_model::FxHashMap;
+use txallo_graph::{DenseAccumulator, NodeId, WeightedGraph};
 
 /// Label value for nodes not yet assigned to any community.
 ///
@@ -25,16 +24,67 @@ pub struct CommunityState {
     cut: Vec<f64>,
     eta: f64,
     capacity: f64,
+    /// Cached capped throughput per community, kept in lock-step with
+    /// `intra`/`cut` (recomputed for the touched community on every
+    /// mutation — bit-identical to computing it on demand, but read
+    /// thousands of times per sweep in the gain formulas).
+    throughput: Vec<f64>,
 }
 
 /// Scratch buffers for evaluating one node's candidate moves, reused across
-/// the sweep (perf-book: workhorse collections).
+/// the sweep.
+///
+/// Link weights live in a dense [`DenseAccumulator`] indexed by community
+/// id — O(1) add/get with no hashing or per-node allocation. After
+/// [`CommunityState::gather_links`] the touched-list is sorted, so
+/// [`MoveScratch::candidates`] enumerates the connected communities `C_v`
+/// (Eq. 9) in ascending id order, which is the deterministic candidate
+/// order the sweep algorithms' tie-breaking contract requires (see
+/// `txallo_louvain::GAIN_EPS`).
 #[derive(Debug, Default)]
 pub struct MoveScratch {
-    /// weight from the node to each connected community.
-    pub link: FxHashMap<u32, f64>,
-    /// weight from the node to unassigned nodes.
+    /// Weight from the node to each connected community.
+    link: DenseAccumulator,
+    /// Weight from the node to unassigned nodes.
     pub to_unassigned: f64,
+}
+
+impl MoveScratch {
+    /// Weight from the node to community `c` (0 if unconnected).
+    #[inline]
+    pub fn weight_to(&self, c: u32) -> f64 {
+        self.link.get(c)
+    }
+
+    /// Whether the node has any edge into community `c`.
+    #[inline]
+    pub fn touches(&self, c: u32) -> bool {
+        self.link.contains(c)
+    }
+
+    /// Number of distinct communities the node is connected to (`|C_v|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.link.len()
+    }
+
+    /// Whether the node touches no assigned community (`C_v = ∅`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.link.is_empty()
+    }
+
+    /// Whether `c` is the *only* community the node touches (no move can
+    /// change anything; the sweep skips such nodes).
+    #[inline]
+    pub fn only_touches(&self, c: u32) -> bool {
+        self.link.len() == 1 && self.link.contains(c)
+    }
+
+    /// `(community, weight)` candidates in ascending community order.
+    pub fn candidates(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.link.entries()
+    }
 }
 
 impl CommunityState {
@@ -71,7 +121,23 @@ impl CommunityState {
                 }
             });
         }
-        Self { intra, cut, eta, capacity }
+        let mut state = Self {
+            intra,
+            cut,
+            eta,
+            capacity,
+            throughput: Vec::new(),
+        };
+        state.throughput = (0..community_count as u32)
+            .map(|c| state.compute_throughput(c))
+            .collect();
+        state
+    }
+
+    /// Capped throughput of `c` from `intra`/`cut` (cache refill).
+    #[inline]
+    fn compute_throughput(&self, c: u32) -> f64 {
+        capped_throughput(self.sigma(c), self.lambda_hat(c), self.capacity)
     }
 
     /// Number of communities tracked.
@@ -114,16 +180,21 @@ impl CommunityState {
     /// Capacity-capped throughput of `c` (Eq. 3).
     #[inline]
     pub fn throughput(&self, c: u32) -> f64 {
-        capped_throughput(self.sigma(c), self.lambda_hat(c), self.capacity)
+        self.throughput[c as usize]
     }
 
     /// Total system throughput `Λ = Σ Λᵢ` (Eq. 2).
     pub fn total_throughput(&self) -> f64 {
-        (0..self.intra.len() as u32).map(|c| self.throughput(c)).sum()
+        (0..self.intra.len() as u32)
+            .map(|c| self.throughput(c))
+            .sum()
     }
 
     /// Gathers the per-community link weights of `v` into `scratch`
     /// (weights toward [`UNASSIGNED`] neighbors are summed separately).
+    ///
+    /// On return the scratch's candidate list is sorted ascending, ready
+    /// for a deterministic sweep over `C_v`.
     pub fn gather_links(
         &self,
         graph: &impl WeightedGraph,
@@ -131,16 +202,17 @@ impl CommunityState {
         v: NodeId,
         scratch: &mut MoveScratch,
     ) {
-        scratch.link.clear();
+        scratch.link.begin(self.intra.len());
         scratch.to_unassigned = 0.0;
         graph.for_each_neighbor(v, |u, w| {
             let cu = labels[u as usize];
             if cu == UNASSIGNED {
                 scratch.to_unassigned += w;
             } else {
-                *scratch.link.entry(cu).or_insert(0.0) += w;
+                scratch.link.add(cu, w);
             }
         });
+        scratch.link.sort_touched();
     }
 
     /// Throughput gain `Δ_{join} Λ_q` of `v` joining `q` (Eq. 6), where `v`
@@ -149,6 +221,7 @@ impl CommunityState {
     /// * `self_w` — self-loop weight `w{v,v}`;
     /// * `d_v` — total incident weight of `v` (self-loop once);
     /// * `w_vq` — weight between `v` and community `q`.
+    #[inline]
     pub fn join_gain(&self, q: u32, self_w: f64, d_v: f64, w_vq: f64) -> f64 {
         let (sigma_new, hat_new) = self.joined_state(q, self_w, d_v, w_vq);
         capped_throughput(sigma_new, hat_new, self.capacity) - self.throughput(q)
@@ -156,10 +229,8 @@ impl CommunityState {
 
     fn joined_state(&self, q: u32, self_w: f64, d_v: f64, w_vq: f64) -> (f64, f64) {
         // σ'_q = σ_q + w_vv + η(d_v − w_vv − w_vq) + (1−η) w_vq
-        let sigma_new = self.sigma(q)
-            + self_w
-            + self.eta * (d_v - self_w - w_vq)
-            + (1.0 - self.eta) * w_vq;
+        let sigma_new =
+            self.sigma(q) + self_w + self.eta * (d_v - self_w - w_vq) + (1.0 - self.eta) * w_vq;
         // Λ̂'_q = Λ̂_q + w_vv + (d_v − w_vv)/2
         let hat_new = self.lambda_hat(q) + self_w + (d_v - self_w) / 2.0;
         (sigma_new, hat_new)
@@ -168,6 +239,7 @@ impl CommunityState {
     /// Throughput gain `Δ_{leave} Λ_p` of `v` leaving its community `p`
     /// (the leaving half of Eq. 8). `w_vp` is the weight between `v` and
     /// the *other* members of `p` (`w{v, V_p \ v}`).
+    #[inline]
     pub fn leave_gain(&self, p: u32, self_w: f64, d_v: f64, w_vp: f64) -> f64 {
         let (sigma_new, hat_new) = self.left_state(p, self_w, d_v, w_vp);
         capped_throughput(sigma_new, hat_new, self.capacity) - self.throughput(p)
@@ -175,8 +247,8 @@ impl CommunityState {
 
     fn left_state(&self, p: u32, self_w: f64, d_v: f64, w_vp: f64) -> (f64, f64) {
         // σ'_p = σ_p − w_vv − η(d_v − w_vv − w_vp) + (η−1) w_vp
-        let sigma_new = self.sigma(p) - self_w - self.eta * (d_v - self_w - w_vp)
-            + (self.eta - 1.0) * w_vp;
+        let sigma_new =
+            self.sigma(p) - self_w - self.eta * (d_v - self_w - w_vp) + (self.eta - 1.0) * w_vp;
         // Λ̂'_p = Λ̂_p − w_vv − (d_v − w_vv)/2
         let hat_new = self.lambda_hat(p) - self_w - (d_v - self_w) / 2.0;
         (sigma_new, hat_new)
@@ -193,12 +265,14 @@ impl CommunityState {
     pub fn apply_join(&mut self, q: u32, self_w: f64, d_v: f64, w_vq: f64) {
         self.intra[q as usize] += self_w + w_vq;
         self.cut[q as usize] += (d_v - self_w - w_vq) - w_vq;
+        self.throughput[q as usize] = self.compute_throughput(q);
     }
 
     /// Commits `v` leaving community `p`.
     pub fn apply_leave(&mut self, p: u32, self_w: f64, d_v: f64, w_vp: f64) {
         self.intra[p as usize] -= self_w + w_vp;
         self.cut[p as usize] -= (d_v - self_w - w_vp) - w_vp;
+        self.throughput[p as usize] = self.compute_throughput(p);
     }
 
     /// Verifies Lemma 1 numerically: only `p` and `q` change. Debug aid for
@@ -261,8 +335,15 @@ mod tests {
 
     #[test]
     fn capped_throughput_cases() {
-        assert_eq!(capped_throughput(5.0, 4.0, 10.0), 4.0, "sufficient capacity");
-        assert!((capped_throughput(20.0, 4.0, 10.0) - 2.0).abs() < 1e-12, "halved");
+        assert_eq!(
+            capped_throughput(5.0, 4.0, 10.0),
+            4.0,
+            "sufficient capacity"
+        );
+        assert!(
+            (capped_throughput(20.0, 4.0, 10.0) - 2.0).abs() < 1e-12,
+            "halved"
+        );
         assert_eq!(capped_throughput(0.0, 0.0, 10.0), 0.0);
     }
 
@@ -296,8 +377,8 @@ mod tests {
         let d_v = g.incident_weight(v);
         let mut scratch = MoveScratch::default();
         s.gather_links(&g, &labels, v, &mut scratch);
-        let w_vp = scratch.link.get(&1).copied().unwrap_or(0.0);
-        let w_vq = scratch.link.get(&0).copied().unwrap_or(0.0);
+        let w_vp = scratch.weight_to(1);
+        let w_vq = scratch.weight_to(0);
         let predicted = s.move_gain(1, 0, self_w, d_v, w_vp, w_vq);
 
         let mut new_labels = labels.clone();
@@ -315,7 +396,13 @@ mod tests {
         // Three communities; moving a node between 0 and 1 must not touch 2.
         let g = AdjacencyGraph::from_edges(
             6,
-            vec![(0u32, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0), (1, 2, 0.5), (3, 4, 0.5)],
+            vec![
+                (0u32, 1, 1.0),
+                (2, 3, 1.0),
+                (4, 5, 1.0),
+                (1, 2, 0.5),
+                (3, 4, 0.5),
+            ],
         );
         let labels = vec![0, 0, 1, 1, 2, 2];
         let mut s = CommunityState::from_labels(&g, &labels, 3, 2.0, 10.0);
@@ -324,7 +411,11 @@ mod tests {
         let (self_w, d_v) = (g.self_loop(2), g.incident_weight(2));
         s.apply_leave(1, self_w, d_v, 1.0);
         s.apply_join(0, self_w, d_v, 0.5);
-        assert_eq!((s.intra(2), s.cut(2)), before_2, "community 2 untouched (Lemma 1)");
+        assert_eq!(
+            (s.intra(2), s.cut(2)),
+            before_2,
+            "community 2 untouched (Lemma 1)"
+        );
     }
 
     #[test]
@@ -337,8 +428,8 @@ mod tests {
         let (self_w, d_v) = (g.self_loop(v), g.incident_weight(v));
         let mut scratch = MoveScratch::default();
         s.gather_links(&g, &labels, v, &mut scratch);
-        let w_vp = scratch.link.get(&0).copied().unwrap_or(0.0);
-        let w_vq = scratch.link.get(&1).copied().unwrap_or(0.0);
+        let w_vp = scratch.weight_to(0);
+        let w_vq = scratch.weight_to(1);
         s.apply_leave(0, self_w, d_v, w_vp);
         s.apply_join(1, self_w, d_v, w_vq);
         labels2[v as usize] = 1;
@@ -356,7 +447,7 @@ mod tests {
         let s = CommunityState::from_labels(&g, &labels, 2, 2.0, 100.0);
         let mut scratch = MoveScratch::default();
         s.gather_links(&g, &labels, 2, &mut scratch);
-        assert!((scratch.link.get(&0).copied().unwrap_or(0.0) - 2.0).abs() < 1e-12);
+        assert!((scratch.weight_to(0) - 2.0).abs() < 1e-12);
         assert!((scratch.to_unassigned - 1.0).abs() < 1e-12);
     }
 }

@@ -1,133 +1,31 @@
-//! A compact immutable weighted graph used for Louvain's aggregation levels
-//! and for the METIS-style coarsening hierarchy.
+//! The immutable sweep graph used for Louvain's aggregation levels and the
+//! METIS-style coarsening hierarchy.
+//!
+//! Historically this was a nested `Vec<Vec<(NodeId, f64)>>` adjacency list;
+//! it is now an alias of the flat [`CsrGraph`] (see [`crate::csr`] for the
+//! layout rationale). The alias keeps the long-standing name at every call
+//! site while all construction funnels through the CSR builder.
 
-use crate::traits::{NodeId, WeightedGraph};
+pub use crate::csr::CsrGraph;
 
-/// Sorted-adjacency-list weighted graph.
+/// Sorted-adjacency weighted graph, CSR-backed.
 ///
-/// Unlike [`crate::TxGraph`] this structure is built once and never mutated,
-/// so neighbors live in a flat sorted `Vec` per node (better cache behaviour
-/// for the repeated sweeps community detection performs).
-#[derive(Debug, Clone, Default)]
-pub struct AdjacencyGraph {
-    neighbors: Vec<Vec<(NodeId, f64)>>,
-    self_loops: Vec<f64>,
-    incident: Vec<f64>,
-    total_weight: f64,
-}
-
-impl AdjacencyGraph {
-    /// Builds from an edge list. `edges` may contain duplicates and both
-    /// orientations; weights accumulate. `(v, v, w)` entries accumulate into
-    /// the self-loop of `v`.
-    pub fn from_edges(node_count: usize, edges: impl IntoIterator<Item = (NodeId, NodeId, f64)>) -> Self {
-        let mut builder: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); node_count];
-        let mut self_loops = vec![0.0; node_count];
-        let mut total = 0.0;
-        for (a, b, w) in edges {
-            debug_assert!((a as usize) < node_count && (b as usize) < node_count);
-            total += w;
-            if a == b {
-                self_loops[a as usize] += w;
-            } else {
-                builder[a as usize].push((b, w));
-                builder[b as usize].push((a, w));
-            }
-        }
-        let mut neighbors = Vec::with_capacity(node_count);
-        let mut incident = vec![0.0; node_count];
-        for (v, mut list) in builder.into_iter().enumerate() {
-            list.sort_unstable_by_key(|&(u, _)| u);
-            // Merge duplicate neighbor entries.
-            let mut merged: Vec<(NodeId, f64)> = Vec::with_capacity(list.len());
-            for (u, w) in list {
-                match merged.last_mut() {
-                    Some(last) if last.0 == u => last.1 += w,
-                    _ => merged.push((u, w)),
-                }
-            }
-            incident[v] = self_loops[v] + merged.iter().map(|&(_, w)| w).sum::<f64>();
-            neighbors.push(merged);
-        }
-        Self { neighbors, self_loops, incident, total_weight: total }
-    }
-
-    /// Builds a copy of any [`WeightedGraph`] (used to snapshot a `TxGraph`
-    /// into the immutable form before repeated sweeps).
-    pub fn from_graph(g: &impl WeightedGraph) -> Self {
-        let n = g.node_count();
-        let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
-        for v in 0..n as NodeId {
-            let loop_w = g.self_loop(v);
-            if loop_w > 0.0 {
-                edges.push((v, v, loop_w));
-            }
-            g.for_each_neighbor(v, |u, w| {
-                if v < u {
-                    edges.push((v, u, w));
-                }
-            });
-        }
-        Self::from_edges(n, edges)
-    }
-
-    /// Number of distinct unordered non-loop edges.
-    pub fn edge_count(&self) -> usize {
-        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
-    }
-
-    /// The sorted neighbor slice of `v`.
-    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, f64)] {
-        &self.neighbors[v as usize]
-    }
-
-    /// Edge weight between `a` and `b` (self-loop when equal), 0 if absent.
-    pub fn weight_between(&self, a: NodeId, b: NodeId) -> f64 {
-        if a == b {
-            return self.self_loops[a as usize];
-        }
-        match self.neighbors[a as usize].binary_search_by_key(&b, |&(u, _)| u) {
-            Ok(i) => self.neighbors[a as usize][i].1,
-            Err(_) => 0.0,
-        }
-    }
-}
-
-impl WeightedGraph for AdjacencyGraph {
-    fn node_count(&self) -> usize {
-        self.neighbors.len()
-    }
-
-    fn total_weight(&self) -> f64 {
-        self.total_weight
-    }
-
-    fn self_loop(&self, v: NodeId) -> f64 {
-        self.self_loops[v as usize]
-    }
-
-    fn incident_weight(&self, v: NodeId) -> f64 {
-        self.incident[v as usize]
-    }
-
-    fn for_each_neighbor(&self, v: NodeId, mut f: impl FnMut(NodeId, f64)) {
-        for &(u, w) in &self.neighbors[v as usize] {
-            f(u, w);
-        }
-    }
-
-    fn neighbor_count(&self, v: NodeId) -> usize {
-        self.neighbors[v as usize].len()
-    }
-}
+/// Built once and never mutated; neighbors of each node live in one flat
+/// packed row (better cache behaviour for the repeated sweeps community
+/// detection performs).
+pub type AdjacencyGraph = CsrGraph;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::traits::{NodeId, WeightedGraph};
 
     #[test]
     fn from_edges_merges_duplicates() {
-        let g = AdjacencyGraph::from_edges(3, vec![(0, 1, 1.0), (1, 0, 2.0), (1, 2, 0.5), (0, 0, 0.25)]);
+        let g = AdjacencyGraph::from_edges(
+            3,
+            vec![(0, 1, 1.0), (1, 0, 2.0), (1, 2, 0.5), (0, 0, 0.25)],
+        );
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 2);
         assert!((g.weight_between(0, 1) - 3.0).abs() < 1e-12);
@@ -141,7 +39,7 @@ mod tests {
     #[test]
     fn neighbors_are_sorted() {
         let g = AdjacencyGraph::from_edges(4, vec![(0, 3, 1.0), (0, 1, 1.0), (0, 2, 1.0)]);
-        let ns: Vec<NodeId> = g.neighbors(0).iter().map(|&(u, _)| u).collect();
+        let ns: Vec<NodeId> = g.neighbors(0).map(|(u, _)| u).collect();
         assert_eq!(ns, vec![1, 2, 3]);
     }
 

@@ -1,0 +1,319 @@
+//! Compressed sparse row (CSR) weighted graph — the flat, immutable form
+//! every repeated-sweep algorithm in this workspace runs on.
+//!
+//! ## Why CSR
+//!
+//! The sweep loops (Louvain local moving, the TxAllo optimization phases,
+//! METIS refinement) visit every node's neighbor list thousands of times.
+//! A nested `Vec<Vec<(NodeId, f64)>>` adjacency puts each list behind its
+//! own heap allocation: one pointer chase and a likely cache miss per node,
+//! plus allocator traffic when building levels. CSR packs the whole graph
+//! into three flat arrays —
+//!
+//! ```text
+//! offsets:   [0, 2, 5, …]           (n + 1 entries; row v = offsets[v]..offsets[v+1])
+//! targets:   [1, 4, 0, 2, 9, …]     (neighbor ids, sorted ascending within a row)
+//! weights:   [w, w, w, w, w, …]     (parallel to targets)
+//! ```
+//!
+//! — so a sweep is one linear walk with perfect spatial locality, and a
+//! neighbor lookup is a binary search over a contiguous row. Production
+//! partitioners (METIS itself, and state-keeper batching in rollup
+//! sequencers) use exactly this layout for the same reason.
+//!
+//! Rows are sorted and duplicate-merged at construction, which is also what
+//! makes candidate enumeration deterministic: iterating a row yields
+//! neighbors in ascending id order, so any per-community accumulation that
+//! follows row order is reproducible bit-for-bit.
+
+use crate::traits::{NodeId, WeightedGraph};
+
+/// Immutable CSR weighted graph with per-node cached scalars.
+///
+/// Built once (from an edge list or any [`WeightedGraph`] snapshot), then
+/// swept many times. Self-loops are stored out-of-band in a per-node array
+/// — the sweep algebra (Eq. 6–8 of the paper) treats them separately from
+/// proper edges, so keeping them out of the rows makes every row iteration
+/// loop-free.
+#[derive(Debug, Clone, Default)]
+pub struct CsrGraph {
+    /// Row boundaries; `offsets[v]..offsets[v + 1]` indexes `targets`/`weights`.
+    offsets: Vec<u32>,
+    /// Neighbor ids, ascending within each row, duplicates merged.
+    targets: Vec<NodeId>,
+    /// Edge weights, parallel to `targets`.
+    weights: Vec<f64>,
+    /// Self-loop weight per node.
+    self_loops: Vec<f64>,
+    /// Cached incident weight per node (self-loop counted once).
+    incident: Vec<f64>,
+    total_weight: f64,
+}
+
+impl CsrGraph {
+    /// Builds from an edge list. `edges` may contain duplicates and both
+    /// orientations; weights accumulate. `(v, v, w)` entries accumulate
+    /// into the self-loop of `v`.
+    pub fn from_edges(
+        node_count: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId, f64)>,
+    ) -> Self {
+        let mut self_loops = vec![0.0f64; node_count];
+        let mut total = 0.0f64;
+        // Pass 0: materialize non-loop edges once (the iterator may be lazy)
+        // while folding loops and the total straight into their arrays.
+        let mut flat: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        for (a, b, w) in edges {
+            debug_assert!(
+                (a as usize) < node_count && (b as usize) < node_count,
+                "edge ({a}, {b}) out of range for {node_count} nodes"
+            );
+            total += w;
+            if a == b {
+                self_loops[a as usize] += w;
+            } else {
+                flat.push((a, b, w));
+            }
+        }
+
+        // Pass 1: row sizes (each non-loop edge lands in both rows).
+        let mut offsets = vec![0u32; node_count + 1];
+        for &(a, b, _) in &flat {
+            offsets[a as usize + 1] += 1;
+            offsets[b as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+
+        // Pass 2: scatter into rows (unsorted, duplicates still present).
+        let mut cursor: Vec<u32> = offsets[..node_count].to_vec();
+        let mut targets = vec![0 as NodeId; flat.len() * 2];
+        let mut weights = vec![0.0f64; flat.len() * 2];
+        for &(a, b, w) in &flat {
+            let ia = cursor[a as usize] as usize;
+            targets[ia] = b;
+            weights[ia] = w;
+            cursor[a as usize] += 1;
+            let ib = cursor[b as usize] as usize;
+            targets[ib] = a;
+            weights[ib] = w;
+            cursor[b as usize] += 1;
+        }
+        drop(flat);
+
+        // Pass 3: sort each row and merge duplicate targets in place,
+        // compacting rows toward the front of the arrays.
+        let mut incident = vec![0.0f64; node_count];
+        let mut write = 0usize;
+        let mut row: Vec<(NodeId, f64)> = Vec::new();
+        let mut compact_offsets = vec![0u32; node_count + 1];
+        for v in 0..node_count {
+            let (start, end) = (offsets[v] as usize, offsets[v + 1] as usize);
+            row.clear();
+            row.extend(
+                targets[start..end]
+                    .iter()
+                    .copied()
+                    .zip(weights[start..end].iter().copied()),
+            );
+            row.sort_unstable_by_key(|&(u, _)| u);
+            let row_start = write;
+            for &(u, w) in &row {
+                if write > row_start && targets[write - 1] == u {
+                    weights[write - 1] += w;
+                } else {
+                    targets[write] = u;
+                    weights[write] = w;
+                    write += 1;
+                }
+            }
+            incident[v] = self_loops[v] + weights[row_start..write].iter().sum::<f64>();
+            compact_offsets[v + 1] = write as u32;
+        }
+        targets.truncate(write);
+        weights.truncate(write);
+        targets.shrink_to_fit();
+        weights.shrink_to_fit();
+
+        Self {
+            offsets: compact_offsets,
+            targets,
+            weights,
+            self_loops,
+            incident,
+            total_weight: total,
+        }
+    }
+
+    /// Snapshots any [`WeightedGraph`] into CSR form (used to freeze the
+    /// mutable `TxGraph` before the repeated sweeps of G-TxAllo and METIS).
+    pub fn from_graph(g: &impl WeightedGraph) -> Self {
+        Self::snapshot(g, |v| v)
+    }
+
+    /// Like [`CsrGraph::from_graph`] but with node ids remapped through
+    /// `new_id` (a bijection onto `0..node_count`). Used to renumber a
+    /// graph into canonical sweep order so that the sweeps walk rows
+    /// sequentially.
+    pub fn from_graph_relabeled(g: &impl WeightedGraph, new_id: &[NodeId]) -> Self {
+        assert_eq!(new_id.len(), g.node_count(), "one new id per node");
+        Self::snapshot(g, |v| new_id[v as usize])
+    }
+
+    /// Shared edge-extraction policy behind the snapshot constructors:
+    /// positive self-loops, each unordered edge once (`v < u` in the
+    /// *source* id space), endpoints mapped through `map`.
+    fn snapshot(g: &impl WeightedGraph, map: impl Fn(NodeId) -> NodeId) -> Self {
+        let n = g.node_count();
+        let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        for v in 0..n as NodeId {
+            let loop_w = g.self_loop(v);
+            if loop_w > 0.0 {
+                edges.push((map(v), map(v), loop_w));
+            }
+            g.for_each_neighbor(v, |u, w| {
+                if v < u {
+                    edges.push((map(v), map(u), w));
+                }
+            });
+        }
+        Self::from_edges(n, edges)
+    }
+
+    /// Number of distinct unordered non-loop edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// The sorted neighbor ids of `v`.
+    #[inline]
+    pub fn neighbor_ids(&self, v: NodeId) -> &[NodeId] {
+        let (s, e) = self.row(v);
+        &self.targets[s..e]
+    }
+
+    /// The edge weights of `v`, parallel to [`CsrGraph::neighbor_ids`].
+    #[inline]
+    pub fn neighbor_weights(&self, v: NodeId) -> &[f64] {
+        let (s, e) = self.row(v);
+        &self.weights[s..e]
+    }
+
+    /// `(neighbor, weight)` pairs of `v` in ascending neighbor order.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.neighbor_ids(v)
+            .iter()
+            .copied()
+            .zip(self.neighbor_weights(v).iter().copied())
+    }
+
+    /// Edge weight between `a` and `b` (self-loop when equal), 0 if absent.
+    pub fn weight_between(&self, a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            return self.self_loops[a as usize];
+        }
+        let ids = self.neighbor_ids(a);
+        match ids.binary_search(&b) {
+            Ok(i) => self.neighbor_weights(a)[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    #[inline]
+    fn row(&self, v: NodeId) -> (usize, usize) {
+        (
+            self.offsets[v as usize] as usize,
+            self.offsets[v as usize + 1] as usize,
+        )
+    }
+}
+
+impl WeightedGraph for CsrGraph {
+    fn node_count(&self) -> usize {
+        self.self_loops.len()
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    fn self_loop(&self, v: NodeId) -> f64 {
+        self.self_loops[v as usize]
+    }
+
+    fn incident_weight(&self, v: NodeId) -> f64 {
+        self.incident[v as usize]
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, v: NodeId, mut f: impl FnMut(NodeId, f64)) {
+        let (s, e) = self.row(v);
+        for i in s..e {
+            f(self.targets[i], self.weights[i]);
+        }
+    }
+
+    fn neighbor_count(&self, v: NodeId) -> usize {
+        let (s, e) = self.row(v);
+        e - s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_merges_duplicates() {
+        let g = CsrGraph::from_edges(3, vec![(0, 1, 1.0), (1, 0, 2.0), (1, 2, 0.5), (0, 0, 0.25)]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!((g.weight_between(0, 1) - 3.0).abs() < 1e-12);
+        assert!((g.weight_between(1, 0) - 3.0).abs() < 1e-12);
+        assert!((g.self_loop(0) - 0.25).abs() < 1e-12);
+        assert!((g.total_weight() - 3.75).abs() < 1e-12);
+        assert!((g.incident_weight(0) - 3.25).abs() < 1e-12);
+        assert!((g.incident_weight(1) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_are_sorted_and_parallel() {
+        let g = CsrGraph::from_edges(4, vec![(0, 3, 3.0), (0, 1, 1.0), (0, 2, 2.0)]);
+        assert_eq!(g.neighbor_ids(0), &[1, 2, 3]);
+        assert_eq!(g.neighbor_weights(0), &[1.0, 2.0, 3.0]);
+        let pairs: Vec<(NodeId, f64)> = g.neighbors(0).collect();
+        assert_eq!(pairs, vec![(1, 1.0), (2, 2.0), (3, 3.0)]);
+        assert_eq!(g.neighbor_count(0), 3);
+        assert_eq!(g.neighbor_ids(1), &[0]);
+    }
+
+    #[test]
+    fn missing_edges_are_zero() {
+        let g = CsrGraph::from_edges(3, vec![(0, 1, 1.0)]);
+        assert_eq!(g.weight_between(0, 2), 0.0);
+        assert_eq!(g.self_loop(2), 0.0);
+        assert_eq!(g.neighbor_count(2), 0);
+        assert!(g.neighbor_ids(2).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, Vec::new());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn for_each_neighbor_matches_rows() {
+        let g = CsrGraph::from_edges(5, vec![(0, 4, 1.0), (0, 2, 2.0), (2, 4, 0.5), (1, 1, 9.0)]);
+        let mut seen = Vec::new();
+        g.for_each_neighbor(0, |u, w| seen.push((u, w)));
+        assert_eq!(seen, vec![(2, 2.0), (4, 1.0)]);
+        assert!(
+            (g.strength(1) - 18.0).abs() < 1e-12,
+            "self-loop counts twice in strength"
+        );
+    }
+}

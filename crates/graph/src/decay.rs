@@ -57,7 +57,12 @@ impl DecayingGraph {
     /// of 0 disables pruning.
     pub fn new(decay_per_epoch: f64, prune_threshold: f64) -> Self {
         assert!(decay_per_epoch > 0.0 && decay_per_epoch <= 1.0);
-        Self { graph: TxGraph::new(), decay_per_epoch, prune_threshold, epochs: 0 }
+        Self {
+            graph: TxGraph::new(),
+            decay_per_epoch,
+            prune_threshold,
+            epochs: 0,
+        }
     }
 
     /// The underlying graph.
@@ -140,9 +145,15 @@ mod tests {
         g.ingest_transaction(&tx(1, 2)); // edge (1,2) back to 1.01
         let dropped = g.prune_dust(0.1);
         assert_eq!(dropped, 1, "only the faded (3,4) edge goes");
-        let (n1, n2) = (g.node_of(AccountId(1)).unwrap(), g.node_of(AccountId(2)).unwrap());
+        let (n1, n2) = (
+            g.node_of(AccountId(1)).unwrap(),
+            g.node_of(AccountId(2)).unwrap(),
+        );
         assert!(g.weight_between(n1, n2) > 1.0);
-        let (n3, n4) = (g.node_of(AccountId(3)).unwrap(), g.node_of(AccountId(4)).unwrap());
+        let (n3, n4) = (
+            g.node_of(AccountId(3)).unwrap(),
+            g.node_of(AccountId(4)).unwrap(),
+        );
         assert_eq!(g.weight_between(n3, n4), 0.0);
         assert!(g.incident_weight(n3).abs() < 1e-12);
     }
@@ -191,7 +202,10 @@ mod tests {
             let n3 = g.node_of(AccountId(3)).unwrap();
             g.weight_between(n1, n3) > g.weight_between(n1, n2)
         };
-        assert!(!stronger(&raw), "raw history is dominated by the stale edge");
+        assert!(
+            !stronger(&raw),
+            "raw history is dominated by the stale edge"
+        );
         assert!(stronger(dg.graph()), "decayed history follows the drift");
     }
 }

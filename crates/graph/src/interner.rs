@@ -86,7 +86,10 @@ mod tests {
             it.intern(AccountId(v));
         }
         assert_eq!(it.len(), 4);
-        assert_eq!(it.accounts(), &[AccountId(5), AccountId(3), AccountId(9), AccountId(1)]);
+        assert_eq!(
+            it.accounts(),
+            &[AccountId(5), AccountId(3), AccountId(9), AccountId(1)]
+        );
         for (i, &acct) in it.accounts().iter().enumerate() {
             assert_eq!(it.get(acct), Some(i as NodeId));
         }

@@ -1,0 +1,228 @@
+//! Dense, reusable scratch buffers for the sweep hot paths.
+//!
+//! Every sweep in this workspace — Louvain local moving, the G-/A-TxAllo
+//! optimization phases, METIS boundary refinement — needs, per node, the
+//! total edge weight from that node into each *bucket* (community, shard or
+//! part) its neighbors belong to. The seed implementation gathered these
+//! into a fresh `FxHashMap<u32, f64>` and then sorted a copied `Vec` of the
+//! entries, per node, per sweep: three allocations plus hashing of every
+//! neighbor on the hottest loop in the system (§VI-B6 of the paper puts
+//! Louvain initialization at 67.6 s of G-TxAllo's 122.3 s).
+//!
+//! [`DenseAccumulator`] replaces that with the classic index-addressed
+//! sparse-set: a dense `Vec<f64>` indexed by bucket id, an epoch-stamp
+//! array marking which slots are live, and a touched-list recording the
+//! buckets hit by the current node. `begin` is O(1) (it bumps the epoch
+//! instead of zeroing), `add`/`get` are O(1) array accesses, and iterating
+//! candidates in deterministic ascending-bucket order only sorts the
+//! touched-list — whose length is the node's *distinct neighbor bucket*
+//! count, typically a handful, instead of hashing and sorting every
+//! neighbor entry.
+
+/// Accumulates `f64` weights keyed by dense `u32` bucket ids, reusable
+/// across sweep iterations without re-zeroing.
+#[derive(Debug, Clone, Default)]
+pub struct DenseAccumulator {
+    weight: Vec<f64>,
+    stamp: Vec<u64>,
+    epoch: u64,
+    touched: Vec<u32>,
+}
+
+impl DenseAccumulator {
+    /// An empty accumulator; buckets are sized on first [`begin`].
+    ///
+    /// [`begin`]: DenseAccumulator::begin
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new accumulation round over bucket ids `0..buckets`.
+    ///
+    /// O(1) amortized: previous round's entries are invalidated by epoch
+    /// bump, not by clearing.
+    pub fn begin(&mut self, buckets: usize) {
+        if self.weight.len() < buckets {
+            self.weight.resize(buckets, 0.0);
+            self.stamp.resize(buckets, 0);
+        }
+        self.epoch += 1;
+        self.touched.clear();
+    }
+
+    /// Adds `w` to `bucket`. First touch of a bucket this round registers
+    /// it in the touched-list.
+    #[inline]
+    pub fn add(&mut self, bucket: u32, w: f64) {
+        let i = bucket as usize;
+        debug_assert!(i < self.weight.len(), "bucket {bucket} out of range");
+        if self.stamp[i] == self.epoch {
+            self.weight[i] += w;
+        } else {
+            self.stamp[i] = self.epoch;
+            self.weight[i] = w;
+            self.touched.push(bucket);
+        }
+    }
+
+    /// Accumulated weight of `bucket` this round (0 if untouched).
+    #[inline]
+    pub fn get(&self, bucket: u32) -> f64 {
+        let i = bucket as usize;
+        if i < self.stamp.len() && self.stamp[i] == self.epoch {
+            self.weight[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether `bucket` was touched this round.
+    #[inline]
+    pub fn contains(&self, bucket: u32) -> bool {
+        let i = bucket as usize;
+        i < self.stamp.len() && self.stamp[i] == self.epoch
+    }
+
+    /// Number of distinct buckets touched this round.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Whether no bucket was touched this round.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Sorts the touched-list ascending, establishing the deterministic
+    /// candidate order the sweep algorithms require.
+    pub fn sort_touched(&mut self) {
+        self.touched.sort_unstable();
+    }
+
+    /// The touched buckets, in insertion order (or ascending after
+    /// [`sort_touched`]).
+    ///
+    /// [`sort_touched`]: DenseAccumulator::sort_touched
+    #[inline]
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// `(bucket, weight)` pairs in touched-list order.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.touched
+            .iter()
+            .map(move |&b| (b, self.weight[b as usize]))
+    }
+}
+
+/// A reusable `u32 → u32` map over dense keys, invalidated in O(1) —
+/// the index-building cousin of [`DenseAccumulator`] (used e.g. to map
+/// subgraph nodes to local ids during recursive bisection without
+/// allocating a hash map per recursion step).
+#[derive(Debug, Clone, Default)]
+pub struct DenseIndexMap {
+    value: Vec<u32>,
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl DenseIndexMap {
+    /// An empty map; keys are sized on first [`begin`].
+    ///
+    /// [`begin`]: DenseIndexMap::begin
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new mapping round over keys `0..keys`.
+    pub fn begin(&mut self, keys: usize) {
+        if self.value.len() < keys {
+            self.value.resize(keys, 0);
+            self.stamp.resize(keys, 0);
+        }
+        self.epoch += 1;
+    }
+
+    /// Maps `key` to `value` for this round.
+    #[inline]
+    pub fn insert(&mut self, key: u32, value: u32) {
+        let i = key as usize;
+        debug_assert!(i < self.value.len(), "key {key} out of range");
+        self.stamp[i] = self.epoch;
+        self.value[i] = value;
+    }
+
+    /// The value of `key` this round, if mapped.
+    #[inline]
+    pub fn get(&self, key: u32) -> Option<u32> {
+        let i = key as usize;
+        if i < self.stamp.len() && self.stamp[i] == self.epoch {
+            Some(self.value[i])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_resets() {
+        let mut acc = DenseAccumulator::new();
+        acc.begin(4);
+        acc.add(2, 1.5);
+        acc.add(0, 1.0);
+        acc.add(2, 0.5);
+        assert_eq!(acc.len(), 2);
+        assert!((acc.get(2) - 2.0).abs() < 1e-12);
+        assert!((acc.get(0) - 1.0).abs() < 1e-12);
+        assert_eq!(acc.get(1), 0.0);
+        assert!(acc.contains(0) && !acc.contains(1));
+
+        acc.begin(4);
+        assert!(acc.is_empty(), "epoch bump must invalidate previous round");
+        assert_eq!(acc.get(2), 0.0);
+    }
+
+    #[test]
+    fn touched_order_is_insertion_until_sorted() {
+        let mut acc = DenseAccumulator::new();
+        acc.begin(8);
+        for b in [5u32, 1, 7, 1, 5, 3] {
+            acc.add(b, 1.0);
+        }
+        assert_eq!(acc.touched(), &[5, 1, 7, 3]);
+        acc.sort_touched();
+        assert_eq!(acc.touched(), &[1, 3, 5, 7]);
+        let entries: Vec<(u32, f64)> = acc.entries().collect();
+        assert_eq!(entries, vec![(1, 2.0), (3, 1.0), (5, 2.0), (7, 1.0)]);
+    }
+
+    #[test]
+    fn grows_between_rounds() {
+        let mut acc = DenseAccumulator::new();
+        acc.begin(2);
+        acc.add(1, 1.0);
+        acc.begin(10);
+        acc.add(9, 2.0);
+        assert!((acc.get(9) - 2.0).abs() < 1e-12);
+        assert_eq!(acc.len(), 1);
+    }
+
+    #[test]
+    fn index_map_rounds() {
+        let mut map = DenseIndexMap::new();
+        map.begin(5);
+        map.insert(3, 0);
+        map.insert(1, 1);
+        assert_eq!(map.get(3), Some(0));
+        assert_eq!(map.get(0), None);
+        map.begin(5);
+        assert_eq!(map.get(3), None, "new round forgets old entries");
+    }
+}

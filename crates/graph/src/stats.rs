@@ -56,7 +56,11 @@ impl GraphStats {
         for (i, w) in weights.iter().enumerate() {
             rank_weighted += (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * w;
         }
-        let gini = if sum > 0.0 { rank_weighted / (n as f64 * sum) } else { 0.0 };
+        let gini = if sum > 0.0 {
+            rank_weighted / (n as f64 * sum)
+        } else {
+            0.0
+        };
         let mut deciles = [0.0; 10];
         for (d, slot) in deciles.iter_mut().enumerate() {
             let idx = ((d + 1) * n / 10).saturating_sub(1).min(n - 1);
@@ -67,7 +71,11 @@ impl GraphStats {
             node_count: n,
             total_weight: g.total_weight(),
             max_incident_weight: max,
-            hottest_share: if g.total_weight() > 0.0 { max / g.total_weight() } else { 0.0 },
+            hottest_share: if g.total_weight() > 0.0 {
+                max / g.total_weight()
+            } else {
+                0.0
+            },
             mean_incident_weight: mean,
             gini,
             incident_deciles: deciles,
@@ -88,7 +96,11 @@ mod tests {
         let edges: Vec<_> = (0..n).map(|v| (v, (v + 1) % n, 1.0)).collect();
         let g = AdjacencyGraph::from_edges(n as usize, edges);
         let s = GraphStats::compute(&g);
-        assert!(s.gini.abs() < 1e-9, "uniform weights must give gini 0, got {}", s.gini);
+        assert!(
+            s.gini.abs() < 1e-9,
+            "uniform weights must give gini 0, got {}",
+            s.gini
+        );
         assert!((s.max_incident_weight - 2.0).abs() < 1e-12);
     }
 
@@ -98,8 +110,15 @@ mod tests {
         let edges: Vec<_> = (1..100u32).map(|v| (0u32, v, 1.0)).collect();
         let g = AdjacencyGraph::from_edges(100, edges);
         let s = GraphStats::compute(&g);
-        assert!(s.gini > 0.4, "star graph should be concentrated, gini={}", s.gini);
-        assert!((s.hottest_share - 1.0).abs() < 1e-12, "hub touches all 99 tx");
+        assert!(
+            s.gini > 0.4,
+            "star graph should be concentrated, gini={}",
+            s.gini
+        );
+        assert!(
+            (s.hottest_share - 1.0).abs() < 1e-12,
+            "hub touches all 99 tx"
+        );
         assert!(s.low_activity_fraction > 0.9);
     }
 

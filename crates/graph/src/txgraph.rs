@@ -337,7 +337,10 @@ mod tests {
         let n = g.node_of(a(9)).unwrap();
         assert!((g.self_loop(n) - 1.0).abs() < 1e-12);
         assert!((g.incident_weight(n) - 1.0).abs() < 1e-12);
-        assert!((g.strength(n) - 2.0).abs() < 1e-12, "strength counts loop twice");
+        assert!(
+            (g.strength(n) - 2.0).abs() < 1e-12,
+            "strength counts loop twice"
+        );
         assert_eq!(g.neighbor_count(n), 0);
         assert!((g.total_weight() - 1.0).abs() < 1e-12);
     }
@@ -372,7 +375,10 @@ mod tests {
         g.ingest_transaction(&Transaction::transfer(a(1), a(2)));
         let block = Block::new(
             0,
-            vec![Transaction::transfer(a(2), a(3)), Transaction::transfer(a(4), a(5))],
+            vec![
+                Transaction::transfer(a(2), a(3)),
+                Transaction::transfer(a(4), a(5)),
+            ],
         );
         let touched = g.ingest_block(&block);
         let accounts: Vec<u64> = touched.iter().map(|&n| g.account(n).0).collect();

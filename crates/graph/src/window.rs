@@ -30,7 +30,11 @@ impl SlidingWindowGraph {
     /// Creates an empty window of `window` blocks.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must hold at least one block");
-        Self { graph: TxGraph::new(), window, blocks: VecDeque::new() }
+        Self {
+            graph: TxGraph::new(),
+            window,
+            blocks: VecDeque::new(),
+        }
     }
 
     /// The current graph (over exactly the retained blocks).
@@ -107,7 +111,9 @@ impl TxGraph {
         self.note_transaction_removed();
         let set = tx.account_set();
         if set.len() == 1 {
-            let n = self.node_of(set[0]).expect("removing a transaction that was ingested");
+            let n = self
+                .node_of(set[0])
+                .expect("removing a transaction that was ingested");
             self.subtract_self_loop(n, 1.0);
             return;
         }
@@ -208,16 +214,15 @@ mod tests {
     #[test]
     fn multi_io_removal_restores_weights() {
         let mut g = TxGraph::new();
-        let multi = Transaction::new(
-            vec![AccountId(1), AccountId(2)],
-            vec![AccountId(3)],
-        )
-        .unwrap();
+        let multi = Transaction::new(vec![AccountId(1), AccountId(2)], vec![AccountId(3)]).unwrap();
         g.ingest_transaction(&tx(1, 2));
         g.ingest_transaction(&multi);
         g.remove_transaction(&multi);
         assert!((g.total_weight() - 1.0).abs() < 1e-9);
-        let (n1, n2) = (g.node_of(AccountId(1)).unwrap(), g.node_of(AccountId(2)).unwrap());
+        let (n1, n2) = (
+            g.node_of(AccountId(1)).unwrap(),
+            g.node_of(AccountId(2)).unwrap(),
+        );
         assert!((g.weight_between(n1, n2) - 1.0).abs() < 1e-9);
         let n3 = g.node_of(AccountId(3)).unwrap();
         assert!(g.incident_weight(n3).abs() < 1e-9);

@@ -125,4 +125,45 @@ proptest! {
         sorted.sort_unstable();
         prop_assert_eq!(sorted, (0..g.node_count() as NodeId).collect::<Vec<_>>());
     }
+
+    /// CsrGraph::from_graph(TxGraph) preserves every quantity the sweep
+    /// algebra reads: node count, total weight, per-node self-loops and
+    /// incident weights, and the exact neighbor sets with their weights.
+    #[test]
+    fn csr_snapshot_preserves_graph(pairs in txs_strategy(35, 70)) {
+        let g = build(&pairs);
+        let csr = txallo_graph::CsrGraph::from_graph(&g);
+        prop_assert_eq!(csr.node_count(), g.node_count());
+        prop_assert!((csr.total_weight() - g.total_weight()).abs() < 1e-9);
+        for v in 0..g.node_count() as NodeId {
+            prop_assert!((csr.self_loop(v) - g.self_loop(v)).abs() < 1e-9);
+            prop_assert!((csr.incident_weight(v) - g.incident_weight(v)).abs() < 1e-9);
+            prop_assert_eq!(csr.neighbor_count(v), g.neighbor_count(v));
+            // Neighbor sets: CSR rows are sorted; every TxGraph edge must
+            // appear with the same weight, and vice versa by counting.
+            let ids = csr.neighbor_ids(v);
+            prop_assert!(ids.windows(2).all(|w| w[0] < w[1]), "row must be strictly sorted");
+            let mut seen = 0usize;
+            g.for_each_neighbor(v, |u, w| {
+                seen += 1;
+                let csr_w = csr.weight_between(v, u);
+                assert!((csr_w - w).abs() < 1e-9, "edge ({v},{u}) weight {w} vs {csr_w}");
+            });
+            prop_assert_eq!(seen, ids.len());
+        }
+    }
+
+    /// Strength and the incident/self-loop identities hold on the CSR form.
+    #[test]
+    fn csr_weight_identities(pairs in txs_strategy(25, 50)) {
+        let g = build(&pairs);
+        let csr = txallo_graph::CsrGraph::from_graph(&g);
+        for v in 0..csr.node_count() as NodeId {
+            let row_sum: f64 = csr.neighbor_weights(v).iter().sum();
+            prop_assert!((csr.incident_weight(v) - (row_sum + csr.self_loop(v))).abs() < 1e-9);
+            prop_assert!(
+                (csr.strength(v) - (csr.incident_weight(v) + csr.self_loop(v))).abs() < 1e-12
+            );
+        }
+    }
 }

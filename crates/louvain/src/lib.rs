@@ -27,6 +27,21 @@ pub use refine::{count_disconnected, split_disconnected};
 
 use txallo_graph::{AdjacencyGraph, NodeId, WeightedGraph};
 
+/// Gain tie-break tolerance shared by every sweep in the workspace.
+///
+/// **Determinism contract.** All sweep algorithms (Louvain local moving
+/// here, the G-/A-TxAllo optimization phases in `txallo-core`) evaluate
+/// candidate buckets in ascending id order and treat two gains within
+/// `GAIN_EPS` of each other as *tied*. A candidate only displaces the
+/// running best when it beats it by more than `GAIN_EPS`; ties resolve to
+/// the earliest candidate under the algorithm's stated preference (staying
+/// put / the smallest community id for Louvain, the least-loaded community
+/// for TxAllo joins). This single constant is what makes results
+/// reproducible bit-for-bit across runs and across the hash-map vs.
+/// dense-scratch gather implementations: float noise below `GAIN_EPS`
+/// cannot flip a comparison, and anything above it is an honest gain.
+pub const GAIN_EPS: f64 = 1e-15;
+
 /// Tuning knobs for the Louvain run.
 #[derive(Debug, Clone)]
 pub struct LouvainConfig {
@@ -43,7 +58,12 @@ pub struct LouvainConfig {
 
 impl Default for LouvainConfig {
     fn default() -> Self {
-        Self { max_levels: 32, max_sweeps: 64, min_gain: 1e-9, resolution: 1.0 }
+        Self {
+            max_levels: 32,
+            max_sweeps: 64,
+            min_gain: 1e-9,
+            resolution: 1.0,
+        }
     }
 }
 
@@ -61,19 +81,37 @@ pub struct LouvainResult {
 }
 
 /// Runs the full Louvain method on `graph`.
+///
+/// The graph is snapshotted into flat CSR form once; every sweep and every
+/// aggregation level then runs on packed rows. Callers that already hold a
+/// [`CsrGraph`] should use [`louvain_csr`] to skip the copy.
 pub fn louvain(graph: &impl WeightedGraph, config: &LouvainConfig) -> LouvainResult {
+    let csr = AdjacencyGraph::from_graph(graph);
+    louvain_csr(&csr, config)
+}
+
+/// [`louvain`] over an existing CSR snapshot — no copying at all: level 0
+/// sweeps the borrowed graph, later levels own their (much smaller)
+/// aggregated graphs.
+pub fn louvain_csr(graph: &AdjacencyGraph, config: &LouvainConfig) -> LouvainResult {
     let n = graph.node_count();
     if n == 0 {
-        return LouvainResult { communities: Vec::new(), community_count: 0, levels: 0, modularity: 0.0 };
+        return LouvainResult {
+            communities: Vec::new(),
+            community_count: 0,
+            levels: 0,
+            modularity: 0.0,
+        };
     }
 
     // Mapping from original node to current-level super-node.
     let mut membership: Vec<u32> = (0..n as u32).collect();
-    let mut level_graph = AdjacencyGraph::from_graph(graph);
+    let mut owned_level: Option<AdjacencyGraph> = None;
     let mut levels = 0usize;
 
     for _ in 0..config.max_levels {
-        let outcome = local_moving_pass(&level_graph, config);
+        let level_graph = owned_level.as_ref().unwrap_or(graph);
+        let outcome = local_moving_pass(level_graph, config);
         levels += 1;
         if !outcome.moved_any {
             break;
@@ -86,8 +124,10 @@ pub fn louvain(graph: &impl WeightedGraph, config: &LouvainConfig) -> LouvainRes
         if compact.count == level_graph.node_count() {
             break; // No coarsening happened: converged.
         }
-        level_graph = aggregate_graph(&level_graph, &compact.labels, compact.count);
-        if compact.count <= 1 {
+        let next = aggregate_graph(level_graph, &compact.labels, compact.count);
+        let done = compact.count <= 1;
+        owned_level = Some(next);
+        if done {
             break;
         }
     }
@@ -125,7 +165,10 @@ pub fn compact_labels(labels: &[u32]) -> CompactLabels {
         }
         out.push(*slot);
     }
-    CompactLabels { labels: out, count: next as usize }
+    CompactLabels {
+        labels: out,
+        count: next as usize,
+    }
 }
 
 /// Convenience: run Louvain with default configuration.
@@ -163,13 +206,20 @@ mod tests {
     #[test]
     fn splits_two_cliques() {
         let r = louvain_default(&two_cliques());
-        assert_eq!(r.community_count, 2, "two cliques must become two communities");
+        assert_eq!(
+            r.community_count, 2,
+            "two cliques must become two communities"
+        );
         for v in 1..5 {
             assert_eq!(r.communities[v], r.communities[0]);
             assert_eq!(r.communities[v + 5], r.communities[5]);
         }
         assert_ne!(r.communities[0], r.communities[5]);
-        assert!(r.modularity > 0.3, "modularity should be high, got {}", r.modularity);
+        assert!(
+            r.modularity > 0.3,
+            "modularity should be high, got {}",
+            r.modularity
+        );
     }
 
     #[test]
@@ -244,7 +294,10 @@ mod tests {
         }
         let g = AdjacencyGraph::from_edges((r * s) as usize, edges);
         let res = louvain_default(&g);
-        assert_eq!(res.community_count, r as usize, "each clique is its own community");
+        assert_eq!(
+            res.community_count, r as usize,
+            "each clique is its own community"
+        );
         assert!(res.modularity > 0.6);
     }
 }

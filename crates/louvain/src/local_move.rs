@@ -1,9 +1,8 @@
 //! The local-moving phase of Louvain.
 
-use txallo_graph::{NodeId, WeightedGraph};
-use txallo_model::FxHashMap;
+use txallo_graph::{DenseAccumulator, NodeId, WeightedGraph};
 
-use crate::LouvainConfig;
+use crate::{LouvainConfig, GAIN_EPS};
 
 /// Result of repeated local-moving sweeps on one level.
 #[derive(Debug, Clone)]
@@ -22,14 +21,23 @@ pub struct LocalMoveOutcome {
 /// of moving the (isolated) node into community `c` is the standard Louvain
 /// delta: `ΔQ = w(v→c)/m − γ·Σ_tot(c)·k_v/(2m²)`. The node joins the
 /// neighboring community maximizing the gain; staying put wins ties, and
-/// among equal-gain candidates the smallest community id wins
-/// (determinism).
+/// among equal-gain candidates the smallest community id wins (see
+/// [`GAIN_EPS`] for the exact tie contract).
+///
+/// Link weights toward neighboring communities are gathered into a dense
+/// [`DenseAccumulator`] indexed by community id — no hashing, no per-node
+/// allocation; only the touched-list (the node's distinct neighboring
+/// communities) is sorted to fix the deterministic candidate order.
 pub fn local_moving_pass(graph: &impl WeightedGraph, config: &LouvainConfig) -> LocalMoveOutcome {
     let n = graph.node_count();
     let m = graph.total_weight();
     let mut communities: Vec<u32> = (0..n as u32).collect();
     if n == 0 || m <= 0.0 {
-        return LocalMoveOutcome { communities, moved_any: false, sweeps: 0 };
+        return LocalMoveOutcome {
+            communities,
+            moved_any: false,
+            sweeps: 0,
+        };
     }
 
     // Σ_tot per community (strengths, self-loops twice).
@@ -37,51 +45,94 @@ pub fn local_moving_pass(graph: &impl WeightedGraph, config: &LouvainConfig) -> 
     let mut moved_any = false;
     let mut sweeps = 0usize;
 
-    // Workhorse map: weight from v to each neighboring community.
-    let mut link_weight: FxHashMap<u32, f64> = FxHashMap::default();
+    // Workhorse scratch: weight from v to each neighboring community.
+    let mut link = DenseAccumulator::new();
+
+    // Incremental-sweep machinery (same scheme as the G-TxAllo
+    // optimization phase): a node's decision depends only on (a) its
+    // per-community link weights — which change when a *neighbor* moves —
+    // and (b) `sigma_tot` of its candidate communities and its own. The
+    // expensive gather (a) is cached per node and reused verbatim until a
+    // neighbor moves; the gains (b) are recomputed against fresh
+    // `sigma_tot` every visit. When both inputs are untouched since the
+    // node's last evaluation the node is skipped outright — re-evaluating
+    // would provably repeat the previous no-move. Evaluations are pure
+    // (`sigma_tot` is only written when a move commits; the seed's
+    // `-= k_v … += k_v` round-trip is gone because float subtraction does
+    // not exactly invert addition), so all reuse is bit-exact.
+    let mut move_stamp: u64 = 1;
+    let mut last_eval: Vec<u64> = vec![0; n];
+    let mut gathered_at: Vec<u64> = vec![0; n];
+    let mut links_dirty: Vec<u64> = vec![1; n];
+    let mut comm_stamp: Vec<u64> = vec![1; n];
+    let mut cand_cache: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
 
     for _ in 0..config.max_sweeps {
         sweeps += 1;
         let mut moved_this_sweep = false;
 
         for v in 0..n as NodeId {
+            let vi = v as usize;
+            let current = communities[vi];
+            let links_fresh = links_dirty[vi] <= gathered_at[vi];
+            if links_fresh {
+                let seen = last_eval[vi];
+                if comm_stamp[current as usize] <= seen
+                    && cand_cache[vi]
+                        .iter()
+                        .all(|&(c, _)| comm_stamp[c as usize] <= seen)
+                {
+                    continue; // Inputs unchanged: evaluation would no-op.
+                }
+            } else {
+                link.begin(n);
+                graph.for_each_neighbor(v, |u, w| {
+                    link.add(communities[u as usize], w);
+                });
+                // Deterministic candidate order: ascending community id.
+                link.sort_touched();
+                gathered_at[vi] = move_stamp;
+                cand_cache[vi].clear();
+                cand_cache[vi].extend(link.entries());
+            }
+            last_eval[vi] = move_stamp;
+
             let k_v = graph.strength(v);
-            let current = communities[v as usize];
-
-            link_weight.clear();
-            graph.for_each_neighbor(v, |u, w| {
-                *link_weight.entry(communities[u as usize]).or_insert(0.0) += w;
-            });
-
-            // Remove v from its community while evaluating.
-            sigma_tot[current as usize] -= k_v;
-            let w_current = link_weight.get(&current).copied().unwrap_or(0.0);
-            let gain_stay =
-                w_current / m - config.resolution * sigma_tot[current as usize] * k_v / (2.0 * m * m);
+            let cand = &cand_cache[vi];
+            // Evaluate with v removed from its community.
+            let sig_cur = sigma_tot[current as usize] - k_v;
+            let w_current = cand
+                .iter()
+                .find(|&&(c, _)| c == current)
+                .map_or(0.0, |&(_, w)| w);
+            let gain_stay = w_current / m - config.resolution * sig_cur * k_v / (2.0 * m * m);
 
             let mut best_comm = current;
             let mut best_gain = gain_stay;
-            // Deterministic candidate order: sort neighboring communities.
-            let mut candidates: Vec<(u32, f64)> =
-                link_weight.iter().map(|(&c, &w)| (c, w)).collect();
-            candidates.sort_unstable_by_key(|&(c, _)| c);
-            for (c, w_vc) in candidates {
+            for &(c, w_vc) in cand {
                 if c == current {
                     continue;
                 }
                 let gain =
                     w_vc / m - config.resolution * sigma_tot[c as usize] * k_v / (2.0 * m * m);
-                if gain > best_gain + 1e-15 {
+                if gain > best_gain + GAIN_EPS {
                     best_gain = gain;
                     best_comm = c;
                 }
             }
 
-            sigma_tot[best_comm as usize] += k_v;
             if best_comm != current {
-                communities[v as usize] = best_comm;
+                sigma_tot[current as usize] = sig_cur;
+                sigma_tot[best_comm as usize] += k_v;
+                communities[vi] = best_comm;
                 moved_this_sweep = true;
                 moved_any = true;
+                move_stamp += 1;
+                comm_stamp[current as usize] = move_stamp;
+                comm_stamp[best_comm as usize] = move_stamp;
+                graph.for_each_neighbor(v, |u, _| {
+                    links_dirty[u as usize] = move_stamp;
+                });
             }
         }
 
@@ -90,13 +141,18 @@ pub fn local_moving_pass(graph: &impl WeightedGraph, config: &LouvainConfig) -> 
         }
     }
 
-    LocalMoveOutcome { communities, moved_any, sweeps }
+    LocalMoveOutcome {
+        communities,
+        moved_any,
+        sweeps,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use txallo_graph::AdjacencyGraph;
+    use txallo_model::FxHashMap;
 
     #[test]
     fn merges_a_triangle() {
@@ -136,5 +192,98 @@ mod tests {
         let b = local_moving_pass(&g, &LouvainConfig::default());
         assert_eq!(a.communities, b.communities);
         assert_eq!(a.sweeps, b.sweeps);
+    }
+
+    /// Reference re-implementation of the seed's hash-map gather: collect
+    /// per-community weights into a map, copy to a vec, sort by community,
+    /// evaluate every node every sweep (no incremental skipping). The
+    /// dense-scratch pass must produce byte-identical labels — this pins
+    /// down both the dense gather and the exactness of the stamp-based
+    /// node skipping.
+    fn reference_local_moving(
+        graph: &impl WeightedGraph,
+        config: &LouvainConfig,
+    ) -> LocalMoveOutcome {
+        let n = graph.node_count();
+        let m = graph.total_weight();
+        let mut communities: Vec<u32> = (0..n as u32).collect();
+        if n == 0 || m <= 0.0 {
+            return LocalMoveOutcome {
+                communities,
+                moved_any: false,
+                sweeps: 0,
+            };
+        }
+        let mut sigma_tot: Vec<f64> = (0..n as NodeId).map(|v| graph.strength(v)).collect();
+        let mut moved_any = false;
+        let mut sweeps = 0usize;
+        let mut link_weight: FxHashMap<u32, f64> = FxHashMap::default();
+        for _ in 0..config.max_sweeps {
+            sweeps += 1;
+            let mut moved_this_sweep = false;
+            for v in 0..n as NodeId {
+                let k_v = graph.strength(v);
+                let current = communities[v as usize];
+                link_weight.clear();
+                graph.for_each_neighbor(v, |u, w| {
+                    *link_weight.entry(communities[u as usize]).or_insert(0.0) += w;
+                });
+                let sig_cur = sigma_tot[current as usize] - k_v;
+                let w_current = link_weight.get(&current).copied().unwrap_or(0.0);
+                let gain_stay = w_current / m - config.resolution * sig_cur * k_v / (2.0 * m * m);
+                let mut best_comm = current;
+                let mut best_gain = gain_stay;
+                let mut candidates: Vec<(u32, f64)> =
+                    link_weight.iter().map(|(&c, &w)| (c, w)).collect();
+                candidates.sort_unstable_by_key(|&(c, _)| c);
+                for (c, w_vc) in candidates {
+                    if c == current {
+                        continue;
+                    }
+                    let gain =
+                        w_vc / m - config.resolution * sigma_tot[c as usize] * k_v / (2.0 * m * m);
+                    if gain > best_gain + GAIN_EPS {
+                        best_gain = gain;
+                        best_comm = c;
+                    }
+                }
+                if best_comm != current {
+                    sigma_tot[current as usize] = sig_cur;
+                    sigma_tot[best_comm as usize] += k_v;
+                    communities[v as usize] = best_comm;
+                    moved_this_sweep = true;
+                    moved_any = true;
+                }
+            }
+            if !moved_this_sweep {
+                break;
+            }
+        }
+        LocalMoveOutcome {
+            communities,
+            moved_any,
+            sweeps,
+        }
+    }
+
+    #[test]
+    fn dense_gather_matches_hashmap_reference_byte_for_byte() {
+        // A messy graph: ring + chords + self-loops + heavy hubs.
+        let mut edges = Vec::new();
+        for a in 0..60u32 {
+            edges.push((a, (a + 1) % 60, 1.0));
+            edges.push((a, (a + 7) % 60, 0.25));
+            if a % 5 == 0 {
+                edges.push((a, a, 0.5));
+                edges.push((a, (a + 30) % 60, 0.1));
+            }
+        }
+        let g = AdjacencyGraph::from_edges(60, edges);
+        let config = LouvainConfig::default();
+        let dense = local_moving_pass(&g, &config);
+        let reference = reference_local_moving(&g, &config);
+        assert_eq!(dense.communities, reference.communities);
+        assert_eq!(dense.sweeps, reference.sweeps);
+        assert_eq!(dense.moved_any, reference.moved_any);
     }
 }

@@ -15,8 +15,11 @@ pub fn modularity(graph: &impl WeightedGraph, communities: &[u32], resolution: f
     if m <= 0.0 {
         return 0.0;
     }
-    let community_count =
-        communities.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let community_count = communities
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut intra = vec![0.0f64; community_count];
     let mut totals = vec![0.0f64; community_count];
     for v in 0..graph.node_count() as NodeId {
@@ -46,14 +49,20 @@ mod tests {
         // All nodes in one community: Q = 1 - 1 = 0 for any connected graph.
         let g = AdjacencyGraph::from_edges(3, vec![(0u32, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
         let q = modularity(&g, &[0, 0, 0], 1.0);
-        assert!(q.abs() < 1e-12, "Q of the trivial partition must be 0, got {q}");
+        assert!(
+            q.abs() < 1e-12,
+            "Q of the trivial partition must be 0, got {q}"
+        );
     }
 
     #[test]
     fn all_singletons_give_negative_modularity() {
         let g = AdjacencyGraph::from_edges(3, vec![(0u32, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
         let q = modularity(&g, &[0, 1, 2], 1.0);
-        assert!(q < 0.0, "singleton partition of a clique has Q < 0, got {q}");
+        assert!(
+            q < 0.0,
+            "singleton partition of a clique has Q < 0, got {q}"
+        );
     }
 
     #[test]
@@ -89,6 +98,9 @@ mod tests {
     fn resolution_shifts_the_balance() {
         let g = AdjacencyGraph::from_edges(4, vec![(0u32, 1, 1.0), (2, 3, 1.0)]);
         let split = |gamma: f64| modularity(&g, &[0, 0, 1, 1], gamma);
-        assert!(split(1.0) > split(2.0), "higher resolution penalizes communities more");
+        assert!(
+            split(1.0) > split(2.0),
+            "higher resolution penalizes communities more"
+        );
     }
 }

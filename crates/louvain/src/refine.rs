@@ -55,8 +55,7 @@ pub fn count_disconnected(graph: &impl WeightedGraph, labels: &[u32]) -> usize {
     // Each disconnected community contributes ≥ 1 extra fragment; count
     // communities whose fragment count exceeds one.
     let mut community_of_fragment: Vec<Option<u32>> = vec![None; split.count];
-    let mut extra_fragments_per_community =
-        std::collections::BTreeMap::<u32, usize>::new();
+    let mut extra_fragments_per_community = std::collections::BTreeMap::<u32, usize>::new();
     for (&label, &frag) in labels.iter().zip(split.labels.iter()) {
         let frag = frag as usize;
         if community_of_fragment[frag].is_none() {
@@ -64,7 +63,10 @@ pub fn count_disconnected(graph: &impl WeightedGraph, labels: &[u32]) -> usize {
             *extra_fragments_per_community.entry(label).or_insert(0) += 1;
         }
     }
-    extra_fragments_per_community.values().filter(|&&c| c > 1).count()
+    extra_fragments_per_community
+        .values()
+        .filter(|&&c| c > 1)
+        .count()
 }
 
 #[cfg(test)]
@@ -77,7 +79,14 @@ mod tests {
         // Two triangles, correctly labelled: nothing to split.
         let g = AdjacencyGraph::from_edges(
             6,
-            vec![(0u32, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0)],
+            vec![
+                (0u32, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+            ],
         );
         let labels = vec![0, 0, 0, 1, 1, 1];
         let split = split_disconnected(&g, &labels);

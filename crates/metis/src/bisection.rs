@@ -5,8 +5,7 @@
 //! `⌈log₂ k⌉` full multilevel passes, which is what gives real METIS its
 //! characteristic running-time growth with `k` (§VI-B6 of the paper).
 
-use txallo_graph::{AdjacencyGraph, NodeId, WeightedGraph};
-use txallo_model::FxHashMap;
+use txallo_graph::{AdjacencyGraph, DenseIndexMap, NodeId, WeightedGraph};
 
 use crate::coarsen::coarsen;
 use crate::refine::fm_refine_with_targets;
@@ -34,9 +33,18 @@ fn grow_bisection(graph: &AdjacencyGraph, vertex_weights: &[f64], frac: f64) -> 
     let seed = by_weight[0];
     parts[seed as usize] = 0;
     let mut region_weight = vertex_weights[seed as usize];
-    let mut gain: FxHashMap<NodeId, f64> = FxHashMap::default();
+    // Dense frontier state: accumulated gain per node plus a frontier list
+    // (entries for nodes later absorbed into the region go stale and are
+    // skipped by the `parts` check — no hash map, no removals).
+    let mut gain = vec![0.0f64; n];
+    let mut in_frontier = vec![false; n];
+    let mut frontier: Vec<NodeId> = Vec::new();
     graph.for_each_neighbor(seed, |u, w| {
-        *gain.entry(u).or_insert(0.0) += w;
+        gain[u as usize] += w;
+        if !in_frontier[u as usize] {
+            in_frontier[u as usize] = true;
+            frontier.push(u);
+        }
     });
 
     let mut cursor = 1usize;
@@ -44,10 +52,11 @@ fn grow_bisection(graph: &AdjacencyGraph, vertex_weights: &[f64], frac: f64) -> 
         // Best frontier candidate: largest gain, then largest gain/strength
         // ratio, then smallest id (same policy as the k-way grower).
         let mut best: Option<(NodeId, f64, f64)> = None;
-        for (&u, &g) in &gain {
+        for &u in &frontier {
             if parts[u as usize] == 0 {
                 continue;
             }
+            let g = gain[u as usize];
             let ratio = g / graph.strength(u).max(1e-12);
             let better = match best {
                 None => true,
@@ -72,12 +81,15 @@ fn grow_bisection(graph: &AdjacencyGraph, vertex_weights: &[f64], frac: f64) -> 
                 by_weight[cursor]
             }
         };
-        gain.remove(&next);
         parts[next as usize] = 0;
         region_weight += vertex_weights[next as usize];
         graph.for_each_neighbor(next, |u, w| {
             if parts[u as usize] == 1 {
-                *gain.entry(u).or_insert(0.0) += w;
+                gain[u as usize] += w;
+                if !in_frontier[u as usize] {
+                    in_frontier[u as usize] = true;
+                    frontier.push(u);
+                }
             }
         });
     }
@@ -109,7 +121,10 @@ fn multilevel_bisect(
     );
     for level in (0..hierarchy.len() - 1).rev() {
         let fine = &hierarchy[level];
-        let map = hierarchy[level + 1].fine_to_coarse.as_ref().expect("projection map");
+        let map = hierarchy[level + 1]
+            .fine_to_coarse
+            .as_ref()
+            .expect("projection map");
         let mut fine_parts = vec![0u32; fine.graph.node_count()];
         for (v, p) in fine_parts.iter_mut().enumerate() {
             *p = parts[map[v] as usize];
@@ -129,6 +144,7 @@ fn multilevel_bisect(
 
 /// Recursive-bisection k-way partitioning over a node subset of the base
 /// graph. Part ids `offset..offset + k` are written into `out`.
+#[allow(clippy::too_many_arguments)] // internal recursion plumbing, not an API
 fn recurse(
     base: &AdjacencyGraph,
     vertex_weights: &[f64],
@@ -137,6 +153,7 @@ fn recurse(
     offset: u32,
     out: &mut [u32],
     config: &MetisConfig,
+    local_of: &mut DenseIndexMap,
 ) {
     if k <= 1 || nodes.len() <= 1 {
         for &v in &nodes {
@@ -144,8 +161,9 @@ fn recurse(
         }
         return;
     }
-    // Build the induced subgraph with dense local ids.
-    let mut local_of: FxHashMap<NodeId, u32> = FxHashMap::default();
+    // Build the induced subgraph with dense local ids (the stamped index
+    // map is shared across the whole recursion — no per-step allocation).
+    local_of.begin(base.node_count());
     for (i, &v) in nodes.iter().enumerate() {
         local_of.insert(v, i as u32);
     }
@@ -159,7 +177,7 @@ fn recurse(
         }
         base.for_each_neighbor(v, |u, w| {
             if u > v {
-                if let Some(&j) = local_of.get(&u) {
+                if let Some(j) = local_of.get(u) {
                     edges.push((i as NodeId, j, w));
                 }
             }
@@ -180,8 +198,26 @@ fn recurse(
             right.push(v);
         }
     }
-    recurse(base, vertex_weights, left, k_left, offset, out, config);
-    recurse(base, vertex_weights, right, k - k_left, offset + k_left as u32, out, config);
+    recurse(
+        base,
+        vertex_weights,
+        left,
+        k_left,
+        offset,
+        out,
+        config,
+        local_of,
+    );
+    recurse(
+        base,
+        vertex_weights,
+        right,
+        k - k_left,
+        offset + k_left as u32,
+        out,
+        config,
+        local_of,
+    );
 }
 
 /// K-way partitioning by recursive bisection (pmetis-style).
@@ -192,21 +228,39 @@ pub fn recursive_bisection_partition(
     assert!(config.parts > 0, "parts must be positive");
     let n = graph.node_count();
     if n == 0 {
-        return crate::MetisResult { parts: Vec::new(), edge_cut: 0.0, levels: 0 };
+        return crate::MetisResult {
+            parts: Vec::new(),
+            edge_cut: 0.0,
+            levels: 0,
+        };
     }
     let base = AdjacencyGraph::from_graph(graph);
     let vertex_weights: Vec<f64> = match config.weighting {
         crate::VertexWeighting::Unit => vec![1.0; n],
-        crate::VertexWeighting::Strength => {
-            (0..n as NodeId).map(|v| graph.strength(v).max(1e-9)).collect()
-        }
+        crate::VertexWeighting::Strength => (0..n as NodeId)
+            .map(|v| graph.strength(v).max(1e-9))
+            .collect(),
     };
     let mut parts = vec![0u32; n];
     let nodes: Vec<NodeId> = (0..n as NodeId).collect();
-    recurse(&base, &vertex_weights, nodes, config.parts, 0, &mut parts, config);
+    let mut local_of = DenseIndexMap::new();
+    recurse(
+        &base,
+        &vertex_weights,
+        nodes,
+        config.parts,
+        0,
+        &mut parts,
+        config,
+        &mut local_of,
+    );
     let cut = crate::refine::edge_cut(&base, &parts);
     let levels = (config.parts as f64).log2().ceil() as usize;
-    crate::MetisResult { parts, edge_cut: cut, levels }
+    crate::MetisResult {
+        parts,
+        edge_cut: cut,
+        levels,
+    }
 }
 
 #[cfg(test)]

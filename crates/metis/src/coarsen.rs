@@ -66,8 +66,11 @@ pub fn heavy_edge_matching(graph: &AdjacencyGraph) -> (Vec<u32>, usize) {
 /// map from the previous level.
 pub fn coarsen(base: AdjacencyGraph, vertex_weights: Vec<f64>, floor: usize) -> Vec<CoarseLevel> {
     assert_eq!(vertex_weights.len(), base.node_count());
-    let mut levels =
-        vec![CoarseLevel { graph: base, vertex_weights, fine_to_coarse: None }];
+    let mut levels = vec![CoarseLevel {
+        graph: base,
+        vertex_weights,
+        fine_to_coarse: None,
+    }];
     loop {
         let current = levels.last().expect("at least the base level");
         let n = current.graph.node_count();
@@ -183,7 +186,9 @@ mod tests {
         for i in 1..levels.len() {
             let map = levels[i].fine_to_coarse.as_ref().unwrap();
             assert_eq!(map.len(), levels[i - 1].graph.node_count());
-            assert!(map.iter().all(|&c| (c as usize) < levels[i].graph.node_count()));
+            assert!(map
+                .iter()
+                .all(|&c| (c as usize) < levels[i].graph.node_count()));
         }
     }
 }

@@ -88,23 +88,35 @@ pub fn metis_partition(graph: &impl WeightedGraph, config: &MetisConfig) -> Meti
     assert!(config.parts > 0, "parts must be positive");
     let n = graph.node_count();
     if n == 0 {
-        return MetisResult { parts: Vec::new(), edge_cut: 0.0, levels: 0 };
+        return MetisResult {
+            parts: Vec::new(),
+            edge_cut: 0.0,
+            levels: 0,
+        };
     }
     if config.parts == 1 {
-        return MetisResult { parts: vec![0; n], edge_cut: 0.0, levels: 0 };
+        return MetisResult {
+            parts: vec![0; n],
+            edge_cut: 0.0,
+            levels: 0,
+        };
     }
 
     let base = AdjacencyGraph::from_graph(graph);
     let vertex_weights: Vec<f64> = match config.weighting {
         VertexWeighting::Unit => vec![1.0; n],
-        VertexWeighting::Strength => (0..n as NodeId).map(|v| graph.strength(v).max(1e-9)).collect(),
+        VertexWeighting::Strength => (0..n as NodeId)
+            .map(|v| graph.strength(v).max(1e-9))
+            .collect(),
     };
 
     // Phase 1: coarsen.
     let coarsen_floor = config.coarsen_target.max(20 * config.parts);
     let hierarchy = coarsen(base, vertex_weights, coarsen_floor);
     let levels = hierarchy.len();
-    let coarsest = hierarchy.last().expect("hierarchy always has the base level");
+    let coarsest = hierarchy
+        .last()
+        .expect("hierarchy always has the base level");
 
     // Phase 2: initial partition of the coarsest graph.
     let mut parts = greedy_growing_partition(
@@ -145,7 +157,11 @@ pub fn metis_partition(graph: &impl WeightedGraph, config: &MetisConfig) -> Meti
     }
 
     let cut = edge_cut(&hierarchy[0].graph, &parts);
-    MetisResult { parts, edge_cut: cut, levels }
+    MetisResult {
+        parts,
+        edge_cut: cut,
+        levels,
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +190,11 @@ mod tests {
             assert_eq!(r.parts[v + 6], r.parts[6], "clique B must stay together");
         }
         assert_ne!(r.parts[0], r.parts[6]);
-        assert!((r.edge_cut - 0.1).abs() < 1e-9, "only the bridge is cut, got {}", r.edge_cut);
+        assert!(
+            (r.edge_cut - 0.1).abs() < 1e-9,
+            "only the bridge is cut, got {}",
+            r.edge_cut
+        );
     }
 
     #[test]
@@ -198,7 +218,11 @@ mod tests {
             assert!(used.len() <= k);
             assert!(used.iter().all(|&p| (p as usize) < k));
             // A ring splits into k contiguous arcs: cut = k edges (roughly).
-            assert!(r.edge_cut <= 2.0 * k as f64 + 1.0, "cut {} too high for k={k}", r.edge_cut);
+            assert!(
+                r.edge_cut <= 2.0 * k as f64 + 1.0,
+                "cut {} too high for k={k}",
+                r.edge_cut
+            );
         }
     }
 

@@ -1,7 +1,6 @@
 //! Boundary FM refinement and the edge-cut objective.
 
-use txallo_graph::{AdjacencyGraph, NodeId, WeightedGraph};
-use txallo_model::FxHashMap;
+use txallo_graph::{AdjacencyGraph, DenseAccumulator, NodeId, WeightedGraph};
 
 /// Total weight of edges whose endpoints lie in different parts.
 pub fn edge_cut(graph: &AdjacencyGraph, parts: &[u32]) -> f64 {
@@ -38,7 +37,14 @@ pub fn fm_refine(
 ) {
     let total: f64 = vertex_weights.iter().sum();
     let targets = vec![total / k.max(1) as f64; k];
-    fm_refine_with_targets(graph, vertex_weights, parts, &targets, balance_factor, max_passes);
+    fm_refine_with_targets(
+        graph,
+        vertex_weights,
+        parts,
+        &targets,
+        balance_factor,
+        max_passes,
+    );
 }
 
 /// [`fm_refine`] generalized to per-part weight targets (used by the
@@ -64,32 +70,32 @@ pub fn fm_refine_with_targets(
         part_weight[p as usize] += vertex_weights[v];
     }
 
-    let mut link: FxHashMap<u32, f64> = FxHashMap::default();
+    // Dense per-part link weights, reused across every vertex visit (no
+    // hashing or allocation on the refinement hot path).
+    let mut link = DenseAccumulator::new();
     for _ in 0..max_passes {
         let mut improved = false;
         for v in 0..n as NodeId {
             let from = parts[v as usize];
-            link.clear();
+            link.begin(k);
             let mut is_boundary = false;
             graph.for_each_neighbor(v, |u, w| {
                 let pu = parts[u as usize];
                 if pu != from {
                     is_boundary = true;
                 }
-                *link.entry(pu).or_insert(0.0) += w;
+                link.add(pu, w);
             });
             if !is_boundary {
                 continue;
             }
             let w_v = vertex_weights[v as usize];
-            let internal = link.get(&from).copied().unwrap_or(0.0);
-            // Candidate destinations sorted for determinism.
-            let mut candidates: Vec<(u32, f64)> =
-                link.iter().map(|(&p, &w)| (p, w)).collect();
-            candidates.sort_unstable_by_key(|&(p, _)| p);
+            let internal = link.get(from);
+            // Candidate destinations in ascending part order (determinism).
+            link.sort_touched();
 
             let mut best: Option<(u32, f64)> = None;
-            for (to, external) in candidates {
+            for (to, external) in link.entries() {
                 if to == from {
                     continue;
                 }
@@ -161,8 +167,14 @@ mod tests {
         let before = edge_cut(&g, &parts);
         fm_refine(&g, &[1.0; 8], &mut parts, 2, 1.3, 8);
         let after = edge_cut(&g, &parts);
-        assert!(after < before, "refinement must reduce cut: {before} -> {after}");
-        assert!((after - 0.1).abs() < 1e-9, "optimal cut is the bridge, got {after}");
+        assert!(
+            after < before,
+            "refinement must reduce cut: {before} -> {after}"
+        );
+        assert!(
+            (after - 0.1).abs() < 1e-9,
+            "optimal cut is the bridge, got {after}"
+        );
     }
 
     #[test]
@@ -185,5 +197,114 @@ mod tests {
         fm_refine(&g, &[1.0; 8], &mut p1, 2, 1.3, 50);
         fm_refine(&g, &[1.0; 8], &mut p2, 2, 1.3, 50);
         assert_eq!(p1, p2);
+    }
+
+    /// Ordered-map reference of the boundary pass: identical admission
+    /// rules and tie-breaks, `BTreeMap` gathering. The dense-scratch
+    /// implementation must produce byte-identical parts.
+    fn reference_refine(
+        graph: &AdjacencyGraph,
+        vertex_weights: &[f64],
+        parts: &mut [u32],
+        targets: &[f64],
+        balance_factor: f64,
+        max_passes: usize,
+    ) {
+        use std::collections::BTreeMap;
+        let n = graph.node_count();
+        let k = targets.len();
+        if n == 0 || k <= 1 {
+            return;
+        }
+        let caps: Vec<f64> = targets.iter().map(|t| t * balance_factor).collect();
+        let floors: Vec<f64> = targets.iter().map(|t| t * (2.0 - balance_factor)).collect();
+        let mut part_weight = vec![0.0f64; k];
+        for (v, &p) in parts.iter().enumerate() {
+            part_weight[p as usize] += vertex_weights[v];
+        }
+        let mut link: BTreeMap<u32, f64> = BTreeMap::new();
+        for _ in 0..max_passes {
+            let mut improved = false;
+            for v in 0..n as NodeId {
+                let from = parts[v as usize];
+                link.clear();
+                let mut is_boundary = false;
+                graph.for_each_neighbor(v, |u, w| {
+                    let pu = parts[u as usize];
+                    if pu != from {
+                        is_boundary = true;
+                    }
+                    *link.entry(pu).or_insert(0.0) += w;
+                });
+                if !is_boundary {
+                    continue;
+                }
+                let w_v = vertex_weights[v as usize];
+                let internal = link.get(&from).copied().unwrap_or(0.0);
+                let mut best: Option<(u32, f64)> = None;
+                for (&to, &external) in &link {
+                    if to == from {
+                        continue;
+                    }
+                    let gain = external - internal;
+                    if gain <= 1e-12 {
+                        continue;
+                    }
+                    let dest_ok = part_weight[to as usize] + w_v <= caps[to as usize]
+                        || part_weight[to as usize] + w_v < part_weight[from as usize];
+                    if !dest_ok {
+                        continue;
+                    }
+                    if part_weight[from as usize] - w_v < floors[from as usize]
+                        && part_weight[from as usize] <= targets[from as usize]
+                    {
+                        continue;
+                    }
+                    match best {
+                        Some((bp, bg)) if gain < bg || (gain == bg && to > bp) => {}
+                        _ => best = Some((to, gain)),
+                    }
+                }
+                if let Some((to, _)) = best {
+                    parts[v as usize] = to;
+                    part_weight[from as usize] -= w_v;
+                    part_weight[to as usize] += w_v;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn dense_refine_matches_ordered_map_reference_byte_for_byte() {
+        // A messy multi-part instance: 4 communities, noisy chords, varied
+        // vertex weights, deliberately bad starting partition.
+        let mut edges = Vec::new();
+        for c in 0..4u32 {
+            let b = c * 10;
+            for i in 0..10 {
+                for j in (i + 1)..10 {
+                    if (i + j) % 3 != 0 {
+                        edges.push((b + i, b + j, 1.0 + (i as f64) * 0.1));
+                    }
+                }
+            }
+            edges.push((b, ((c + 1) % 4) * 10 + 3, 0.7));
+            edges.push((b + 5, ((c + 2) % 4) * 10 + 1, 0.3));
+        }
+        let g = AdjacencyGraph::from_edges(40, edges);
+        let weights: Vec<f64> = (0..40).map(|v| 1.0 + (v % 5) as f64 * 0.25).collect();
+        let total: f64 = weights.iter().sum();
+        let targets = vec![total / 4.0; 4];
+        let start: Vec<u32> = (0..40).map(|v| (v % 4) as u32).collect();
+
+        let mut dense = start.clone();
+        fm_refine_with_targets(&g, &weights, &mut dense, &targets, 1.1, 12);
+        let mut reference = start;
+        reference_refine(&g, &weights, &mut reference, &targets, 1.1, 12);
+        assert_eq!(dense, reference, "dense scratch diverged from reference");
     }
 }

@@ -15,7 +15,10 @@ pub struct Block {
 impl Block {
     /// Creates a block at `height` containing `transactions` in order.
     pub fn new(height: BlockHeight, transactions: Vec<Transaction>) -> Self {
-        Self { height, transactions }
+        Self {
+            height,
+            transactions,
+        }
     }
 
     /// The block's height.

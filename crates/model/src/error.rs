@@ -21,10 +21,16 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::EmptyEndpointSet => {
-                write!(f, "transaction input and output account sets must be non-empty")
+                write!(
+                    f,
+                    "transaction input and output account sets must be non-empty"
+                )
             }
             ModelError::NonContiguousBlocks { expected, found } => {
-                write!(f, "non-contiguous block height: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "non-contiguous block height: expected {expected}, found {found}"
+                )
             }
         }
     }
@@ -38,8 +44,13 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(ModelError::EmptyEndpointSet.to_string().contains("non-empty"));
-        let e = ModelError::NonContiguousBlocks { expected: 2, found: 5 };
+        assert!(ModelError::EmptyEndpointSet
+            .to_string()
+            .contains("non-empty"));
+        let e = ModelError::NonContiguousBlocks {
+            expected: 2,
+            found: 5,
+        };
         assert!(e.to_string().contains("expected 2"));
         assert!(e.to_string().contains("found 5"));
     }

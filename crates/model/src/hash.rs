@@ -111,7 +111,10 @@ mod tests {
     fn partial_words_are_padded_not_dropped() {
         // 9 bytes = one full word + 1 remainder byte; the remainder must
         // contribute to the state.
-        assert_ne!(hash_of(&[1, 2, 3, 4, 5, 6, 7, 8, 9]), hash_of(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_ne!(
+            hash_of(&[1, 2, 3, 4, 5, 6, 7, 8, 9]),
+            hash_of(&[1, 2, 3, 4, 5, 6, 7, 8])
+        );
     }
 
     #[test]

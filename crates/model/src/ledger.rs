@@ -162,7 +162,13 @@ mod tests {
         l.push_block(Block::new(5, vec![])).unwrap();
         l.push_block(Block::new(6, vec![tx(1, 2)])).unwrap();
         let err = l.push_block(Block::new(8, vec![])).unwrap_err();
-        assert!(matches!(err, ModelError::NonContiguousBlocks { expected: 7, found: 8 }));
+        assert!(matches!(
+            err,
+            ModelError::NonContiguousBlocks {
+                expected: 7,
+                found: 8
+            }
+        ));
         assert_eq!(l.block_count(), 2);
         assert_eq!(l.base_height(), Some(5));
         assert_eq!(l.tip_height(), Some(6));

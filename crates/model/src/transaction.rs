@@ -27,7 +27,10 @@ impl Transaction {
 
     /// Convenience constructor for the common 1-input/1-output transfer.
     pub fn transfer(from: AccountId, to: AccountId) -> Self {
-        Self { inputs: vec![from], outputs: vec![to] }
+        Self {
+            inputs: vec![from],
+            outputs: vec![to],
+        }
     }
 
     /// Input account list (`A_in`, possibly with duplicates as submitted).
@@ -42,8 +45,12 @@ impl Transaction {
 
     /// The deduplicated, sorted account set `A_Tx = A_in ∪ A_out`.
     pub fn account_set(&self) -> Vec<AccountId> {
-        let mut all: Vec<AccountId> =
-            self.inputs.iter().chain(self.outputs.iter()).copied().collect();
+        let mut all: Vec<AccountId> = self
+            .inputs
+            .iter()
+            .chain(self.outputs.iter())
+            .copied()
+            .collect();
         all.sort_unstable();
         all.dedup();
         all
@@ -52,7 +59,11 @@ impl Transaction {
     /// `|A_Tx|` without allocating when the transaction is a plain transfer.
     pub fn account_count(&self) -> usize {
         if self.inputs.len() == 1 && self.outputs.len() == 1 {
-            return if self.inputs[0] == self.outputs[0] { 1 } else { 2 };
+            return if self.inputs[0] == self.outputs[0] {
+                1
+            } else {
+                2
+            };
         }
         self.account_set().len()
     }
@@ -85,7 +96,11 @@ impl Transaction {
     /// with their weight. A self-loop transaction yields `(a, a, 1.0)`.
     pub fn expanded_edges(&self) -> impl Iterator<Item = (AccountId, AccountId, f64)> + '_ {
         let set = self.account_set();
-        let w = if set.len() <= 1 { 1.0 } else { 1.0 / (set.len() * (set.len() - 1) / 2) as f64 };
+        let w = if set.len() <= 1 {
+            1.0
+        } else {
+            1.0 / (set.len() * (set.len() - 1) / 2) as f64
+        };
         ExpandedEdges { set, i: 0, j: 0, w }
     }
 }
@@ -164,7 +179,10 @@ mod tests {
         let edges: Vec<_> = tx.expanded_edges().collect();
         assert_eq!(edges.len(), 6);
         let total: f64 = edges.iter().map(|e| e.2).sum();
-        assert!((total - 1.0).abs() < 1e-12, "weights must sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-12,
+            "weights must sum to 1, got {total}"
+        );
         // All pairs distinct and ordered (i < j).
         for (u, v, _) in &edges {
             assert!(u < v);

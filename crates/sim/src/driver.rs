@@ -139,8 +139,13 @@ impl ShardedChainSim {
         };
         let update_time = start.elapsed();
 
-        let metrics =
-            epoch_metrics(blocks, &self.graph, &self.allocation, self.config.shards, self.config.eta);
+        let metrics = epoch_metrics(
+            blocks,
+            &self.graph,
+            &self.allocation,
+            self.config.shards,
+            self.config.eta,
+        );
         let report = EpochReport {
             epoch: self.epoch,
             height_range: (blocks[0].height(), blocks[blocks.len() - 1].height()),
@@ -225,7 +230,11 @@ mod tests {
         assert_eq!(reports.len(), 4);
         assert_eq!(reports[0].update, UpdateKind::Adaptive);
         assert_eq!(reports[1].update, UpdateKind::Adaptive);
-        assert_eq!(reports[2].update, UpdateKind::Global, "epoch 2 hits the gap");
+        assert_eq!(
+            reports[2].update,
+            UpdateKind::Global,
+            "epoch 2 hits the gap"
+        );
         assert_eq!(reports[3].update, UpdateKind::Adaptive);
     }
 

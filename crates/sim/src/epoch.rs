@@ -77,7 +77,11 @@ pub fn epoch_metrics(
         }
     }
 
-    let capacity = if tx_count == 0 { 1.0 } else { tx_count as f64 / shards as f64 };
+    let capacity = if tx_count == 0 {
+        1.0
+    } else {
+        tx_count as f64 / shards as f64
+    };
     let throughput: f64 = (0..shards)
         .map(|s| {
             if workloads[s] <= capacity {
@@ -91,7 +95,11 @@ pub fn epoch_metrics(
     EpochMetrics {
         transactions: tx_count,
         cross_shard: cross,
-        cross_shard_ratio: if tx_count == 0 { 0.0 } else { cross as f64 / tx_count as f64 },
+        cross_shard_ratio: if tx_count == 0 {
+            0.0
+        } else {
+            cross as f64 / tx_count as f64
+        },
         shard_workloads: workloads,
         throughput,
         throughput_normalized: throughput / capacity,
@@ -164,7 +172,10 @@ mod tests {
         let alloc = Allocation::new(labels, 2);
         let m = epoch_metrics(&[block], &graph, &alloc, 2, 4.0);
         assert_eq!(m.cross_shard, 0);
-        assert!((m.throughput_normalized - 2.0).abs() < 1e-12, "k× the unsharded chain");
+        assert!(
+            (m.throughput_normalized - 2.0).abs() < 1e-12,
+            "k× the unsharded chain"
+        );
     }
 
     #[test]

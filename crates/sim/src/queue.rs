@@ -92,7 +92,9 @@ impl ShardQueueSim {
             let id = self.remaining.len() as u32;
             shards_scratch.clear();
             for account in tx.account_set() {
-                let node = graph.node_of(account).expect("accounts ingested before simulation");
+                let node = graph
+                    .node_of(account)
+                    .expect("accounts ingested before simulation");
                 shards_scratch.push(allocation.shard_of(node).0);
             }
             shards_scratch.sort_unstable();
@@ -115,7 +117,9 @@ impl ShardQueueSim {
         for s in 0..self.queues.len() {
             let mut budget = self.capacity_per_block;
             while budget > 0.0 {
-                let Some(head) = self.queues[s].front().copied() else { break };
+                let Some(head) = self.queues[s].front().copied() else {
+                    break;
+                };
                 let left = head.cost - self.progress[s];
                 if left <= budget {
                     budget -= left;
@@ -190,8 +194,16 @@ impl ShardQueueSim {
             p50_latency: pct(0.5),
             p99_latency: pct(0.99),
             max_latency: latencies.last().copied().unwrap_or(0.0),
-            mean_intra_latency: if intra_n == 0 { 0.0 } else { intra_sum / intra_n as f64 },
-            mean_cross_latency: if cross_n == 0 { 0.0 } else { cross_sum / cross_n as f64 },
+            mean_intra_latency: if intra_n == 0 {
+                0.0
+            } else {
+                intra_sum / intra_n as f64
+            },
+            mean_cross_latency: if cross_n == 0 {
+                0.0
+            } else {
+                cross_sum / cross_n as f64
+            },
         }
     }
 }
@@ -254,7 +266,10 @@ mod tests {
         // wait for shard 1 — the barrier the analytic model folds into η.
         let mut txs = vec![Transaction::transfer(AccountId(0), AccountId(100))]; // cross
         for i in 0..50 {
-            txs.push(Transaction::transfer(AccountId(100 + 2 * i + 1), AccountId(100 + 2 * i + 2)));
+            txs.push(Transaction::transfer(
+                AccountId(100 + 2 * i + 1),
+                AccountId(100 + 2 * i + 2),
+            ));
         }
         let mut g = TxGraph::new();
         let block = Block::new(0, txs);
@@ -278,8 +293,9 @@ mod tests {
     #[test]
     fn eta_charges_more_work_for_cross_transactions() {
         // Same traffic, higher η → longer drain.
-        let txs: Vec<Transaction> =
-            (0..20).map(|i| Transaction::transfer(AccountId(i), AccountId(100 + i))).collect();
+        let txs: Vec<Transaction> = (0..20)
+            .map(|i| Transaction::transfer(AccountId(i), AccountId(100 + i)))
+            .collect();
         let mut g = TxGraph::new();
         let block = Block::new(0, txs);
         g.ingest_block(&block);
@@ -292,7 +308,10 @@ mod tests {
             sim.drain(1000);
             sim.stats().mean_latency
         };
-        assert!(run(6.0) > run(2.0), "higher η must increase measured latency");
+        assert!(
+            run(6.0) > run(2.0),
+            "higher η must increase measured latency"
+        );
     }
 
     #[test]
@@ -302,7 +321,12 @@ mod tests {
         let mut sim = ShardQueueSim::new(1, 20.0, 2.0);
         for h in 0..20u64 {
             let txs: Vec<Transaction> = (0..10)
-                .map(|i| Transaction::transfer(AccountId(h * 100 + 2 * i), AccountId(h * 100 + 2 * i + 1)))
+                .map(|i| {
+                    Transaction::transfer(
+                        AccountId(h * 100 + 2 * i),
+                        AccountId(h * 100 + 2 * i + 1),
+                    )
+                })
                 .collect();
             let block = Block::new(h, txs);
             g.ingest_block(&block);

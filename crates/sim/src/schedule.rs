@@ -46,7 +46,10 @@ mod tests {
     #[test]
     fn hybrid_fires_on_multiples() {
         let s = HybridSchedule::Hybrid { global_gap: 20 };
-        assert!(!s.is_global_epoch(0), "warm-up already provided the mapping");
+        assert!(
+            !s.is_global_epoch(0),
+            "warm-up already provided the mapping"
+        );
         assert!(!s.is_global_epoch(19));
         assert!(s.is_global_epoch(20));
         assert!(!s.is_global_epoch(21));

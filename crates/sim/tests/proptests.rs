@@ -9,7 +9,10 @@ use txallo_sim::{epoch_metrics, ShardQueueSim};
 fn block_of(pairs: &[(u64, u64)]) -> Block {
     Block::new(
         0,
-        pairs.iter().map(|&(a, b)| Transaction::transfer(AccountId(a), AccountId(b))).collect(),
+        pairs
+            .iter()
+            .map(|&(a, b)| Transaction::transfer(AccountId(a), AccountId(b)))
+            .collect(),
     )
 }
 

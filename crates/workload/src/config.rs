@@ -117,14 +117,21 @@ mod tests {
 
     #[test]
     fn block_count_division() {
-        let c = WorkloadConfig { transactions: 1000, block_size: 100, ..Default::default() };
+        let c = WorkloadConfig {
+            transactions: 1000,
+            block_size: 100,
+            ..Default::default()
+        };
         assert_eq!(c.block_count(), 10);
     }
 
     #[test]
     #[should_panic(expected = "probabilities")]
     fn invalid_probability_panics() {
-        let c = WorkloadConfig { hot_account_share: 1.5, ..Default::default() };
+        let c = WorkloadConfig {
+            hot_account_share: 1.5,
+            ..Default::default()
+        };
         c.validate();
     }
 }

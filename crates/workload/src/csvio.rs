@@ -50,7 +50,13 @@ pub fn write_ledger_csv(ledger: &Ledger, mut out: impl Write) -> Result<(), CsvE
         for tx in block.transactions() {
             let ins: Vec<String> = tx.inputs().iter().map(|a| a.0.to_string()).collect();
             let outs: Vec<String> = tx.outputs().iter().map(|a| a.0.to_string()).collect();
-            writeln!(out, "{},{},{}", block.height(), ins.join("|"), outs.join("|"))?;
+            writeln!(
+                out,
+                "{},{},{}",
+                block.height(),
+                ins.join("|"),
+                outs.join("|")
+            )?;
         }
     }
     Ok(())
@@ -58,15 +64,20 @@ pub fn write_ledger_csv(ledger: &Ledger, mut out: impl Write) -> Result<(), CsvE
 
 fn parse_accounts(field: &str, line: usize) -> Result<Vec<AccountId>, CsvError> {
     if field.is_empty() {
-        return Err(CsvError::Malformed { line, reason: "empty account list".into() });
+        return Err(CsvError::Malformed {
+            line,
+            reason: "empty account list".into(),
+        });
     }
     field
         .split('|')
         .map(|tok| {
-            tok.parse::<u64>().map(AccountId).map_err(|e| CsvError::Malformed {
-                line,
-                reason: format!("bad account id {tok:?}: {e}"),
-            })
+            tok.parse::<u64>()
+                .map(AccountId)
+                .map_err(|e| CsvError::Malformed {
+                    line,
+                    reason: format!("bad account id {tok:?}: {e}"),
+                })
         })
         .collect()
 }
@@ -90,9 +101,15 @@ pub fn read_ledger_csv(input: impl BufRead) -> Result<Ledger, CsvError> {
         let mut fields = trimmed.splitn(3, ',');
         let height: u64 = fields
             .next()
-            .ok_or_else(|| CsvError::Malformed { line: line_no, reason: "missing height".into() })?
+            .ok_or_else(|| CsvError::Malformed {
+                line: line_no,
+                reason: "missing height".into(),
+            })?
             .parse()
-            .map_err(|e| CsvError::Malformed { line: line_no, reason: format!("bad height: {e}") })?;
+            .map_err(|e| CsvError::Malformed {
+                line: line_no,
+                reason: format!("bad height: {e}"),
+            })?;
         let ins = parse_accounts(
             fields.next().ok_or_else(|| CsvError::Malformed {
                 line: line_no,
@@ -121,7 +138,10 @@ pub fn read_ledger_csv(input: impl BufRead) -> Result<Ledger, CsvError> {
                 });
             }
             Some(_) => {
-                blocks.push(Block::new(blocks.len() as u64, std::mem::take(&mut current_txs)));
+                blocks.push(Block::new(
+                    blocks.len() as u64,
+                    std::mem::take(&mut current_txs),
+                ));
                 current_height = Some(height);
                 current_txs.push(tx);
             }
@@ -134,7 +154,10 @@ pub fn read_ledger_csv(input: impl BufRead) -> Result<Ledger, CsvError> {
     if !current_txs.is_empty() {
         blocks.push(Block::new(blocks.len() as u64, current_txs));
     }
-    Ledger::from_blocks(blocks).map_err(|e| CsvError::Malformed { line: 0, reason: e.to_string() })
+    Ledger::from_blocks(blocks).map_err(|e| CsvError::Malformed {
+        line: 0,
+        reason: e.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -145,7 +168,11 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_transactions() {
-        let cfg = WorkloadConfig { accounts: 500, multi_io_prob: 0.3, ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            accounts: 500,
+            multi_io_prob: 0.3,
+            ..WorkloadConfig::default()
+        };
         let mut gen = EthereumLikeGenerator::new(cfg, 8);
         let ledger = gen.ledger(5);
         let mut buf = Vec::new();

@@ -53,9 +53,11 @@ fn resolve_columns(header: &str) -> Result<Columns, CsvError> {
         }
     }
     match (block_number, from_address, to_address) {
-        (Some(b), Some(f), Some(t)) => {
-            Ok(Columns { block_number: b, from_address: f, to_address: t })
-        }
+        (Some(b), Some(f), Some(t)) => Ok(Columns {
+            block_number: b,
+            from_address: f,
+            to_address: t,
+        }),
         _ => Err(CsvError::Malformed {
             line: 1,
             reason: "header must contain block_number, from_address, to_address".into(),
@@ -70,8 +72,10 @@ fn resolve_columns(header: &str) -> Result<Columns, CsvError> {
 pub fn read_ethereum_etl_csv(input: impl BufRead) -> Result<Ledger, CsvError> {
     let mut lines = input.lines().enumerate();
     let Some((_, header)) = lines.next() else {
-        return Ledger::from_blocks(Vec::new())
-            .map_err(|e| CsvError::Malformed { line: 0, reason: e.to_string() });
+        return Ledger::from_blocks(Vec::new()).map_err(|e| CsvError::Malformed {
+            line: 0,
+            reason: e.to_string(),
+        });
     };
     let columns = resolve_columns(&header?)?;
 
@@ -86,18 +90,28 @@ pub fn read_ethereum_etl_csv(input: impl BufRead) -> Result<Ledger, CsvError> {
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
-        let need = columns.block_number.max(columns.from_address).max(columns.to_address);
+        let need = columns
+            .block_number
+            .max(columns.from_address)
+            .max(columns.to_address);
         if fields.len() <= need {
             return Err(CsvError::Malformed {
                 line: line_no,
-                reason: format!("expected at least {} columns, got {}", need + 1, fields.len()),
+                reason: format!(
+                    "expected at least {} columns, got {}",
+                    need + 1,
+                    fields.len()
+                ),
             });
         }
         let block_number: u64 =
-            fields[columns.block_number].trim().parse().map_err(|e| CsvError::Malformed {
-                line: line_no,
-                reason: format!("bad block_number: {e}"),
-            })?;
+            fields[columns.block_number]
+                .trim()
+                .parse()
+                .map_err(|e| CsvError::Malformed {
+                    line: line_no,
+                    reason: format!("bad block_number: {e}"),
+                })?;
         let from = fields[columns.from_address].trim();
         if from.is_empty() {
             return Err(CsvError::Malformed {
@@ -107,8 +121,11 @@ pub fn read_ethereum_etl_csv(input: impl BufRead) -> Result<Ledger, CsvError> {
         }
         let sender = address_to_account(from);
         let to_field = fields[columns.to_address].trim();
-        let receiver =
-            if to_field.is_empty() { sender } else { address_to_account(to_field) };
+        let receiver = if to_field.is_empty() {
+            sender
+        } else {
+            address_to_account(to_field)
+        };
         let tx = Transaction::transfer(sender, receiver);
 
         match current_block {
@@ -116,11 +133,16 @@ pub fn read_ethereum_etl_csv(input: impl BufRead) -> Result<Ledger, CsvError> {
             Some(b) if block_number < b => {
                 return Err(CsvError::Malformed {
                     line: line_no,
-                    reason: format!("block numbers must be non-decreasing ({block_number} after {b})"),
+                    reason: format!(
+                        "block numbers must be non-decreasing ({block_number} after {b})"
+                    ),
                 });
             }
             Some(_) => {
-                blocks.push(Block::new(blocks.len() as u64, std::mem::take(&mut current_txs)));
+                blocks.push(Block::new(
+                    blocks.len() as u64,
+                    std::mem::take(&mut current_txs),
+                ));
                 current_block = Some(block_number);
                 current_txs.push(tx);
             }
@@ -133,8 +155,10 @@ pub fn read_ethereum_etl_csv(input: impl BufRead) -> Result<Ledger, CsvError> {
     if !current_txs.is_empty() {
         blocks.push(Block::new(blocks.len() as u64, current_txs));
     }
-    Ledger::from_blocks(blocks)
-        .map_err(|e| CsvError::Malformed { line: 0, reason: e.to_string() })
+    Ledger::from_blocks(blocks).map_err(|e| CsvError::Malformed {
+        line: 0,
+        reason: e.to_string(),
+    })
 }
 
 #[cfg(test)]

@@ -55,8 +55,9 @@ impl EthereumLikeGenerator {
         let g = config.groups.min(n / 2).max(1);
 
         // Group popularity (sizes) follow a Zipf law of their own.
-        let group_weights: Vec<f64> =
-            (0..g).map(|i| 1.0 / ((i + 1) as f64).powf(config.group_size_exponent)).collect();
+        let group_weights: Vec<f64> = (0..g)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(config.group_size_exponent))
+            .collect();
         let group_table = ZipfTable::from_weights(&group_weights);
 
         // Assign accounts to groups: the first 2g accounts round-robin (so
@@ -279,8 +280,9 @@ impl EthereumLikeGenerator {
         let height = self.next_height;
         self.next_height += 1;
         let epoch = height / self.config.drift_interval.max(1);
-        let txs: Vec<Transaction> =
-            (0..self.config.block_size).map(|_| self.next_transaction(epoch)).collect();
+        let txs: Vec<Transaction> = (0..self.config.block_size)
+            .map(|_| self.next_transaction(epoch))
+            .collect();
         Block::new(height, txs)
     }
 
@@ -334,7 +336,10 @@ mod tests {
         let mut b = EthereumLikeGenerator::new(small_config(), 2);
         let la = a.ledger(5);
         let lb = b.ledger(5);
-        assert!(la.transactions().zip(lb.transactions()).any(|(x, y)| x != y));
+        assert!(la
+            .transactions()
+            .zip(lb.transactions())
+            .any(|(x, y)| x != y));
     }
 
     #[test]
@@ -363,7 +368,11 @@ mod tests {
         let ledger = gen.default_ledger();
         let graph = TxGraph::from_ledger(&ledger);
         let s = GraphStats::compute(&graph);
-        assert!(s.gini > 0.5, "activity should be concentrated, gini = {}", s.gini);
+        assert!(
+            s.gini > 0.5,
+            "activity should be concentrated, gini = {}",
+            s.gini
+        );
         assert!(
             s.low_activity_fraction > 0.3,
             "most accounts are barely active, got {}",

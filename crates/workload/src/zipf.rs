@@ -57,7 +57,9 @@ impl ZipfTable {
         let x: f64 = rng.gen::<f64>() * total;
         // partition_point returns the first rank whose cumulative weight
         // exceeds x.
-        self.cdf.partition_point(|&c| c <= x).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= x)
+            .min(self.cdf.len() - 1)
     }
 
     /// Probability of a given rank.

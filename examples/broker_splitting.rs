@@ -29,8 +29,14 @@ fn main() {
     let broker_cfg = BrokerConfig::default();
     let (_, brokered) = allocate_with_brokers(&graph, &params, &broker_cfg);
 
-    println!("k = {k}, η = {}, split threshold = {:.1}λ\n", params.eta, broker_cfg.split_threshold);
-    println!("{:<18} {:>10} {:>10} {:>10} {:>10} {:>10}", "variant", "γ %", "ρ/λ", "Λ/λ", "ζ avg", "ζ worst");
+    println!(
+        "k = {k}, η = {}, split threshold = {:.1}λ\n",
+        params.eta, broker_cfg.split_threshold
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "variant", "γ %", "ρ/λ", "Λ/λ", "ζ avg", "ζ worst"
+    );
     println!(
         "{:<18} {:>10.1} {:>10.2} {:>10.2} {:>10.2} {:>10.0}",
         "plain G-TxAllo",

@@ -37,7 +37,10 @@ fn main() {
     );
 
     for (name, allocation) in [
-        ("G-TxAllo", GTxAllo::new(params.clone()).allocate_graph(&graph)),
+        (
+            "G-TxAllo",
+            GTxAllo::new(params.clone()).allocate_graph(&graph),
+        ),
         ("hash", HashAllocator::new(k).allocate_graph(&graph)),
     ] {
         let metrics = MetricsReport::compute(&graph, &allocation, &params);

@@ -34,7 +34,10 @@ fn main() {
             let ledger = EthereumLikeGenerator::new(config, 11).default_ledger();
             let file = File::create(&tmp).expect("create temp trace");
             write_ledger_csv(&ledger, BufWriter::new(file)).expect("write trace");
-            println!("(no trace given — wrote a synthetic one to {})\n", tmp.display());
+            println!(
+                "(no trace given — wrote a synthetic one to {})\n",
+                tmp.display()
+            );
             tmp.to_string_lossy().into_owned()
         }
     };
@@ -56,8 +59,14 @@ fn main() {
     let params = TxAlloParams::for_graph(dataset.graph(), k);
 
     for (name, allocation) in [
-        ("G-TxAllo", GTxAllo::new(params.clone()).allocate_graph(dataset.graph())),
-        ("hash", HashAllocator::new(k).allocate_graph(dataset.graph())),
+        (
+            "G-TxAllo",
+            GTxAllo::new(params.clone()).allocate_graph(dataset.graph()),
+        ),
+        (
+            "hash",
+            HashAllocator::new(k).allocate_graph(dataset.graph()),
+        ),
     ] {
         let r = MetricsReport::compute(dataset.graph(), &allocation, &params);
         let tx_gamma = MetricsReport::transaction_level_cross_ratio(&dataset, &allocation);

@@ -18,7 +18,10 @@ fn main() {
     let mut generator = EthereumLikeGenerator::new(config.clone(), 42);
     let ledger = generator.default_ledger();
     let stats = ledger.stats();
-    println!("trace: {} blocks, {} transactions, {} accounts", stats.block_count, stats.transaction_count, stats.account_count);
+    println!(
+        "trace: {} blocks, {} transactions, {} accounts",
+        stats.block_count, stats.transaction_count, stats.account_count
+    );
     println!(
         "hottest account participates in {:.1}% of transactions",
         100.0 * stats.hottest_account_share()
@@ -45,16 +48,35 @@ fn main() {
     // 4. Evaluate.
     let report = MetricsReport::compute(&graph, &outcome.allocation, &params);
     println!("\n=== {k}-shard allocation ===");
-    println!("cross-shard ratio γ       : {:.1}%", 100.0 * report.cross_shard_ratio);
-    println!("workload balance ρ/λ      : {:.3}", report.workload_std_normalized);
-    println!("throughput Λ/λ            : {:.2}× an unsharded chain", report.throughput_normalized);
-    println!("avg confirmation latency ζ: {:.2} blocks", report.avg_latency);
-    println!("worst-case latency        : {:.0} blocks", report.worst_latency);
+    println!(
+        "cross-shard ratio γ       : {:.1}%",
+        100.0 * report.cross_shard_ratio
+    );
+    println!(
+        "workload balance ρ/λ      : {:.3}",
+        report.workload_std_normalized
+    );
+    println!(
+        "throughput Λ/λ            : {:.2}× an unsharded chain",
+        report.throughput_normalized
+    );
+    println!(
+        "avg confirmation latency ζ: {:.2} blocks",
+        report.avg_latency
+    );
+    println!(
+        "worst-case latency        : {:.0} blocks",
+        report.worst_latency
+    );
 
     // 5. Compare against the traditional hash-based allocation.
     let hash_alloc = HashAllocator::new(k).allocate_graph(&graph);
     let hash_report = MetricsReport::compute(&graph, &hash_alloc, &params);
-    println!("\nhash-based baseline: γ = {:.1}%, Λ/λ = {:.2}×", 100.0 * hash_report.cross_shard_ratio, hash_report.throughput_normalized);
+    println!(
+        "\nhash-based baseline: γ = {:.1}%, Λ/λ = {:.2}×",
+        100.0 * hash_report.cross_shard_ratio,
+        hash_report.throughput_normalized
+    );
     println!(
         "TxAllo removes {:.0}% of the cross-shard transactions.",
         100.0 * (1.0 - report.cross_shard_ratio / hash_report.cross_shard_ratio.max(1e-9))

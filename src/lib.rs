@@ -59,6 +59,7 @@ pub use txallo_workload as workload;
 
 /// Convenience re-exports of the most common types.
 pub mod prelude {
+    pub use txallo_chain::{ChainEngine, ChainEngineConfig, EngineReport};
     pub use txallo_core::{
         Allocation, Allocator, AtxAllo, Dataset, GTxAllo, HashAllocator, MetisAllocator,
         MetricsReport, SchedulerConfig, ShardScheduler, TxAlloParams,
@@ -66,6 +67,5 @@ pub mod prelude {
     pub use txallo_graph::{AdjacencyGraph, GraphStats, NodeId, TxGraph, WeightedGraph};
     pub use txallo_model::{AccountId, Block, Ledger, ShardId, Transaction};
     pub use txallo_sim::{EpochReport, HybridSchedule, ShardedChainSim, SimConfig, UpdateKind};
-    pub use txallo_chain::{ChainEngine, ChainEngineConfig, EngineReport};
     pub use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
 }

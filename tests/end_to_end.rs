@@ -18,7 +18,12 @@ fn small_dataset(seed: u64) -> Dataset {
 fn evaluate(alloc: &mut dyn Allocator, dataset: &Dataset, k: usize, eta: f64) -> MetricsReport {
     let params = TxAlloParams::for_graph(dataset.graph(), k).with_eta(eta);
     let allocation = alloc.allocate(dataset);
-    assert_eq!(allocation.len(), dataset.graph().node_count(), "{} must label all", alloc.name());
+    assert_eq!(
+        allocation.len(),
+        dataset.graph().node_count(),
+        "{} must label all",
+        alloc.name()
+    );
     assert!(
         allocation.labels().iter().all(|&l| (l as usize) < k),
         "{} produced out-of-range labels",
@@ -44,16 +49,28 @@ fn full_pipeline_all_allocators() {
     let r_sched = evaluate(&mut sched, &dataset, k, 2.0);
 
     // The paper's headline ordering (§VI-B7).
-    assert!(r_tx.cross_shard_ratio < r_metis.cross_shard_ratio, "TxAllo must beat METIS on γ");
-    assert!(r_metis.cross_shard_ratio < r_hash.cross_shard_ratio, "METIS must beat hash on γ");
-    assert!(r_tx.cross_shard_ratio < r_sched.cross_shard_ratio, "TxAllo must beat Scheduler on γ");
+    assert!(
+        r_tx.cross_shard_ratio < r_metis.cross_shard_ratio,
+        "TxAllo must beat METIS on γ"
+    );
+    assert!(
+        r_metis.cross_shard_ratio < r_hash.cross_shard_ratio,
+        "METIS must beat hash on γ"
+    );
+    assert!(
+        r_tx.cross_shard_ratio < r_sched.cross_shard_ratio,
+        "TxAllo must beat Scheduler on γ"
+    );
     assert!(
         r_tx.throughput >= r_hash.throughput,
         "TxAllo throughput {} must be at least hash {}",
         r_tx.throughput,
         r_hash.throughput
     );
-    assert!(r_tx.avg_latency <= r_hash.avg_latency, "TxAllo must confirm faster than hash");
+    assert!(
+        r_tx.avg_latency <= r_hash.avg_latency,
+        "TxAllo must confirm faster than hash"
+    );
 }
 
 #[test]
@@ -144,8 +161,7 @@ fn scheduler_balances_better_than_gtxallo_under_hot_account() {
         hot_account_share: 0.2, // exaggerate the hot spot
         ..WorkloadConfig::default()
     };
-    let dataset =
-        Dataset::from_ledger(EthereumLikeGenerator::new(config, 17).default_ledger());
+    let dataset = Dataset::from_ledger(EthereumLikeGenerator::new(config, 17).default_ledger());
     let k = 10;
     let total = dataset.graph().total_weight();
     let mut sched = ShardScheduler::new(SchedulerConfig::new(k, total));
@@ -173,5 +189,8 @@ fn eta_self_adjustment() {
     };
     let g2 = gamma(2.0);
     let g10 = gamma(10.0);
-    assert!(g10 <= g2 + 0.02, "γ(η=10) = {g10} should not exceed γ(η=2) = {g2}");
+    assert!(
+        g10 <= g2 + 0.02,
+        "γ(η=10) = {g10} should not exceed γ(η=2) = {g2}"
+    );
 }

@@ -2,10 +2,10 @@
 
 use proptest::prelude::*;
 
-use txallo::prelude::*;
-use txallo::core::state::{capped_throughput, CommunityState, MoveScratch};
 use txallo::core::latency_of_normalized_load;
+use txallo::core::state::{capped_throughput, CommunityState, MoveScratch};
 use txallo::model::Block;
+use txallo::prelude::*;
 
 /// Strategy: a random list of transfers over a bounded account universe.
 fn transfers(max_accounts: u64, len: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
@@ -83,8 +83,8 @@ proptest! {
         state.gather_links(&g, &labels, v, &mut scratch);
         let self_w = g.self_loop(v);
         let d_v = g.incident_weight(v);
-        let w_vp = scratch.link.get(&p).copied().unwrap_or(0.0);
-        let w_vq = scratch.link.get(&q).copied().unwrap_or(0.0);
+        let w_vp = scratch.weight_to(p);
+        let w_vq = scratch.weight_to(q);
         let predicted = state.move_gain(p, q, self_w, d_v, w_vp, w_vq);
 
         let mut labels2 = labels.clone();

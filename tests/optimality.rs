@@ -35,7 +35,10 @@ fn tiny_graph(seed: u64) -> TxGraph {
 /// Exhaustive best throughput over all `k^n` labelings.
 fn brute_force_best(graph: &TxGraph, k: usize, params: &TxAlloParams) -> f64 {
     let n = graph.node_count();
-    assert!(k.pow(n as u32) <= 1 << 20, "instance too large to brute-force");
+    assert!(
+        k.pow(n as u32) <= 1 << 20,
+        "instance too large to brute-force"
+    );
     let mut best = f64::MIN;
     let mut labels = vec![0u32; n];
     let total = k.pow(n as u32);
@@ -62,16 +65,15 @@ fn gtxallo_result_is_locally_optimal() {
         let params = TxAlloParams::for_graph(&g, k);
         let alloc = GTxAllo::new(params.clone()).allocate_graph(&g);
         let labels = alloc.labels().to_vec();
-        let state =
-            CommunityState::from_labels(&g, &labels, k, params.eta, params.capacity);
+        let state = CommunityState::from_labels(&g, &labels, k, params.eta, params.capacity);
         let mut scratch = MoveScratch::default();
         for v in 0..g.node_count() as NodeId {
             let p = labels[v as usize];
             state.gather_links(&g, &labels, v, &mut scratch);
             let self_w = g.self_loop(v);
             let d_v = g.incident_weight(v);
-            let w_vp = scratch.link.get(&p).copied().unwrap_or(0.0);
-            for (&q, &w_vq) in scratch.link.iter() {
+            let w_vp = scratch.weight_to(p);
+            for (q, w_vq) in scratch.candidates() {
                 if q == p {
                     continue;
                 }
