@@ -32,8 +32,8 @@ fn main() {
     let mut scale = ExperimentScale::default();
     let mut quick = false;
     // Default snapshot name for `bench-snapshot`; later PRs bump it (or
-    // pass `--out BENCH_prN.json`) so the PR-1 baseline is never clobbered.
-    let mut out_path = String::from("BENCH_pr1.json");
+    // pass `--out BENCH_prN.json`) so earlier baselines are never clobbered.
+    let mut out_path = String::from("BENCH_pr2.json");
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {

@@ -7,6 +7,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod seed_ref;
 
 pub use harness::{
     build_dataset, eta_sweep, k_sweep, run_allocator, AllocatorKind, ExperimentScale, ResultWriter,

@@ -1,0 +1,168 @@
+//! The seed (pre-delta-CSR) A-TxAllo epoch update, preserved verbatim as a
+//! measurable baseline — the same role `gather/hashmap` plays for the
+//! G-TxAllo sweep refactor. Benchmarks pin `atxallo/epoch_update_seed`
+//! against it so every snapshot records a same-machine, same-run speedup
+//! instead of comparing medians across machine states.
+//!
+//! Implementation notes: gathers candidate links over the mutable hash
+//! adjacency via `CommunityState::gather_links`, re-gathers every node in
+//! every sweep, and re-derives the community aggregates from the whole
+//! graph per update — exactly the code A-TxAllo ran before the delta-CSR
+//! epoch pipeline.
+
+use txallo_core::state::UNASSIGNED;
+use txallo_core::{Allocation, CommunityState, MoveScratch, TxAlloParams, GAIN_EPS};
+use txallo_graph::{NodeId, TxGraph, WeightedGraph};
+
+/// One adaptive epoch update, seed implementation. Returns the updated
+/// label vector.
+pub fn seed_atxallo_update(
+    params: &TxAlloParams,
+    graph: &TxGraph,
+    previous: &Allocation,
+    touched: &[NodeId],
+) -> Vec<u32> {
+    let n = graph.node_count();
+    let k = params.shards;
+    let mut labels: Vec<u32> = Vec::with_capacity(n);
+    labels.extend_from_slice(previous.labels());
+    labels.resize(n, UNASSIGNED);
+    let mut state = CommunityState::from_labels(graph, &labels, k, params.eta, params.capacity);
+    let mut scratch = MoveScratch::default();
+    let mut order: Vec<NodeId> = touched.to_vec();
+    order.sort_unstable_by_key(|&v| {
+        let a = graph.account(v);
+        (a.address_hash(), a.0)
+    });
+
+    // Phase 1: place brand-new nodes.
+    for &v in &order {
+        if labels[v as usize] != UNASSIGNED {
+            continue;
+        }
+        state.gather_links(graph, &labels, v, &mut scratch);
+        let self_w = graph.self_loop(v);
+        let d_v = graph.incident_weight(v);
+        let mut best: Option<(u32, f64, f64)> = None;
+        let mut max_gain = f64::NEG_INFINITY;
+        let consider = |q: u32,
+                        w_vq: f64,
+                        best: &mut Option<(u32, f64, f64)>,
+                        max_gain: &mut f64,
+                        state: &CommunityState| {
+            let gain = state.join_gain(q, self_w, d_v, w_vq);
+            let sigma = state.sigma(q);
+            if gain > *max_gain {
+                *max_gain = gain;
+            }
+            let better = match *best {
+                None => true,
+                Some((_, bg, bs)) => {
+                    bg < *max_gain - GAIN_EPS || (gain >= *max_gain - GAIN_EPS && sigma < bs)
+                }
+            };
+            if better {
+                *best = Some((q, gain, sigma));
+            }
+        };
+        if scratch.is_empty() {
+            for q in 0..k as u32 {
+                consider(q, 0.0, &mut best, &mut max_gain, &state);
+            }
+        } else {
+            for (q, w_vq) in scratch.candidates() {
+                consider(q, w_vq, &mut best, &mut max_gain, &state);
+            }
+        }
+        let q = best.expect("k >= 1").0;
+        let w_vq = scratch.weight_to(q);
+        state.apply_join(q, self_w, d_v, w_vq);
+        labels[v as usize] = q;
+    }
+
+    // Phase 2: optimize over V̂, full re-gather every sweep.
+    let mut sweeps = 0usize;
+    loop {
+        let mut delta = 0.0;
+        for &v in &order {
+            let p = labels[v as usize];
+            state.gather_links(graph, &labels, v, &mut scratch);
+            if scratch.is_empty() || scratch.only_touches(p) {
+                continue;
+            }
+            let self_w = graph.self_loop(v);
+            let d_v = graph.incident_weight(v);
+            let w_vp = scratch.weight_to(p);
+            let leave = state.leave_gain(p, self_w, d_v, w_vp);
+            let mut best: Option<(u32, f64, f64)> = None;
+            for (q, w_vq) in scratch.candidates() {
+                if q == p {
+                    continue;
+                }
+                let gain = leave + state.join_gain(q, self_w, d_v, w_vq);
+                match best {
+                    Some((_, bg, _)) if gain <= bg + GAIN_EPS => {}
+                    _ => best = Some((q, gain, w_vq)),
+                }
+            }
+            if let Some((q, gain, w_vq)) = best {
+                if gain > 0.0 {
+                    state.apply_leave(p, self_w, d_v, w_vp);
+                    state.apply_join(q, self_w, d_v, w_vq);
+                    labels[v as usize] = q;
+                    delta += gain;
+                }
+            }
+        }
+        sweeps += 1;
+        if delta < params.epsilon || sweeps >= params.max_sweeps {
+            break;
+        }
+    }
+
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txallo_core::{AtxAllo, GTxAllo};
+    use txallo_model::{AccountId, Block, Transaction};
+
+    /// The seed baseline must still produce a *semantically* equivalent
+    /// update (same clusters), keeping the benchmark comparison honest.
+    #[test]
+    fn seed_reference_still_behaves() {
+        let mut g = TxGraph::new();
+        for base in [0u64, 10] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    g.ingest_transaction(&Transaction::transfer(
+                        AccountId(base + i),
+                        AccountId(base + j),
+                    ));
+                }
+            }
+        }
+        let params = TxAlloParams::for_graph(&g, 2);
+        let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
+        let block = Block::new(
+            0,
+            vec![
+                Transaction::transfer(AccountId(100), AccountId(0)),
+                Transaction::transfer(AccountId(100), AccountId(1)),
+            ],
+        );
+        let touched = g.ingest_block(&block);
+        let seed = seed_atxallo_update(&params, &g, &prev, &touched);
+        let new = AtxAllo::new(params).update(&g, &prev, &touched);
+        let n100 = g.node_of(AccountId(100)).unwrap() as usize;
+        let n0 = g.node_of(AccountId(0)).unwrap() as usize;
+        assert_eq!(seed[n100], seed[n0], "seed places 100 with cluster 0");
+        assert_eq!(
+            new.allocation.labels()[n100],
+            seed[n100],
+            "both implementations agree on the placement"
+        );
+    }
+}

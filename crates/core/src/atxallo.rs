@@ -1,19 +1,45 @@
 //! A-TxAllo — the adaptive allocation algorithm (Algorithm 2).
 
-use txallo_graph::{NodeId, TxGraph, WeightedGraph};
-use txallo_louvain::GAIN_EPS;
+use txallo_graph::{NodeId, TxGraph};
 
 use crate::allocation::Allocation;
 use crate::params::TxAlloParams;
-use crate::state::{CommunityState, MoveScratch, UNASSIGNED};
+use crate::session::AtxAlloSession;
 
 /// The adaptive TxAllo algorithm: starting from the previous allocation, it
 /// (1) places the brand-new accounts of the freshly committed blocks and
 /// (2) re-optimizes only the touched node set `V̂`, giving `O(|V̂|·k)`
 /// running time — constant in chain length (§V-C).
+///
+/// The epoch sweep never runs on the mutable hash-map adjacency: the
+/// touched-set neighborhood is frozen into a
+/// [`DeltaCsr`](txallo_graph::DeltaCsr) snapshot first
+/// and all sweeps iterate flat rows with stamp-based skipping (see
+/// `crate::incremental`). Two snapshot routes exist — the incremental
+/// delta build and the full-graph CSR fallback — chosen by
+/// [`TxAlloParams::incremental_threshold`] on the touched fraction.
+/// Both routes produce byte-identical allocations (golden-tested).
+///
+/// This type is the *stateless* entry point: each call rebuilds the
+/// community aggregates from the whole graph (`O(n + m)`). A serving
+/// system processing an epoch stream should hold an
+/// [`AtxAlloSession`] instead, which carries the
+/// aggregates across epochs; every method here simply opens a throwaway
+/// session and runs one update through it.
 #[derive(Debug, Clone)]
 pub struct AtxAllo {
     params: TxAlloParams,
+}
+
+/// Which snapshot route an adaptive update took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdatePath {
+    /// Delta-CSR snapshot of the touched neighborhood only
+    /// ([`DeltaCsr::snapshot_touched`](txallo_graph::DeltaCsr::snapshot_touched)).
+    Incremental,
+    /// Whole graph frozen into a CSR, touched rows extracted
+    /// ([`DeltaCsr::snapshot_full`](txallo_graph::DeltaCsr::snapshot_full)).
+    Full,
 }
 
 /// Outcome of an adaptive update.
@@ -29,6 +55,8 @@ pub struct AtxAlloOutcome {
     pub total_gain: f64,
     /// Node moves committed across both phases.
     pub moves: usize,
+    /// Which snapshot route produced this outcome.
+    pub path: UpdatePath,
 }
 
 impl AtxAllo {
@@ -50,141 +78,53 @@ impl AtxAllo {
     ///   interner only appends);
     /// * `touched` — the node set `V̂` returned by
     ///   [`TxGraph::ingest_block`] for the new blocks.
+    ///
+    /// Dispatches between [`AtxAllo::update_incremental`] and
+    /// [`AtxAllo::update_full`] on the touched fraction
+    /// `|V̂| / |V| ≤` [`TxAlloParams::incremental_threshold`]; the choice
+    /// affects running time only, never the result.
     pub fn update(
         &self,
         graph: &TxGraph,
         previous: &Allocation,
         touched: &[NodeId],
     ) -> AtxAlloOutcome {
-        let n = graph.node_count();
-        let k = self.params.shards;
-        assert_eq!(
-            previous.shard_count(),
-            k,
-            "shard count cannot change between updates"
-        );
-        assert!(
-            previous.len() <= n,
-            "previous allocation labels unknown nodes"
-        );
+        AtxAlloSession::new(graph, previous, &self.params).update(graph, touched, &self.params)
+    }
 
-        // Extend the label vector: new nodes start unassigned.
-        let mut labels: Vec<u32> = Vec::with_capacity(n);
-        labels.extend_from_slice(previous.labels());
-        labels.resize(n, UNASSIGNED);
+    /// [`AtxAllo::update`] forced onto the incremental delta-CSR route:
+    /// only `V̂` and its incident edges are snapshotted.
+    pub fn update_incremental(
+        &self,
+        graph: &TxGraph,
+        previous: &Allocation,
+        touched: &[NodeId],
+    ) -> AtxAlloOutcome {
+        AtxAlloSession::new(graph, previous, &self.params).update_with_route(
+            graph,
+            touched,
+            &self.params,
+            UpdatePath::Incremental,
+        )
+    }
 
-        let mut state =
-            CommunityState::from_labels(graph, &labels, k, self.params.eta, self.params.capacity);
-        let mut scratch = MoveScratch::default();
-
-        // Deterministic sweep order over V̂: canonical account-hash order.
-        let mut order: Vec<NodeId> = touched.to_vec();
-        order.sort_unstable_by_key(|&v| {
-            let a = graph.account(v);
-            (a.address_hash(), a.0)
-        });
-
-        // ---- Phase 1 (lines 1–8): place brand-new nodes.
-        let mut new_nodes = 0usize;
-        let mut moves = 0usize;
-        for &v in &order {
-            if labels[v as usize] != UNASSIGNED {
-                continue;
-            }
-            new_nodes += 1;
-            state.gather_links(graph, &labels, v, &mut scratch);
-            let self_w = graph.self_loop(v);
-            let d_v = graph.incident_weight(v);
-            // Ties (within GAIN_EPS of the running maximum gain) broken
-            // toward the least-loaded community (see `GTxAllo::best_join`
-            // for why this matters and for the anchoring rule).
-            let mut best: Option<(u32, f64, f64)> = None; // (q, gain, sigma)
-            let mut max_gain = f64::NEG_INFINITY;
-            let consider =
-                |q: u32, w_vq: f64, best: &mut Option<(u32, f64, f64)>, max_gain: &mut f64| {
-                    let gain = state.join_gain(q, self_w, d_v, w_vq);
-                    let sigma = state.sigma(q);
-                    if gain > *max_gain {
-                        *max_gain = gain;
-                    }
-                    let better = match *best {
-                        None => true,
-                        Some((_, bg, bs)) => {
-                            bg < *max_gain - GAIN_EPS
-                                || (gain >= *max_gain - GAIN_EPS && sigma < bs)
-                        }
-                    };
-                    if better {
-                        *best = Some((q, gain, sigma));
-                    }
-                };
-            if scratch.is_empty() {
-                // C_v = ∅: consider every community (lines 3–5).
-                for q in 0..k as u32 {
-                    consider(q, 0.0, &mut best, &mut max_gain);
-                }
-            } else {
-                for (q, w_vq) in scratch.candidates() {
-                    consider(q, w_vq, &mut best, &mut max_gain);
-                }
-            }
-            let q = best.expect("k ≥ 1").0;
-            let w_vq = scratch.weight_to(q);
-            state.apply_join(q, self_w, d_v, w_vq);
-            labels[v as usize] = q;
-            moves += 1;
-        }
-
-        // ---- Phase 2 (lines 9–17): optimize over V̂ only.
-        let mut sweeps = 0usize;
-        let mut total_gain = 0.0;
-        loop {
-            let mut delta = 0.0;
-            for &v in &order {
-                let p = labels[v as usize];
-                state.gather_links(graph, &labels, v, &mut scratch);
-                if scratch.is_empty() || scratch.only_touches(p) {
-                    continue;
-                }
-                let self_w = graph.self_loop(v);
-                let d_v = graph.incident_weight(v);
-                let w_vp = scratch.weight_to(p);
-                let leave = state.leave_gain(p, self_w, d_v, w_vp);
-                let mut best: Option<(u32, f64, f64)> = None;
-                for (q, w_vq) in scratch.candidates() {
-                    if q == p {
-                        continue;
-                    }
-                    let gain = leave + state.join_gain(q, self_w, d_v, w_vq);
-                    match best {
-                        Some((_, bg, _)) if gain <= bg + GAIN_EPS => {}
-                        _ => best = Some((q, gain, w_vq)),
-                    }
-                }
-                if let Some((q, gain, w_vq)) = best {
-                    if gain > 0.0 {
-                        state.apply_leave(p, self_w, d_v, w_vp);
-                        state.apply_join(q, self_w, d_v, w_vq);
-                        labels[v as usize] = q;
-                        delta += gain;
-                        total_gain += gain;
-                        moves += 1;
-                    }
-                }
-            }
-            sweeps += 1;
-            if delta < self.params.epsilon || sweeps >= self.params.max_sweeps {
-                break;
-            }
-        }
-
-        AtxAlloOutcome {
-            allocation: Allocation::new(labels, k),
-            new_nodes,
-            sweeps,
-            total_gain,
-            moves,
-        }
+    /// [`AtxAllo::update`] forced onto the full-recompute route: the whole
+    /// graph is frozen into a CSR in global id space (the same
+    /// `CsrGraph::from_graph` machinery G-TxAllo snapshots with — no
+    /// renumbering, because labels are indexed by global ids), and the
+    /// touched rows are extracted and swept in canonical order.
+    pub fn update_full(
+        &self,
+        graph: &TxGraph,
+        previous: &Allocation,
+        touched: &[NodeId],
+    ) -> AtxAlloOutcome {
+        AtxAlloSession::new(graph, previous, &self.params).update_with_route(
+            graph,
+            touched,
+            &self.params,
+            UpdatePath::Full,
+        )
     }
 }
 
@@ -192,6 +132,7 @@ impl AtxAllo {
 mod tests {
     use super::*;
     use crate::gtxallo::GTxAllo;
+    use txallo_graph::WeightedGraph;
     use txallo_model::{AccountId, Block, Transaction};
 
     fn base_graph() -> TxGraph {
@@ -320,6 +261,28 @@ mod tests {
         let a = AtxAllo::new(params.clone()).update(&g, &prev, &touched);
         let b = AtxAllo::new(params).update(&g, &prev, &touched);
         assert_eq!(a.allocation, b.allocation);
+    }
+
+    #[test]
+    fn dispatch_follows_the_touched_fraction() {
+        let mut g = base_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
+        let block = Block::new(0, vec![Transaction::transfer(AccountId(100), AccountId(0))]);
+        let touched = g.ingest_block(&block); // 2 of 11 nodes
+        let inc = AtxAllo::new(params.clone().with_incremental_threshold(1.0))
+            .update(&g, &prev, &touched);
+        assert_eq!(inc.path, UpdatePath::Incremental);
+        let full = AtxAllo::new(params.with_incremental_threshold(0.0)).update(&g, &prev, &touched);
+        assert_eq!(full.path, UpdatePath::Full);
+        assert_eq!(
+            inc.allocation, full.allocation,
+            "route choice must not change the result"
+        );
+        assert_eq!(
+            (inc.new_nodes, inc.sweeps, inc.moves),
+            (full.new_nodes, full.sweeps, full.moves)
+        );
     }
 
     #[test]

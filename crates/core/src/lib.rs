@@ -24,15 +24,17 @@ pub mod broker;
 pub mod dataset;
 pub mod gtxallo;
 pub mod hash_alloc;
+mod incremental;
 pub mod metis_alloc;
 pub mod metrics;
 pub mod params;
 pub mod scheduler;
+pub mod session;
 pub mod state;
 
 pub use ablation::{gtxallo_full_scan, gtxallo_with_init_strategy, InitStrategy};
 pub use allocation::Allocation;
-pub use atxallo::{AtxAllo, AtxAlloOutcome};
+pub use atxallo::{AtxAllo, AtxAlloOutcome, UpdatePath};
 pub use broker::{
     allocate_with_brokers, evaluate_with_brokers, select_split_accounts, BrokerConfig,
     BrokeredReport, MaskedGraph,
@@ -44,6 +46,7 @@ pub use metis_alloc::MetisAllocator;
 pub use metrics::{latency_of_normalized_load, MetricsReport};
 pub use params::TxAlloParams;
 pub use scheduler::{SchedulerConfig, ShardScheduler};
+pub use session::AtxAlloSession;
 pub use state::{CommunityState, MoveScratch};
 // The shared gain tie-break tolerance: one constant across Louvain and the
 // TxAllo sweeps (see its docs in `txallo_louvain` for the determinism

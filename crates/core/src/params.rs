@@ -23,6 +23,14 @@ pub struct TxAlloParams {
     /// Safety cap on optimization sweeps (the paper loops until `ΔΛ < ε`;
     /// this bound guards against pathological non-convergence).
     pub max_sweeps: usize,
+    /// A-TxAllo snapshot-route switch: when the touched fraction
+    /// `|V̂| / |V|` is at most this value, the epoch update builds the
+    /// incremental delta-CSR snapshot (`O(|V̂|)`-ish); above it, it falls
+    /// back to the full-graph canonical-renumbering snapshot, whose one
+    /// global sort amortizes better than per-edge hash-key sorting once
+    /// most of the graph is touched. Route choice never changes the
+    /// result — both produce byte-identical allocations.
+    pub incremental_threshold: f64,
 }
 
 impl TxAlloParams {
@@ -43,6 +51,7 @@ impl TxAlloParams {
             epsilon: 1e-5 * total_weight,
             louvain: LouvainConfig::default(),
             max_sweeps: 64,
+            incremental_threshold: 0.5,
         }
     }
 
@@ -60,6 +69,17 @@ impl TxAlloParams {
     pub fn with_capacity(mut self, capacity: f64) -> Self {
         assert!(capacity > 0.0, "capacity must be positive");
         self.capacity = capacity;
+        self
+    }
+
+    /// Returns a copy with a different A-TxAllo incremental/full snapshot
+    /// threshold (`0.0` forces the full route, `1.0` the incremental one).
+    pub fn with_incremental_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold is a fraction of the node set"
+        );
+        self.incremental_threshold = threshold;
         self
     }
 }

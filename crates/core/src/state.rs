@@ -275,6 +275,55 @@ impl CommunityState {
         self.throughput[p as usize] = self.compute_throughput(p);
     }
 
+    /// Updates the `η`/`λ` limits (per-epoch parameter refresh — `λ = |T|/k`
+    /// grows with the graph) and recomputes the cached throughputs. The
+    /// `intra`/`cut` aggregates are limit-independent and keep their values.
+    pub fn set_limits(&mut self, eta: f64, capacity: f64) {
+        self.eta = eta;
+        self.capacity = capacity;
+        self.refresh_throughput();
+    }
+
+    /// Folds a freshly-ingested edge-weight delta into the accounting:
+    /// weight `w` was added between two *distinct* nodes currently labelled
+    /// `la` and `lb` (either may be [`UNASSIGNED`]; edges toward unassigned
+    /// nodes count as cut from the assigned side, matching
+    /// [`CommunityState::from_labels`]).
+    ///
+    /// Leaves the cached throughputs stale — call
+    /// [`CommunityState::refresh_throughput`] once per batch.
+    pub fn apply_edge_delta(&mut self, la: u32, lb: u32, w: f64) {
+        if la == lb {
+            if la != UNASSIGNED {
+                self.intra[la as usize] += w;
+            }
+            return;
+        }
+        if la != UNASSIGNED {
+            self.cut[la as usize] += w;
+        }
+        if lb != UNASSIGNED {
+            self.cut[lb as usize] += w;
+        }
+    }
+
+    /// Folds a freshly-ingested self-loop delta on a node labelled `la`
+    /// into the accounting (companion of [`CommunityState::apply_edge_delta`];
+    /// same staleness contract).
+    pub fn apply_self_loop_delta(&mut self, la: u32, w: f64) {
+        if la != UNASSIGNED {
+            self.intra[la as usize] += w;
+        }
+    }
+
+    /// Recomputes every cached throughput from the current `intra`/`cut`
+    /// (`O(k)`), closing a batch of `apply_*_delta` calls.
+    pub fn refresh_throughput(&mut self) {
+        for c in 0..self.intra.len() as u32 {
+            self.throughput[c as usize] = self.compute_throughput(c);
+        }
+    }
+
     /// Verifies Lemma 1 numerically: only `p` and `q` change. Debug aid for
     /// tests; O(k).
     #[cfg(test)]

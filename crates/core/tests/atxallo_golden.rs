@@ -1,0 +1,316 @@
+//! Golden equivalence tests for the A-TxAllo delta-CSR epoch pipeline.
+//!
+//! Three pins, mirroring the G-TxAllo golden suite in `golden.rs`:
+//!
+//! 1. **Route equivalence** — the incremental delta-CSR snapshot
+//!    ([`DeltaCsr::snapshot_touched`]) and the full-graph
+//!    canonical-renumbering fallback ([`DeltaCsr::snapshot_full`]) must
+//!    produce **byte-identical** allocations across a proptest-generated
+//!    multi-epoch delta stream. The threshold that picks between them is a
+//!    pure performance knob.
+//! 2. **Reference equivalence** — a from-scratch re-implementation of the
+//!    epoch sweep with ordered-map (`BTreeMap`) gathering, no candidate
+//!    caching and no stamp-based skipping must match the production kernel
+//!    byte-for-byte: the caching is an optimization, not a semantic change.
+//! 3. **Threshold boundary** — dispatch at exactly `|V̂|/|V| = threshold`
+//!    takes the incremental route, just above it the full route, and both
+//!    sides of the boundary agree on the allocation.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use txallo_core::state::UNASSIGNED;
+use txallo_core::{
+    Allocation, AtxAllo, CommunityState, GTxAllo, TxAlloParams, UpdatePath, GAIN_EPS,
+};
+use txallo_graph::{DeltaCsr, NodeId, TxGraph, WeightedGraph};
+use txallo_model::{AccountId, Block, Transaction};
+
+fn build_graph(pairs: &[(u64, u64)]) -> TxGraph {
+    let mut g = TxGraph::new();
+    for &(a, b) in pairs {
+        g.ingest_transaction(&Transaction::transfer(AccountId(a), AccountId(b)));
+    }
+    g
+}
+
+/// Every third entry becomes a 3-account transaction so edge weights
+/// include non-dyadic rationals (1/3): plain transfers only ever produce
+/// weight sums that are exact in binary, which would let summation-order
+/// bugs (e.g. a wrong incident-weight fold between the two snapshot
+/// routes) slip through the byte-identity assertions undetected.
+fn block_of(height: u64, pairs: &[(u64, u64)]) -> Block {
+    Block::new(
+        height,
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                if i % 3 == 2 {
+                    Transaction::new(vec![AccountId(a)], vec![AccountId(b), AccountId(a + b + 1)])
+                        .expect("non-empty account sets")
+                } else {
+                    Transaction::transfer(AccountId(a), AccountId(b))
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Ordered-map gather over a snapshot row (ascending community order by
+/// construction, per-community accumulation in row order — the same
+/// summation order as the production `DenseAccumulator`).
+fn gather_reference(snap: &DeltaCsr, local: usize, labels: &[u32], link: &mut BTreeMap<u32, f64>) {
+    link.clear();
+    let (targets, weights) = snap.row(local);
+    for (&u, &w) in targets.iter().zip(weights) {
+        let cu = labels[u as usize];
+        if cu != UNASSIGNED {
+            *link.entry(cu).or_insert(0.0) += w;
+        }
+    }
+}
+
+/// The phase-1 candidate rule: ties within `GAIN_EPS` of the running
+/// maximum gain break toward the least-loaded community.
+fn consider_join(
+    state: &CommunityState,
+    q: u32,
+    self_w: f64,
+    d_v: f64,
+    w_vq: f64,
+    best: &mut Option<(u32, f64, f64)>,
+    max_gain: &mut f64,
+) {
+    let gain = state.join_gain(q, self_w, d_v, w_vq);
+    let sigma = state.sigma(q);
+    if gain > *max_gain {
+        *max_gain = gain;
+    }
+    let better = match *best {
+        None => true,
+        Some((_, bg, bs)) => {
+            bg < *max_gain - GAIN_EPS || (gain >= *max_gain - GAIN_EPS && sigma < bs)
+        }
+    };
+    if better {
+        *best = Some((q, gain, sigma));
+    }
+}
+
+/// Reference re-implementation of the A-TxAllo epoch update: same snapshot
+/// rows, same gain formulas and tie contract, but ordered-map gathering
+/// and a full re-gather of every node in every sweep (no candidate cache,
+/// no stamp skipping).
+fn reference_update(
+    params: &TxAlloParams,
+    graph: &TxGraph,
+    previous: &Allocation,
+    touched: &[NodeId],
+) -> Allocation {
+    let n = graph.node_count();
+    let k = params.shards;
+    let mut labels: Vec<u32> = previous.labels().to_vec();
+    labels.resize(n, UNASSIGNED);
+    let mut state = CommunityState::from_labels(graph, &labels, k, params.eta, params.capacity);
+    let snap = DeltaCsr::snapshot_touched(graph, touched);
+    let mut link: BTreeMap<u32, f64> = BTreeMap::new();
+
+    // Phase 1: place brand-new nodes.
+    for i in 0..snap.len() {
+        let g = snap.global_id(i) as usize;
+        if labels[g] != UNASSIGNED {
+            continue;
+        }
+        gather_reference(&snap, i, &labels, &mut link);
+        let self_w = snap.self_loop(i);
+        let d_v = snap.incident_weight(i);
+        let mut best: Option<(u32, f64, f64)> = None;
+        let mut max_gain = f64::NEG_INFINITY;
+        if link.is_empty() {
+            for q in 0..k as u32 {
+                consider_join(&state, q, self_w, d_v, 0.0, &mut best, &mut max_gain);
+            }
+        } else {
+            for (&q, &w_vq) in &link {
+                consider_join(&state, q, self_w, d_v, w_vq, &mut best, &mut max_gain);
+            }
+        }
+        let q = best.expect("k >= 1").0;
+        let w_vq = link.get(&q).copied().unwrap_or(0.0);
+        state.apply_join(q, self_w, d_v, w_vq);
+        labels[g] = q;
+    }
+
+    // Phase 2: optimize over the touched set, re-gathering every visit.
+    let mut sweeps = 0usize;
+    loop {
+        let mut delta = 0.0;
+        for i in 0..snap.len() {
+            let g = snap.global_id(i) as usize;
+            let p = labels[g];
+            gather_reference(&snap, i, &labels, &mut link);
+            if link.is_empty() || (link.len() == 1 && link.contains_key(&p)) {
+                continue;
+            }
+            let self_w = snap.self_loop(i);
+            let d_v = snap.incident_weight(i);
+            let w_vp = link.get(&p).copied().unwrap_or(0.0);
+            let leave = state.leave_gain(p, self_w, d_v, w_vp);
+            let mut best: Option<(u32, f64, f64)> = None;
+            for (&q, &w_vq) in &link {
+                if q == p {
+                    continue;
+                }
+                let gain = leave + state.join_gain(q, self_w, d_v, w_vq);
+                match best {
+                    Some((_, bg, _)) if gain <= bg + GAIN_EPS => {}
+                    _ => best = Some((q, gain, w_vq)),
+                }
+            }
+            if let Some((q, gain, w_vq)) = best {
+                if gain > 0.0 {
+                    state.apply_leave(p, self_w, d_v, w_vp);
+                    state.apply_join(q, self_w, d_v, w_vq);
+                    labels[g] = q;
+                    delta += gain;
+                }
+            }
+        }
+        sweeps += 1;
+        if delta < params.epsilon || sweeps >= params.max_sweeps {
+            break;
+        }
+    }
+
+    Allocation::new(labels, k)
+}
+
+/// A generated case: base transfers, epoch blocks of transfers, shard `k`.
+type DeltaStream = (Vec<(u64, u64)>, Vec<Vec<(u64, u64)>>, usize);
+
+/// Strategy: a base transaction batch plus 1–3 epoch blocks whose account
+/// range is wider than the base's, so every epoch mixes existing accounts
+/// with brand-new ones (phase 1 + phase 2 both exercised).
+fn stream_strategy() -> impl Strategy<Value = DeltaStream> {
+    (
+        prop::collection::vec((0u64..30, 0u64..30), 10..80),
+        prop::collection::vec(prop::collection::vec((0u64..45, 0u64..45), 1..25), 1..4),
+        1usize..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Incremental and full snapshot routes are byte-identical across a
+    /// whole delta stream, with each epoch's allocation feeding the next.
+    #[test]
+    fn incremental_equals_full_across_stream(stream in stream_strategy()) {
+        let (base, epochs, k) = stream;
+        let mut g = build_graph(&base);
+        let params = TxAlloParams::for_graph(&g, k);
+        let mut prev = GTxAllo::new(params).allocate_graph(&g);
+        for (h, pairs) in epochs.iter().enumerate() {
+            let touched = g.ingest_block(&block_of(h as u64, pairs));
+            let params = TxAlloParams::for_graph(&g, k);
+            let atx = AtxAllo::new(params);
+            let inc = atx.update_incremental(&g, &prev, &touched);
+            let full = atx.update_full(&g, &prev, &touched);
+            prop_assert_eq!(
+                inc.allocation.labels(),
+                full.allocation.labels(),
+                "routes diverged at epoch {}",
+                h
+            );
+            prop_assert_eq!(
+                (inc.new_nodes, inc.sweeps, inc.moves),
+                (full.new_nodes, full.sweeps, full.moves)
+            );
+            // The dispatching entry point picks one of the two.
+            let dispatched = atx.update(&g, &prev, &touched);
+            prop_assert_eq!(dispatched.allocation.labels(), inc.allocation.labels());
+            prev = inc.allocation;
+        }
+    }
+
+    /// The production kernel (dense scratch + candidate cache + stamp
+    /// skipping) matches the cache-free ordered-map reference
+    /// byte-for-byte.
+    #[test]
+    fn kernel_matches_reference(stream in stream_strategy()) {
+        let (base, epochs, k) = stream;
+        let mut g = build_graph(&base);
+        let params = TxAlloParams::for_graph(&g, k);
+        let mut prev = GTxAllo::new(params).allocate_graph(&g);
+        for (h, pairs) in epochs.iter().enumerate() {
+            let touched = g.ingest_block(&block_of(h as u64, pairs));
+            let params = TxAlloParams::for_graph(&g, k);
+            let expected = reference_update(&params, &g, &prev, &touched);
+            let got = AtxAllo::new(params).update_incremental(&g, &prev, &touched);
+            prop_assert_eq!(
+                got.allocation.labels(),
+                expected.labels(),
+                "kernel diverged from reference at epoch {}",
+                h
+            );
+            prev = got.allocation;
+        }
+    }
+}
+
+/// Dispatch at the exact threshold boundary: `|V̂|/|V| == threshold` is
+/// still incremental, one node more tips to the full route, and the two
+/// sides agree bit-for-bit.
+#[test]
+fn threshold_boundary_is_inclusive_and_consistent() {
+    // 8 base accounts in two 4-cliques.
+    let mut pairs = Vec::new();
+    for base in [0u64, 4] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                pairs.push((base + i, base + j));
+            }
+        }
+    }
+    let mut g = build_graph(&pairs);
+    let params = TxAlloParams::for_graph(&g, 2);
+    let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
+    // One epoch touching 2 of the (then) 8 nodes... plus 0 new accounts.
+    let touched = g.ingest_block(&block_of(0, &[(0, 1)]));
+    assert_eq!(touched.len(), 2);
+    let n = g.node_count();
+    assert_eq!(n, 8);
+
+    let exact = touched.len() as f64 / n as f64; // 0.25, exactly representable
+    let at =
+        AtxAllo::new(params.clone().with_incremental_threshold(exact)).update(&g, &prev, &touched);
+    assert_eq!(at.path, UpdatePath::Incremental, "boundary is inclusive");
+
+    let below = AtxAllo::new(params.clone().with_incremental_threshold(exact / 2.0))
+        .update(&g, &prev, &touched);
+    assert_eq!(below.path, UpdatePath::Full);
+
+    assert_eq!(
+        at.allocation, below.allocation,
+        "boundary must not change results"
+    );
+}
+
+/// An epoch whose block only touches brand-new accounts: phase 1 places
+/// them identically on both routes, nothing else moves.
+#[test]
+fn all_new_accounts_epoch() {
+    let mut g = build_graph(&[(0, 1), (1, 2), (0, 2)]);
+    let params = TxAlloParams::for_graph(&g, 2);
+    let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
+    let touched = g.ingest_block(&block_of(0, &[(100, 101), (101, 102)]));
+    let atx = AtxAllo::new(params);
+    let inc = atx.update_incremental(&g, &prev, &touched);
+    let full = atx.update_full(&g, &prev, &touched);
+    assert_eq!(inc.allocation, full.allocation);
+    assert_eq!(inc.new_nodes, 3);
+    for v in 0..prev.len() as NodeId {
+        assert_eq!(inc.allocation.shard_of(v), prev.shard_of(v));
+    }
+}

@@ -35,6 +35,17 @@ use crate::traits::{NodeId, WeightedGraph};
 /// — the sweep algebra (Eq. 6–8 of the paper) treats them separately from
 /// proper edges, so keeping them out of the rows makes every row iteration
 /// loop-free.
+///
+/// ```
+/// use txallo_graph::{CsrGraph, WeightedGraph};
+///
+/// // Duplicate edges merge; both orientations accumulate on one row pair.
+/// let g = CsrGraph::from_edges(3, vec![(0, 1, 1.0), (1, 0, 2.0), (1, 2, 0.5)]);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.neighbor_ids(1), &[0, 2]); // ascending, deterministic
+/// assert_eq!(g.weight_between(0, 1), 3.0);
+/// assert_eq!(g.incident_weight(1), 3.5);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct CsrGraph {
     /// Row boundaries; `offsets[v]..offsets[v + 1]` indexes `targets`/`weights`.

@@ -1,0 +1,398 @@
+//! Delta-CSR: a compact snapshot of the touched-set neighborhood for
+//! incremental (A-TxAllo) epoch updates.
+//!
+//! ## The problem
+//!
+//! Each epoch, A-TxAllo re-optimizes only the touched node set `V̂`
+//! reported by [`TxGraph::ingest_block`] — typically a small fraction of
+//! the accumulated graph. The epoch-update sweep visits every node of `V̂`
+//! several times, and before this snapshot existed each visit walked the
+//! node's *mutable hash-map adjacency*: one hash-table iteration per node
+//! per sweep, on the hottest loop of the epoch path.
+//!
+//! ## The snapshot
+//!
+//! [`DeltaCsr`] freezes exactly the rows the sweep needs — one CSR row per
+//! touched node, nothing for the rest of the graph:
+//!
+//! ```text
+//! node:     [g₀, g₁, …]      (touched nodes, canonical sweep order)
+//! offsets:  [0, 3, 7, …]     (row i = offsets[i]..offsets[i+1])
+//! targets:  [u, u, u, …]     (global neighbor ids, ascending per row)
+//! weights:  [w, w, w, …]     (parallel to targets)
+//! ```
+//!
+//! Neighbors keep their *global* ids — community labels live in global
+//! node space — and [`DeltaCsr::local_of`] answers "is this neighbor also
+//! in `V̂`, and at which row?" in `O(log |V̂|)`. Only touched nodes can
+//! change community during the sweep, so that query defines the exact edge
+//! set along which "your cached link weights are stale" invalidations
+//! propagate; the stamp-based skipping of the epoch sweep pays it only
+//! when a node actually moves.
+//!
+//! ## Determinism contract
+//!
+//! The *row sequence* follows the canonical account-hash sweep order of
+//! §V-B (`(address_hash, account id)` — the same total order behind
+//! `GTxAlloPlan`'s canonical renumbering), so the epoch sweep visits `V̂`
+//! exactly as the paper prescribes. *Within* a row, neighbors sort
+//! ascending by global node id — [`CsrGraph`]'s native row order — and the
+//! per-node `incident` scalar is re-derived as `self_loop + Σ row` in that
+//! order. Consequently the two constructors are interchangeable
+//! bit-for-bit: [`DeltaCsr::snapshot_touched`] assembles rows straight from
+//! the hash adjacency (cost `O(|V̂| log |V̂| + Σ_{v∈V̂} deg v · log deg v)`,
+//! independent of graph size), while [`DeltaCsr::snapshot_full`] freezes
+//! the whole graph through [`CsrGraph::from_graph`] and extracts the
+//! touched rows (cost `O(n + m)`, the better deal once `V̂` is a large
+//! fraction of the graph). The golden tests in `txallo-core` hold the two
+//! routes to byte-identical allocations.
+
+use crate::csr::CsrGraph;
+use crate::traits::{NodeId, WeightedGraph};
+use crate::txgraph::TxGraph;
+
+/// Compact CSR over an epoch's touched node set (see the module docs).
+///
+/// ```
+/// use txallo_graph::{DeltaCsr, TxGraph};
+/// use txallo_model::{AccountId, Transaction};
+///
+/// let mut g = TxGraph::new();
+/// g.ingest_transaction(&Transaction::transfer(AccountId(1), AccountId(2)));
+/// g.ingest_transaction(&Transaction::transfer(AccountId(2), AccountId(3)));
+///
+/// // Epoch touches accounts 2 and 3 only.
+/// let n2 = g.node_of(AccountId(2)).unwrap();
+/// let n3 = g.node_of(AccountId(3)).unwrap();
+/// let snap = DeltaCsr::snapshot_touched(&g, &[n2, n3]);
+/// assert_eq!(snap.len(), 2);
+///
+/// // Node 2's row sees both neighbors; node 1 is outside the snapshot.
+/// let row_of_2 = snap.local_of(n2).unwrap() as usize;
+/// let (targets, weights) = snap.row(row_of_2);
+/// assert_eq!(targets.len(), 2);
+/// assert!(weights.iter().all(|&w| w == 1.0));
+/// let outside = targets.iter().filter(|&&u| snap.local_of(u).is_none()).count();
+/// assert_eq!(outside, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeltaCsr {
+    /// Touched nodes in canonical sweep order (`node[local] = global id`).
+    node: Vec<NodeId>,
+    /// Row boundaries; row `i` = `offsets[i]..offsets[i + 1]`.
+    offsets: Vec<u32>,
+    /// Global neighbor ids, ascending within each row.
+    targets: Vec<NodeId>,
+    /// Edge weights, parallel to `targets`.
+    weights: Vec<f64>,
+    /// Self-loop weight per touched node.
+    self_loops: Vec<f64>,
+    /// Incident weight per touched node (`self_loop + Σ row`, row order).
+    incident: Vec<f64>,
+    /// Touched global ids, ascending — lookup keys for [`DeltaCsr::local_of`].
+    id_keys: Vec<NodeId>,
+    /// Local row of `id_keys[i]`, parallel to `id_keys`.
+    id_vals: Vec<u32>,
+}
+
+/// The canonical sweep key of §V-B: nodes sort by account address hash,
+/// ties by raw account id.
+#[inline]
+fn canonical_key(graph: &TxGraph, v: NodeId) -> (u64, u64) {
+    let a = graph.account(v);
+    (a.address_hash(), a.0)
+}
+
+/// Touched nodes in canonical sweep order, plus the ascending-id lookup
+/// arrays for [`DeltaCsr::local_of`] — shared by both snapshot routes so
+/// their orderings agree exactly.
+fn canonical_nodes(graph: &TxGraph, touched: &[NodeId]) -> (Vec<NodeId>, Vec<NodeId>, Vec<u32>) {
+    let mut node: Vec<NodeId> = touched.to_vec();
+    node.sort_unstable_by_key(|&v| canonical_key(graph, v));
+    let mut pairs: Vec<(NodeId, u32)> = node
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    pairs.sort_unstable_by_key(|&(v, _)| v);
+    let id_keys = pairs.iter().map(|&(v, _)| v).collect();
+    let id_vals = pairs.iter().map(|&(_, i)| i).collect();
+    (node, id_keys, id_vals)
+}
+
+impl DeltaCsr {
+    /// Builds the snapshot directly from the hash adjacency, touching only
+    /// `touched` and its incident edges — the incremental path.
+    ///
+    /// `touched` may arrive in any order and must not contain duplicates
+    /// (the contract of [`TxGraph::ingest_block`]).
+    pub fn snapshot_touched(graph: &TxGraph, touched: &[NodeId]) -> Self {
+        let (node, id_keys, id_vals) = canonical_nodes(graph, touched);
+
+        let t = node.len();
+        let entry_count: usize = node.iter().map(|&v| graph.neighbor_count(v)).sum();
+        let mut offsets = Vec::with_capacity(t + 1);
+        offsets.push(0u32);
+        let mut targets = Vec::with_capacity(entry_count);
+        let mut weights = Vec::with_capacity(entry_count);
+        let mut self_loops = Vec::with_capacity(t);
+        let mut incident = Vec::with_capacity(t);
+        // Row sort scratch: neighbors packed as `target << 32 | slot`, so
+        // the sort moves single machine words; `raw[slot]` recovers the
+        // weight afterwards.
+        let mut raw: Vec<(NodeId, f64)> = Vec::new();
+        let mut keys: Vec<u64> = Vec::new();
+        for &v in &node {
+            raw.clear();
+            keys.clear();
+            graph.for_each_neighbor(v, |u, w| {
+                keys.push(((u as u64) << 32) | raw.len() as u64);
+                raw.push((u, w));
+            });
+            keys.sort_unstable();
+            let self_w = graph.self_loop(v);
+            // Re-derive the incident weight exactly as `CsrGraph` does for
+            // the same rows (`self_loop + Σ row`, the row summed on its own
+            // from 0 in ascending order, *then* added to the self-loop) —
+            // the fold shape matters: seeding the accumulator with `self_w`
+            // instead rounds differently and would break the bit-identical
+            // `snapshot_full` equivalence.
+            let mut row_sum = 0.0;
+            for &key in &keys {
+                let (u, w) = raw[(key & u32::MAX as u64) as usize];
+                targets.push(u);
+                weights.push(w);
+                row_sum += w;
+            }
+            offsets.push(targets.len() as u32);
+            self_loops.push(self_w);
+            incident.push(self_w + row_sum);
+        }
+
+        Self {
+            node,
+            offsets,
+            targets,
+            weights,
+            self_loops,
+            incident,
+            id_keys,
+            id_vals,
+        }
+    }
+
+    /// Builds the same snapshot through the full-graph route: the whole
+    /// graph is frozen into a [`CsrGraph`] (the same machinery G-TxAllo's
+    /// plan uses to leave the mutable hash adjacency behind) and the
+    /// touched rows are extracted — the fallback when `V̂` is a large
+    /// fraction of the graph and the per-row assembly of
+    /// [`DeltaCsr::snapshot_touched`] stops paying for itself.
+    ///
+    /// Byte-identical to the incremental route by construction: the row
+    /// sequence follows the same canonical sweep order, rows share
+    /// [`CsrGraph`]'s ascending-id internal order with the same weights,
+    /// and the incident weights are the same left-to-right row sums.
+    pub fn snapshot_full(graph: &TxGraph, touched: &[NodeId]) -> Self {
+        let csr = CsrGraph::from_graph(graph);
+        let (node, id_keys, id_vals) = canonical_nodes(graph, touched);
+
+        let t = node.len();
+        let entry_count: usize = node.iter().map(|&v| csr.neighbor_count(v)).sum();
+        let mut offsets = Vec::with_capacity(t + 1);
+        offsets.push(0u32);
+        let mut targets = Vec::with_capacity(entry_count);
+        let mut weights = Vec::with_capacity(entry_count);
+        let mut self_loops = Vec::with_capacity(t);
+        let mut incident = Vec::with_capacity(t);
+        for &v in &node {
+            targets.extend_from_slice(csr.neighbor_ids(v));
+            weights.extend_from_slice(csr.neighbor_weights(v));
+            offsets.push(targets.len() as u32);
+            self_loops.push(csr.self_loop(v));
+            incident.push(csr.incident_weight(v));
+        }
+
+        Self {
+            node,
+            offsets,
+            targets,
+            weights,
+            self_loops,
+            incident,
+            id_keys,
+            id_vals,
+        }
+    }
+
+    /// Number of snapshot rows (= touched nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.node.len()
+    }
+
+    /// Whether the snapshot is empty (no touched nodes).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node.is_empty()
+    }
+
+    /// The touched nodes in canonical sweep order (global ids).
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.node
+    }
+
+    /// Global id of snapshot row `local`.
+    #[inline]
+    pub fn global_id(&self, local: usize) -> NodeId {
+        self.node[local]
+    }
+
+    /// Local row of global node `u`, or `None` when `u` is outside the
+    /// snapshot (untouched this epoch, label frozen). `O(log |V̂|)`.
+    #[inline]
+    pub fn local_of(&self, u: NodeId) -> Option<u32> {
+        match self.id_keys.binary_search(&u) {
+            Ok(i) => Some(self.id_vals[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// Self-loop weight of row `local`.
+    #[inline]
+    pub fn self_loop(&self, local: usize) -> f64 {
+        self.self_loops[local]
+    }
+
+    /// Incident weight of row `local` (self-loop counted once).
+    #[inline]
+    pub fn incident_weight(&self, local: usize) -> f64 {
+        self.incident[local]
+    }
+
+    /// Row `local` as `(global targets, weights)`, parallel, neighbors
+    /// ascending by global id.
+    #[inline]
+    pub fn row(&self, local: usize) -> (&[NodeId], &[f64]) {
+        let (s, e) = (
+            self.offsets[local] as usize,
+            self.offsets[local + 1] as usize,
+        );
+        (&self.targets[s..e], &self.weights[s..e])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txallo_model::{AccountId, Transaction};
+
+    fn graph() -> TxGraph {
+        let mut g = TxGraph::new();
+        for (a, b) in [(1u64, 2), (2, 3), (3, 4), (4, 1), (2, 2)] {
+            g.ingest_transaction(&Transaction::transfer(AccountId(a), AccountId(b)));
+        }
+        // Multi-account transactions make the clique-edge weights
+        // non-dyadic (1/3, 1/6), so the bit-identity assertions below
+        // really exercise the summation shape (pure 1.0-weight graphs sum
+        // exactly and would mask a wrong fold). Account 7 specifically —
+        // self-loop 1.0 plus three 1/6 edges — is a witness where seeding
+        // the incident fold with the self-loop rounds differently from
+        // `self_loop + Σ row`.
+        g.ingest_transaction(
+            &Transaction::new(vec![AccountId(2)], vec![AccountId(4), AccountId(5)]).unwrap(),
+        );
+        g.ingest_transaction(
+            &Transaction::new(
+                vec![AccountId(7)],
+                vec![AccountId(8), AccountId(9), AccountId(10)],
+            )
+            .unwrap(),
+        );
+        g.ingest_transaction(&Transaction::transfer(AccountId(7), AccountId(7)));
+        g
+    }
+
+    #[test]
+    fn touched_and_full_routes_agree() {
+        let g = graph();
+        // Both a strict subset and the whole node set: the full set covers
+        // account 7's fold-order witness row (see `graph()`).
+        let subset: Vec<NodeId> = vec![
+            g.node_of(AccountId(2)).unwrap(),
+            g.node_of(AccountId(3)).unwrap(),
+        ];
+        let everyone: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
+        for touched in [subset, everyone] {
+            let a = DeltaCsr::snapshot_touched(&g, &touched);
+            let b = DeltaCsr::snapshot_full(&g, &touched);
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.offsets, b.offsets);
+            assert_eq!(a.targets, b.targets);
+            assert_eq!(a.weights, b.weights, "weights must match bit-for-bit");
+            assert_eq!(a.self_loops, b.self_loops);
+            assert_eq!(a.incident, b.incident, "incident must match bit-for-bit");
+            assert_eq!(a.id_keys, b.id_keys);
+            assert_eq!(a.id_vals, b.id_vals);
+        }
+    }
+
+    #[test]
+    fn nodes_canonical_rows_ascending() {
+        let g = graph();
+        let all: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
+        let snap = DeltaCsr::snapshot_touched(&g, &all);
+        assert_eq!(snap.nodes(), g.nodes_in_canonical_order().as_slice());
+        for i in 0..snap.len() {
+            let (targets, _) = snap.row(i);
+            let mut sorted = targets.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(targets, sorted.as_slice(), "row {i} ascending, no dups");
+        }
+    }
+
+    #[test]
+    fn local_of_marks_membership() {
+        let g = graph();
+        let touched: Vec<NodeId> = vec![
+            g.node_of(AccountId(1)).unwrap(),
+            g.node_of(AccountId(2)).unwrap(),
+        ];
+        let snap = DeltaCsr::snapshot_touched(&g, &touched);
+        for i in 0..snap.len() {
+            let v = snap.global_id(i);
+            assert_eq!(snap.local_of(v), Some(i as u32), "self-lookup");
+            let (targets, _) = snap.row(i);
+            for &u in targets {
+                match snap.local_of(u) {
+                    Some(l) => assert_eq!(snap.global_id(l as usize), u),
+                    None => assert!(!touched.contains(&u)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalars_match_the_graph() {
+        let g = graph();
+        let all: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
+        let snap = DeltaCsr::snapshot_touched(&g, &all);
+        for i in 0..snap.len() {
+            let v = snap.global_id(i);
+            assert_eq!(snap.self_loop(i), g.self_loop(v));
+            assert!((snap.incident_weight(i) - g.incident_weight(v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_touched_set() {
+        let g = graph();
+        let snap = DeltaCsr::snapshot_touched(&g, &[]);
+        assert!(snap.is_empty());
+        assert_eq!(snap.len(), 0);
+        assert_eq!(snap.local_of(0), None);
+        let full = DeltaCsr::snapshot_full(&g, &[]);
+        assert!(full.is_empty());
+    }
+}

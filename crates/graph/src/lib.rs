@@ -10,20 +10,28 @@
 //! updates adjacency in `O(edges added)` and reports the set of touched
 //! nodes `V̂`, which is exactly the input A-TxAllo (Alg. 2) needs.
 //!
-//! ## Two graph forms: mutable hash adjacency vs. flat CSR
+//! ## Three graph forms: mutable hash adjacency, flat CSR, delta CSR
 //!
-//! The crate deliberately ships two representations with one shared
-//! [`WeightedGraph`] interface:
+//! The crate deliberately ships the graph in three shapes, one per access
+//! pattern:
 //!
 //! * [`TxGraph`] — *ingestion form*. Per-node hash-map adjacency so that a
 //!   repeated account pair accumulates weight in `O(1)`; this is what the
-//!   block stream mutates.
-//! * [`CsrGraph`] — *sweep form*. Offsets + packed neighbor/weight arrays
-//!   (compressed sparse row), rows sorted and duplicate-merged at build
-//!   time. Every repeated-sweep consumer — Louvain levels, the G-TxAllo
-//!   optimization phase, METIS coarsening/refinement — snapshots into this
-//!   form once ([`CsrGraph::from_graph`]) and then iterates flat memory.
-//!   [`AdjacencyGraph`] is a compatibility alias of this type.
+//!   block stream mutates. Implements the shared [`WeightedGraph`]
+//!   interface.
+//! * [`CsrGraph`] — *full-sweep form*. Offsets + packed neighbor/weight
+//!   arrays (compressed sparse row), rows sorted and duplicate-merged at
+//!   build time. Every repeated-sweep consumer — Louvain levels, the
+//!   G-TxAllo optimization phase, METIS coarsening/refinement — snapshots
+//!   into this form once ([`CsrGraph::from_graph`]) and then iterates flat
+//!   memory. Also implements [`WeightedGraph`]; [`AdjacencyGraph`] is a
+//!   compatibility alias of this type.
+//! * [`DeltaCsr`] — *epoch-update form*. A compact CSR over just the
+//!   epoch's touched node set `V̂` and its incident edges, rows in the
+//!   canonical sweep order, built either incrementally from the hash
+//!   adjacency or by extraction from a full [`CsrGraph`]
+//!   (see [`delta`] for the byte-identical-routes contract). This is what
+//!   A-TxAllo's epoch sweep runs on.
 //!
 //! The split matters because the sweeps dominate running time (§VI-B6 of
 //! the paper: Louvain initialization alone is 67.6 s of G-TxAllo's
@@ -36,6 +44,7 @@
 pub mod adjacency;
 pub mod csr;
 pub mod decay;
+pub mod delta;
 pub mod interner;
 pub mod scratch;
 pub mod stats;
@@ -46,6 +55,7 @@ pub mod window;
 pub use adjacency::AdjacencyGraph;
 pub use csr::CsrGraph;
 pub use decay::DecayingGraph;
+pub use delta::DeltaCsr;
 pub use interner::AccountInterner;
 pub use scratch::{DenseAccumulator, DenseIndexMap};
 pub use stats::GraphStats;

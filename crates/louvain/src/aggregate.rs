@@ -13,8 +13,25 @@ pub fn aggregate_graph(
     communities: &[u32],
     community_count: usize,
 ) -> AdjacencyGraph {
+    let mut edges = Vec::new();
+    aggregate_graph_into(graph, communities, community_count, &mut edges)
+}
+
+/// [`aggregate_graph`] with a caller-owned edge buffer, so the level loop
+/// of `louvain_csr` reuses one allocation across the whole hierarchy
+/// instead of growing a fresh `Vec` per aggregation level (the buffer's
+/// high-water mark is set by level 0, the largest graph).
+///
+/// The buffer is cleared on entry; its contents afterwards are the
+/// condensed edge list and may be inspected or reused freely.
+pub fn aggregate_graph_into(
+    graph: &impl WeightedGraph,
+    communities: &[u32],
+    community_count: usize,
+    edges: &mut Vec<(NodeId, NodeId, f64)>,
+) -> AdjacencyGraph {
     assert_eq!(communities.len(), graph.node_count());
-    let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    edges.clear();
     for v in 0..graph.node_count() as NodeId {
         let cv = communities[v as usize];
         let loop_w = graph.self_loop(v);
@@ -33,7 +50,7 @@ pub fn aggregate_graph(
             }
         });
     }
-    AdjacencyGraph::from_edges(community_count, edges)
+    AdjacencyGraph::from_edges(community_count, edges.iter().copied())
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@ pub mod local_move;
 pub mod modularity;
 pub mod refine;
 
-pub use aggregate::aggregate_graph;
+pub use aggregate::{aggregate_graph, aggregate_graph_into};
 pub use local_move::{local_moving_pass, LocalMoveOutcome};
 pub use modularity::modularity;
 pub use refine::{count_disconnected, split_disconnected};
@@ -84,7 +84,8 @@ pub struct LouvainResult {
 ///
 /// The graph is snapshotted into flat CSR form once; every sweep and every
 /// aggregation level then runs on packed rows. Callers that already hold a
-/// [`CsrGraph`] should use [`louvain_csr`] to skip the copy.
+/// [`CsrGraph`](txallo_graph::CsrGraph) should use [`louvain_csr`] to skip
+/// the copy.
 pub fn louvain(graph: &impl WeightedGraph, config: &LouvainConfig) -> LouvainResult {
     let csr = AdjacencyGraph::from_graph(graph);
     louvain_csr(&csr, config)
@@ -108,6 +109,9 @@ pub fn louvain_csr(graph: &AdjacencyGraph, config: &LouvainConfig) -> LouvainRes
     let mut membership: Vec<u32> = (0..n as u32).collect();
     let mut owned_level: Option<AdjacencyGraph> = None;
     let mut levels = 0usize;
+    // One cross-level edge buffer: aggregation reuses it every level, so
+    // its high-water mark (set by level 0) is allocated exactly once.
+    let mut edge_buf: Vec<(NodeId, NodeId, f64)> = Vec::new();
 
     for _ in 0..config.max_levels {
         let level_graph = owned_level.as_ref().unwrap_or(graph);
@@ -124,7 +128,7 @@ pub fn louvain_csr(graph: &AdjacencyGraph, config: &LouvainConfig) -> LouvainRes
         if compact.count == level_graph.node_count() {
             break; // No coarsening happened: converged.
         }
-        let next = aggregate_graph(level_graph, &compact.labels, compact.count);
+        let next = aggregate_graph_into(level_graph, &compact.labels, compact.count, &mut edge_buf);
         let done = compact.count <= 1;
         owned_level = Some(next);
         if done {

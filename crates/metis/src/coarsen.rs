@@ -14,6 +14,29 @@ pub struct CoarseLevel {
     pub fine_to_coarse: Option<Vec<u32>>,
 }
 
+/// Reusable scratch for the coarsening loop: the matching's mate array and
+/// the coarse edge list are cleared and refilled every level instead of
+/// reallocated (the level-0 high-water mark is allocated once and the
+/// geometrically shrinking levels ride inside it).
+#[derive(Debug, Clone, Default)]
+pub struct CoarsenArena {
+    /// `mate[v]` = matched partner of `v` (possibly `v` itself), or
+    /// [`CoarsenArena::UNMATCHED`].
+    mate: Vec<NodeId>,
+    /// Coarse edge list under construction.
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl CoarsenArena {
+    /// Sentinel for a not-yet-matched node.
+    const UNMATCHED: NodeId = NodeId::MAX;
+
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Heavy-edge matching (HEM).
 ///
 /// Visits nodes in ascending id order; an unmatched node is matched with
@@ -21,15 +44,26 @@ pub struct CoarseLevel {
 /// Returns a dense map `fine node → coarse node`, assigning coarse ids in
 /// first-seen order (deterministic).
 pub fn heavy_edge_matching(graph: &AdjacencyGraph) -> (Vec<u32>, usize) {
+    heavy_edge_matching_in(graph, &mut CoarsenArena::new())
+}
+
+/// [`heavy_edge_matching`] with a caller-owned [`CoarsenArena`], reusing
+/// its mate buffer across invocations.
+pub fn heavy_edge_matching_in(
+    graph: &AdjacencyGraph,
+    arena: &mut CoarsenArena,
+) -> (Vec<u32>, usize) {
     let n = graph.node_count();
-    let mut mate: Vec<Option<NodeId>> = vec![None; n];
+    arena.mate.clear();
+    arena.mate.resize(n, CoarsenArena::UNMATCHED);
+    let mate = &mut arena.mate;
     for v in 0..n as NodeId {
-        if mate[v as usize].is_some() {
+        if mate[v as usize] != CoarsenArena::UNMATCHED {
             continue;
         }
         let mut best: Option<(NodeId, f64)> = None;
         graph.for_each_neighbor(v, |u, w| {
-            if mate[u as usize].is_some() || u == v {
+            if mate[u as usize] != CoarsenArena::UNMATCHED || u == v {
                 return;
             }
             match best {
@@ -38,10 +72,10 @@ pub fn heavy_edge_matching(graph: &AdjacencyGraph) -> (Vec<u32>, usize) {
             }
         });
         if let Some((u, _)) = best {
-            mate[v as usize] = Some(u);
-            mate[u as usize] = Some(v);
+            mate[v as usize] = u;
+            mate[u as usize] = v;
         } else {
-            mate[v as usize] = Some(v); // matched with itself
+            mate[v as usize] = v; // matched with itself
         }
     }
 
@@ -51,7 +85,7 @@ pub fn heavy_edge_matching(graph: &AdjacencyGraph) -> (Vec<u32>, usize) {
         if coarse_of[v] != u32::MAX {
             continue;
         }
-        let m = mate[v].expect("every node is matched (possibly to itself)") as usize;
+        let m = mate[v] as usize;
         coarse_of[v] = next;
         coarse_of[m] = next;
         next += 1;
@@ -71,13 +105,14 @@ pub fn coarsen(base: AdjacencyGraph, vertex_weights: Vec<f64>, floor: usize) -> 
         vertex_weights,
         fine_to_coarse: None,
     }];
+    let mut arena = CoarsenArena::new();
     loop {
         let current = levels.last().expect("at least the base level");
         let n = current.graph.node_count();
         if n <= floor {
             break;
         }
-        let (map, coarse_n) = heavy_edge_matching(&current.graph);
+        let (map, coarse_n) = heavy_edge_matching_in(&current.graph, &mut arena);
         // Matching that barely shrinks the graph (e.g. star graphs) would
         // loop forever — METIS stops when the reduction is under ~5-10%.
         if coarse_n as f64 > n as f64 * 0.95 {
@@ -87,7 +122,8 @@ pub fn coarsen(base: AdjacencyGraph, vertex_weights: Vec<f64>, floor: usize) -> 
         for (v, &c) in map.iter().enumerate() {
             coarse_weights[c as usize] += current.vertex_weights[v];
         }
-        let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        let edges = &mut arena.edges;
+        edges.clear();
         for v in 0..n as NodeId {
             let cv = map[v as usize];
             let loop_w = current.graph.self_loop(v);
@@ -105,7 +141,7 @@ pub fn coarsen(base: AdjacencyGraph, vertex_weights: Vec<f64>, floor: usize) -> 
                 }
             });
         }
-        let coarse_graph = AdjacencyGraph::from_edges(coarse_n, edges);
+        let coarse_graph = AdjacencyGraph::from_edges(coarse_n, edges.iter().copied());
         levels.push(CoarseLevel {
             graph: coarse_graph,
             vertex_weights: coarse_weights,

@@ -24,7 +24,9 @@ pub mod initial;
 pub mod refine;
 
 pub use bisection::recursive_bisection_partition;
-pub use coarsen::{coarsen, heavy_edge_matching, CoarseLevel};
+pub use coarsen::{
+    coarsen, heavy_edge_matching, heavy_edge_matching_in, CoarseLevel, CoarsenArena,
+};
 pub use initial::greedy_growing_partition;
 pub use refine::{edge_cut, fm_refine, fm_refine_with_targets};
 

@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use txallo_core::{Allocation, AtxAllo, GTxAllo, TxAlloParams};
+use txallo_core::{Allocation, AtxAlloSession, GTxAllo, TxAlloParams};
 use txallo_graph::{NodeId, TxGraph, WeightedGraph};
 use txallo_model::{Block, FxHashSet};
 
@@ -53,6 +53,12 @@ pub struct ShardedChainSim {
     config: SimConfig,
     graph: TxGraph,
     allocation: Allocation,
+    /// Long-lived A-TxAllo serving state (community aggregates carried
+    /// across adaptive epochs). Dropped whenever the aggregates go stale:
+    /// after a global G-TxAllo run (labels replaced wholesale) or after
+    /// decay (graph weights rescaled out-of-band); lazily rebuilt on the
+    /// next adaptive epoch.
+    session: Option<AtxAlloSession>,
     epoch: u64,
     warmed_up: bool,
 }
@@ -67,6 +73,7 @@ impl ShardedChainSim {
             config,
             graph: TxGraph::new(),
             allocation: Allocation::new(Vec::new(), shards),
+            session: None,
             epoch: 0,
             warmed_up: false,
         }
@@ -115,7 +122,11 @@ impl ShardedChainSim {
 
         if let Some(factor) = self.config.decay_per_epoch {
             self.graph.apply_decay(factor);
+            // Decay rescales every edge weight out-of-band; the session's
+            // maintained aggregates no longer match the graph.
+            self.session = None;
         }
+        let session_predates_epoch = self.session.is_some();
         let mut touched: FxHashSet<NodeId> = FxHashSet::default();
         for b in blocks {
             for v in self.graph.ingest_block(b) {
@@ -129,13 +140,33 @@ impl ShardedChainSim {
         let run_global = self.config.schedule.is_global_epoch(self.epoch);
         let new_accounts = self.graph.node_count() - self.allocation.len();
         let start = Instant::now();
-        let update = if run_global {
+        let (update, update_path) = if run_global {
             self.allocation = GTxAllo::new(params).allocate_graph(&self.graph);
-            UpdateKind::Global
+            self.session = None; // labels replaced wholesale
+            (UpdateKind::Global, None)
         } else {
-            let outcome = AtxAllo::new(params).update(&self.graph, &self.allocation, &touched);
+            let outcome = match self.session.as_mut() {
+                // Warm session: fold this epoch's transaction deltas into
+                // the aggregates, then sweep — no full-graph walk.
+                Some(session) if session_predates_epoch => {
+                    for b in blocks {
+                        session.apply_block(&self.graph, b);
+                    }
+                    session.update(&self.graph, &touched, &params)
+                }
+                // Cold start (first adaptive epoch, or right after a
+                // global run / decay): the session is built from the
+                // post-ingestion graph, so the deltas are already counted.
+                _ => {
+                    let mut session = AtxAlloSession::new(&self.graph, &self.allocation, &params);
+                    let outcome = session.update(&self.graph, &touched, &params);
+                    self.session = Some(session);
+                    outcome
+                }
+            };
+            let path = outcome.path;
             self.allocation = outcome.allocation;
-            UpdateKind::Adaptive
+            (UpdateKind::Adaptive, Some(path))
         };
         let update_time = start.elapsed();
 
@@ -150,6 +181,7 @@ impl ShardedChainSim {
             epoch: self.epoch,
             height_range: (blocks[0].height(), blocks[blocks.len() - 1].height()),
             update,
+            update_path,
             update_time,
             new_accounts,
             metrics,
@@ -204,6 +236,7 @@ mod tests {
         for (i, r) in reports.iter().enumerate() {
             assert_eq!(r.epoch, i as u64);
             assert_eq!(r.update, UpdateKind::Adaptive);
+            assert!(r.update_path.is_some(), "adaptive epochs record the route");
             assert_eq!(r.metrics.transactions, 20 * 50);
             assert!(r.metrics.throughput_normalized > 1.0, "sharding must help");
             assert!(r.metrics.cross_shard_ratio < 0.9);
@@ -234,6 +267,10 @@ mod tests {
             reports[2].update,
             UpdateKind::Global,
             "epoch 2 hits the gap"
+        );
+        assert!(
+            reports[2].update_path.is_none(),
+            "global epochs have no route"
         );
         assert_eq!(reports[3].update, UpdateKind::Adaptive);
     }

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use txallo_core::Allocation;
+use txallo_core::{Allocation, UpdatePath};
 use txallo_graph::TxGraph;
 use txallo_model::Block;
 
@@ -115,6 +115,9 @@ pub struct EpochReport {
     pub height_range: (u64, u64),
     /// Which algorithm ran at this boundary.
     pub update: UpdateKind,
+    /// For adaptive updates, which snapshot route A-TxAllo took
+    /// (delta-CSR vs. full recompute); `None` for global epochs.
+    pub update_path: Option<UpdatePath>,
     /// Wall-clock time of the allocation update.
     pub update_time: Duration,
     /// Brand-new accounts placed this epoch.

@@ -178,7 +178,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: an exact length or a range.
+    /// Length specification for [`vec()`](fn@vec): an exact length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
