@@ -14,7 +14,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use txallo_bench::seed_ref::seed_atxallo_update;
 use txallo_core::{
-    AtxAllo, AtxAlloSession, CommunityState, GTxAllo, GTxAlloPlan, MoveScratch, TxAlloParams,
+    AdaptiveStream, AtxAllo, AtxAlloSession, CommunityState, EpochKind, GTxAllo, GTxAlloPlan,
+    MoveScratch, StreamingAllocator, TxAlloParams,
 };
 use txallo_graph::{CsrGraph, NodeId, TxGraph, WeightedGraph};
 use txallo_louvain::{louvain, louvain_csr, LouvainConfig};
@@ -154,6 +155,23 @@ fn bench_components(_: &mut Criterion) {
                 session.apply_block(&graph2, blk);
             }
             black_box(session.update(&graph2, &touched, &params2))
+        });
+    });
+    // The public serving surface: the same warm session driven through the
+    // `StreamingAllocator` API — measures what the service layer adds on
+    // top of the raw session (touched-set collection + move-diffing).
+    let stream_warm = {
+        let mut stream = AdaptiveStream::new(params2.clone());
+        stream.begin(&graph, &params2);
+        stream
+    };
+    c.bench_function("atxallo/epoch_update_stream", |b| {
+        b.iter(|| {
+            let mut stream = stream_warm.clone();
+            for blk in &new_blocks {
+                stream.on_block(&graph2, blk);
+            }
+            black_box(stream.end_epoch(&graph2, EpochKind::Scheduled))
         });
     });
     // The stateless one-shot paths, both snapshot routes pinned: delta-CSR

@@ -6,7 +6,7 @@
 
 use std::time::Duration;
 
-use txallo_core::{Dataset, GTxAllo, GTxAlloPlan, MetricsReport, TxAlloParams};
+use txallo_core::{Dataset, GTxAlloPlan, MetricsReport, TxAlloParams};
 use txallo_graph::GraphStats;
 use txallo_louvain::louvain;
 use txallo_sim::{HybridSchedule, ShardedChainSim, SimConfig, UpdateKind};
@@ -242,6 +242,7 @@ pub fn fig9(scale: ExperimentScale, quick: bool) {
             shards: k,
             eta: 2.0,
             epoch_blocks,
+            method: "txallo".into(),
             schedule: *schedule,
             decay_per_epoch: None,
         });
@@ -288,6 +289,7 @@ pub fn fig10(scale: ExperimentScale, quick: bool) {
             shards: k,
             eta: 2.0,
             epoch_blocks,
+            method: "txallo".into(),
             schedule,
             decay_per_epoch: None,
         });
@@ -322,9 +324,14 @@ pub fn runtime_table(scale: ExperimentScale) {
     }
     // Recursive-bisection METIS (the real pmetis strategy, ~log2(k)
     // multilevel passes — the variant whose running time grows with k).
+    let registry = txallo_core::AllocatorRegistry::builtin();
     for &k in &ks {
+        let params = TxAlloParams::for_graph(dataset.graph(), k).with_eta(eta);
+        let mut metis_rb = registry
+            .batch("metis-recursive", &params)
+            .expect("builtin name");
         let start = std::time::Instant::now();
-        let _ = txallo_core::MetisAllocator::recursive(k).allocate_graph(dataset.graph());
+        let _ = metis_rb.allocate(&dataset);
         w.row(&format!(
             "Metis (recursive bisection),{k},{:.4}",
             start.elapsed().as_secs_f64()
@@ -358,8 +365,10 @@ pub fn headline(scale: ExperimentScale) {
         let r = MetricsReport::compute(dataset.graph(), &allocation, &params);
         w.row(&format!("{alloc},{:.4}", r.cross_shard_ratio));
     }
-    // Also report G-TxAllo's detailed counters at this setting.
-    let outcome = GTxAllo::new(params).allocate_detailed(dataset.graph());
+    // Also report G-TxAllo's detailed counters at this setting (via the
+    // reusable plan — the counters are not part of the `Allocator` trait).
+    let plan = GTxAlloPlan::new(dataset.graph(), &params.louvain);
+    let outcome = plan.allocate(&params);
     w.note(&format!(
         "# G-TxAllo: louvain communities = {}, sweeps = {}, moves = {}",
         outcome.initial_communities, outcome.sweeps, outcome.moves
@@ -396,9 +405,9 @@ pub fn ablation(scale: ExperimentScale) {
     }
 
     w.note("# ablation B: candidate communities C_v (Eq. 9) vs full k-scan");
-    let start = Instant::now();
-    let restricted = GTxAllo::new(params.clone()).allocate_graph(dataset.graph());
-    let restricted_secs = start.elapsed().as_secs_f64();
+    let (restricted, restricted_time) =
+        run_allocator(AllocatorKind::TxAllo, &dataset, k, eta, None);
+    let restricted_secs = restricted_time.as_secs_f64();
     let start = Instant::now();
     let full = gtxallo_full_scan(&params, dataset.graph());
     let full_secs = start.elapsed().as_secs_f64();
@@ -504,14 +513,14 @@ pub fn measure_eta(scale: ExperimentScale) {
 /// workload balance. Compares plain G-TxAllo against the split-then-
 /// allocate broker pipeline on the metrics the hot shard hurts.
 pub fn broker(scale: ExperimentScale) {
-    use txallo_core::{allocate_with_brokers, BrokerConfig, GTxAllo};
+    use txallo_core::{allocate_with_brokers, BrokerConfig};
 
     let mut w = ResultWriter::new("broker");
     let dataset = build_dataset(scale);
     let (k, eta) = (20usize, 2.0);
     let params = TxAlloParams::for_graph(dataset.graph(), k).with_eta(eta);
 
-    let plain_alloc = GTxAllo::new(params.clone()).allocate_graph(dataset.graph());
+    let (plain_alloc, _) = run_allocator(AllocatorKind::TxAllo, &dataset, k, eta, None);
     let plain = MetricsReport::compute(dataset.graph(), &plain_alloc, &params);
     let (_, brokered) = allocate_with_brokers(dataset.graph(), &params, &BrokerConfig::default());
 
@@ -582,7 +591,11 @@ pub fn recency(scale: ExperimentScale) {
     ];
     for (name, graph) in views {
         let params = TxAlloParams::for_graph(graph, k).with_eta(eta);
-        let alloc = GTxAllo::new(params).allocate_graph(graph);
+        // Graph-only views have no ledger to form a `Dataset`, so this
+        // goes through the plan path of the same G-TxAllo pipeline.
+        let alloc = GTxAlloPlan::new(graph, &params.louvain)
+            .allocate(&params)
+            .allocation;
         // Extend labels to cover future-only accounts via hash fallback.
         let mut labels = alloc.labels().to_vec();
         use txallo_graph::WeightedGraph;
@@ -680,6 +693,23 @@ pub fn bench_snapshot(out_path: &str) {
         }
         std::hint::black_box(session.update(&graph2, &touched, &params2));
     });
+    // The public serving surface: the same warm session driven through
+    // the `StreamingAllocator` API (`on_block` + `end_epoch`), including
+    // the move-diff construction the service layer adds.
+    let stream_warm = {
+        use txallo_core::StreamingAllocator;
+        let mut stream = txallo_core::AdaptiveStream::new(params2.clone());
+        stream.begin(&graph, &params2);
+        stream
+    };
+    let atxallo_epoch_stream = median_ms(reps, || {
+        use txallo_core::StreamingAllocator;
+        let mut stream = stream_warm.clone();
+        for blk in &new_blocks {
+            stream.on_block(&graph2, blk);
+        }
+        std::hint::black_box(stream.end_epoch(&graph2, txallo_core::EpochKind::Scheduled));
+    });
     // Stateless one-shot paths (aggregates rebuilt per call), both routes.
     let atx = AtxAllo::new(params2.clone());
     let atxallo_incremental = median_ms(reps, || {
@@ -706,6 +736,7 @@ pub fn bench_snapshot(out_path: &str) {
          \"gtxallo_optimize_only\": {optimize_only:.3},\n  \
          \"gtxallo_end_to_end\": {end_to_end:.3},\n  \
          \"atxallo_epoch_update\": {atxallo_epoch:.3},\n  \
+         \"atxallo_epoch_update_stream\": {atxallo_epoch_stream:.3},\n  \
          \"atxallo_epoch_update_incremental\": {atxallo_incremental:.3},\n  \
          \"atxallo_epoch_update_full\": {atxallo_full:.3},\n  \
          \"atxallo_epoch_update_seed\": {atxallo_seed:.3},\n  \

@@ -6,11 +6,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use txallo_core::{
-    Allocation, Dataset, GTxAllo, GTxAlloPlan, HashAllocator, MetisAllocator, SchedulerConfig,
-    ShardScheduler, TxAlloParams,
-};
-use txallo_graph::WeightedGraph;
+use txallo_core::{Allocation, AllocatorRegistry, Dataset, GTxAlloPlan, TxAlloParams};
 use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
 
 /// Scale knobs for the experiments (the paper runs 91.8M transactions on a
@@ -79,10 +75,23 @@ impl fmt::Display for AllocatorKind {
     }
 }
 
-/// Runs one allocator, timing the full allocation (for G-TxAllo a cached
-/// [`GTxAlloPlan`] — canonical order + CSR snapshot + Louvain init — may be
-/// supplied; the plan is independent of both `k` and `η`, so sweeps reuse
-/// it; pass `None` to time end-to-end).
+impl AllocatorKind {
+    /// The [`AllocatorRegistry`] name this figure-legend kind resolves to.
+    pub fn registry_name(self) -> &'static str {
+        match self {
+            AllocatorKind::TxAllo => "txallo",
+            AllocatorKind::Random => "hash",
+            AllocatorKind::Metis => "metis",
+            AllocatorKind::Scheduler => "scheduler",
+        }
+    }
+}
+
+/// Runs one allocator through the shared [`AllocatorRegistry`], timing the
+/// full allocation (for G-TxAllo a cached [`GTxAlloPlan`] — canonical
+/// order + CSR snapshot + Louvain init — may be supplied; the plan is
+/// independent of both `k` and `η`, so sweeps reuse it; pass `None` to
+/// time end-to-end).
 pub fn run_allocator(
     kind: AllocatorKind,
     dataset: &Dataset,
@@ -90,22 +99,14 @@ pub fn run_allocator(
     eta: f64,
     cached_plan: Option<&GTxAlloPlan>,
 ) -> (Allocation, Duration) {
+    let params = TxAlloParams::for_graph(dataset.graph(), k).with_eta(eta);
     let start = Instant::now();
-    let allocation = match kind {
-        AllocatorKind::TxAllo => {
-            let params = TxAlloParams::for_graph(dataset.graph(), k).with_eta(eta);
-            let gtx = GTxAllo::new(params);
-            match cached_plan {
-                Some(plan) => gtx.allocate_planned(plan).allocation,
-                None => gtx.allocate_graph(dataset.graph()),
-            }
-        }
-        AllocatorKind::Random => HashAllocator::new(k).allocate_graph(dataset.graph()),
-        AllocatorKind::Metis => MetisAllocator::new(k).allocate_graph(dataset.graph()),
-        AllocatorKind::Scheduler => {
-            let cfg = SchedulerConfig::new(k, dataset.graph().total_weight()).with_eta(eta);
-            ShardScheduler::new(cfg).allocate_dataset(dataset)
-        }
+    let allocation = match (kind, cached_plan) {
+        (AllocatorKind::TxAllo, Some(plan)) => plan.allocate(&params).allocation,
+        _ => AllocatorRegistry::builtin()
+            .batch(kind.registry_name(), &params)
+            .expect("builtin kinds are registered")
+            .allocate(dataset),
     };
     (allocation, start.elapsed())
 }

@@ -1,7 +1,15 @@
 //! The chain engine: applies an allocation, drives per-shard consensus and
 //! cross-shard Atomix over a block stream, and *measures* η.
+//!
+//! Reallocation reaches the consensus substrate through
+//! [`ChainEngine::apply_reallocation`]: each epoch's
+//! [`AllocationUpdate`] move-diff is executed as batched cross-shard
+//! state transfers over Atomix (lock the account on the source shard,
+//! commit on the destination), so migration is a *measured* cost, not a
+//! free relabel. The epoch loop itself lives in
+//! [`ChainService`](crate::ChainService).
 
-use txallo_core::Allocation;
+use txallo_core::{Allocation, AllocationUpdate};
 use txallo_graph::TxGraph;
 use txallo_model::{Block, FxHashMap};
 
@@ -54,6 +62,11 @@ pub struct EngineReport {
     pub total_messages: u64,
     /// Validator reshuffles performed.
     pub reshuffles: u64,
+    /// Accounts migrated between shards by reallocation updates.
+    pub migrations: u64,
+    /// Atomix messages spent on those migrations (also counted in
+    /// `total_messages`).
+    pub migration_messages: u64,
     /// Mean per-shard message cost of an intra transaction.
     pub intra_cost_per_shard: f64,
     /// Mean per-shard message cost of a cross transaction.
@@ -202,6 +215,35 @@ impl ChainEngine {
         self.report.blocks += 1;
     }
 
+    /// Executes an epoch's reallocation diff on the substrate: every
+    /// account migration is a cross-shard state transfer between its old
+    /// and new shard, batched per (from, to) pair and run through Atomix
+    /// exactly like a cross-shard transaction batch. First placements
+    /// (no previous shard) cost nothing — there is no state to move.
+    pub fn apply_reallocation(&mut self, update: &AllocationUpdate) {
+        let mut pairs: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for m in &update.moves {
+            let Some(from) = m.from else { continue };
+            if from == m.to {
+                continue;
+            }
+            *pairs.entry((from.0, m.to.0)).or_insert(0) += 1;
+        }
+        let mut pairs: Vec<((u32, u32), u64)> = pairs.into_iter().collect();
+        pairs.sort_unstable(); // determinism
+        let batch = self.config.batch_size.max(1) as u64;
+        for ((from, to), count) in pairs {
+            self.report.migrations += count;
+            let shards = if from < to { [from, to] } else { [to, from] };
+            let runs = count.div_ceil(batch);
+            for _ in 0..runs {
+                let out = AtomixProtocol::run(&mut self.instances, &shards);
+                self.report.total_messages += out.messages;
+                self.report.migration_messages += out.messages;
+            }
+        }
+    }
+
     /// Finalizes and returns the report.
     pub fn report(&self) -> EngineReport {
         let mut r = self.report.clone();
@@ -222,7 +264,7 @@ impl ChainEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use txallo_core::{GTxAllo, TxAlloParams};
+    use txallo_core::{AllocatorRegistry, Dataset, TxAlloParams};
     use txallo_graph::WeightedGraph;
     use txallo_model::{AccountId, Transaction};
     use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
@@ -342,12 +384,17 @@ mod tests {
         };
         let mut generator = EthereumLikeGenerator::new(cfg, 13);
         let ledger = generator.default_ledger();
-        let g = TxGraph::from_ledger(&ledger);
+        let dataset = Dataset::from_ledger(ledger);
         let k = 4;
-        let alloc = GTxAllo::new(TxAlloParams::for_graph(&g, k)).allocate_graph(&g);
+        let params = TxAlloParams::for_graph(dataset.graph(), k);
+        let alloc = AllocatorRegistry::builtin()
+            .batch("txallo", &params)
+            .unwrap()
+            .allocate(&dataset);
+        let g = dataset.graph();
         let mut e = engine(k);
-        for block in ledger.blocks() {
-            e.process_block(block, &g, &alloc);
+        for block in dataset.ledger().blocks() {
+            e.process_block(block, g, &alloc);
         }
         let r = e.report();
         assert!(r.intra_committed > 0 && r.cross_committed > 0);

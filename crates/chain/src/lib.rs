@@ -23,9 +23,11 @@
 pub mod atomix;
 pub mod engine;
 pub mod pbft;
+pub mod service;
 pub mod validator;
 
 pub use atomix::{AtomixOutcome, AtomixProtocol};
 pub use engine::{ChainEngine, ChainEngineConfig, EngineReport};
 pub use pbft::{ConsensusOutcome, PbftShard};
+pub use service::{ChainService, ChainServiceConfig};
 pub use validator::{Validator, ValidatorId, ValidatorSet};

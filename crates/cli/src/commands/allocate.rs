@@ -4,11 +4,7 @@ use std::fs::File;
 use std::io::BufWriter;
 use std::time::Instant;
 
-use txallo_core::{
-    Allocator, GTxAllo, HashAllocator, MetisAllocator, MetricsReport, SchedulerConfig,
-    ShardScheduler, TxAlloParams,
-};
-use txallo_graph::WeightedGraph;
+use txallo_core::{AllocatorRegistry, MetricsReport, TxAlloParams};
 
 use crate::args::ArgMap;
 use crate::commands::load_dataset;
@@ -25,19 +21,10 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     let method = args.get("method").unwrap_or("txallo");
     let params = TxAlloParams::for_graph(dataset.graph(), k).with_eta(eta);
 
-    let mut allocator: Box<dyn Allocator> = match method {
-        "txallo" => Box::new(GTxAllo::new(params.clone())),
-        "hash" => Box::new(HashAllocator::new(k)),
-        "metis" => Box::new(MetisAllocator::new(k)),
-        "scheduler" => Box::new(ShardScheduler::new(
-            SchedulerConfig::new(k, dataset.graph().total_weight()).with_eta(eta),
-        )),
-        other => {
-            return Err(format!(
-                "unknown method {other:?} (txallo|hash|metis|scheduler)"
-            ))
-        }
-    };
+    // Name → algorithm resolution goes through the shared registry; an
+    // unknown method reports whatever is actually registered.
+    let registry = AllocatorRegistry::builtin();
+    let mut allocator = registry.batch(method, &params).map_err(|e| e.to_string())?;
 
     let start = Instant::now();
     let allocation = allocator.allocate(&dataset);

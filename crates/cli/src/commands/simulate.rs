@@ -1,5 +1,6 @@
 //! `txallo simulate` — run the epoch simulator on a synthetic stream.
 
+use txallo_core::AllocatorRegistry;
 use txallo_graph::WeightedGraph;
 use txallo_sim::{HybridSchedule, ShardedChainSim, SimConfig, UpdateKind};
 use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
@@ -14,8 +15,18 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     let gap: u64 = args.parsed_or("gap", 10)?;
     let seed: u64 = args.parsed_or("seed", 42)?;
     let eta: f64 = args.parsed_or("eta", 2.0)?;
+    let method = args.get("method").unwrap_or("txallo");
     if shards == 0 || epochs == 0 || epoch_blocks == 0 {
         return Err("--shards, --epochs and --epoch-blocks must be positive".into());
+    }
+    // Validate the method up front (the simulator would panic later);
+    // unknown names report the registered set.
+    let registry = AllocatorRegistry::builtin();
+    if !registry.contains(method) {
+        return Err(format!(
+            "unknown method {method:?} (registered: {})",
+            registry.names().join("|")
+        ));
     }
 
     let config = WorkloadConfig {
@@ -38,22 +49,23 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
         shards,
         eta,
         epoch_blocks,
+        method: method.to_string(),
         schedule,
         decay_per_epoch,
     });
     let warm_time = sim.warmup(&warm);
     eprintln!(
-        "warm-up: {} accounts, G-TxAllo in {warm_time:.2?}",
+        "warm-up: {} accounts, initial {method} solve in {warm_time:.2?}",
         sim.graph().node_count()
     );
 
-    println!("epoch,algo,gamma,throughput_times,new_accounts,update_seconds");
+    println!("epoch,algo,gamma,throughput_times,new_accounts,migrated,update_seconds");
     let mut sum_tp = 0.0;
     let reports = sim.run_stream(&stream);
     for r in &reports {
         sum_tp += r.metrics.throughput_normalized;
         println!(
-            "{},{},{:.4},{:.3},{},{:.6}",
+            "{},{},{:.4},{:.3},{},{},{:.6}",
             r.epoch,
             match r.update {
                 UpdateKind::Global => "global",
@@ -62,6 +74,7 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
             r.metrics.cross_shard_ratio,
             r.metrics.throughput_normalized,
             r.new_accounts,
+            r.metrics.migrated_accounts,
             r.update_time.as_secs_f64()
         );
     }

@@ -3,12 +3,15 @@
 //! ```text
 //! txallo generate  --out trace.csv [--accounts N] [--transactions N] [--seed S]
 //! txallo stats     --trace trace.csv
-//! txallo allocate  --trace trace.csv --method txallo|hash|metis|scheduler
+//! txallo allocate  --trace trace.csv --method <name>
 //!                  [-k N] [--eta F] [--out mapping.csv]
 //! txallo evaluate  --trace trace.csv --mapping mapping.csv [--eta F]
-//! txallo simulate  [--shards N] [--epochs N] [--gap N] [--seed S]
+//! txallo simulate  [--method <name>] [--shards N] [--epochs N] [--gap N] [--seed S]
 //! txallo convert   --etl transactions.csv --out trace.csv
 //! ```
+//!
+//! Method names come from `txallo_core::AllocatorRegistry::builtin()`;
+//! the usage text enumerates them at runtime.
 
 mod args;
 mod commands;
@@ -49,15 +52,18 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-fn usage() -> &'static str {
-    "txallo — dynamic transaction allocation for sharded blockchains
+fn usage() -> String {
+    let methods = txallo_core::AllocatorRegistry::builtin().names().join("|");
+    format!(
+        "txallo — dynamic transaction allocation for sharded blockchains
 
 USAGE:
   txallo generate  --out trace.csv [--accounts N] [--transactions N] [--seed S]
   txallo stats     --trace trace.csv
-  txallo allocate  --trace trace.csv --method txallo|hash|metis|scheduler \\
+  txallo allocate  --trace trace.csv --method {methods} \\
                    [-k N] [--eta F] [--out mapping.csv]
   txallo evaluate  --trace trace.csv --mapping mapping.csv [--eta F]
-  txallo simulate  [--shards N] [--epochs N] [--gap N] [--seed S]
+  txallo simulate  [--method {methods}] [--shards N] [--epochs N] [--gap N] [--seed S]
   txallo convert   --etl transactions.csv --out trace.csv"
+    )
 }

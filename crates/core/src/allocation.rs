@@ -3,6 +3,8 @@
 use txallo_graph::{NodeId, TxGraph};
 use txallo_model::{AccountId, ShardId};
 
+use crate::streaming::AllocationUpdate;
+
 /// An account-shard mapping `{A₁, …, A_k}`: every graph node carries
 /// exactly one shard label (uniqueness + completeness of Definition 1 hold
 /// by construction).
@@ -51,9 +53,90 @@ impl Allocation {
         &self.labels
     }
 
-    /// Mutable access for in-place updates (A-TxAllo).
-    pub fn labels_mut(&mut self) -> &mut Vec<u32> {
-        &mut self.labels
+    /// Moves one node to `shard`, upholding the Definition 1 invariants.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range or `shard` is not `< shard_count`
+    /// — unlike the raw label vector, a validated mutation can never leave
+    /// the allocation inconsistent.
+    pub fn set_shard(&mut self, node: NodeId, shard: ShardId) {
+        assert!(
+            (node as usize) < self.labels.len(),
+            "node {node} outside the allocation (len {})",
+            self.labels.len()
+        );
+        assert!(
+            (shard.0 as usize) < self.shard_count,
+            "shard {shard} out of range (k = {})",
+            self.shard_count
+        );
+        self.labels[node as usize] = shard.0;
+    }
+
+    /// Appends the label of the next freshly interned node (node ids are
+    /// assigned contiguously, so an append is the only way coverage
+    /// grows outside [`Allocation::apply_update`]).
+    ///
+    /// # Panics
+    /// Panics if `shard` is not `< shard_count`.
+    pub fn push_shard(&mut self, shard: ShardId) {
+        assert!(
+            (shard.0 as usize) < self.shard_count,
+            "shard {shard} out of range (k = {})",
+            self.shard_count
+        );
+        self.labels.push(shard.0);
+    }
+
+    /// Folds an epoch's [`AllocationUpdate`] diff into the mapping:
+    /// migrations relabel existing nodes, placements extend the vector for
+    /// brand-new accounts.
+    ///
+    /// # Panics
+    /// Panics when the diff does not apply cleanly: mismatched shard
+    /// count, a shrinking node count, a migration whose `from` shard
+    /// disagrees with the current label (the diff was computed against a
+    /// different base), an out-of-range target shard, or a fresh node the
+    /// update failed to place.
+    pub fn apply_update(&mut self, update: &AllocationUpdate) {
+        assert_eq!(
+            update.shard_count, self.shard_count,
+            "update is for a different shard count"
+        );
+        let old_len = self.labels.len();
+        assert!(
+            update.len >= old_len,
+            "allocations never shrink ({} -> {})",
+            old_len,
+            update.len
+        );
+        // Fresh slots carry a sentinel until a placement move fills them.
+        const PENDING: u32 = u32::MAX;
+        self.labels.resize(update.len, PENDING);
+        for m in &update.moves {
+            let i = m.node as usize;
+            assert!(i < update.len, "move targets node {i} outside the update");
+            assert!(
+                (m.to.0 as usize) < self.shard_count,
+                "move targets out-of-range shard {}",
+                m.to
+            );
+            match m.from {
+                Some(from) => assert_eq!(
+                    self.labels[i], from.0,
+                    "diff base mismatch at node {i}: expected shard {from}"
+                ),
+                None => assert!(
+                    i >= old_len,
+                    "placement for node {i}, which is already labelled"
+                ),
+            }
+            self.labels[i] = m.to.0;
+        }
+        assert!(
+            self.labels[old_len..].iter().all(|&l| l != PENDING),
+            "update left fresh nodes unlabelled"
+        );
     }
 
     /// Number of shards `k`.
@@ -147,5 +230,92 @@ mod tests {
         let a = Allocation::single_shard(4);
         assert_eq!(a.shard_count(), 1);
         assert!(a.labels().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn set_shard_validates() {
+        let mut a = Allocation::new(vec![0, 1, 0], 2);
+        a.set_shard(2, ShardId(1));
+        assert_eq!(a.labels(), &[0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_shard_rejects_bad_shard() {
+        let mut a = Allocation::new(vec![0, 1], 2);
+        a.set_shard(0, ShardId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the allocation")]
+    fn set_shard_rejects_bad_node() {
+        let mut a = Allocation::new(vec![0, 1], 2);
+        a.set_shard(9, ShardId(0));
+    }
+
+    mod apply_update {
+        use super::*;
+        use crate::streaming::{AccountMove, AllocationUpdate, StateCarry, UpdateKind};
+
+        fn update(len: usize, moves: Vec<AccountMove>) -> AllocationUpdate {
+            AllocationUpdate {
+                shard_count: 2,
+                len,
+                kind: UpdateKind::Adaptive,
+                path: None,
+                carry: StateCarry::Warm,
+                moves,
+            }
+        }
+
+        #[test]
+        fn migrations_and_placements_apply() {
+            let mut a = Allocation::new(vec![0, 1, 0], 2);
+            let u = update(
+                5,
+                vec![
+                    AccountMove {
+                        node: 1,
+                        from: Some(ShardId(1)),
+                        to: ShardId(0),
+                    },
+                    AccountMove {
+                        node: 3,
+                        from: None,
+                        to: ShardId(1),
+                    },
+                    AccountMove {
+                        node: 4,
+                        from: None,
+                        to: ShardId(0),
+                    },
+                ],
+            );
+            assert_eq!(u.migrations(), 1);
+            assert_eq!(u.placements(), 2);
+            a.apply_update(&u);
+            assert_eq!(a.labels(), &[0, 0, 0, 1, 0]);
+        }
+
+        #[test]
+        #[should_panic(expected = "diff base mismatch")]
+        fn stale_base_is_rejected() {
+            let mut a = Allocation::new(vec![0, 0], 2);
+            a.apply_update(&update(
+                2,
+                vec![AccountMove {
+                    node: 0,
+                    from: Some(ShardId(1)),
+                    to: ShardId(0),
+                }],
+            ));
+        }
+
+        #[test]
+        #[should_panic(expected = "unlabelled")]
+        fn missing_placement_is_rejected() {
+            let mut a = Allocation::new(vec![0], 2);
+            a.apply_update(&update(3, vec![]));
+        }
     }
 }

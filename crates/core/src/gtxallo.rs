@@ -402,6 +402,14 @@ impl GTxAlloPlan {
     pub fn csr(&self) -> &CsrGraph {
         &self.csr
     }
+
+    /// Runs truncation + optimization on this plan for one `(k, η)` point
+    /// — the sweep-side entry of [`GTxAllo::allocate_planned`], shaped so
+    /// parameter-grid harnesses can reuse a plan without constructing the
+    /// allocator themselves.
+    pub fn allocate(&self, params: &TxAlloParams) -> GTxAlloOutcome {
+        GTxAllo::new(params.clone()).allocate_planned(self)
+    }
 }
 
 impl Allocator for GTxAllo {

@@ -14,8 +14,17 @@
 //!   ([`MetisAllocator`]) and the transaction-level
 //!   [`ShardScheduler`].
 //!
-//! All allocators implement [`Allocator`] over a [`Dataset`] (ledger +
-//! transaction graph), so the experiment harness can sweep them uniformly.
+//! The allocation API is two-level:
+//!
+//! * **batch** (§V-B): every algorithm implements [`Allocator`] over a
+//!   [`Dataset`] (ledger + transaction graph), for one-shot allocation;
+//! * **streaming** (§V-C): [`StreamingAllocator`] serves an epoch-driven
+//!   chain — `begin` on the warm-up history, `on_block` per committed
+//!   block, `end_epoch` returning the [`AllocationUpdate`] *diff* of moved
+//!   accounts (see [`streaming`]).
+//!
+//! Consumers resolve either entry point by name through the
+//! [`AllocatorRegistry`] instead of constructing algorithms directly.
 
 pub mod ablation;
 pub mod allocation;
@@ -28,9 +37,11 @@ mod incremental;
 pub mod metis_alloc;
 pub mod metrics;
 pub mod params;
+pub mod registry;
 pub mod scheduler;
 pub mod session;
 pub mod state;
+pub mod streaming;
 
 pub use ablation::{gtxallo_full_scan, gtxallo_with_init_strategy, InitStrategy};
 pub use allocation::Allocation;
@@ -45,9 +56,14 @@ pub use hash_alloc::HashAllocator;
 pub use metis_alloc::MetisAllocator;
 pub use metrics::{latency_of_normalized_load, MetricsReport};
 pub use params::TxAlloParams;
-pub use scheduler::{SchedulerConfig, ShardScheduler};
+pub use registry::{AllocatorRegistry, UnknownAllocator};
+pub use scheduler::{SchedulerConfig, SchedulerState, ShardScheduler};
 pub use session::AtxAlloSession;
 pub use state::{CommunityState, MoveScratch};
+pub use streaming::{
+    AccountMove, AdaptiveStream, AllocationUpdate, EpochKind, GlobalStream, HybridSchedule,
+    HybridStream, SchedulerStream, StateCarry, StreamingAllocator, UpdateKind,
+};
 // The shared gain tie-break tolerance: one constant across Louvain and the
 // TxAllo sweeps (see its docs in `txallo_louvain` for the determinism
 // contract).

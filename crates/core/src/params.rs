@@ -55,6 +55,23 @@ impl TxAlloParams {
         }
     }
 
+    /// Re-derives the weight-dependent parameters (`λ = |T|/k`,
+    /// `ε = 10⁻⁵·|T|`) from the graph's *current* total weight, keeping
+    /// every other knob (`k`, `η`, Louvain config, sweep cap, snapshot
+    /// threshold).
+    ///
+    /// This is the per-epoch parameter refresh of the streaming service:
+    /// the accumulated history grows (or decays) every epoch, and the
+    /// paper's scaling ties capacity and convergence threshold to it.
+    pub fn rescaled_for_graph(&self, graph: &impl WeightedGraph) -> Self {
+        let total = graph.total_weight();
+        Self {
+            capacity: total / self.shards as f64,
+            epsilon: 1e-5 * total,
+            ..self.clone()
+        }
+    }
+
     /// Returns a copy with a different `η`.
     pub fn with_eta(mut self, eta: f64) -> Self {
         assert!(

@@ -20,8 +20,8 @@
 //!    within the capacity buffer (`capacity × buffer_ratio`, buffer 1 per
 //!    the paper's setting §VI-B1).
 
-use txallo_graph::{NodeId, WeightedGraph};
-use txallo_model::FxHashMap;
+use txallo_graph::{NodeId, TxGraph, WeightedGraph};
+use txallo_model::{FxHashMap, Transaction};
 
 use crate::allocation::Allocation;
 use crate::dataset::Dataset;
@@ -77,100 +77,211 @@ impl ShardScheduler {
     /// the final account-shard mapping.
     pub fn allocate_dataset(&self, dataset: &Dataset) -> Allocation {
         let graph = dataset.graph();
-        let k = self.config.shards;
-        let n = graph.node_count();
-        let mut shard_of: Vec<u32> = vec![u32::MAX; n];
-        let mut load = vec![0.0f64; k];
-        // Historical affinity: per account, accumulated interaction weight
-        // with each shard (by partner placement at interaction time).
-        let mut affinity: Vec<FxHashMap<u32, f64>> = vec![FxHashMap::default(); n];
-        let cap = self.config.capacity * self.config.buffer_ratio;
-
-        let least_loaded = |load: &[f64]| -> u32 {
-            let mut best = 0usize;
-            for s in 1..load.len() {
-                if load[s] < load[best] {
-                    best = s;
-                }
-            }
-            best as u32
-        };
-
+        let mut state = SchedulerState::new(self.config.clone());
+        state.ensure_nodes(graph.node_count());
         for tx in dataset.ledger().transactions() {
-            let accounts = tx.account_set();
-            let nodes: Vec<NodeId> = accounts
-                .iter()
-                .map(|&a| graph.node_of(a).expect("account in graph"))
-                .collect();
+            state.process_transaction(graph, tx);
+        }
+        // Accounts never seen in the ledger cannot exist (graph is built
+        // from the same ledger), so every label is set.
+        debug_assert!(state.labels().iter().all(|&s| s != u32::MAX));
+        Allocation::new(state.into_labels(), self.config.shards)
+    }
+}
 
-            // Place new accounts into the least-loaded shard (rule 1).
-            for &v in &nodes {
-                if shard_of[v as usize] == u32::MAX {
-                    shard_of[v as usize] = least_loaded(&load);
-                }
+/// The scheduler's per-account decision state, factored out of the batch
+/// replay so that it can also run *incrementally* — the scheduler is
+/// transaction-level by design, which makes it the one baseline whose
+/// streaming adapter ([`crate::SchedulerStream`]) is its native mode
+/// rather than a per-epoch re-solve.
+///
+/// [`SchedulerState::process_transaction`] applies the two published
+/// decision rules (placement + migration, see the [module docs](self)) to
+/// one transaction; the batch [`ShardScheduler::allocate_dataset`] is a
+/// fresh state replayed over the whole ledger.
+#[derive(Debug, Clone)]
+pub struct SchedulerState {
+    config: SchedulerConfig,
+    /// Migration headroom: `capacity × buffer_ratio`.
+    cap: f64,
+    shard_of: Vec<u32>,
+    load: Vec<f64>,
+    /// Historical affinity: per account, accumulated interaction weight
+    /// with each shard (by partner placement at interaction time).
+    affinity: Vec<FxHashMap<u32, f64>>,
+}
+
+impl SchedulerState {
+    /// Fresh state with no accounts placed.
+    pub fn new(config: SchedulerConfig) -> Self {
+        let cap = config.capacity * config.buffer_ratio;
+        let load = vec![0.0f64; config.shards];
+        Self {
+            config,
+            cap,
+            shard_of: Vec::new(),
+            load,
+            affinity: Vec::new(),
+        }
+    }
+
+    /// Grows the per-account tables to cover `n` nodes (new slots are
+    /// unplaced). Node ids only ever grow, matching the graph interner.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if self.shard_of.len() < n {
+            self.shard_of.resize(n, u32::MAX);
+            self.affinity.resize(n, FxHashMap::default());
+        }
+    }
+
+    /// Updates the per-shard capacity `λ` (streaming callers refresh it
+    /// per epoch as `|T|` grows; the batch replay keeps it fixed).
+    pub fn set_capacity(&mut self, capacity: f64) {
+        self.config.capacity = capacity;
+        self.cap = capacity * self.config.buffer_ratio;
+    }
+
+    /// Scales the accumulated history — per-shard loads and per-account
+    /// affinities — by `factor`, mirroring a uniform decay of the
+    /// transaction history they were accrued from. Without this, a
+    /// decaying capacity (`λ = |T|/k` shrinks with the decayed total)
+    /// would be compared against undecayed loads and permanently disable
+    /// the migration rule.
+    pub fn scale_history(&mut self, factor: f64) {
+        assert!(factor > 0.0, "scale factor must be positive");
+        for load in &mut self.load {
+            *load *= factor;
+        }
+        for per_account in &mut self.affinity {
+            for weight in per_account.values_mut() {
+                *weight *= factor;
             }
+        }
+    }
 
-            // Distinct shards the transaction currently touches.
-            let mut shards: Vec<u32> = nodes.iter().map(|&v| shard_of[v as usize]).collect();
-            shards.sort_unstable();
-            shards.dedup();
+    /// The current labels (`u32::MAX` = not yet placed).
+    pub fn labels(&self) -> &[u32] {
+        &self.shard_of
+    }
 
-            if shards.len() > 1 {
-                // Cross-shard: each affected account is scored against
-                // *every* shard (as the original scheduler does — this scan
-                // is what makes the method O(|T|·k) and the slowest in
-                // Fig. 8): highest historical affinity wins, ties broken
-                // toward the lighter shard, respecting the capacity buffer.
-                for &v in &nodes {
-                    let current = shard_of[v as usize];
-                    let mut best = current;
-                    let mut best_aff = affinity[v as usize].get(&current).copied().unwrap_or(0.0);
-                    let mut best_load = load[current as usize];
-                    for s in 0..k as u32 {
-                        if s == current || load[s as usize] >= cap {
-                            continue;
-                        }
-                        let a = affinity[v as usize].get(&s).copied().unwrap_or(0.0);
-                        if a > best_aff || (a == best_aff && load[s as usize] < best_load) {
-                            best = s;
-                            best_aff = a;
-                            best_load = load[s as usize];
-                        }
-                    }
-                    shard_of[v as usize] = best;
-                }
-                // Re-evaluate µ after migrations.
-                shards = nodes.iter().map(|&v| shard_of[v as usize]).collect();
-                shards.sort_unstable();
-                shards.dedup();
+    /// Consumes the state, yielding the label vector.
+    pub fn into_labels(self) -> Vec<u32> {
+        self.shard_of
+    }
+
+    fn least_loaded(&self) -> u32 {
+        let mut best = 0usize;
+        for s in 1..self.load.len() {
+            if self.load[s] < self.load[best] {
+                best = s;
             }
+        }
+        best as u32
+    }
 
-            // Charge the workload to every involved shard.
-            let unit = if shards.len() > 1 {
-                self.config.eta
-            } else {
-                1.0
-            };
-            for &s in &shards {
-                load[s as usize] += unit;
+    /// Warm-starts from an accumulated graph when no transaction history
+    /// is available (the streaming `begin`): accounts are placed greedily
+    /// into the least-loaded shard in node-id order — first-appearance
+    /// order, i.e. the order rule 1 would have seen them arrive — with
+    /// their incident weight as the load proxy, and affinities are seeded
+    /// from the placed adjacency. A deterministic approximation of the
+    /// replay, documented as such; live traffic thereafter uses the exact
+    /// per-transaction rules.
+    pub fn seed_from_graph(&mut self, graph: &TxGraph) {
+        let n = graph.node_count();
+        self.ensure_nodes(n);
+        for v in 0..n as NodeId {
+            if self.shard_of[v as usize] != u32::MAX {
+                continue;
             }
+            let s = self.least_loaded();
+            self.shard_of[v as usize] = s;
+            self.load[s as usize] += graph.incident_weight(v);
+        }
+        for v in 0..n as NodeId {
+            graph.for_each_neighbor(v, |u, w| {
+                let su = self.shard_of[u as usize];
+                *self.affinity[v as usize].entry(su).or_insert(0.0) += w;
+            });
+        }
+    }
 
-            // Update pairwise affinities (each account ↔ partners' shards).
-            for &v in &nodes {
-                for &u in &nodes {
-                    if u == v {
-                        continue;
-                    }
-                    let su = shard_of[u as usize];
-                    *affinity[v as usize].entry(su).or_insert(0.0) += 1.0;
-                }
+    /// Runs the placement + migration rules on one transaction. Its
+    /// accounts must already be interned in `graph`.
+    pub fn process_transaction(&mut self, graph: &TxGraph, tx: &Transaction) {
+        self.ensure_nodes(graph.node_count());
+        let k = self.config.shards;
+        let accounts = tx.account_set();
+        let nodes: Vec<NodeId> = accounts
+            .iter()
+            .map(|&a| graph.node_of(a).expect("account in graph"))
+            .collect();
+
+        // Place new accounts into the least-loaded shard (rule 1).
+        for &v in &nodes {
+            if self.shard_of[v as usize] == u32::MAX {
+                self.shard_of[v as usize] = self.least_loaded();
             }
         }
 
-        // Accounts never seen in the ledger cannot exist (graph is built
-        // from the same ledger), so every label is set.
-        debug_assert!(shard_of.iter().all(|&s| s != u32::MAX));
-        Allocation::new(shard_of, k)
+        // Distinct shards the transaction currently touches.
+        let mut shards: Vec<u32> = nodes.iter().map(|&v| self.shard_of[v as usize]).collect();
+        shards.sort_unstable();
+        shards.dedup();
+
+        if shards.len() > 1 {
+            // Cross-shard: each affected account is scored against
+            // *every* shard (as the original scheduler does — this scan
+            // is what makes the method O(|T|·k) and the slowest in
+            // Fig. 8): highest historical affinity wins, ties broken
+            // toward the lighter shard, respecting the capacity buffer.
+            for &v in &nodes {
+                let current = self.shard_of[v as usize];
+                let mut best = current;
+                let mut best_aff = self.affinity[v as usize]
+                    .get(&current)
+                    .copied()
+                    .unwrap_or(0.0);
+                let mut best_load = self.load[current as usize];
+                for s in 0..k as u32 {
+                    if s == current || self.load[s as usize] >= self.cap {
+                        continue;
+                    }
+                    let a = self.affinity[v as usize].get(&s).copied().unwrap_or(0.0);
+                    if a > best_aff || (a == best_aff && self.load[s as usize] < best_load) {
+                        best = s;
+                        best_aff = a;
+                        best_load = self.load[s as usize];
+                    }
+                }
+                self.shard_of[v as usize] = best;
+            }
+            // Re-evaluate µ after migrations.
+            shards = nodes.iter().map(|&v| self.shard_of[v as usize]).collect();
+            shards.sort_unstable();
+            shards.dedup();
+        }
+
+        // Charge the workload to every involved shard.
+        let unit = if shards.len() > 1 {
+            self.config.eta
+        } else {
+            1.0
+        };
+        for &s in &shards {
+            self.load[s as usize] += unit;
+        }
+
+        // Update pairwise affinities (each account ↔ partners' shards).
+        for &v in &nodes {
+            for &u in &nodes {
+                if u == v {
+                    continue;
+                }
+                let su = self.shard_of[u as usize];
+                *self.affinity[v as usize].entry(su).or_insert(0.0) += 1.0;
+            }
+        }
     }
 }
 

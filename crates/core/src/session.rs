@@ -28,10 +28,16 @@
 //! float rounding of the different summation order) what
 //! `CommunityState::from_labels` would recompute from scratch;
 //! [`AtxAlloSession::consistency_error`] measures the drift and the sim
-//! tests bound it. Any *out-of-band* reweighting of the graph — decay,
-//! sliding-window eviction, edge dropping — invalidates the session; drop
-//! it and build a fresh one (the simulation driver does exactly that on
-//! decay and on global G-TxAllo epochs).
+//! tests bound it. Out-of-band graph edits split in two:
+//!
+//! * **uniform rescaling** (exponential decay) *folds* into the session —
+//!   [`AtxAlloSession::apply_decay`] scales the aggregates by the same
+//!   factor, exactly, because they are linear in the edge weights
+//!   (golden-tested against the rebuild path);
+//! * **non-uniform edits** (sliding-window eviction, edge dropping)
+//!   cannot be folded: drop the session and build a fresh one (the
+//!   streaming layer's `AdaptiveStream::invalidate`, and every global
+//!   G-TxAllo refresh, do exactly that).
 
 use txallo_graph::{DeltaCsr, NodeId, TxGraph, WeightedGraph};
 use txallo_model::Block;
@@ -79,6 +85,36 @@ impl AtxAlloSession {
     /// The current account-shard mapping.
     pub fn allocation(&self) -> Allocation {
         Allocation::new(self.labels.clone(), self.shards)
+    }
+
+    /// The raw label vector (index = node id; nodes ingested since the
+    /// last sweep report [`UNASSIGNED`]). Borrowed view of
+    /// [`AtxAlloSession::allocation`] for diffing without a clone.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Folds a uniform out-of-band rescale of every edge weight (decay
+    /// factor `f ∈ (0, 1]`) into the maintained aggregates.
+    ///
+    /// The `intra`/`cut` sums are linear in the edge weights, so a uniform
+    /// graph rescale maps to exactly `aggregate × f` — the session
+    /// survives decay epochs instead of paying the `O(n + m)` rebuild it
+    /// used to. The only divergence from a from-scratch recomputation is
+    /// floating-point rounding (`Σ(wᵢ·f)` vs `(Σwᵢ)·f`), which is the same
+    /// class of drift the incremental delta folding already accepts and
+    /// [`AtxAlloSession::consistency_error`] bounds; the decay golden
+    /// tests assert the resulting *allocations* match the rebuild path
+    /// exactly.
+    ///
+    /// Non-uniform edits (e.g. [`TxGraph::prune_dust`] dropping edges)
+    /// cannot be folded — drop the session and rebuild instead.
+    pub fn apply_decay(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "decay factor must be in (0, 1], got {factor}"
+        );
+        self.state.scale_aggregates(factor);
     }
 
     /// Label of `node` (new nodes the sweep has not placed yet report

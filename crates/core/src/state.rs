@@ -324,6 +324,23 @@ impl CommunityState {
         }
     }
 
+    /// Scales every `intra`/`cut` aggregate by `factor` and refreshes the
+    /// throughput cache — the accounting image of a uniform edge-weight
+    /// rescale of the underlying graph (exponential decay). The limits
+    /// `η`/`λ` are left untouched; callers refresh them separately (the
+    /// per-epoch [`CommunityState::set_limits`] pass re-derives `λ = |T|/k`
+    /// from the decayed total).
+    pub fn scale_aggregates(&mut self, factor: f64) {
+        assert!(factor > 0.0, "scale factor must be positive");
+        for v in &mut self.intra {
+            *v *= factor;
+        }
+        for v in &mut self.cut {
+            *v *= factor;
+        }
+        self.refresh_throughput();
+    }
+
     /// Verifies Lemma 1 numerically: only `p` and `q` change. Debug aid for
     /// tests; O(k).
     #[cfg(test)]

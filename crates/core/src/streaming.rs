@@ -1,0 +1,1024 @@
+//! The streaming allocation service API (§V-C).
+//!
+//! The paper's operational claim is that allocation is a *service* a
+//! sharded chain consults every epoch, not a one-shot batch call. This
+//! module is that service's contract: a [`StreamingAllocator`] is opened
+//! once on the warm-up history ([`StreamingAllocator::begin`]), observes
+//! every freshly committed block ([`StreamingAllocator::on_block`]), and
+//! at each epoch boundary emits an [`AllocationUpdate`] — the *diff* of
+//! moved accounts ([`StreamingAllocator::end_epoch`]) — so consumers can
+//! account migration cost instead of relabelling wholesale.
+//!
+//! Four implementations cover the paper's §VI comparison end to end:
+//!
+//! * [`AdaptiveStream`] — A-TxAllo serving: a long-lived
+//!   [`AtxAlloSession`] carries the community aggregates across epochs
+//!   (the delta-CSR fast path stays the engine; this type only owns the
+//!   session lifecycle and the diffing).
+//! * [`GlobalStream`] — a batch solver re-run at every epoch boundary
+//!   (G-TxAllo, hash, METIS — anything expressible as graph → labels).
+//! * [`HybridStream`] — the paper's hybrid schedule as a combinator:
+//!   G-TxAllo every `τ₂` epochs, A-TxAllo otherwise.
+//! * [`SchedulerStream`] — the transaction-level Shard Scheduler baseline,
+//!   which is *naturally* streaming (it decides per incoming transaction).
+//!
+//! Consumers resolve implementations by name through the
+//! [`AllocatorRegistry`](crate::AllocatorRegistry) instead of constructing
+//! algorithms directly.
+//!
+//! ## Epoch-loop contract
+//!
+//! For each epoch: ingest a block into the [`TxGraph`], *then* hand it to
+//! `on_block` (accounts must be interned); at the boundary call
+//! `end_epoch` and fold the returned diff into your [`Allocation`] with
+//! [`Allocation::apply_update`]. Out-of-band uniform reweighting (decay)
+//! must be announced through [`StreamingAllocator::on_reweight`] *before*
+//! the epoch's blocks are ingested.
+//!
+//! ```
+//! use txallo_core::{AllocatorRegistry, EpochKind, HybridSchedule, TxAlloParams};
+//! use txallo_graph::TxGraph;
+//! use txallo_model::{AccountId, Block, Transaction};
+//!
+//! // Warm-up history: two 3-account cliques.
+//! let mut graph = TxGraph::new();
+//! for base in [0u64, 10] {
+//!     for (i, j) in [(0, 1), (1, 2), (0, 2)] {
+//!         graph.ingest_transaction(&Transaction::transfer(
+//!             AccountId(base + i),
+//!             AccountId(base + j),
+//!         ));
+//!     }
+//! }
+//!
+//! let registry = AllocatorRegistry::builtin();
+//! let params = TxAlloParams::for_graph(&graph, 2);
+//! let mut stream = registry
+//!     .streaming("txallo", &params, HybridSchedule::AlwaysAdaptive)
+//!     .unwrap();
+//! let mut allocation = stream.begin(&graph, &params);
+//!
+//! // One served epoch: ingest, observe, close, apply the diff.
+//! let block = Block::new(0, vec![Transaction::transfer(AccountId(100), AccountId(0))]);
+//! graph.ingest_block(&block);
+//! stream.on_block(&graph, &block);
+//! let update = stream.end_epoch(&graph, EpochKind::Scheduled);
+//! allocation.apply_update(&update);
+//!
+//! assert_eq!(allocation.len(), 7, "the new account is labelled");
+//! assert_eq!(update.placements(), 1);
+//! assert_eq!(allocation.labels(), stream.allocation().labels());
+//! ```
+
+use txallo_graph::{NodeId, TxGraph, WeightedGraph};
+use txallo_model::{Block, FxHashSet, ShardId};
+
+use crate::allocation::Allocation;
+use crate::atxallo::UpdatePath;
+use crate::gtxallo::GTxAllo;
+use crate::params::TxAlloParams;
+use crate::scheduler::{SchedulerConfig, SchedulerState};
+use crate::session::AtxAlloSession;
+use crate::state::UNASSIGNED;
+
+/// Which algorithm class produced an epoch's [`AllocationUpdate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// A full re-solve over the whole accumulated graph.
+    Global,
+    /// An incremental update from the previous mapping.
+    Adaptive,
+}
+
+/// The driver's request for how to close an epoch
+/// ([`StreamingAllocator::end_epoch`]).
+///
+/// Streams that lack the requested path fall back to their native one; the
+/// returned [`AllocationUpdate::kind`] always reports what actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochKind {
+    /// Follow the stream's own policy (e.g. [`HybridStream`]'s schedule).
+    Scheduled,
+    /// Force the incremental path where one exists.
+    Adaptive,
+    /// Force a full re-solve where one exists.
+    Global,
+}
+
+/// How a stream's incremental serving state crossed an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateCarry {
+    /// The stream keeps no serving state (batch re-solve per epoch).
+    Stateless,
+    /// Fresh state was built this epoch (cold start, or a global re-solve
+    /// replaced the labels wholesale).
+    Rebuilt,
+    /// Aggregates carried over from the previous epoch unchanged.
+    Warm,
+    /// Aggregates carried across an out-of-band uniform reweighting
+    /// (decay) by exact linear rescaling — see
+    /// [`AtxAlloSession::apply_decay`].
+    WarmRescaled,
+}
+
+/// One account changing shard (or being placed for the first time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccountMove {
+    /// The moved graph node.
+    pub node: NodeId,
+    /// Previous shard; `None` for a brand-new account's first placement.
+    pub from: Option<ShardId>,
+    /// New shard.
+    pub to: ShardId,
+}
+
+/// The diff an epoch's allocation update produced: which accounts moved
+/// where, plus enough metadata to validate and apply it
+/// ([`Allocation::apply_update`]).
+///
+/// Carrying the diff — rather than a full relabel — is what lets
+/// consumers charge *migration cost*: the simulator surfaces the move
+/// count in its epoch metrics, and the chain engine routes each migration
+/// through the cross-shard Atomix protocol.
+#[derive(Debug, Clone)]
+pub struct AllocationUpdate {
+    /// Number of shards `k` (must match the allocation the diff applies to).
+    pub shard_count: usize,
+    /// Node count the post-update allocation covers (the diff may extend
+    /// the allocation with freshly placed accounts).
+    pub len: usize,
+    /// Which algorithm class ran.
+    pub kind: UpdateKind,
+    /// For adaptive updates, the snapshot route A-TxAllo took.
+    pub path: Option<UpdatePath>,
+    /// How the stream's serving state crossed this boundary.
+    pub carry: StateCarry,
+    /// The account moves, in ascending node order.
+    pub moves: Vec<AccountMove>,
+}
+
+impl AllocationUpdate {
+    /// Accounts that migrated between shards (previous shard known and
+    /// different) — the moves that cost a cross-shard state transfer.
+    pub fn migrations(&self) -> usize {
+        self.moves
+            .iter()
+            .filter(|m| m.from.is_some_and(|f| f != m.to))
+            .count()
+    }
+
+    /// Brand-new accounts placed for the first time (no previous shard).
+    pub fn placements(&self) -> usize {
+        self.moves.iter().filter(|m| m.from.is_none()).count()
+    }
+}
+
+/// When a hybrid allocation service runs the global algorithm instead of
+/// the adaptive one.
+///
+/// The paper's Fig. 9 compares `τ₂/τ₁ ∈ {20, 40, 100, 200}` against
+/// running G-TxAllo every epoch. [`HybridStream`] consumes this policy
+/// directly; the simulator's configuration re-exports it unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HybridSchedule {
+    /// Run G-TxAllo every epoch ("Global Method" curve).
+    AlwaysGlobal,
+    /// Run A-TxAllo every epoch and G-TxAllo every `global_gap` epochs
+    /// (epoch 0 is adaptive — warm-up already provided a global mapping).
+    Hybrid {
+        /// Global refresh period in epochs (`τ₂/τ₁`).
+        global_gap: u64,
+    },
+    /// Never re-run the global algorithm after warm-up ("pure A-TxAllo").
+    AlwaysAdaptive,
+}
+
+impl HybridSchedule {
+    /// Whether epoch `epoch` (0-based, counted from the end of warm-up)
+    /// should run the global algorithm.
+    pub fn is_global_epoch(&self, epoch: u64) -> bool {
+        match *self {
+            HybridSchedule::AlwaysGlobal => true,
+            HybridSchedule::Hybrid { global_gap } => {
+                let gap = global_gap.max(1);
+                epoch > 0 && epoch.is_multiple_of(gap)
+            }
+            HybridSchedule::AlwaysAdaptive => false,
+        }
+    }
+}
+
+/// An epoch-driven allocation service (see the [module docs](self) for the
+/// call protocol).
+pub trait StreamingAllocator: std::fmt::Debug {
+    /// Human-readable name (matches the paper's figure legends).
+    fn name(&self) -> &str;
+
+    /// Opens the service on the warm-up graph, returning the initial
+    /// account-shard mapping (the paper's one-off global run).
+    fn begin(&mut self, graph: &TxGraph, params: &TxAlloParams) -> Allocation;
+
+    /// Observes one freshly committed block. Call *after*
+    /// [`TxGraph::ingest_block`] for the same block, so its accounts are
+    /// interned.
+    fn on_block(&mut self, graph: &TxGraph, block: &Block);
+
+    /// Announces an out-of-band uniform rescale of every edge weight by
+    /// `factor` (exponential decay). Stateful implementations must either
+    /// rescale their aggregates to match or rebuild them; the default
+    /// no-op is correct only for streams that re-derive everything from
+    /// the graph each epoch.
+    fn on_reweight(&mut self, factor: f64) {
+        let _ = factor;
+    }
+
+    /// Closes the epoch: updates the mapping and returns the diff of
+    /// moved accounts.
+    fn end_epoch(&mut self, graph: &TxGraph, kind: EpochKind) -> AllocationUpdate;
+
+    /// The current full account-shard mapping (equal to folding every
+    /// emitted [`AllocationUpdate`] into the [`begin`] allocation — the
+    /// conformance suite asserts exactly that).
+    ///
+    /// [`begin`]: StreamingAllocator::begin
+    fn allocation(&self) -> Allocation;
+}
+
+/// Diffs two label vectors (`old` may be shorter — missing entries are
+/// fresh placements), in ascending node order.
+fn diff_full(old: &[u32], new: &[u32]) -> Vec<AccountMove> {
+    let mut moves = Vec::new();
+    for (i, &to) in new.iter().enumerate() {
+        let from = old.get(i).copied().unwrap_or(UNASSIGNED);
+        if from != to {
+            moves.push(AccountMove {
+                node: i as NodeId,
+                from: (from != UNASSIGNED).then_some(ShardId(from)),
+                to: ShardId(to),
+            });
+        }
+    }
+    moves
+}
+
+/// Collects the touched node ids of a block's transactions (the same set
+/// [`TxGraph::ingest_block`] reports), through the interner.
+fn collect_touched(graph: &TxGraph, block: &Block, touched: &mut FxHashSet<NodeId>) {
+    for tx in block.transactions() {
+        for account in tx.account_set() {
+            let node = graph
+                .node_of(account)
+                .expect("on_block requires the block to be ingested first");
+            touched.insert(node);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveStream
+// ---------------------------------------------------------------------------
+
+/// A-TxAllo as a service: a long-lived [`AtxAlloSession`] carries the
+/// community aggregates across epochs, and each boundary emits the diff of
+/// the touched nodes only (`O(|V̂|)` — never a full-graph walk).
+///
+/// Lifecycle rules (previously open-coded in the simulation driver):
+///
+/// * [`begin`](StreamingAllocator::begin) pays one global G-TxAllo run and
+///   opens the session on its labels;
+/// * decay is *folded* into the session by exact linear rescaling
+///   ([`AtxAlloSession::apply_decay`]) — the session survives, reported as
+///   [`StateCarry::WarmRescaled`];
+/// * a forced [`EpochKind::Global`] re-solve (or [`HybridStream`]'s
+///   schedule firing) replaces the labels wholesale, so the session is
+///   rebuilt from the new mapping — reported as [`StateCarry::Rebuilt`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveStream {
+    params: TxAlloParams,
+    session: Option<AtxAlloSession>,
+    /// Labels to rebuild the session from when it was invalidated
+    /// out-of-band (always `Some` exactly when `session` is `None` after
+    /// `begin`).
+    fallback: Option<Allocation>,
+    touched: FxHashSet<NodeId>,
+    rescaled_this_epoch: bool,
+    began: bool,
+}
+
+impl AdaptiveStream {
+    /// Creates the stream; [`begin`](StreamingAllocator::begin) must run
+    /// before epochs are served.
+    pub fn new(params: TxAlloParams) -> Self {
+        Self {
+            params,
+            session: None,
+            fallback: None,
+            touched: FxHashSet::default(),
+            rescaled_this_epoch: false,
+            began: false,
+        }
+    }
+
+    /// Drops the serving session (e.g. after a *non-uniform* out-of-band
+    /// graph edit such as [`TxGraph::prune_dust`], which
+    /// [`on_reweight`](StreamingAllocator::on_reweight) cannot fold). The
+    /// labels survive; the aggregates are rebuilt at the next epoch
+    /// boundary ([`StateCarry::Rebuilt`]).
+    pub fn invalidate(&mut self) {
+        if let Some(session) = self.session.take() {
+            self.fallback = Some(session.allocation());
+        }
+    }
+
+    fn sorted_touched(&mut self) -> Vec<NodeId> {
+        let mut touched: Vec<NodeId> = self.touched.drain().collect();
+        touched.sort_unstable();
+        touched
+    }
+
+    /// The adaptive epoch path: ensure a session, sweep `V̂`, diff the
+    /// touched rows.
+    fn adaptive_epoch(&mut self, graph: &TxGraph, params: &TxAlloParams) -> AllocationUpdate {
+        let mut carry = if self.rescaled_this_epoch {
+            StateCarry::WarmRescaled
+        } else {
+            StateCarry::Warm
+        };
+        if self.session.is_none() {
+            let prev = self.fallback.take().expect("invalidate stored the labels");
+            self.session = Some(AtxAlloSession::new(graph, &prev, params));
+            carry = StateCarry::Rebuilt;
+        }
+        let touched = self.sorted_touched();
+        let session = self.session.as_mut().expect("ensured above");
+        // Only snapshot rows (touched ∪ new) can move, so diffing the
+        // touched set is complete — and keeps the boundary `O(|V̂|)`.
+        let before: Vec<u32> = touched
+            .iter()
+            .map(|&v| {
+                session
+                    .labels()
+                    .get(v as usize)
+                    .copied()
+                    .unwrap_or(UNASSIGNED)
+            })
+            .collect();
+        let outcome = session.update(graph, &touched, params);
+        let after = session.labels();
+        let mut moves = Vec::new();
+        for (&v, &old) in touched.iter().zip(&before) {
+            let new = after[v as usize];
+            if new != old {
+                moves.push(AccountMove {
+                    node: v,
+                    from: (old != UNASSIGNED).then_some(ShardId(old)),
+                    to: ShardId(new),
+                });
+            }
+        }
+        AllocationUpdate {
+            shard_count: params.shards,
+            len: graph.node_count(),
+            kind: UpdateKind::Adaptive,
+            path: Some(outcome.path),
+            carry,
+            moves,
+        }
+    }
+
+    /// The forced-global path: re-solve with G-TxAllo, rebuild the
+    /// session, diff everything.
+    fn global_epoch(&mut self, graph: &TxGraph, params: &TxAlloParams) -> AllocationUpdate {
+        let old = self.allocation();
+        let fresh = GTxAllo::new(params.clone()).allocate_graph(graph);
+        let moves = diff_full(old.labels(), fresh.labels());
+        self.session = Some(AtxAlloSession::new(graph, &fresh, params));
+        self.fallback = None;
+        self.touched.clear();
+        AllocationUpdate {
+            shard_count: params.shards,
+            len: graph.node_count(),
+            kind: UpdateKind::Global,
+            path: None,
+            carry: StateCarry::Rebuilt,
+            moves,
+        }
+    }
+}
+
+impl StreamingAllocator for AdaptiveStream {
+    fn name(&self) -> &str {
+        "A-TxAllo"
+    }
+
+    fn begin(&mut self, graph: &TxGraph, params: &TxAlloParams) -> Allocation {
+        self.params = params.clone();
+        let initial = GTxAllo::new(params.clone()).allocate_graph(graph);
+        self.session = Some(AtxAlloSession::new(graph, &initial, params));
+        self.fallback = None;
+        self.touched.clear();
+        self.rescaled_this_epoch = false;
+        self.began = true;
+        initial
+    }
+
+    fn on_block(&mut self, graph: &TxGraph, block: &Block) {
+        assert!(self.began, "call begin() before serving blocks");
+        collect_touched(graph, block, &mut self.touched);
+        // A warm session folds the block's clique-expansion deltas into
+        // its aggregates; an invalidated one rebuilds from the
+        // post-ingestion graph at the boundary, where the deltas are
+        // already counted.
+        if let Some(session) = self.session.as_mut() {
+            session.apply_block(graph, block);
+        }
+    }
+
+    fn on_reweight(&mut self, factor: f64) {
+        if let Some(session) = self.session.as_mut() {
+            session.apply_decay(factor);
+            self.rescaled_this_epoch = true;
+        }
+    }
+
+    fn end_epoch(&mut self, graph: &TxGraph, kind: EpochKind) -> AllocationUpdate {
+        assert!(self.began, "call begin() before closing epochs");
+        self.params = self.params.rescaled_for_graph(graph);
+        let params = self.params.clone();
+        let update = match kind {
+            EpochKind::Global => self.global_epoch(graph, &params),
+            EpochKind::Scheduled | EpochKind::Adaptive => self.adaptive_epoch(graph, &params),
+        };
+        self.rescaled_this_epoch = false;
+        update
+    }
+
+    fn allocation(&self) -> Allocation {
+        match (&self.session, &self.fallback) {
+            (Some(session), _) => session.allocation(),
+            (None, Some(fallback)) => fallback.clone(),
+            (None, None) => panic!("call begin() before reading the allocation"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalStream
+// ---------------------------------------------------------------------------
+
+/// The batch-solver signature [`GlobalStream`] re-runs each epoch.
+pub type BatchSolver = Box<dyn Fn(&TxGraph, &TxAlloParams) -> Allocation + Send + Sync>;
+
+/// A batch allocator served epoch-wise: re-solve on the whole accumulated
+/// graph at every boundary and emit the diff against the previous labels.
+///
+/// This is how the stateless baselines (hash, METIS) and the pure
+/// "Global Method" curve of Fig. 9 join the epoch-driven comparison.
+pub struct GlobalStream {
+    name: String,
+    solver: BatchSolver,
+    params: TxAlloParams,
+    labels: Vec<u32>,
+    began: bool,
+}
+
+impl std::fmt::Debug for GlobalStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalStream")
+            .field("name", &self.name)
+            .field("nodes", &self.labels.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GlobalStream {
+    /// Creates the stream around `solver` (re-run with per-epoch rescaled
+    /// parameters).
+    pub fn new(name: impl Into<String>, params: TxAlloParams, solver: BatchSolver) -> Self {
+        Self {
+            name: name.into(),
+            solver,
+            params,
+            labels: Vec::new(),
+            began: false,
+        }
+    }
+
+    fn solve(&mut self, graph: &TxGraph) -> Allocation {
+        let allocation = (self.solver)(graph, &self.params);
+        assert_eq!(
+            allocation.len(),
+            graph.node_count(),
+            "batch solver must label every node"
+        );
+        self.labels.clear();
+        self.labels.extend_from_slice(allocation.labels());
+        allocation
+    }
+}
+
+impl StreamingAllocator for GlobalStream {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin(&mut self, graph: &TxGraph, params: &TxAlloParams) -> Allocation {
+        self.params = params.clone();
+        self.began = true;
+        self.solve(graph)
+    }
+
+    fn on_block(&mut self, _graph: &TxGraph, _block: &Block) {
+        // Stateless: everything is re-derived from the graph at the
+        // boundary.
+    }
+
+    fn end_epoch(&mut self, graph: &TxGraph, _kind: EpochKind) -> AllocationUpdate {
+        assert!(self.began, "call begin() before closing epochs");
+        self.params = self.params.rescaled_for_graph(graph);
+        let old = std::mem::take(&mut self.labels);
+        let fresh = self.solve(graph);
+        AllocationUpdate {
+            shard_count: self.params.shards,
+            len: fresh.len(),
+            kind: UpdateKind::Global,
+            path: None,
+            carry: StateCarry::Stateless,
+            moves: diff_full(&old, fresh.labels()),
+        }
+    }
+
+    fn allocation(&self) -> Allocation {
+        assert!(self.began, "call begin() before reading the allocation");
+        Allocation::new(self.labels.clone(), self.params.shards)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HybridStream
+// ---------------------------------------------------------------------------
+
+/// The paper's hybrid serving policy as a combinator: G-TxAllo every `τ₂`
+/// epochs (per the [`HybridSchedule`]), A-TxAllo otherwise — subsuming the
+/// schedule logic the simulation driver used to interpret by hand.
+#[derive(Debug, Clone)]
+pub struct HybridStream {
+    inner: AdaptiveStream,
+    schedule: HybridSchedule,
+    epoch: u64,
+    /// Whether this epoch's blocks were withheld from the inner adaptive
+    /// stream (scheduled-global epochs skip the fold as an optimization).
+    /// While true, only a global close is sound — a forced
+    /// [`EpochKind::Adaptive`] escalates to global, per the trait's
+    /// fall-back-to-native contract.
+    blocks_withheld: bool,
+}
+
+impl HybridStream {
+    /// Creates the stream with the given refresh policy.
+    pub fn new(params: TxAlloParams, schedule: HybridSchedule) -> Self {
+        Self {
+            inner: AdaptiveStream::new(params),
+            schedule,
+            epoch: 0,
+            blocks_withheld: false,
+        }
+    }
+
+    /// The refresh policy in use.
+    pub fn schedule(&self) -> HybridSchedule {
+        self.schedule
+    }
+
+    /// Epochs closed since [`begin`](StreamingAllocator::begin).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl StreamingAllocator for HybridStream {
+    fn name(&self) -> &str {
+        match self.schedule {
+            HybridSchedule::AlwaysGlobal => "G-TxAllo",
+            HybridSchedule::AlwaysAdaptive => "A-TxAllo",
+            HybridSchedule::Hybrid { .. } => "TxAllo",
+        }
+    }
+
+    fn begin(&mut self, graph: &TxGraph, params: &TxAlloParams) -> Allocation {
+        self.epoch = 0;
+        self.blocks_withheld = false;
+        self.inner.begin(graph, params)
+    }
+
+    fn on_block(&mut self, graph: &TxGraph, block: &Block) {
+        // A global boundary replaces labels and session wholesale, so
+        // folding this epoch's deltas into the session would be wasted
+        // work — skip it (the touched set is not needed either) and
+        // remember that only a global close is now sound.
+        if self.schedule.is_global_epoch(self.epoch) {
+            self.blocks_withheld = true;
+            return;
+        }
+        self.inner.on_block(graph, block);
+    }
+
+    fn on_reweight(&mut self, factor: f64) {
+        if self.schedule.is_global_epoch(self.epoch) {
+            self.blocks_withheld = true;
+            return;
+        }
+        self.inner.on_reweight(factor);
+    }
+
+    fn end_epoch(&mut self, graph: &TxGraph, kind: EpochKind) -> AllocationUpdate {
+        let effective = match kind {
+            EpochKind::Scheduled => {
+                if self.schedule.is_global_epoch(self.epoch) {
+                    EpochKind::Global
+                } else {
+                    EpochKind::Adaptive
+                }
+            }
+            // The inner stream never saw this epoch's blocks (they were
+            // withheld anticipating a scheduled global close), so an
+            // adaptive sweep would run on a stale session with an empty
+            // touched set. Fall back to the native path for this state —
+            // a global re-solve — and report it in `update.kind`.
+            EpochKind::Adaptive if self.blocks_withheld => EpochKind::Global,
+            forced => forced,
+        };
+        let update = self.inner.end_epoch(graph, effective);
+        self.epoch += 1;
+        self.blocks_withheld = false;
+        update
+    }
+
+    fn allocation(&self) -> Allocation {
+        self.inner.allocation()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerStream
+// ---------------------------------------------------------------------------
+
+/// The Shard Scheduler baseline served epoch-wise. The scheduler is
+/// transaction-level by design, so streaming is its native mode:
+/// [`on_block`](StreamingAllocator::on_block) runs the published decision
+/// rules on every transaction as it arrives.
+///
+/// [`begin`](StreamingAllocator::begin) has no transaction history (only
+/// the warm-up *graph*), so it warm-starts with a deterministic
+/// approximation: accounts are placed greedily into the least-loaded
+/// shard in node-id order — which is first-appearance order, i.e. the
+/// order rule 1 would have seen them — weighted by their incident graph
+/// weight, and historical affinities are seeded from the placed adjacency.
+#[derive(Debug)]
+pub struct SchedulerStream {
+    state: Option<SchedulerState>,
+    published: Vec<u32>,
+    shards: usize,
+}
+
+impl SchedulerStream {
+    /// Creates the stream; [`begin`](StreamingAllocator::begin) must run
+    /// before epochs are served.
+    pub fn new() -> Self {
+        Self {
+            state: None,
+            published: Vec::new(),
+            shards: 0,
+        }
+    }
+}
+
+impl Default for SchedulerStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingAllocator for SchedulerStream {
+    fn name(&self) -> &str {
+        "Shard Scheduler"
+    }
+
+    fn begin(&mut self, graph: &TxGraph, params: &TxAlloParams) -> Allocation {
+        let config = SchedulerConfig {
+            shards: params.shards,
+            eta: params.eta,
+            capacity: params.capacity,
+            buffer_ratio: 1.0,
+        };
+        let mut state = SchedulerState::new(config);
+        state.seed_from_graph(graph);
+        self.shards = params.shards;
+        self.published = state.labels().to_vec();
+        let allocation = Allocation::new(self.published.clone(), self.shards);
+        self.state = Some(state);
+        allocation
+    }
+
+    fn on_block(&mut self, graph: &TxGraph, block: &Block) {
+        let state = self.state.as_mut().expect("call begin() first");
+        for tx in block.transactions() {
+            state.process_transaction(graph, tx);
+        }
+    }
+
+    fn on_reweight(&mut self, factor: f64) {
+        // The scheduler's loads and affinities are accrued from the same
+        // history the decay rescales; scale them to match, or the
+        // per-epoch capacity refresh (from the decayed `|T|`) would be
+        // compared against undecayed loads.
+        if let Some(state) = self.state.as_mut() {
+            state.scale_history(factor);
+        }
+    }
+
+    fn end_epoch(&mut self, graph: &TxGraph, _kind: EpochKind) -> AllocationUpdate {
+        let state = self.state.as_mut().expect("call begin() first");
+        // λ = |T|/k grows with the accumulated history; refresh the
+        // migration capacity buffer once per epoch, like the other
+        // streams refresh their parameters.
+        state.set_capacity(graph.total_weight() / self.shards as f64);
+        state.ensure_nodes(graph.node_count());
+        let moves = diff_full(&self.published, state.labels());
+        self.published.clear();
+        self.published.extend_from_slice(state.labels());
+        AllocationUpdate {
+            shard_count: self.shards,
+            len: self.published.len(),
+            kind: UpdateKind::Adaptive,
+            path: None,
+            carry: StateCarry::Warm,
+            moves,
+        }
+    }
+
+    fn allocation(&self) -> Allocation {
+        assert!(self.state.is_some(), "call begin() first");
+        Allocation::new(self.published.clone(), self.shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txallo_model::{AccountId, Transaction};
+
+    fn clique_graph() -> TxGraph {
+        let mut g = TxGraph::new();
+        for base in [0u64, 10] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    g.ingest_transaction(&Transaction::transfer(
+                        AccountId(base + i),
+                        AccountId(base + j),
+                    ));
+                }
+            }
+        }
+        g
+    }
+
+    fn epoch_block(h: u64, pairs: &[(u64, u64)]) -> Block {
+        Block::new(
+            h,
+            pairs
+                .iter()
+                .map(|&(a, b)| Transaction::transfer(AccountId(a), AccountId(b)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn hybrid_schedule_fires_like_the_paper() {
+        let s = HybridSchedule::Hybrid { global_gap: 20 };
+        assert!(!s.is_global_epoch(0), "warm-up provided the mapping");
+        assert!(!s.is_global_epoch(19));
+        assert!(s.is_global_epoch(20));
+        assert!(!s.is_global_epoch(21));
+        assert!(s.is_global_epoch(40));
+        assert!((0..5).all(|e| HybridSchedule::AlwaysGlobal.is_global_epoch(e)));
+        assert!((0..100).all(|e| !HybridSchedule::AlwaysAdaptive.is_global_epoch(e)));
+        let clamped = HybridSchedule::Hybrid { global_gap: 0 };
+        assert!(clamped.is_global_epoch(1), "zero gap is clamped to 1");
+    }
+
+    #[test]
+    fn adaptive_stream_matches_bare_session() {
+        // The stream must reproduce the session's trajectory exactly — it
+        // only owns lifecycle + diffing, never the math.
+        let mut g1 = clique_graph();
+        let mut g2 = clique_graph();
+        let params = TxAlloParams::for_graph(&g1, 2);
+
+        let mut stream = AdaptiveStream::new(params.clone());
+        let initial = stream.begin(&g1, &params);
+        let mut session = AtxAlloSession::new(&g2, &initial, &params);
+        let mut mirror = initial;
+
+        let epochs: Vec<Vec<(u64, u64)>> = vec![
+            vec![(100, 0), (100, 1), (3, 12)],
+            vec![(100, 2), (101, 100), (13, 14)],
+            vec![(0, 10), (101, 11), (200, 200)],
+        ];
+        for (h, pairs) in epochs.iter().enumerate() {
+            let block = epoch_block(h as u64, pairs);
+            g1.ingest_block(&block);
+            stream.on_block(&g1, &block);
+            let update = stream.end_epoch(&g1, EpochKind::Scheduled);
+            mirror.apply_update(&update);
+
+            let touched = g2.ingest_block(&block);
+            session.apply_block(&g2, &block);
+            let params = TxAlloParams::for_graph(&g2, 2);
+            let expect = session.update(&g2, &touched, &params);
+
+            assert_eq!(mirror, expect.allocation, "epoch {h} diverged");
+            assert_eq!(mirror, stream.allocation(), "diffs out of sync");
+            assert_eq!(update.carry, StateCarry::Warm);
+        }
+    }
+
+    #[test]
+    fn hybrid_runs_global_on_schedule_and_diffs_stay_consistent() {
+        let mut g = clique_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let mut stream =
+            HybridStream::new(params.clone(), HybridSchedule::Hybrid { global_gap: 2 });
+        let mut mirror = stream.begin(&g, &params);
+
+        for h in 0..5u64 {
+            let block = epoch_block(h, &[(300 + h, h), (h, h + 10)]);
+            g.ingest_block(&block);
+            stream.on_block(&g, &block);
+            let update = stream.end_epoch(&g, EpochKind::Scheduled);
+            let expected_kind = if h > 0 && h % 2 == 0 {
+                UpdateKind::Global
+            } else {
+                UpdateKind::Adaptive
+            };
+            assert_eq!(update.kind, expected_kind, "epoch {h}");
+            if update.kind == UpdateKind::Global {
+                assert_eq!(update.carry, StateCarry::Rebuilt);
+                assert!(update.path.is_none());
+            } else {
+                assert!(update.path.is_some());
+            }
+            mirror.apply_update(&update);
+            assert_eq!(mirror, stream.allocation(), "epoch {h} diff broken");
+        }
+    }
+
+    #[test]
+    fn forced_adaptive_on_a_withheld_global_epoch_escalates() {
+        // On a scheduled-global epoch the hybrid stream withholds blocks
+        // from its inner session; a forced Adaptive close would then run
+        // on a stale session with an empty touched set, so the stream
+        // must fall back to its sound native path and say so.
+        let mut g = clique_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let mut stream = HybridStream::new(params.clone(), HybridSchedule::AlwaysGlobal);
+        let mut mirror = stream.begin(&g, &params);
+        let block = epoch_block(0, &[(900, 0), (901, 902)]);
+        g.ingest_block(&block);
+        stream.on_block(&g, &block); // withheld (global epoch)
+        let update = stream.end_epoch(&g, EpochKind::Adaptive);
+        assert_eq!(update.kind, UpdateKind::Global, "must escalate");
+        mirror.apply_update(&update);
+        assert_eq!(mirror, stream.allocation(), "new accounts all labelled");
+    }
+
+    #[test]
+    fn scheduler_stream_decays_its_history_with_the_graph() {
+        let mut g = clique_graph();
+        let params = TxAlloParams::for_graph(&g, 3);
+        let mut stream = SchedulerStream::new();
+        let mut mirror = stream.begin(&g, &params);
+        // Several strongly-decayed epochs: capacity shrinks with |T|; the
+        // scheduler's loads must shrink with it or migration (and the
+        // co-location it produces) would be disabled forever.
+        for h in 0..4u64 {
+            g.apply_decay(0.3);
+            stream.on_reweight(0.3);
+            let block = epoch_block(h, &[(700, 701); 6]);
+            g.ingest_block(&block);
+            stream.on_block(&g, &block);
+            let update = stream.end_epoch(&g, EpochKind::Scheduled);
+            mirror.apply_update(&update);
+        }
+        let n700 = g.node_of(AccountId(700)).unwrap();
+        let n701 = g.node_of(AccountId(701)).unwrap();
+        assert_eq!(
+            mirror.shard_of(n700),
+            mirror.shard_of(n701),
+            "decayed capacity must still leave migration headroom"
+        );
+    }
+
+    #[test]
+    fn decay_is_folded_not_rebuilt() {
+        let mut g = clique_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let mut stream = AdaptiveStream::new(params.clone());
+        stream.begin(&g, &params);
+
+        g.apply_decay(0.5);
+        stream.on_reweight(0.5);
+        let block = epoch_block(0, &[(100, 0), (100, 1)]);
+        g.ingest_block(&block);
+        stream.on_block(&g, &block);
+        let update = stream.end_epoch(&g, EpochKind::Scheduled);
+        assert_eq!(
+            update.carry,
+            StateCarry::WarmRescaled,
+            "decay must fold into the warm session, not drop it"
+        );
+        // And the folded aggregates must still track a recomputation.
+        let next = epoch_block(1, &[(5, 6)]);
+        g.ingest_block(&next);
+        stream.on_block(&g, &next);
+        let update = stream.end_epoch(&g, EpochKind::Scheduled);
+        assert_eq!(update.carry, StateCarry::Warm);
+    }
+
+    #[test]
+    fn invalidate_forces_rebuild() {
+        let mut g = clique_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let mut stream = AdaptiveStream::new(params.clone());
+        let before = stream.begin(&g, &params);
+        stream.invalidate();
+        assert_eq!(stream.allocation(), before, "labels survive invalidation");
+        let block = epoch_block(0, &[(100, 0)]);
+        g.ingest_block(&block);
+        stream.on_block(&g, &block);
+        let update = stream.end_epoch(&g, EpochKind::Scheduled);
+        assert_eq!(update.carry, StateCarry::Rebuilt);
+    }
+
+    #[test]
+    fn global_stream_reports_full_diffs() {
+        let mut g = clique_graph();
+        let params = TxAlloParams::for_graph(&g, 4);
+        let mut stream = GlobalStream::new(
+            "Random",
+            params.clone(),
+            Box::new(|g, p| crate::HashAllocator::new(p.shards).allocate_graph(g)),
+        );
+        let mut mirror = stream.begin(&g, &params);
+        let block = epoch_block(0, &[(500, 0), (501, 502)]);
+        g.ingest_block(&block);
+        stream.on_block(&g, &block);
+        let update = stream.end_epoch(&g, EpochKind::Scheduled);
+        assert_eq!(update.kind, UpdateKind::Global);
+        assert_eq!(update.carry, StateCarry::Stateless);
+        // Hash labels are a pure function of the account id: existing
+        // accounts never move, so the diff is placements only.
+        assert_eq!(update.migrations(), 0);
+        assert_eq!(update.placements(), 3);
+        mirror.apply_update(&update);
+        assert_eq!(mirror, stream.allocation());
+    }
+
+    #[test]
+    fn scheduler_stream_places_and_migrates() {
+        let mut g = clique_graph();
+        let params = TxAlloParams::for_graph(&g, 3);
+        let mut stream = SchedulerStream::new();
+        let mut mirror = stream.begin(&g, &params);
+        assert_eq!(mirror.len(), g.node_count());
+
+        // A new pair transacting heavily lands together eventually.
+        for h in 0..3u64 {
+            let block = epoch_block(h, &[(700, 701), (700, 701), (700, 701)]);
+            g.ingest_block(&block);
+            stream.on_block(&g, &block);
+            let update = stream.end_epoch(&g, EpochKind::Scheduled);
+            mirror.apply_update(&update);
+            assert_eq!(mirror, stream.allocation(), "epoch {h}");
+        }
+        let n700 = g.node_of(AccountId(700)).unwrap();
+        let n701 = g.node_of(AccountId(701)).unwrap();
+        assert_eq!(
+            mirror.shard_of(n700),
+            mirror.shard_of(n701),
+            "frequent partners co-locate"
+        );
+    }
+
+    #[test]
+    fn empty_graph_begin_is_fine() {
+        let g = TxGraph::new();
+        let params = TxAlloParams::for_total_weight(0.0, 2);
+        let mut stream = HybridStream::new(params.clone(), HybridSchedule::AlwaysAdaptive);
+        let allocation = stream.begin(&g, &params);
+        assert!(allocation.is_empty());
+        let update = stream.end_epoch(&g, EpochKind::Scheduled);
+        assert!(update.moves.is_empty());
+        assert_eq!(update.len, 0);
+    }
+}

@@ -21,7 +21,8 @@ use std::collections::BTreeMap;
 use proptest::prelude::*;
 use txallo_core::state::UNASSIGNED;
 use txallo_core::{
-    Allocation, AtxAllo, CommunityState, GTxAllo, TxAlloParams, UpdatePath, GAIN_EPS,
+    Allocation, AtxAllo, AtxAlloSession, CommunityState, GTxAllo, TxAlloParams, UpdatePath,
+    GAIN_EPS,
 };
 use txallo_graph::{DeltaCsr, NodeId, TxGraph, WeightedGraph};
 use txallo_model::{AccountId, Block, Transaction};
@@ -231,6 +232,48 @@ proptest! {
             let dispatched = atx.update(&g, &prev, &touched);
             prop_assert_eq!(dispatched.allocation.labels(), inc.allocation.labels());
             prev = inc.allocation;
+        }
+    }
+
+    /// Decay folding: a warm session whose aggregates are *rescaled* on a
+    /// decay epoch ([`AtxAlloSession::apply_decay`]) produces the same
+    /// allocations as a session rebuilt from scratch on the decayed graph
+    /// (what the simulation driver used to do), across a whole multi-epoch
+    /// stream with decay every epoch. The aggregates are linear in the
+    /// edge weights, so folding is exact up to float rounding; the
+    /// consistency bound pins that drift to the same class the delta
+    /// folding already accepts.
+    #[test]
+    fn decay_fold_matches_session_rebuild(stream in stream_strategy()) {
+        let (base, epochs, k) = stream;
+        let mut g = build_graph(&base);
+        let params = TxAlloParams::for_graph(&g, k);
+        let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
+        let mut folded = AtxAlloSession::new(&g, &prev, &params);
+        let mut rebuild_prev = prev;
+        for (h, pairs) in epochs.iter().enumerate() {
+            g.apply_decay(0.7);
+            folded.apply_decay(0.7);
+            let block = block_of(h as u64, pairs);
+            let touched = g.ingest_block(&block);
+            folded.apply_block(&g, &block);
+            let params = TxAlloParams::for_graph(&g, k);
+            let from_folded = folded.update(&g, &touched, &params);
+            // The rebuild path: fresh aggregates from the decayed graph.
+            let mut rebuilt = AtxAlloSession::new(&g, &rebuild_prev, &params);
+            let from_rebuilt = rebuilt.update(&g, &touched, &params);
+            prop_assert_eq!(
+                from_folded.allocation.labels(),
+                from_rebuilt.allocation.labels(),
+                "folded decay diverged from rebuild at epoch {}",
+                h
+            );
+            prop_assert!(
+                folded.consistency_error(&g) < 1e-9,
+                "aggregates drifted beyond the incremental contract at epoch {}",
+                h
+            );
+            rebuild_prev = from_rebuilt.allocation;
         }
     }
 

@@ -1,13 +1,22 @@
 //! The simulation driver: warm-up, epoch loop, allocation updates.
+//!
+//! Since the streaming-API redesign the driver owns no algorithm wiring at
+//! all: it resolves a [`StreamingAllocator`] by name through the
+//! [`AllocatorRegistry`] and drives epochs purely through the service
+//! contract — `on_reweight` for decay, `on_block` per ingested block,
+//! `end_epoch` for the boundary — folding each returned
+//! [`AllocationUpdate`](txallo_core::AllocationUpdate) diff into its
+//! mapping with [`Allocation::apply_update`].
 
 use std::time::Instant;
 
-use txallo_core::{Allocation, AtxAlloSession, GTxAllo, TxAlloParams};
-use txallo_graph::{NodeId, TxGraph, WeightedGraph};
-use txallo_model::{Block, FxHashSet};
+use txallo_core::{
+    Allocation, AllocatorRegistry, EpochKind, HybridSchedule, StreamingAllocator, TxAlloParams,
+};
+use txallo_graph::TxGraph;
+use txallo_model::Block;
 
-use crate::epoch::{epoch_metrics, EpochReport, UpdateKind};
-use crate::schedule::HybridSchedule;
+use crate::epoch::{epoch_metrics, EpochReport};
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -18,7 +27,12 @@ pub struct SimConfig {
     pub eta: f64,
     /// Epoch length `τ₁` in blocks (paper: 300 ≈ one hour).
     pub epoch_blocks: usize,
-    /// The reallocation schedule.
+    /// The allocation method, resolved through
+    /// [`AllocatorRegistry::builtin`] (`txallo`, `hash`, `metis`,
+    /// `scheduler`).
+    pub method: String,
+    /// The reallocation schedule (`txallo`'s global-refresh policy;
+    /// schedule-free methods ignore it).
     pub schedule: HybridSchedule,
     /// Optional per-epoch exponential decay of the accumulated graph's
     /// edge weights (`(0, 1]`; `None` keeps raw history). See
@@ -28,13 +42,14 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// Paper-default simulation parameters: η = 2, τ₁ = 300 blocks, hybrid
-    /// schedule with a 20-epoch global gap.
+    /// Paper-default simulation parameters: η = 2, τ₁ = 300 blocks,
+    /// TxAllo under the hybrid schedule with a 20-epoch global gap.
     pub fn new(shards: usize) -> Self {
         Self {
             shards,
             eta: 2.0,
             epoch_blocks: 300,
+            method: "txallo".to_string(),
             schedule: HybridSchedule::Hybrid { global_gap: 20 },
             decay_per_epoch: None,
         }
@@ -53,27 +68,42 @@ pub struct ShardedChainSim {
     config: SimConfig,
     graph: TxGraph,
     allocation: Allocation,
-    /// Long-lived A-TxAllo serving state (community aggregates carried
-    /// across adaptive epochs). Dropped whenever the aggregates go stale:
-    /// after a global G-TxAllo run (labels replaced wholesale) or after
-    /// decay (graph weights rescaled out-of-band); lazily rebuilt on the
-    /// next adaptive epoch.
-    session: Option<AtxAlloSession>,
+    /// The epoch-driven allocation service (resolved by name; for
+    /// `txallo` this is the hybrid/adaptive stream whose warm
+    /// `AtxAlloSession` carries the community aggregates across epochs).
+    stream: Box<dyn StreamingAllocator>,
     epoch: u64,
     warmed_up: bool,
 }
 
 impl ShardedChainSim {
     /// Creates an empty simulator.
+    ///
+    /// # Panics
+    /// Panics on a structurally invalid configuration, including a
+    /// `method` the builtin registry does not know.
     pub fn new(config: SimConfig) -> Self {
+        Self::with_registry(config, &AllocatorRegistry::builtin())
+    }
+
+    /// [`ShardedChainSim::new`] with a caller-supplied registry (for
+    /// experimental allocators).
+    pub fn with_registry(config: SimConfig, registry: &AllocatorRegistry) -> Self {
         assert!(config.shards > 0, "need at least one shard");
         assert!(config.epoch_blocks > 0, "epochs must contain blocks");
         let shards = config.shards;
+        // Placeholder hyper-parameters until warm-up: every stream
+        // re-derives the weight-dependent fields from the graph it is
+        // begun on.
+        let params = TxAlloParams::for_total_weight(0.0, shards).with_eta(config.eta);
+        let stream = registry
+            .streaming(&config.method, &params, config.schedule)
+            .unwrap_or_else(|e| panic!("{e}"));
         Self {
             config,
             graph: TxGraph::new(),
             allocation: Allocation::new(Vec::new(), shards),
-            session: None,
+            stream,
             epoch: 0,
             warmed_up: false,
         }
@@ -98,20 +128,23 @@ impl ShardedChainSim {
         TxAlloParams::for_graph(&self.graph, self.config.shards).with_eta(self.config.eta)
     }
 
-    /// Ingests the historical prefix and runs G-TxAllo once to produce the
-    /// initial mapping. Returns the wall-clock time of that global run.
+    /// Ingests the historical prefix and opens the allocation service on
+    /// it (for TxAllo: one global G-TxAllo run). Returns the wall-clock
+    /// time of that initial solve.
     pub fn warmup(&mut self, blocks: &[Block]) -> std::time::Duration {
         for b in blocks {
             self.graph.ingest_block(b);
         }
         let start = Instant::now();
-        self.allocation = GTxAllo::new(self.current_params()).allocate_graph(&self.graph);
+        let params = self.current_params();
+        self.allocation = self.stream.begin(&self.graph, &params);
         self.warmed_up = true;
         start.elapsed()
     }
 
-    /// Processes one epoch: ingest `blocks`, update the allocation per the
-    /// schedule, then score the epoch's transactions under the new mapping.
+    /// Processes one epoch: ingest `blocks` into the graph and the
+    /// stream, close the epoch per the service contract, then score the
+    /// epoch's transactions under the updated mapping.
     ///
     /// # Panics
     /// Panics if called before [`ShardedChainSim::warmup`] or with an empty
@@ -122,66 +155,36 @@ impl ShardedChainSim {
 
         if let Some(factor) = self.config.decay_per_epoch {
             self.graph.apply_decay(factor);
-            // Decay rescales every edge weight out-of-band; the session's
-            // maintained aggregates no longer match the graph.
-            self.session = None;
+            // Uniform rescale: the adaptive stream folds it into its
+            // aggregates (`StateCarry::WarmRescaled`) instead of dropping
+            // its session — see `AtxAlloSession::apply_decay`.
+            self.stream.on_reweight(factor);
         }
-        let session_predates_epoch = self.session.is_some();
-        let mut touched: FxHashSet<NodeId> = FxHashSet::default();
         for b in blocks {
-            for v in self.graph.ingest_block(b) {
-                touched.insert(v);
-            }
+            self.graph.ingest_block(b);
+            self.stream.on_block(&self.graph, b);
         }
-        let mut touched: Vec<NodeId> = touched.into_iter().collect();
-        touched.sort_unstable();
 
-        let params = self.current_params();
-        let run_global = self.config.schedule.is_global_epoch(self.epoch);
-        let new_accounts = self.graph.node_count() - self.allocation.len();
         let start = Instant::now();
-        let (update, update_path) = if run_global {
-            self.allocation = GTxAllo::new(params).allocate_graph(&self.graph);
-            self.session = None; // labels replaced wholesale
-            (UpdateKind::Global, None)
-        } else {
-            let outcome = match self.session.as_mut() {
-                // Warm session: fold this epoch's transaction deltas into
-                // the aggregates, then sweep — no full-graph walk.
-                Some(session) if session_predates_epoch => {
-                    for b in blocks {
-                        session.apply_block(&self.graph, b);
-                    }
-                    session.update(&self.graph, &touched, &params)
-                }
-                // Cold start (first adaptive epoch, or right after a
-                // global run / decay): the session is built from the
-                // post-ingestion graph, so the deltas are already counted.
-                _ => {
-                    let mut session = AtxAlloSession::new(&self.graph, &self.allocation, &params);
-                    let outcome = session.update(&self.graph, &touched, &params);
-                    self.session = Some(session);
-                    outcome
-                }
-            };
-            let path = outcome.path;
-            self.allocation = outcome.allocation;
-            (UpdateKind::Adaptive, Some(path))
-        };
+        let update = self.stream.end_epoch(&self.graph, EpochKind::Scheduled);
         let update_time = start.elapsed();
+        let new_accounts = update.placements();
+        self.allocation.apply_update(&update);
 
-        let metrics = epoch_metrics(
+        let mut metrics = epoch_metrics(
             blocks,
             &self.graph,
             &self.allocation,
             self.config.shards,
             self.config.eta,
         );
+        metrics.migrated_accounts = update.migrations();
         let report = EpochReport {
             epoch: self.epoch,
             height_range: (blocks[0].height(), blocks[blocks.len() - 1].height()),
-            update,
-            update_path,
+            update: update.kind,
+            update_path: update.path,
+            carry: update.carry,
             update_time,
             new_accounts,
             metrics,
@@ -205,6 +208,8 @@ impl ShardedChainSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::epoch::UpdateKind;
+    use txallo_core::StateCarry;
     use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
 
     fn generator() -> EthereumLikeGenerator {
@@ -218,17 +223,20 @@ mod tests {
         EthereumLikeGenerator::new(cfg, 21)
     }
 
+    fn config(shards: usize, epoch_blocks: usize, schedule: HybridSchedule) -> SimConfig {
+        SimConfig {
+            shards,
+            epoch_blocks,
+            schedule,
+            ..SimConfig::new(shards)
+        }
+    }
+
     #[test]
     fn warmup_then_adaptive_epochs() {
         let mut gen = generator();
         let warm = gen.blocks(100);
-        let mut sim = ShardedChainSim::new(SimConfig {
-            shards: 4,
-            eta: 2.0,
-            epoch_blocks: 20,
-            schedule: HybridSchedule::AlwaysAdaptive,
-            decay_per_epoch: None,
-        });
+        let mut sim = ShardedChainSim::new(config(4, 20, HybridSchedule::AlwaysAdaptive));
         sim.warmup(&warm);
         let stream = gen.blocks(60);
         let reports = sim.run_stream(&stream);
@@ -237,6 +245,7 @@ mod tests {
             assert_eq!(r.epoch, i as u64);
             assert_eq!(r.update, UpdateKind::Adaptive);
             assert!(r.update_path.is_some(), "adaptive epochs record the route");
+            assert_eq!(r.carry, StateCarry::Warm, "session must stay warm");
             assert_eq!(r.metrics.transactions, 20 * 50);
             assert!(r.metrics.throughput_normalized > 1.0, "sharding must help");
             assert!(r.metrics.cross_shard_ratio < 0.9);
@@ -250,13 +259,7 @@ mod tests {
     fn hybrid_schedule_runs_global_on_gap() {
         let mut gen = generator();
         let warm = gen.blocks(60);
-        let mut sim = ShardedChainSim::new(SimConfig {
-            shards: 3,
-            eta: 2.0,
-            epoch_blocks: 10,
-            schedule: HybridSchedule::Hybrid { global_gap: 2 },
-            decay_per_epoch: None,
-        });
+        let mut sim = ShardedChainSim::new(config(3, 10, HybridSchedule::Hybrid { global_gap: 2 }));
         sim.warmup(&warm);
         let stream = gen.blocks(40);
         let reports = sim.run_stream(&stream);
@@ -272,6 +275,11 @@ mod tests {
             reports[2].update_path.is_none(),
             "global epochs have no route"
         );
+        assert_eq!(
+            reports[2].carry,
+            StateCarry::Rebuilt,
+            "global refresh replaces the serving session"
+        );
         assert_eq!(reports[3].update, UpdateKind::Adaptive);
     }
 
@@ -279,13 +287,7 @@ mod tests {
     fn adaptive_is_faster_than_global() {
         let mut gen = generator();
         let warm = gen.blocks(200);
-        let mut sim = ShardedChainSim::new(SimConfig {
-            shards: 4,
-            eta: 2.0,
-            epoch_blocks: 10,
-            schedule: HybridSchedule::AlwaysAdaptive,
-            decay_per_epoch: None,
-        });
+        let mut sim = ShardedChainSim::new(config(4, 10, HybridSchedule::AlwaysAdaptive));
         let global_time = sim.warmup(&warm);
         let stream = gen.blocks(10);
         let report = sim.run_stream(&stream).pop().unwrap();
@@ -309,15 +311,49 @@ mod tests {
     }
 
     #[test]
-    fn decay_keeps_graph_weight_bounded() {
+    #[should_panic(expected = "unknown method")]
+    fn unknown_method_panics_with_registry_names() {
+        let _ = ShardedChainSim::new(SimConfig {
+            method: "nope".into(),
+            ..SimConfig::new(2)
+        });
+    }
+
+    #[test]
+    fn baseline_methods_stream_too() {
+        // The §VI comparison can run epoch-driven: every registered
+        // method serves the same epoch loop.
+        let mut gen = generator();
+        let warm = gen.blocks(40);
+        let stream = gen.blocks(20);
+        for method in ["hash", "metis", "scheduler"] {
+            let mut sim = ShardedChainSim::new(SimConfig {
+                method: method.into(),
+                ..config(3, 10, HybridSchedule::AlwaysAdaptive)
+            });
+            sim.warmup(&warm);
+            for r in sim.run_stream(&stream) {
+                assert_eq!(r.metrics.transactions, 500, "{method}");
+                assert!(r.metrics.throughput_normalized > 0.0, "{method}");
+            }
+            assert_eq!(
+                sim.allocation().len(),
+                {
+                    use txallo_graph::WeightedGraph;
+                    sim.graph().node_count()
+                },
+                "{method} must label every account"
+            );
+        }
+    }
+
+    #[test]
+    fn decay_keeps_graph_weight_bounded_and_folds_into_session() {
         let mut gen = generator();
         let warm = gen.blocks(40);
         let mut sim = ShardedChainSim::new(SimConfig {
-            shards: 3,
-            eta: 2.0,
-            epoch_blocks: 10,
-            schedule: HybridSchedule::AlwaysAdaptive,
             decay_per_epoch: Some(0.5),
+            ..config(3, 10, HybridSchedule::AlwaysAdaptive)
         });
         sim.warmup(&warm);
         use txallo_graph::WeightedGraph;
@@ -325,6 +361,11 @@ mod tests {
         let mut last_weight = f64::INFINITY;
         for (i, r) in sim.run_stream(&stream).iter().enumerate() {
             assert!(r.metrics.throughput_normalized > 0.5, "epoch {i} collapsed");
+            assert_eq!(
+                r.carry,
+                StateCarry::WarmRescaled,
+                "epoch {i}: decay must fold into the warm session, not rebuild it"
+            );
             // With decay 0.5 and 500 tx/epoch, total weight converges to
             // < 1000 + epoch contribution instead of growing linearly.
             let w = sim.graph().total_weight();
@@ -338,13 +379,7 @@ mod tests {
     fn throughput_stays_reasonable_across_drift() {
         let mut gen = generator();
         let warm = gen.blocks(150);
-        let mut sim = ShardedChainSim::new(SimConfig {
-            shards: 4,
-            eta: 2.0,
-            epoch_blocks: 25,
-            schedule: HybridSchedule::Hybrid { global_gap: 3 },
-            decay_per_epoch: None,
-        });
+        let mut sim = ShardedChainSim::new(config(4, 25, HybridSchedule::Hybrid { global_gap: 3 }));
         sim.warmup(&warm);
         let stream = gen.blocks(150);
         let reports = sim.run_stream(&stream);
@@ -356,5 +391,27 @@ mod tests {
                 r.metrics.throughput_normalized
             );
         }
+    }
+
+    #[test]
+    fn migration_diffs_are_surfaced() {
+        let mut gen = generator();
+        let warm = gen.blocks(100);
+        let mut sim = ShardedChainSim::new(config(4, 20, HybridSchedule::Hybrid { global_gap: 2 }));
+        sim.warmup(&warm);
+        let stream = gen.blocks(80);
+        let reports = sim.run_stream(&stream);
+        let moved: usize = reports.iter().map(|r| r.metrics.migrated_accounts).sum();
+        let placed: usize = reports.iter().map(|r| r.new_accounts).sum();
+        assert!(
+            moved + placed > 0,
+            "a drifting workload must move or place accounts"
+        );
+        // The driver's mapping is exactly the stream's mapping (diffs
+        // applied losslessly).
+        assert_eq!(sim.allocation().labels().len(), {
+            use txallo_graph::WeightedGraph;
+            sim.graph().node_count()
+        });
     }
 }

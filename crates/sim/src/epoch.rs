@@ -3,18 +3,14 @@
 
 use std::time::Duration;
 
-use txallo_core::{Allocation, UpdatePath};
+use txallo_core::{Allocation, StateCarry, UpdatePath};
 use txallo_graph::TxGraph;
 use txallo_model::Block;
 
-/// Which algorithm updated the allocation at an epoch boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum UpdateKind {
-    /// G-TxAllo re-ran on the whole accumulated graph.
-    Global,
-    /// A-TxAllo updated from the previous mapping.
-    Adaptive,
-}
+// The epoch-boundary vocabulary now lives with the streaming API in
+// `txallo_core::streaming`; re-exported here so simulator consumers keep
+// their imports.
+pub use txallo_core::UpdateKind;
 
 /// Transaction-level metrics of one epoch's blocks under an allocation.
 #[derive(Debug, Clone)]
@@ -32,6 +28,13 @@ pub struct EpochMetrics {
     /// Throughput normalized by the epoch capacity `λ = |T_epoch|/k`
     /// ("how many times an unsharded chain" — Fig. 9's y-axis).
     pub throughput_normalized: f64,
+    /// Accounts the epoch's [`AllocationUpdate`] migrated between shards
+    /// (first placements excluded) — the migration cost the mapping
+    /// update itself incurs, from the update's move diff. Zero for
+    /// metrics computed outside an epoch loop.
+    ///
+    /// [`AllocationUpdate`]: txallo_core::AllocationUpdate
+    pub migrated_accounts: usize,
 }
 
 /// Scores `blocks` under `allocation`.
@@ -103,6 +106,7 @@ pub fn epoch_metrics(
         shard_workloads: workloads,
         throughput,
         throughput_normalized: throughput / capacity,
+        migrated_accounts: 0,
     }
 }
 
@@ -118,7 +122,12 @@ pub struct EpochReport {
     /// For adaptive updates, which snapshot route A-TxAllo took
     /// (delta-CSR vs. full recompute); `None` for global epochs.
     pub update_path: Option<UpdatePath>,
-    /// Wall-clock time of the allocation update.
+    /// How the stream's serving state crossed the boundary — in
+    /// particular, whether a decay epoch *folded* into the warm session's
+    /// aggregates ([`StateCarry::WarmRescaled`]) or forced a rebuild
+    /// ([`StateCarry::Rebuilt`]).
+    pub carry: StateCarry,
+    /// Wall-clock time of the epoch-boundary allocation update.
     pub update_time: Duration,
     /// Brand-new accounts placed this epoch.
     pub new_accounts: usize,

@@ -1,70 +1,9 @@
 //! Reallocation schedules.
+//!
+//! [`HybridSchedule`] moved into `txallo_core::streaming` with the
+//! streaming-API redesign: the schedule is consumed by the core
+//! `HybridStream` combinator (G-TxAllo every `τ₂` epochs, A-TxAllo
+//! otherwise), not interpreted by the simulation driver. This module
+//! re-exports it so simulator consumers keep their imports.
 
-/// When to run the global algorithm instead of the adaptive one.
-///
-/// The paper's Fig. 9 compares `τ₂/τ₁ ∈ {20, 40, 100, 200}` against running
-/// G-TxAllo every epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum HybridSchedule {
-    /// Run G-TxAllo every epoch ("Global Method" curve).
-    AlwaysGlobal,
-    /// Run A-TxAllo every epoch and G-TxAllo every `global_gap` epochs
-    /// (epoch 0 is global — the initial mapping must come from somewhere).
-    Hybrid {
-        /// Global refresh period in epochs (`τ₂/τ₁`).
-        global_gap: u64,
-    },
-    /// Never re-run the global algorithm after warm-up ("pure A-TxAllo").
-    AlwaysAdaptive,
-}
-
-impl HybridSchedule {
-    /// Whether epoch `epoch` (0-based, counted from the end of warm-up)
-    /// should run the global algorithm.
-    pub fn is_global_epoch(&self, epoch: u64) -> bool {
-        match *self {
-            HybridSchedule::AlwaysGlobal => true,
-            HybridSchedule::Hybrid { global_gap } => {
-                let gap = global_gap.max(1);
-                epoch > 0 && epoch.is_multiple_of(gap)
-            }
-            HybridSchedule::AlwaysAdaptive => false,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn always_global_fires_each_epoch() {
-        let s = HybridSchedule::AlwaysGlobal;
-        assert!((0..5).all(|e| s.is_global_epoch(e)));
-    }
-
-    #[test]
-    fn hybrid_fires_on_multiples() {
-        let s = HybridSchedule::Hybrid { global_gap: 20 };
-        assert!(
-            !s.is_global_epoch(0),
-            "warm-up already provided the mapping"
-        );
-        assert!(!s.is_global_epoch(19));
-        assert!(s.is_global_epoch(20));
-        assert!(!s.is_global_epoch(21));
-        assert!(s.is_global_epoch(40));
-    }
-
-    #[test]
-    fn adaptive_never_fires() {
-        let s = HybridSchedule::AlwaysAdaptive;
-        assert!((0..100).all(|e| !s.is_global_epoch(e)));
-    }
-
-    #[test]
-    fn zero_gap_is_clamped() {
-        let s = HybridSchedule::Hybrid { global_gap: 0 };
-        assert!(s.is_global_epoch(1));
-    }
-}
+pub use txallo_core::HybridSchedule;

@@ -33,14 +33,14 @@ fn main() {
         "allocator", "γ %", "ρ/λ", "Λ/λ", "ζ avg", "ζ worst", "time"
     );
 
-    let mut allocators: Vec<Box<dyn Allocator>> = vec![
-        Box::new(GTxAllo::new(params.clone())),
-        Box::new(HashAllocator::new(k)),
-        Box::new(MetisAllocator::new(k)),
-        Box::new(ShardScheduler::new(
-            SchedulerConfig::new(k, dataset.graph().total_weight()).with_eta(eta),
-        )),
-    ];
+    // Every registered method competes — add one to the registry and it
+    // shows up here with no further wiring.
+    let registry = AllocatorRegistry::builtin();
+    let mut allocators: Vec<Box<dyn Allocator>> = registry
+        .names()
+        .iter()
+        .map(|name| registry.batch(name, &params).expect("registered"))
+        .collect();
 
     for alloc in allocators.iter_mut() {
         let start = Instant::now();

@@ -19,11 +19,15 @@ fn main() {
         ..WorkloadConfig::default()
     };
     let ledger = EthereumLikeGenerator::new(config, 7).default_ledger();
-    let graph = TxGraph::from_ledger(&ledger);
+    let dataset = Dataset::from_ledger(ledger);
+    let graph = dataset.graph().clone();
     let k = 20;
     let params = TxAlloParams::for_graph(&graph, k);
 
-    let plain_alloc = GTxAllo::new(params.clone()).allocate_graph(&graph);
+    let plain_alloc = AllocatorRegistry::builtin()
+        .batch("txallo", &params)
+        .expect("registered")
+        .allocate(&dataset);
     let plain = MetricsReport::compute(&graph, &plain_alloc, &params);
 
     let broker_cfg = BrokerConfig::default();

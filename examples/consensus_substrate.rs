@@ -20,9 +20,11 @@ fn main() {
         ..WorkloadConfig::default()
     };
     let ledger = EthereumLikeGenerator::new(config, 99).default_ledger();
-    let graph = TxGraph::from_ledger(&ledger);
+    let dataset = Dataset::from_ledger(ledger);
+    let graph = dataset.graph();
     let k = 8;
-    let params = TxAlloParams::for_graph(&graph, k);
+    let params = TxAlloParams::for_graph(graph, k);
+    let registry = AllocatorRegistry::builtin();
 
     println!(
         "{} transactions, {} accounts, k = {k}, {} validators ({} Byzantine)\n",
@@ -36,17 +38,15 @@ fn main() {
         "allocator", "γ %", "msgs/intra", "msgs/cross", "measured η", "reshuffles", "aborted"
     );
 
-    for (name, allocation) in [
-        (
-            "G-TxAllo",
-            GTxAllo::new(params.clone()).allocate_graph(&graph),
-        ),
-        ("hash", HashAllocator::new(k).allocate_graph(&graph)),
-    ] {
-        let metrics = MetricsReport::compute(&graph, &allocation, &params);
+    for name in ["txallo", "hash"] {
+        let allocation = registry
+            .batch(name, &params)
+            .expect("registered")
+            .allocate(&dataset);
+        let metrics = MetricsReport::compute(graph, &allocation, &params);
         let mut engine = ChainEngine::new(ChainEngineConfig::new(k));
-        for block in ledger.blocks() {
-            engine.process_block(block, &graph, &allocation);
+        for block in dataset.ledger().blocks() {
+            engine.process_block(block, graph, &allocation);
         }
         let r = engine.report();
         println!(

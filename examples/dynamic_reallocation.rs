@@ -26,6 +26,7 @@ fn main() {
         shards: 12,
         eta: 2.0,
         epoch_blocks: 100,
+        method: "txallo".into(),
         schedule: HybridSchedule::Hybrid { global_gap: 5 },
         decay_per_epoch: None,
     });
@@ -36,14 +37,14 @@ fn main() {
         warm_time
     );
     println!(
-        "{:>5} {:>9} {:>10} {:>8} {:>10} {:>12}",
-        "epoch", "algo", "γ %", "Λ/λ", "new acct", "update time"
+        "{:>5} {:>9} {:>10} {:>8} {:>10} {:>9} {:>12}",
+        "epoch", "algo", "γ %", "Λ/λ", "new acct", "migrated", "update time"
     );
 
     let stream = generator.blocks(1_000);
     for report in sim.run_stream(&stream) {
         println!(
-            "{:>5} {:>9} {:>10.1} {:>8.2} {:>10} {:>11.2?}",
+            "{:>5} {:>9} {:>10.1} {:>8.2} {:>10} {:>9} {:>11.2?}",
             report.epoch,
             match report.update {
                 UpdateKind::Global => "G-TxAllo",
@@ -52,6 +53,7 @@ fn main() {
             100.0 * report.metrics.cross_shard_ratio,
             report.metrics.throughput_normalized,
             report.new_accounts,
+            report.metrics.migrated_accounts,
             report.update_time
         );
     }

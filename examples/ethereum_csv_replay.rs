@@ -57,17 +57,13 @@ fn main() {
 
     let dataset = Dataset::from_ledger(ledger);
     let params = TxAlloParams::for_graph(dataset.graph(), k);
+    let registry = AllocatorRegistry::builtin();
 
-    for (name, allocation) in [
-        (
-            "G-TxAllo",
-            GTxAllo::new(params.clone()).allocate_graph(dataset.graph()),
-        ),
-        (
-            "hash",
-            HashAllocator::new(k).allocate_graph(dataset.graph()),
-        ),
-    ] {
+    for name in ["txallo", "hash"] {
+        let allocation = registry
+            .batch(name, &params)
+            .expect("registered")
+            .allocate(&dataset);
         let r = MetricsReport::compute(dataset.graph(), &allocation, &params);
         let tx_gamma = MetricsReport::transaction_level_cross_ratio(&dataset, &allocation);
         println!(

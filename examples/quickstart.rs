@@ -27,8 +27,10 @@ fn main() {
         100.0 * stats.hottest_account_share()
     );
 
-    // 2. Build the transaction graph (Definition 2).
-    let graph = TxGraph::from_ledger(&ledger);
+    // 2. Build the dataset: the ledger plus its transaction graph
+    //    (Definition 2).
+    let dataset = Dataset::from_ledger(ledger);
+    let graph = dataset.graph();
     println!(
         "graph: {} nodes, {} edges, total weight {:.0}",
         graph.node_count(),
@@ -36,18 +38,18 @@ fn main() {
         graph.total_weight()
     );
 
-    // 3. Allocate to k shards with G-TxAllo (η = 2, λ = |T|/k).
+    // 3. Allocate to k shards with G-TxAllo (η = 2, λ = |T|/k). Every
+    //    allocator is resolved by name through the shared registry.
     let k = 16;
-    let params = TxAlloParams::for_graph(&graph, k);
-    let outcome = GTxAllo::new(params.clone()).allocate_detailed(&graph);
-    println!(
-        "G-TxAllo: Louvain found {} communities (Q = {:.3}), {} sweeps, {} moves",
-        outcome.initial_communities, outcome.louvain_modularity, outcome.sweeps, outcome.moves
-    );
+    let params = TxAlloParams::for_graph(graph, k);
+    let registry = AllocatorRegistry::builtin();
+    println!("registered methods: {}", registry.names().join(", "));
+    let mut txallo = registry.batch("txallo", &params).expect("builtin");
+    let allocation = txallo.allocate(&dataset);
 
     // 4. Evaluate.
-    let report = MetricsReport::compute(&graph, &outcome.allocation, &params);
-    println!("\n=== {k}-shard allocation ===");
+    let report = MetricsReport::compute(graph, &allocation, &params);
+    println!("\n=== {k}-shard allocation ({}) ===", txallo.name());
     println!(
         "cross-shard ratio γ       : {:.1}%",
         100.0 * report.cross_shard_ratio
@@ -70,8 +72,11 @@ fn main() {
     );
 
     // 5. Compare against the traditional hash-based allocation.
-    let hash_alloc = HashAllocator::new(k).allocate_graph(&graph);
-    let hash_report = MetricsReport::compute(&graph, &hash_alloc, &params);
+    let hash_alloc = registry
+        .batch("hash", &params)
+        .expect("builtin")
+        .allocate(&dataset);
+    let hash_report = MetricsReport::compute(graph, &hash_alloc, &params);
     println!(
         "\nhash-based baseline: γ = {:.1}%, Λ/λ = {:.2}×",
         100.0 * hash_report.cross_shard_ratio,

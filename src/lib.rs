@@ -36,12 +36,14 @@
 //!     ..WorkloadConfig::default()
 //! };
 //! let ledger = EthereumLikeGenerator::new(config, 42).ledger(100);
-//! let graph = TxGraph::from_ledger(&ledger);
+//! let dataset = Dataset::from_ledger(ledger);
 //!
-//! // Allocate accounts to 8 shards with G-TxAllo and inspect the metrics.
-//! let params = TxAlloParams::for_graph(&graph, 8);
-//! let allocation = GTxAllo::new(params.clone()).allocate_graph(&graph);
-//! let report = MetricsReport::compute(&graph, &allocation, &params);
+//! // Allocate accounts to 8 shards with G-TxAllo (resolved by name
+//! // through the registry) and inspect the metrics.
+//! let params = TxAlloParams::for_graph(dataset.graph(), 8);
+//! let registry = AllocatorRegistry::builtin();
+//! let allocation = registry.batch("txallo", &params).unwrap().allocate(&dataset);
+//! let report = MetricsReport::compute(dataset.graph(), &allocation, &params);
 //!
 //! // The graph has community structure, so TxAllo beats hashing easily.
 //! assert!(report.cross_shard_ratio < 0.6);
@@ -59,13 +61,15 @@ pub use txallo_workload as workload;
 
 /// Convenience re-exports of the most common types.
 pub mod prelude {
-    pub use txallo_chain::{ChainEngine, ChainEngineConfig, EngineReport};
+    pub use txallo_chain::{
+        ChainEngine, ChainEngineConfig, ChainService, ChainServiceConfig, EngineReport,
+    };
     pub use txallo_core::{
-        Allocation, Allocator, AtxAllo, Dataset, GTxAllo, HashAllocator, MetisAllocator,
-        MetricsReport, SchedulerConfig, ShardScheduler, TxAlloParams,
+        Allocation, AllocationUpdate, Allocator, AllocatorRegistry, Dataset, EpochKind,
+        MetricsReport, StateCarry, StreamingAllocator, TxAlloParams, UpdateKind,
     };
     pub use txallo_graph::{AdjacencyGraph, GraphStats, NodeId, TxGraph, WeightedGraph};
     pub use txallo_model::{AccountId, Block, Ledger, ShardId, Transaction};
-    pub use txallo_sim::{EpochReport, HybridSchedule, ShardedChainSim, SimConfig, UpdateKind};
+    pub use txallo_sim::{EpochReport, HybridSchedule, ShardedChainSim, SimConfig};
     pub use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
 }

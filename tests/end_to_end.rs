@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: the full pipeline from workload
 //! generation through allocation to metrics, exercising every allocator.
 
+use txallo::core::{GTxAllo, SchedulerConfig, ShardScheduler};
 use txallo::prelude::*;
 
 fn small_dataset(seed: u64) -> Dataset {
@@ -36,17 +37,18 @@ fn evaluate(alloc: &mut dyn Allocator, dataset: &Dataset, k: usize, eta: f64) ->
 fn full_pipeline_all_allocators() {
     let dataset = small_dataset(1);
     let k = 8;
-    let total = dataset.graph().total_weight();
+    let params = TxAlloParams::for_graph(dataset.graph(), k);
+    let registry = AllocatorRegistry::builtin();
 
-    let mut gtx = GTxAllo::new(TxAlloParams::for_graph(dataset.graph(), k));
-    let mut hash = HashAllocator::new(k);
-    let mut metis = MetisAllocator::new(k);
-    let mut sched = ShardScheduler::new(SchedulerConfig::new(k, total));
+    let mut gtx = registry.batch("txallo", &params).unwrap();
+    let mut hash = registry.batch("hash", &params).unwrap();
+    let mut metis = registry.batch("metis", &params).unwrap();
+    let mut sched = registry.batch("scheduler", &params).unwrap();
 
-    let r_tx = evaluate(&mut gtx, &dataset, k, 2.0);
-    let r_hash = evaluate(&mut hash, &dataset, k, 2.0);
-    let r_metis = evaluate(&mut metis, &dataset, k, 2.0);
-    let r_sched = evaluate(&mut sched, &dataset, k, 2.0);
+    let r_tx = evaluate(gtx.as_mut(), &dataset, k, 2.0);
+    let r_hash = evaluate(hash.as_mut(), &dataset, k, 2.0);
+    let r_metis = evaluate(metis.as_mut(), &dataset, k, 2.0);
+    let r_sched = evaluate(sched.as_mut(), &dataset, k, 2.0);
 
     // The paper's headline ordering (§VI-B7).
     assert!(
@@ -128,6 +130,7 @@ fn adaptive_tracks_global_quality() {
         shards: 6,
         eta: 2.0,
         epoch_blocks: 50,
+        method: "txallo".into(),
         schedule: HybridSchedule::AlwaysAdaptive,
         decay_per_epoch: None,
     });

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use txallo::core::latency_of_normalized_load;
 use txallo::core::state::{capped_throughput, CommunityState, MoveScratch};
+use txallo::core::{AtxAllo, GTxAllo, HashAllocator, MetisAllocator};
 use txallo::model::Block;
 use txallo::prelude::*;
 

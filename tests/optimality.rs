@@ -12,6 +12,7 @@
 //!    achievable throughput, and the full-scan variant only improves it.
 
 use txallo::core::state::{CommunityState, MoveScratch};
+use txallo::core::GTxAllo;
 use txallo::prelude::*;
 
 fn tiny_graph(seed: u64) -> TxGraph {
