@@ -6,13 +6,22 @@
 //! The `gather/*` pair isolates the per-node link-weight gathering that
 //! dominates every sweep: `gather/hashmap` is the seed implementation
 //! (fresh `FxHashMap` + copy + sort per node), `gather/dense` is the CSR +
-//! dense-scratch hot path that replaced it.
+//! dense-scratch hot path that replaced it. The `gain/*` pair does the
+//! same for the per-candidate gain evaluation (`gain/eval_seed` is the
+//! pre-cache formula path: σ/Λ̂ recomputed from `intra`/`cut` plus two
+//! Eq. 3 evaluations per candidate; `gain/eval` is the cached fast path),
+//! and `csr/*` for the snapshot build (`csr/build_seed` is the edge-list
+//! extraction + per-row sort; `csr/build` the counting-sort rewrite). The
+//! `scale/*` group repeats the build benchmarks on a 50k-account /
+//! 400k-transaction workload, where the §VI-B6 init cost actually bites.
 //!
 //! Run with `cargo bench -p txallo-bench --bench components`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use txallo_bench::seed_ref::seed_atxallo_update;
+use txallo_bench::seed_ref::{
+    gain_sweep_fast, gain_sweep_seed, seed_atxallo_update, seed_csr_from_graph,
+};
 use txallo_core::{
     AdaptiveStream, AtxAllo, AtxAlloSession, CommunityState, EpochKind, GTxAllo, GTxAlloPlan,
     MoveScratch, StreamingAllocator, TxAlloParams,
@@ -85,8 +94,14 @@ fn bench_components(_: &mut Criterion) {
         b.iter(|| TxGraph::from_ledger(&ledger));
     });
 
-    c.bench_function("graph/csr_snapshot", |b| {
+    // The snapshot build (previously named `graph/csr_snapshot`), radix
+    // counting-sort vs the preserved edge-list path — same-run ratio for
+    // the §VI-B6 init-cost lead.
+    c.bench_function("csr/build", |b| {
         b.iter(|| CsrGraph::from_graph(&graph));
+    });
+    c.bench_function("csr/build_seed", |b| {
+        b.iter(|| seed_csr_from_graph(&graph));
     });
 
     c.bench_function("louvain/full", |b| {
@@ -131,7 +146,21 @@ fn bench_components(_: &mut Criterion) {
     });
 
     // A-TxAllo: one epoch of fresh blocks on top of the warm allocation.
-    let prev = GTxAllo::new(params).allocate_graph(&graph);
+    let prev = GTxAllo::new(params.clone()).allocate_graph(&graph);
+
+    // Per-candidate gain evaluation over the *converged k-shard state*
+    // (communities hover around σ ≈ λ there, so both regimes are hit —
+    // the Louvain init state would be almost entirely uncapped): cached
+    // fast path vs pre-cache formula recompute, bit-identical results.
+    let kstate = CommunityState::from_labels(&csr, prev.labels(), k, params.eta, params.capacity);
+    c.bench_function("gain/eval", |b| {
+        let mut scratch = MoveScratch::default();
+        b.iter(|| black_box(gain_sweep_fast(&csr, prev.labels(), &kstate, &mut scratch)));
+    });
+    c.bench_function("gain/eval_seed", |b| {
+        let mut scratch = MoveScratch::default();
+        b.iter(|| black_box(gain_sweep_seed(&csr, prev.labels(), &kstate, &mut scratch)));
+    });
     let mut graph2 = graph.clone();
     let new_blocks = generator.blocks(10);
     let mut touched = Vec::new();
@@ -192,5 +221,43 @@ fn bench_components(_: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_components);
+/// The 50k-account / 400k-transaction scale workload: the graph is big
+/// enough that the CSR build's counting sort (and its chunked parallel
+/// fill) dominate differently than at 5k/40k, which is where the §VI-B6
+/// init-cost claim lives.
+fn bench_scale(_: &mut Criterion) {
+    let mut c = Criterion::default().sample_size(5).configure_from_args();
+    let c = &mut c;
+    let cfg = WorkloadConfig {
+        accounts: 50_000,
+        transactions: 400_000,
+        block_size: 200,
+        groups: 800,
+        ..WorkloadConfig::default()
+    };
+    let mut generator = EthereumLikeGenerator::new(cfg, 42);
+    let graph = TxGraph::from_ledger(&generator.default_ledger());
+
+    c.bench_function("scale/csr_build_50k", |b| {
+        b.iter(|| CsrGraph::from_graph(&graph));
+    });
+    c.bench_function("scale/csr_build_50k_seed", |b| {
+        b.iter(|| seed_csr_from_graph(&graph));
+    });
+    // The plan's renumbered snapshot — the CSR share of G-TxAllo's init.
+    let order = graph.nodes_in_canonical_order();
+    let mut new_id = vec![0 as NodeId; order.len()];
+    for (i, &v) in order.iter().enumerate() {
+        new_id[v as usize] = i as NodeId;
+    }
+    c.bench_function("scale/plan_csr_50k", |b| {
+        b.iter(|| CsrGraph::from_graph_relabeled(&graph, &new_id));
+    });
+    c.bench_function("scale/gtxallo_end_to_end_50k", |b| {
+        let gtx = GTxAllo::new(TxAlloParams::for_graph(&graph, 40));
+        b.iter(|| gtx.allocate_graph(&graph));
+    });
+}
+
+criterion_group!(benches, bench_components, bench_scale);
 criterion_main!(benches);

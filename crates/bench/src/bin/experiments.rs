@@ -33,7 +33,7 @@ fn main() {
     let mut quick = false;
     // Default snapshot name for `bench-snapshot`; later PRs bump it (or
     // pass `--out BENCH_prN.json`) so earlier baselines are never clobbered.
-    let mut out_path = String::from("BENCH_pr3.json");
+    let mut out_path = String::from("BENCH_pr4.json");
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {

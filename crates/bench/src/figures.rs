@@ -653,6 +653,23 @@ pub fn bench_snapshot(out_path: &str) {
     let csr_snapshot = median_ms(reps, || {
         std::hint::black_box(CsrGraph::from_graph(&graph));
     });
+    // The preserved pre-radix build (edge-list extraction + per-row sort)
+    // — the same-run baseline for the counting-sort snapshot.
+    let csr_snapshot_seed = median_ms(reps, || {
+        std::hint::black_box(crate::seed_ref::seed_csr_from_graph(&graph));
+    });
+    // The plan's renumbered snapshot on its own — the CSR share of
+    // G-TxAllo's init cost, reported separately from the Louvain share.
+    let plan_csr = {
+        let order = graph.nodes_in_canonical_order();
+        let mut new_id = vec![0u32; order.len()];
+        for (i, &v) in order.iter().enumerate() {
+            new_id[v as usize] = i as u32;
+        }
+        median_ms(reps, || {
+            std::hint::black_box(CsrGraph::from_graph_relabeled(&graph, &new_id));
+        })
+    };
     let csr = CsrGraph::from_graph(&graph);
     let louvain_full = median_ms(reps, || {
         std::hint::black_box(txallo_louvain::louvain(&graph, &LouvainConfig::default()));
@@ -670,6 +687,32 @@ pub fn bench_snapshot(out_path: &str) {
     });
 
     let prev = gtx.allocate_graph(&graph);
+    // Per-candidate gain evaluation over the converged k-shard state
+    // (σ ≈ λ there, so both throughput regimes are exercised): cached
+    // fast path vs the pre-cache formula recompute, bit-identical results.
+    let (gain_eval, gain_eval_seed) = {
+        use txallo_core::{CommunityState, MoveScratch};
+        let kstate =
+            CommunityState::from_labels(&csr, prev.labels(), k, params.eta, params.capacity);
+        let mut scratch = MoveScratch::default();
+        let fast = median_ms(reps, || {
+            std::hint::black_box(crate::seed_ref::gain_sweep_fast(
+                &csr,
+                prev.labels(),
+                &kstate,
+                &mut scratch,
+            ));
+        });
+        let seed = median_ms(reps, || {
+            std::hint::black_box(crate::seed_ref::gain_sweep_seed(
+                &csr,
+                prev.labels(),
+                &kstate,
+                &mut scratch,
+            ));
+        });
+        (fast, seed)
+    };
     let mut graph2 = graph.clone();
     let new_blocks = generator.blocks(10);
     let mut touched = Vec::new();
@@ -726,21 +769,68 @@ pub fn bench_snapshot(out_path: &str) {
         ));
     });
 
+    // The 50k/400k scale workload: where the §VI-B6 init cost actually
+    // bites; the CSR build ratio at this size is the tentpole claim.
+    let scale_reps = 5;
+    let big = {
+        let cfg = WorkloadConfig {
+            accounts: 50_000,
+            transactions: 400_000,
+            block_size: 200,
+            groups: 800,
+            ..WorkloadConfig::default()
+        };
+        let mut generator = EthereumLikeGenerator::new(cfg, 42);
+        txallo_graph::TxGraph::from_ledger(&generator.default_ledger())
+    };
+    let scale_csr_build = median_ms(scale_reps, || {
+        std::hint::black_box(CsrGraph::from_graph(&big));
+    });
+    let scale_csr_build_seed = median_ms(scale_reps, || {
+        std::hint::black_box(crate::seed_ref::seed_csr_from_graph(&big));
+    });
+    let scale_plan_csr = {
+        let order = big.nodes_in_canonical_order();
+        let mut new_id = vec![0u32; order.len()];
+        for (i, &v) in order.iter().enumerate() {
+            new_id[v as usize] = i as u32;
+        }
+        median_ms(scale_reps, || {
+            std::hint::black_box(CsrGraph::from_graph_relabeled(&big, &new_id));
+        })
+    };
+    let scale_end_to_end = {
+        let gtx = GTxAllo::new(TxAlloParams::for_graph(&big, 40));
+        median_ms(scale_reps, || {
+            std::hint::black_box(gtx.allocate_graph(&big));
+        })
+    };
+
     let json = format!(
         "{{\n  \"workload\": {{\"accounts\": 5000, \"transactions\": 40000, \"k\": {k}, \"seed\": 42}},\n  \
          \"unit\": \"ms (median of {reps})\",\n  \
          \"graph_from_ledger\": {from_ledger:.3},\n  \
          \"csr_snapshot\": {csr_snapshot:.3},\n  \
+         \"csr_snapshot_seed\": {csr_snapshot_seed:.3},\n  \
+         \"plan_csr\": {plan_csr:.3},\n  \
          \"louvain_full\": {louvain_full:.3},\n  \
          \"louvain_csr\": {louvain_flat:.3},\n  \
          \"gtxallo_optimize_only\": {optimize_only:.3},\n  \
          \"gtxallo_end_to_end\": {end_to_end:.3},\n  \
+         \"gain_eval\": {gain_eval:.3},\n  \
+         \"gain_eval_seed\": {gain_eval_seed:.3},\n  \
          \"atxallo_epoch_update\": {atxallo_epoch:.3},\n  \
          \"atxallo_epoch_update_stream\": {atxallo_epoch_stream:.3},\n  \
          \"atxallo_epoch_update_incremental\": {atxallo_incremental:.3},\n  \
          \"atxallo_epoch_update_full\": {atxallo_full:.3},\n  \
          \"atxallo_epoch_update_seed\": {atxallo_seed:.3},\n  \
-         \"atxallo_touched_fraction\": {touched_fraction:.4}\n}}\n"
+         \"atxallo_touched_fraction\": {touched_fraction:.4},\n  \
+         \"scale_workload\": {{\"accounts\": 50000, \"transactions\": 400000, \"k\": 40, \"seed\": 42}},\n  \
+         \"scale_unit\": \"ms (median of {scale_reps})\",\n  \
+         \"scale_csr_build\": {scale_csr_build:.3},\n  \
+         \"scale_csr_build_seed\": {scale_csr_build_seed:.3},\n  \
+         \"scale_plan_csr\": {scale_plan_csr:.3},\n  \
+         \"scale_gtxallo_end_to_end\": {scale_end_to_end:.3}\n}}\n"
     );
     print!("{json}");
     if let Err(e) = std::fs::write(out_path, &json) {

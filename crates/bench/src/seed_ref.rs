@@ -9,10 +9,118 @@
 //! every sweep, and re-derives the community aggregates from the whole
 //! graph per update — exactly the code A-TxAllo ran before the delta-CSR
 //! epoch pipeline.
+//!
+//! [`seed_csr_from_graph`] preserves the pre-radix `CsrGraph` snapshot
+//! path the same way (edge-list extraction + per-row sort/merge build),
+//! so `csr/build` benchmarks record a same-run ratio for the counting-sort
+//! rewrite.
 
 use txallo_core::state::UNASSIGNED;
 use txallo_core::{Allocation, CommunityState, MoveScratch, TxAlloParams, GAIN_EPS};
-use txallo_graph::{NodeId, TxGraph, WeightedGraph};
+use txallo_graph::{CsrGraph, NodeId, TxGraph, WeightedGraph};
+
+/// The pre-radix `CsrGraph::from_graph`: extract every positive self-loop
+/// and each unordered edge once into an edge list, then run the
+/// duplicate-merging edge-list constructor (scatter + per-row comparison
+/// sort + merge). Kept verbatim as the same-run baseline for the
+/// counting-sort snapshot build.
+pub fn seed_csr_from_graph(g: &impl WeightedGraph) -> CsrGraph {
+    let n = g.node_count();
+    let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    for v in 0..n as NodeId {
+        let loop_w = g.self_loop(v);
+        if loop_w > 0.0 {
+            edges.push((v, v, loop_w));
+        }
+        g.for_each_neighbor(v, |u, w| {
+            if v < u {
+                edges.push((v, u, w));
+            }
+        });
+    }
+    CsrGraph::from_edges(n, edges)
+}
+
+/// One full node sweep of move-gain evaluations through the production
+/// entry points (cached σ/Λ̂/regime): the Eq. 6/8 inner loop as the sweep
+/// kernels run it. Returns a gain checksum so nothing is optimized away.
+pub fn gain_sweep_fast(
+    graph: &CsrGraph,
+    labels: &[u32],
+    state: &CommunityState,
+    scratch: &mut MoveScratch,
+) -> f64 {
+    let mut checksum = 0.0;
+    for v in 0..graph.node_count() as NodeId {
+        state.gather_links(graph, labels, v, scratch);
+        let p = labels[v as usize];
+        let (self_w, d_v) = (graph.self_loop(v), graph.incident_weight(v));
+        let leave = state.leave_gain(p, self_w, d_v, scratch.weight_to(p));
+        for (q, w_vq) in scratch.candidates() {
+            if q != p {
+                checksum += leave + state.join_gain(q, self_w, d_v, w_vq);
+            }
+        }
+    }
+    checksum
+}
+
+/// The same sweep through the pre-cache formula path: σ_c/Λ̂_c recomputed
+/// from `intra`/`cut` on every evaluation and both sides of the gain going
+/// through Eq. 3 (two `capped_throughput` calls — two divisions in the
+/// saturated regime — per candidate). Bit-identical results; this is the
+/// per-candidate cost the σ/Λ̂/regime caches removed.
+pub fn gain_sweep_seed(
+    graph: &CsrGraph,
+    labels: &[u32],
+    state: &CommunityState,
+    scratch: &mut MoveScratch,
+) -> f64 {
+    let mut checksum = 0.0;
+    for v in 0..graph.node_count() as NodeId {
+        state.gather_links(graph, labels, v, scratch);
+        let p = labels[v as usize];
+        let (self_w, d_v) = (graph.self_loop(v), graph.incident_weight(v));
+        let leave = seed_leave_gain(state, p, self_w, d_v, scratch.weight_to(p));
+        for (q, w_vq) in scratch.candidates() {
+            if q != p {
+                checksum += leave + seed_join_gain(state, q, self_w, d_v, w_vq);
+            }
+        }
+    }
+    checksum
+}
+
+/// Seed-era gain evaluation: the pre-cache `CommunityState` derived `σ_c`
+/// and `Λ̂_c` from `intra`/`cut` inside every gain call and ran both sides
+/// of the difference through Eq. 3. The serving path now reads cached
+/// scalars instead; the seed baseline must keep paying the original cost
+/// (values are bit-identical either way — golden-tested — so only the
+/// timing differs).
+fn seed_scalars(state: &CommunityState, c: u32) -> (f64, f64, f64) {
+    use txallo_core::state::capped_throughput;
+    let sigma = state.intra(c) + state.eta() * state.cut(c);
+    let hat = state.intra(c) + state.cut(c) / 2.0;
+    (sigma, hat, capped_throughput(sigma, hat, state.capacity()))
+}
+
+fn seed_join_gain(state: &CommunityState, q: u32, self_w: f64, d_v: f64, w_vq: f64) -> f64 {
+    use txallo_core::state::capped_throughput;
+    let eta = state.eta();
+    let (sigma, hat, thr) = seed_scalars(state, q);
+    let sigma_new = sigma + self_w + eta * (d_v - self_w - w_vq) + (1.0 - eta) * w_vq;
+    let hat_new = hat + self_w + (d_v - self_w) / 2.0;
+    capped_throughput(sigma_new, hat_new, state.capacity()) - thr
+}
+
+fn seed_leave_gain(state: &CommunityState, p: u32, self_w: f64, d_v: f64, w_vp: f64) -> f64 {
+    use txallo_core::state::capped_throughput;
+    let eta = state.eta();
+    let (sigma, hat, thr) = seed_scalars(state, p);
+    let sigma_new = sigma - self_w - eta * (d_v - self_w - w_vp) + (eta - 1.0) * w_vp;
+    let hat_new = hat - self_w - (d_v - self_w) / 2.0;
+    capped_throughput(sigma_new, hat_new, state.capacity()) - thr
+}
 
 /// One adaptive epoch update, seed implementation. Returns the updated
 /// label vector.
@@ -50,8 +158,8 @@ pub fn seed_atxallo_update(
                         best: &mut Option<(u32, f64, f64)>,
                         max_gain: &mut f64,
                         state: &CommunityState| {
-            let gain = state.join_gain(q, self_w, d_v, w_vq);
-            let sigma = state.sigma(q);
+            let gain = seed_join_gain(state, q, self_w, d_v, w_vq);
+            let sigma = seed_scalars(state, q).0;
             if gain > *max_gain {
                 *max_gain = gain;
             }
@@ -93,13 +201,13 @@ pub fn seed_atxallo_update(
             let self_w = graph.self_loop(v);
             let d_v = graph.incident_weight(v);
             let w_vp = scratch.weight_to(p);
-            let leave = state.leave_gain(p, self_w, d_v, w_vp);
+            let leave = seed_leave_gain(&state, p, self_w, d_v, w_vp);
             let mut best: Option<(u32, f64, f64)> = None;
             for (q, w_vq) in scratch.candidates() {
                 if q == p {
                     continue;
                 }
-                let gain = leave + state.join_gain(q, self_w, d_v, w_vq);
+                let gain = leave + seed_join_gain(&state, q, self_w, d_v, w_vq);
                 match best {
                     Some((_, bg, _)) if gain <= bg + GAIN_EPS => {}
                     _ => best = Some((q, gain, w_vq)),
@@ -128,6 +236,34 @@ mod tests {
     use super::*;
     use txallo_core::{AtxAllo, GTxAllo};
     use txallo_model::{AccountId, Block, Transaction};
+
+    /// The preserved edge-list CSR build and the production counting-sort
+    /// build must agree on everything observable — same graph, either
+    /// constructor.
+    #[test]
+    fn seed_csr_build_matches_production() {
+        let mut g = TxGraph::new();
+        for (a, b) in [(1u64, 2), (2, 3), (3, 1), (4, 4), (2, 5), (5, 1)] {
+            g.ingest_transaction(&Transaction::transfer(AccountId(a), AccountId(b)));
+        }
+        g.ingest_transaction(
+            &Transaction::new(vec![AccountId(1)], vec![AccountId(6), AccountId(7)]).unwrap(),
+        );
+        let seed = seed_csr_from_graph(&g);
+        let prod = CsrGraph::from_graph(&g);
+        assert_eq!(seed.node_count(), prod.node_count());
+        assert_eq!(seed.edge_count(), prod.edge_count());
+        assert_eq!(seed.total_weight().to_bits(), prod.total_weight().to_bits());
+        for v in 0..g.node_count() as NodeId {
+            assert_eq!(seed.neighbor_ids(v), prod.neighbor_ids(v));
+            assert_eq!(seed.neighbor_weights(v), prod.neighbor_weights(v));
+            assert_eq!(seed.self_loop(v).to_bits(), prod.self_loop(v).to_bits());
+            assert_eq!(
+                seed.incident_weight(v).to_bits(),
+                prod.incident_weight(v).to_bits()
+            );
+        }
+    }
 
     /// The seed baseline must still produce a *semantically* equivalent
     /// update (same clusters), keeping the benchmark comparison honest.

@@ -296,6 +296,79 @@ mod tests {
         let _ = service.process_block(&block);
     }
 
+    /// An account that arrives mid-epoch is served on a transient hash
+    /// shard; when `end_epoch` places it elsewhere, the substrate must
+    /// charge that departure exactly once — the stream still reports it as
+    /// a placement (`from: None`), and the engine's migration count equals
+    /// `diffed migrations + placements that left their transient shard`,
+    /// with no double counting on either side.
+    #[test]
+    fn transient_shard_departure_is_charged_exactly_once() {
+        use txallo_model::{AccountId, Block, Transaction};
+        let k = 4usize;
+        let clique = |base: u64| -> Vec<Transaction> {
+            let mut txs = Vec::new();
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    txs.push(Transaction::transfer(
+                        AccountId(base + i),
+                        AccountId(base + j),
+                    ));
+                }
+            }
+            txs
+        };
+        let warm: Vec<Block> = (0..4u64)
+            .map(|h| Block::new(h, clique((h % 4) * 10)))
+            .collect();
+        let mut service = ChainService::new(service_config(k, 2, 1000));
+        service.warmup(&warm);
+        assert_eq!(service.report().migrations, 0, "warm-up is free");
+
+        // One epoch (two blocks) with a burst of brand-new accounts bound
+        // to existing cliques plus churn between cliques: a mix of
+        // placements (some leaving their transient hash shard, some
+        // landing on it) and genuine migrations.
+        let blocks = vec![
+            Block::new(
+                4,
+                (0..8)
+                    .map(|i| Transaction::transfer(AccountId(200 + i), AccountId((i % 4) * 10)))
+                    .collect(),
+            ),
+            Block::new(
+                5,
+                (0..20)
+                    .map(|i| Transaction::transfer(AccountId(0), AccountId(10 + (i % 5))))
+                    .collect(),
+            ),
+        ];
+        let updates = service.run(&blocks);
+        assert_eq!(updates.len(), 1, "one closed epoch");
+        let update = &updates[0];
+
+        let mut expected = update.migrations() as u64;
+        let mut departures = 0u64;
+        for m in update.moves.iter().filter(|m| m.from.is_none()) {
+            let transient = service.graph().account(m.node).hash_shard(k);
+            if transient != m.to {
+                departures += 1;
+            }
+        }
+        expected += departures;
+        assert!(
+            update.placements() > 0,
+            "fixture must exercise mid-epoch placements"
+        );
+        assert_eq!(
+            service.report().migrations,
+            expected,
+            "each transient-shard departure is one substrate migration — \
+             placements landing on their hash shard are free, nothing is \
+             counted twice"
+        );
+    }
+
     #[test]
     fn mid_epoch_new_accounts_get_transient_hash_labels() {
         let mut gen = generator();

@@ -42,6 +42,48 @@ pub(crate) struct EpochSweepOutcome {
     pub moves: usize,
 }
 
+/// Reusable buffers of the epoch sweep — the per-row stamp arrays, the
+/// candidate caches and the dense gather accumulator. A serving session
+/// carries one of these across epochs so the per-epoch cost contains no
+/// buffer allocation at all once capacities have warmed up (the satellite
+/// of the delta-CSR buffer reuse, same contract: a warm scratch is
+/// observationally identical to fresh ones — every array is re-initialized
+/// to the values a fresh allocation would hold, only capacity survives).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SweepScratch {
+    acc: DenseAccumulator,
+    last_eval: Vec<u64>,
+    gathered_at: Vec<u64>,
+    links_dirty: Vec<u64>,
+    comm_stamp: Vec<u64>,
+    /// Cached candidate lists; inner vectors keep their capacity across
+    /// epochs.
+    cand_cache: Vec<Vec<(u32, f64)>>,
+}
+
+impl SweepScratch {
+    /// Re-initializes every buffer for a sweep over `t` snapshot rows and
+    /// `k` communities.
+    fn reset(&mut self, t: usize, k: usize) {
+        reset_fill(&mut self.last_eval, t, 0);
+        reset_fill(&mut self.gathered_at, t, 0);
+        reset_fill(&mut self.links_dirty, t, 1);
+        reset_fill(&mut self.comm_stamp, k, 1);
+        for cache in self.cand_cache.iter_mut().take(t) {
+            cache.clear();
+        }
+        if self.cand_cache.len() < t {
+            self.cand_cache.resize_with(t, Vec::new);
+        }
+    }
+}
+
+/// `vec![value; len]` semantics over a retained buffer.
+fn reset_fill(buf: &mut Vec<u64>, len: usize, value: u64) {
+    buf.clear();
+    buf.resize(len, value);
+}
+
 /// Gathers row `local`'s per-community link weights into `acc` (sorted
 /// ascending on return), mirroring `CommunityState::gather_links` but over
 /// snapshot rows: canonical neighbor order, weights toward [`UNASSIGNED`]
@@ -70,10 +112,19 @@ pub(crate) fn epoch_sweep(
     state: &mut CommunityState,
     epsilon: f64,
     max_sweeps: usize,
+    scratch: &mut SweepScratch,
 ) -> EpochSweepOutcome {
     let t = snap.len();
     let k = state.community_count();
-    let mut acc = DenseAccumulator::new();
+    scratch.reset(t, k);
+    let SweepScratch {
+        acc,
+        last_eval,
+        gathered_at,
+        links_dirty,
+        comm_stamp,
+        cand_cache,
+    } = scratch;
     let mut out = EpochSweepOutcome::default();
 
     // ---- Phase 1 (lines 1–8): place brand-new nodes.
@@ -83,7 +134,7 @@ pub(crate) fn epoch_sweep(
             continue;
         }
         out.new_nodes += 1;
-        gather_row(snap, i, labels, k, &mut acc);
+        gather_row(snap, i, labels, k, acc);
         let self_w = snap.self_loop(i);
         let d_v = snap.incident_weight(i);
         // Ties (within GAIN_EPS of the running maximum gain) broken toward
@@ -125,14 +176,10 @@ pub(crate) fn epoch_sweep(
     }
 
     // ---- Phase 2 (lines 9–17): optimize over V̂ with stamp skipping.
+    // (The stamp arrays and the candidate caches — ascending community
+    // order, straight from the gather, reused until a snapshot neighbor
+    // moves — live in the caller-provided scratch.)
     let mut move_stamp: u64 = 1; // bumped on every committed move
-    let mut last_eval: Vec<u64> = vec![0; t];
-    let mut gathered_at: Vec<u64> = vec![0; t];
-    let mut links_dirty: Vec<u64> = vec![1; t];
-    let mut comm_stamp: Vec<u64> = vec![1; k];
-    // Cached candidate lists (ascending community order, straight from the
-    // gather), reused until a snapshot neighbor moves.
-    let mut cand_cache: Vec<Vec<(u32, f64)>> = vec![Vec::new(); t];
     loop {
         let mut delta = 0.0;
         for i in 0..t {
@@ -149,7 +196,7 @@ pub(crate) fn epoch_sweep(
                     continue; // Inputs unchanged: evaluation would no-op.
                 }
             } else {
-                gather_row(snap, i, labels, k, &mut acc);
+                gather_row(snap, i, labels, k, acc);
                 gathered_at[i] = move_stamp;
                 cand_cache[i].clear();
                 cand_cache[i].extend(acc.entries());

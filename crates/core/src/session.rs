@@ -44,7 +44,7 @@ use txallo_model::Block;
 
 use crate::allocation::Allocation;
 use crate::atxallo::{AtxAlloOutcome, UpdatePath};
-use crate::incremental::epoch_sweep;
+use crate::incremental::{epoch_sweep, SweepScratch};
 use crate::params::TxAlloParams;
 use crate::state::{CommunityState, UNASSIGNED};
 
@@ -55,6 +55,11 @@ pub struct AtxAlloSession {
     shards: usize,
     labels: Vec<u32>,
     state: CommunityState,
+    /// Snapshot buffer, refilled per epoch ([`DeltaCsr::refill_touched`])
+    /// so row storage is allocated once per session, not once per epoch.
+    snap: DeltaCsr,
+    /// Sweep-kernel buffers (stamp arrays, candidate caches), same deal.
+    scratch: SweepScratch,
 }
 
 impl AtxAlloSession {
@@ -79,6 +84,8 @@ impl AtxAlloSession {
             shards: k,
             labels,
             state,
+            snap: DeltaCsr::default(),
+            scratch: SweepScratch::default(),
         }
     }
 
@@ -140,6 +147,21 @@ impl AtxAlloSession {
     /// refresh), not once per block.
     pub fn apply_block(&mut self, graph: &TxGraph, block: &Block) {
         for tx in block.transactions() {
+            // Plain transfers — the overwhelming share of a block — fold
+            // without the `account_set` allocation/sort: a 1↔1 transaction
+            // is one unit edge (or one unit self-loop), exactly what the
+            // general clique-expansion path below computes for it.
+            if let ([a], [b]) = (tx.inputs(), tx.outputs()) {
+                let na = graph.node_of(*a).expect("block accounts are interned");
+                if a == b {
+                    self.state.apply_self_loop_delta(self.label_of(na), 1.0);
+                } else {
+                    let nb = graph.node_of(*b).expect("block accounts are interned");
+                    self.state
+                        .apply_edge_delta(self.label_of(na), self.label_of(nb), 1.0);
+                }
+                continue;
+            }
             let set = tx.account_set();
             if set.len() == 1 {
                 let n = graph.node_of(set[0]).expect("block accounts are interned");
@@ -204,16 +226,17 @@ impl AtxAlloSession {
         self.labels.resize(graph.node_count(), UNASSIGNED);
         self.state.set_limits(params.eta, params.capacity);
 
-        let snap = match path {
-            UpdatePath::Incremental => DeltaCsr::snapshot_touched(graph, touched),
-            UpdatePath::Full => DeltaCsr::snapshot_full(graph, touched),
-        };
+        match path {
+            UpdatePath::Incremental => self.snap.refill_touched(graph, touched),
+            UpdatePath::Full => self.snap.refill_full(graph, touched),
+        }
         let out = epoch_sweep(
-            &snap,
+            &self.snap,
             &mut self.labels,
             &mut self.state,
             params.epsilon,
             params.max_sweeps,
+            &mut self.scratch,
         );
 
         AtxAlloOutcome {

@@ -24,12 +24,34 @@ pub struct CommunityState {
     cut: Vec<f64>,
     eta: f64,
     capacity: f64,
+    /// Cached workload `σ_c = intra + η·cut` per community, kept in
+    /// lock-step with `intra`/`cut` (see the cache invariant below).
+    sigma: Vec<f64>,
+    /// Cached uncapped throughput `Λ̂_c = intra + cut/2`, lock-step.
+    lambda_hat: Vec<f64>,
     /// Cached capped throughput per community, kept in lock-step with
     /// `intra`/`cut` (recomputed for the touched community on every
     /// mutation — bit-identical to computing it on demand, but read
     /// thousands of times per sweep in the gain formulas).
     throughput: Vec<f64>,
+    /// Cached saturation regime: `saturated[c]` is true exactly when
+    /// [`capped_throughput`] did *not* take the identity branch for `c`
+    /// (i.e. `σ_c > λ`, or the capacity itself is degenerate). In the
+    /// common uncapped regime `throughput[c]` is bit-for-bit equal to
+    /// `lambda_hat[c]`, which is what lets the gain fast path subtract a
+    /// value already in a register instead of re-deriving Eq. 3.
+    saturated: Vec<bool>,
 }
+// Cache invariant (determinism contract, see ARCHITECTURE.md): after every
+// mutation that closes a batch (`apply_join`/`apply_leave` per move,
+// `refresh_throughput` after `apply_*_delta` folds, `set_limits`,
+// `scale_aggregates`), each cached `sigma[c]`, `lambda_hat[c]`,
+// `throughput[c]` and `saturated[c]` equals — bit-for-bit — what
+// recomputing it from `intra[c]`/`cut[c]` with the exact expressions of
+// `recompute_community` would produce. The gain formulas below only ever
+// *read* the caches with the same expressions the pre-cache code inlined,
+// so the fast path is byte-identical to the formula path (golden-tested
+// in `tests/golden.rs` and `tests/atxallo_golden.rs`).
 
 /// Scratch buffers for evaluating one node's candidate moves, reused across
 /// the sweep.
@@ -126,18 +148,32 @@ impl CommunityState {
             cut,
             eta,
             capacity,
-            throughput: Vec::new(),
+            sigma: vec![0.0; community_count],
+            lambda_hat: vec![0.0; community_count],
+            throughput: vec![0.0; community_count],
+            saturated: vec![false; community_count],
         };
-        state.throughput = (0..community_count as u32)
-            .map(|c| state.compute_throughput(c))
-            .collect();
+        state.refresh_throughput();
         state
     }
 
-    /// Capped throughput of `c` from `intra`/`cut` (cache refill).
+    /// Recomputes every cached scalar of community `c` from `intra`/`cut`.
+    /// The expressions here *define* the cache invariant — every cached
+    /// read must be bit-identical to evaluating them fresh.
     #[inline]
-    fn compute_throughput(&self, c: u32) -> f64 {
-        capped_throughput(self.sigma(c), self.lambda_hat(c), self.capacity)
+    fn recompute_community(&mut self, c: u32) {
+        let ci = c as usize;
+        let sigma = self.intra[ci] + self.eta * self.cut[ci];
+        let hat = self.intra[ci] + self.cut[ci] / 2.0;
+        let uncapped = self.capacity > 0.0 && sigma <= self.capacity;
+        self.sigma[ci] = sigma;
+        self.lambda_hat[ci] = hat;
+        self.saturated[ci] = !uncapped;
+        self.throughput[ci] = if uncapped {
+            hat
+        } else {
+            capped_throughput(sigma, hat, self.capacity)
+        };
     }
 
     /// Number of communities tracked.
@@ -165,16 +201,25 @@ impl CommunityState {
         self.cut[c as usize]
     }
 
-    /// Workload `σ_c = intra + η·cut` (Eq. 5).
+    /// Workload `σ_c = intra + η·cut` (Eq. 5). Cached — bit-identical to
+    /// recomputing from `intra`/`cut` (see the cache invariant).
     #[inline]
     pub fn sigma(&self, c: u32) -> f64 {
-        self.intra[c as usize] + self.eta * self.cut[c as usize]
+        self.sigma[c as usize]
     }
 
-    /// Uncapped throughput `Λ̂_c = intra + cut/2`.
+    /// Uncapped throughput `Λ̂_c = intra + cut/2`. Cached, bit-identical.
     #[inline]
     pub fn lambda_hat(&self, c: u32) -> f64 {
-        self.intra[c as usize] + self.cut[c as usize] / 2.0
+        self.lambda_hat[c as usize]
+    }
+
+    /// Whether `c` is in the saturated regime (`σ_c > λ`, or a degenerate
+    /// capacity): its cached throughput went through the Eq. 3 scaling
+    /// instead of the identity branch.
+    #[inline]
+    pub fn is_saturated(&self, c: u32) -> bool {
+        self.saturated[c as usize]
     }
 
     /// Capacity-capped throughput of `c` (Eq. 3).
@@ -221,10 +266,17 @@ impl CommunityState {
     /// * `self_w` — self-loop weight `w{v,v}`;
     /// * `d_v` — total incident weight of `v` (self-loop once);
     /// * `w_vq` — weight between `v` and community `q`.
+    ///
+    /// This is the innermost expression of every sweep (one evaluation per
+    /// candidate per node per sweep), so it reads the cached `σ_q`/`Λ̂_q`
+    /// instead of re-deriving them from `intra`/`cut`, and in the common
+    /// uncapped regime resolves with a single compare against `λ` and no
+    /// division — byte-identical to the formula path by the cache
+    /// invariant.
     #[inline]
     pub fn join_gain(&self, q: u32, self_w: f64, d_v: f64, w_vq: f64) -> f64 {
         let (sigma_new, hat_new) = self.joined_state(q, self_w, d_v, w_vq);
-        capped_throughput(sigma_new, hat_new, self.capacity) - self.throughput(q)
+        self.gain_vs_current(q, sigma_new, hat_new)
     }
 
     fn joined_state(&self, q: u32, self_w: f64, d_v: f64, w_vq: f64) -> (f64, f64) {
@@ -238,11 +290,12 @@ impl CommunityState {
 
     /// Throughput gain `Δ_{leave} Λ_p` of `v` leaving its community `p`
     /// (the leaving half of Eq. 8). `w_vp` is the weight between `v` and
-    /// the *other* members of `p` (`w{v, V_p \ v}`).
+    /// the *other* members of `p` (`w{v, V_p \ v}`). Same fast path as
+    /// [`CommunityState::join_gain`].
     #[inline]
     pub fn leave_gain(&self, p: u32, self_w: f64, d_v: f64, w_vp: f64) -> f64 {
         let (sigma_new, hat_new) = self.left_state(p, self_w, d_v, w_vp);
-        capped_throughput(sigma_new, hat_new, self.capacity) - self.throughput(p)
+        self.gain_vs_current(p, sigma_new, hat_new)
     }
 
     fn left_state(&self, p: u32, self_w: f64, d_v: f64, w_vp: f64) -> (f64, f64) {
@@ -252,6 +305,28 @@ impl CommunityState {
         // Λ̂'_p = Λ̂_p − w_vv − (d_v − w_vv)/2
         let hat_new = self.lambda_hat(p) - self_w - (d_v - self_w) / 2.0;
         (sigma_new, hat_new)
+    }
+
+    /// `Λ(σ', Λ̂') − Λ_c`: the capped throughput of the hypothetical state
+    /// minus the community's cached current throughput.
+    ///
+    /// Fast path: when `σ' ≤ λ` (and `λ` is non-degenerate), Eq. 3 is the
+    /// identity, and when `c` is additionally in the uncapped regime its
+    /// cached throughput *is* `Λ̂_c` bit-for-bit — so the whole gain is one
+    /// compare and one subtraction of a value already loaded for `Λ̂'`.
+    /// Every other case defers to [`capped_throughput`] unchanged.
+    #[inline]
+    fn gain_vs_current(&self, c: u32, sigma_new: f64, hat_new: f64) -> f64 {
+        let ci = c as usize;
+        if self.capacity > 0.0 && sigma_new <= self.capacity {
+            if self.saturated[ci] {
+                hat_new - self.throughput[ci]
+            } else {
+                hat_new - self.lambda_hat[ci]
+            }
+        } else {
+            capped_throughput(sigma_new, hat_new, self.capacity) - self.throughput[ci]
+        }
     }
 
     /// Full move gain `Δ_{(i,p,q)}Λ = Δ_{leave}Λ_p + Δ_{join}Λ_q` (Eq. 8).
@@ -265,18 +340,19 @@ impl CommunityState {
     pub fn apply_join(&mut self, q: u32, self_w: f64, d_v: f64, w_vq: f64) {
         self.intra[q as usize] += self_w + w_vq;
         self.cut[q as usize] += (d_v - self_w - w_vq) - w_vq;
-        self.throughput[q as usize] = self.compute_throughput(q);
+        self.recompute_community(q);
     }
 
     /// Commits `v` leaving community `p`.
     pub fn apply_leave(&mut self, p: u32, self_w: f64, d_v: f64, w_vp: f64) {
         self.intra[p as usize] -= self_w + w_vp;
         self.cut[p as usize] -= (d_v - self_w - w_vp) - w_vp;
-        self.throughput[p as usize] = self.compute_throughput(p);
+        self.recompute_community(p);
     }
 
     /// Updates the `η`/`λ` limits (per-epoch parameter refresh — `λ = |T|/k`
-    /// grows with the graph) and recomputes the cached throughputs. The
+    /// grows with the graph) and recomputes every cached scalar (`σ`
+    /// depends on `η`; throughput and regime depend on both). The
     /// `intra`/`cut` aggregates are limit-independent and keep their values.
     pub fn set_limits(&mut self, eta: f64, capacity: f64) {
         self.eta = eta;
@@ -290,8 +366,9 @@ impl CommunityState {
     /// nodes count as cut from the assigned side, matching
     /// [`CommunityState::from_labels`]).
     ///
-    /// Leaves the cached throughputs stale — call
-    /// [`CommunityState::refresh_throughput`] once per batch.
+    /// Leaves the cached scalars (`σ`, `Λ̂`, throughput, regime) stale —
+    /// call [`CommunityState::refresh_throughput`] once per batch before
+    /// reading any of them.
     pub fn apply_edge_delta(&mut self, la: u32, lb: u32, w: f64) {
         if la == lb {
             if la != UNASSIGNED {
@@ -316,22 +393,32 @@ impl CommunityState {
         }
     }
 
-    /// Recomputes every cached throughput from the current `intra`/`cut`
-    /// (`O(k)`), closing a batch of `apply_*_delta` calls.
+    /// Recomputes every cached scalar (`σ`, `Λ̂`, capped throughput and
+    /// saturation regime) from the current `intra`/`cut` (`O(k)`), closing
+    /// a batch of `apply_*_delta` calls.
     pub fn refresh_throughput(&mut self) {
         for c in 0..self.intra.len() as u32 {
-            self.throughput[c as usize] = self.compute_throughput(c);
+            self.recompute_community(c);
         }
     }
 
-    /// Scales every `intra`/`cut` aggregate by `factor` and refreshes the
-    /// throughput cache — the accounting image of a uniform edge-weight
+    /// Scales every `intra`/`cut` aggregate by `factor` and refreshes every
+    /// cached scalar — the accounting image of a uniform edge-weight
     /// rescale of the underlying graph (exponential decay). The limits
     /// `η`/`λ` are left untouched; callers refresh them separately (the
     /// per-epoch [`CommunityState::set_limits`] pass re-derives `λ = |T|/k`
     /// from the decayed total).
+    ///
+    /// Sign safety: the fold is a multiplication by a positive factor, so
+    /// non-negative aggregates can *never* drift below zero no matter how
+    /// many small factors are folded in sequence (pinned by
+    /// `repeated_decay_folds_stay_nonnegative` below and the ≥100-fold
+    /// golden stream in `tests/atxallo_golden.rs`).
     pub fn scale_aggregates(&mut self, factor: f64) {
-        assert!(factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "scale factor must be positive and finite"
+        );
         for v in &mut self.intra {
             *v *= factor;
         }
@@ -351,12 +438,34 @@ impl CommunityState {
 
 /// The capacity-capped shard throughput of Eq. 3:
 /// `Λ = Λ̂` when `σ ≤ λ`, else `Λ = (λ/σ)·Λ̂`.
+///
+/// Total over degenerate inputs (a shard model must never emit NaN into
+/// the gain comparisons, where it would poison every `GAIN_EPS` decision):
+///
+/// * `capacity ≤ 0` (or NaN) — a shard with no processing capacity serves
+///   nothing: `Λ = 0`. The old code took the identity branch whenever
+///   `σ ≤ λ`, which reported *positive* throughput for a zero-capacity
+///   shard with `σ = 0 < Λ̂` inputs and *negative* throughput when
+///   `σ > λ ≥ 0 > Λ̂·λ/σ` flipped the scale's sign.
+/// * `σ = 0` with `Λ̂ > 0` can only reach the scaling branch when
+///   `capacity < 0`, which the guard above now absorbs — no more `λ/0`
+///   infinities.
+/// * NaN `σ` (degenerate η upstream): `σ ≤ λ` is false, and the scale
+///   `λ/σ` is NaN — reported as `Λ = 0` instead of propagating.
 #[inline]
 pub fn capped_throughput(sigma: f64, lambda_hat: f64, capacity: f64) -> f64 {
+    if capacity <= 0.0 || capacity.is_nan() {
+        return 0.0;
+    }
     if sigma <= capacity {
         lambda_hat
     } else {
-        capacity / sigma * lambda_hat
+        let scaled = capacity / sigma * lambda_hat;
+        if scaled.is_nan() {
+            0.0
+        } else {
+            scaled
+        }
     }
 }
 
@@ -411,6 +520,134 @@ mod tests {
             "halved"
         );
         assert_eq!(capped_throughput(0.0, 0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn capped_throughput_degenerate_capacity() {
+        // A shard with no capacity serves nothing, whatever σ/Λ̂ claim.
+        assert_eq!(capped_throughput(0.0, 4.0, 0.0), 0.0);
+        assert_eq!(capped_throughput(5.0, 4.0, 0.0), 0.0);
+        assert_eq!(capped_throughput(5.0, 4.0, -1.0), 0.0);
+        assert_eq!(capped_throughput(-2.0, 4.0, -1.0), 0.0);
+        assert_eq!(capped_throughput(5.0, 4.0, f64::NAN), 0.0);
+        // In particular no λ/0 infinity: σ = 0 under a negative capacity.
+        assert_eq!(capped_throughput(0.0, 3.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn capped_throughput_zero_lambda_hat_with_positive_sigma() {
+        // All-cut pathological state: Λ̂ = 0 but σ > 0; both regimes must
+        // report exactly zero, never a signed artifact.
+        assert_eq!(capped_throughput(3.0, 0.0, 10.0), 0.0);
+        assert_eq!(capped_throughput(30.0, 0.0, 10.0), 0.0);
+        assert_eq!(capped_throughput(f64::INFINITY, 0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn capped_throughput_never_propagates_nan_sigma() {
+        // Degenerate η upstream turns σ into NaN; the throughput must
+        // degrade to zero instead of poisoning every gain comparison.
+        assert_eq!(capped_throughput(f64::NAN, 4.0, 10.0), 0.0);
+        assert_eq!(capped_throughput(f64::NAN, 0.0, 10.0), 0.0);
+    }
+
+    /// The cache invariant: after arbitrary joins/leaves, every cached
+    /// scalar equals — bit-for-bit — recomputation from `intra`/`cut`.
+    #[test]
+    fn cached_scalars_match_recomputation_bitwise() {
+        let (g, labels) = fixture();
+        let (eta, cap) = (2.0, 2.5); // tight capacity: both regimes occur
+        let mut s = CommunityState::from_labels(&g, &labels, 2, eta, cap);
+        // A churny sequence of moves (including ones that saturate).
+        let moves = [(0u32, 1u32, 2u32), (1, 0, 1), (0, 1, 3), (1, 0, 2)];
+        for &(p, q, v) in &moves {
+            let (self_w, d_v) = (g.self_loop(v), g.incident_weight(v));
+            let mut scratch = MoveScratch::default();
+            s.gather_links(&g, &labels, v, &mut scratch);
+            s.apply_leave(p, self_w, d_v, scratch.weight_to(p));
+            s.apply_join(q, self_w, d_v, scratch.weight_to(q));
+            for c in 0..2u32 {
+                let sigma = s.intra(c) + eta * s.cut(c);
+                let hat = s.intra(c) + s.cut(c) / 2.0;
+                assert_eq!(s.sigma(c).to_bits(), sigma.to_bits(), "σ cache");
+                assert_eq!(s.lambda_hat(c).to_bits(), hat.to_bits(), "Λ̂ cache");
+                assert_eq!(
+                    s.throughput(c).to_bits(),
+                    capped_throughput(sigma, hat, cap).to_bits(),
+                    "Λ cache"
+                );
+                assert_eq!(
+                    s.is_saturated(c),
+                    !(cap > 0.0 && sigma <= cap),
+                    "regime cache"
+                );
+            }
+        }
+    }
+
+    /// The gain fast path must be bit-identical to evaluating the raw
+    /// Eq. 6/8 formulas through [`capped_throughput`].
+    #[test]
+    fn gain_fast_path_matches_formula_bitwise() {
+        let (g, labels) = fixture();
+        for cap in [100.0, 2.5, 1.0, 0.1] {
+            let eta = 2.0;
+            let s = CommunityState::from_labels(&g, &labels, 2, eta, cap);
+            let mut scratch = MoveScratch::default();
+            for v in 0..4u32 {
+                let (self_w, d_v) = (g.self_loop(v), g.incident_weight(v));
+                s.gather_links(&g, &labels, v, &mut scratch);
+                for c in 0..2u32 {
+                    let w_vc = scratch.weight_to(c);
+                    let sigma_c = s.intra(c) + eta * s.cut(c);
+                    let hat_c = s.intra(c) + s.cut(c) / 2.0;
+                    let thr_c = capped_throughput(sigma_c, hat_c, cap);
+
+                    let sj = sigma_c + self_w + eta * (d_v - self_w - w_vc) + (1.0 - eta) * w_vc;
+                    let hj = hat_c + self_w + (d_v - self_w) / 2.0;
+                    let join_ref = capped_throughput(sj, hj, cap) - thr_c;
+                    assert_eq!(
+                        s.join_gain(c, self_w, d_v, w_vc).to_bits(),
+                        join_ref.to_bits(),
+                        "join_gain(v={v}, c={c}, cap={cap})"
+                    );
+
+                    let sl = sigma_c - self_w - eta * (d_v - self_w - w_vc) + (eta - 1.0) * w_vc;
+                    let hl = hat_c - self_w - (d_v - self_w) / 2.0;
+                    let leave_ref = capped_throughput(sl, hl, cap) - thr_c;
+                    assert_eq!(
+                        s.leave_gain(c, self_w, d_v, w_vc).to_bits(),
+                        leave_ref.to_bits(),
+                        "leave_gain(v={v}, c={c}, cap={cap})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Repeated small decay folds can shrink the aggregates toward zero
+    /// but never push a non-negative value below it, and every cached
+    /// scalar stays in lock-step through the stream.
+    #[test]
+    fn repeated_decay_folds_stay_nonnegative() {
+        let (g, labels) = fixture();
+        let cap = 2.0;
+        let mut s = CommunityState::from_labels(&g, &labels, 2, 2.0, cap);
+        for i in 0..200 {
+            s.scale_aggregates(0.97);
+            for c in 0..2u32 {
+                assert!(s.intra(c) >= 0.0, "fold {i}: intra({c}) negative");
+                assert!(s.cut(c) >= 0.0, "fold {i}: cut({c}) negative");
+                assert!(s.throughput(c) >= 0.0, "fold {i}: Λ({c}) negative");
+                let sigma = s.intra(c) + 2.0 * s.cut(c);
+                let hat = s.intra(c) + s.cut(c) / 2.0;
+                assert_eq!(
+                    s.throughput(c).to_bits(),
+                    capped_throughput(sigma, hat, cap).to_bits(),
+                    "fold {i}: throughput cache stale"
+                );
+            }
+        }
     }
 
     #[test]

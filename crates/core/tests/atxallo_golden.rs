@@ -10,8 +10,12 @@
 //!    pure performance knob.
 //! 2. **Reference equivalence** — a from-scratch re-implementation of the
 //!    epoch sweep with ordered-map (`BTreeMap`) gathering, no candidate
-//!    caching and no stamp-based skipping must match the production kernel
-//!    byte-for-byte: the caching is an optimization, not a semantic change.
+//!    caching, no stamp-based skipping, and every gain evaluated through
+//!    the *raw Eq. 3/6/8 formulas* (recomputing `σ`/`Λ̂`/`Λ` from
+//!    `intra`/`cut` per evaluation instead of reading the cached-scalar
+//!    fast path) must match the production kernel byte-for-byte: the
+//!    caching — including the gain-path σ/Λ̂/saturation-regime caches — is
+//!    an optimization, not a semantic change.
 //! 3. **Threshold boundary** — dispatch at exactly `|V̂|/|V| = threshold`
 //!    takes the incremental route, just above it the full route, and both
 //!    sides of the boundary agree on the allocation.
@@ -19,7 +23,7 @@
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
-use txallo_core::state::UNASSIGNED;
+use txallo_core::state::{capped_throughput, UNASSIGNED};
 use txallo_core::{
     Allocation, AtxAllo, AtxAlloSession, CommunityState, GTxAllo, TxAlloParams, UpdatePath,
     GAIN_EPS,
@@ -72,6 +76,34 @@ fn gather_reference(snap: &DeltaCsr, local: usize, labels: &[u32], link: &mut BT
     }
 }
 
+/// Raw-formula `σ_c`, `Λ̂_c`, `Λ_c` recomputed from `intra`/`cut` per call
+/// — the pre-cache expressions the production fast path must match
+/// bit-for-bit (see `golden.rs` for the G-TxAllo twin of these helpers).
+fn raw_scalars(state: &CommunityState, c: u32) -> (f64, f64, f64) {
+    let sigma = state.intra(c) + state.eta() * state.cut(c);
+    let hat = state.intra(c) + state.cut(c) / 2.0;
+    let thr = capped_throughput(sigma, hat, state.capacity());
+    (sigma, hat, thr)
+}
+
+/// Eq. 6 through the raw formulas (no cached scalar reads).
+fn raw_join_gain(state: &CommunityState, q: u32, self_w: f64, d_v: f64, w_vq: f64) -> f64 {
+    let eta = state.eta();
+    let (sigma, hat, thr) = raw_scalars(state, q);
+    let sigma_new = sigma + self_w + eta * (d_v - self_w - w_vq) + (1.0 - eta) * w_vq;
+    let hat_new = hat + self_w + (d_v - self_w) / 2.0;
+    capped_throughput(sigma_new, hat_new, state.capacity()) - thr
+}
+
+/// The leaving half of Eq. 8 through the raw formulas.
+fn raw_leave_gain(state: &CommunityState, p: u32, self_w: f64, d_v: f64, w_vp: f64) -> f64 {
+    let eta = state.eta();
+    let (sigma, hat, thr) = raw_scalars(state, p);
+    let sigma_new = sigma - self_w - eta * (d_v - self_w - w_vp) + (eta - 1.0) * w_vp;
+    let hat_new = hat - self_w - (d_v - self_w) / 2.0;
+    capped_throughput(sigma_new, hat_new, state.capacity()) - thr
+}
+
 /// The phase-1 candidate rule: ties within `GAIN_EPS` of the running
 /// maximum gain break toward the least-loaded community.
 fn consider_join(
@@ -83,8 +115,8 @@ fn consider_join(
     best: &mut Option<(u32, f64, f64)>,
     max_gain: &mut f64,
 ) {
-    let gain = state.join_gain(q, self_w, d_v, w_vq);
-    let sigma = state.sigma(q);
+    let gain = raw_join_gain(state, q, self_w, d_v, w_vq);
+    let sigma = raw_scalars(state, q).0;
     if gain > *max_gain {
         *max_gain = gain;
     }
@@ -157,13 +189,13 @@ fn reference_update(
             let self_w = snap.self_loop(i);
             let d_v = snap.incident_weight(i);
             let w_vp = link.get(&p).copied().unwrap_or(0.0);
-            let leave = state.leave_gain(p, self_w, d_v, w_vp);
+            let leave = raw_leave_gain(&state, p, self_w, d_v, w_vp);
             let mut best: Option<(u32, f64, f64)> = None;
             for (&q, &w_vq) in &link {
                 if q == p {
                     continue;
                 }
-                let gain = leave + state.join_gain(q, self_w, d_v, w_vq);
+                let gain = leave + raw_join_gain(&state, q, self_w, d_v, w_vq);
                 match best {
                     Some((_, bg, _)) if gain <= bg + GAIN_EPS => {}
                     _ => best = Some((q, gain, w_vq)),
@@ -338,6 +370,113 @@ fn threshold_boundary_is_inclusive_and_consistent() {
         at.allocation, below.allocation,
         "boundary must not change results"
     );
+}
+
+/// The decay fold held to a *long* stream: ≥100 folds (with small blocks
+/// sprinkled in so the labels keep evolving) against rebuild-from-scratch
+/// every epoch. Repeated small factors shrink the aggregates by ~e⁻¹⁰⁰
+/// here; the fold must neither drift below zero nor diverge from the
+/// rebuild path's allocations.
+#[test]
+fn long_decay_stream_matches_rebuild() {
+    let mut pairs = Vec::new();
+    for base in [0u64, 8, 16] {
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                pairs.push((base + i, base + j));
+            }
+        }
+    }
+    let mut g = build_graph(&pairs);
+    let params = TxAlloParams::for_graph(&g, 3);
+    let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
+    let mut folded = AtxAlloSession::new(&g, &prev, &params);
+    let mut rebuild_prev = prev;
+    for epoch in 0..120u64 {
+        g.apply_decay(0.9);
+        folded.apply_decay(0.9);
+        // A drifting trickle of activity (some epochs add brand-new
+        // accounts, all re-weight existing edges).
+        let a = epoch % 24;
+        let block = block_of(epoch, &[(a, (a + 7) % 24), (a, 300 + epoch / 10)]);
+        let touched = g.ingest_block(&block);
+        folded.apply_block(&g, &block);
+        let params = TxAlloParams::for_graph(&g, 3);
+        let from_folded = folded.update(&g, &touched, &params);
+        let mut rebuilt = AtxAlloSession::new(&g, &rebuild_prev, &params);
+        let from_rebuilt = rebuilt.update(&g, &touched, &params);
+        assert_eq!(
+            from_folded.allocation.labels(),
+            from_rebuilt.allocation.labels(),
+            "fold diverged from rebuild at epoch {epoch}"
+        );
+        // The rebuild recomputes non-negative aggregates from the graph;
+        // the fold must stay consistent with it (and hence non-negative up
+        // to the usual incremental drift) after a hundred-plus rescales.
+        let err = folded.consistency_error(&g);
+        assert!(err < 1e-9, "epoch {epoch}: aggregates drifted by {err}");
+        rebuild_prev = from_rebuilt.allocation;
+    }
+}
+
+/// Touched fraction exactly at `incremental_threshold` while `V̂` contains
+/// an isolated (degree-0, self-loop-only) brand-new account: the boundary
+/// stays inclusive, the isolated row places identically on both routes.
+#[test]
+fn threshold_boundary_with_isolated_new_account() {
+    let mut pairs = Vec::new();
+    for base in [0u64, 4, 8] {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                pairs.push((base + i, base + j));
+            }
+        }
+    }
+    let mut g = build_graph(&pairs); // 12 accounts
+    let params = TxAlloParams::for_graph(&g, 3);
+    let prev = GTxAllo::new(params.clone()).allocate_graph(&g);
+    // Warm the allocation over a padding epoch first so the boundary
+    // epoch's fraction is computed against a settled 16-account graph.
+    let pad = Block::new(
+        0,
+        vec![
+            Transaction::transfer(AccountId(100), AccountId(101)),
+            Transaction::transfer(AccountId(102), AccountId(103)),
+        ],
+    );
+    let prev = {
+        let t = g.ingest_block(&pad);
+        AtxAllo::new(params.clone())
+            .update(&g, &prev, &t)
+            .allocation
+    };
+    let epoch = Block::new(
+        1,
+        vec![
+            Transaction::transfer(AccountId(0), AccountId(1)),
+            Transaction::transfer(AccountId(4), AccountId(5)),
+            Transaction::transfer(AccountId(777), AccountId(777)), // isolated
+        ],
+    );
+    let touched = g.ingest_block(&epoch);
+    assert_eq!(touched.len(), 5);
+    use txallo_graph::WeightedGraph as _;
+    let n777 = g.node_of(AccountId(777)).unwrap();
+    assert_eq!(g.neighbor_count(n777), 0, "fixture: isolated newcomer");
+    // The same expression the dispatcher evaluates, so `threshold == frac`
+    // exercises the exact inclusive boundary whatever the rounding.
+    let frac = touched.len() as f64 / g.node_count() as f64;
+    assert_eq!(g.node_count(), 17);
+
+    let at =
+        AtxAllo::new(params.clone().with_incremental_threshold(frac)).update(&g, &prev, &touched);
+    assert_eq!(at.path, UpdatePath::Incremental, "boundary is inclusive");
+    let below = AtxAllo::new(params.clone().with_incremental_threshold(frac / 2.0))
+        .update(&g, &prev, &touched);
+    assert_eq!(below.path, UpdatePath::Full);
+    assert_eq!(at.allocation, below.allocation, "routes agree at boundary");
+    assert_eq!(at.new_nodes, 1, "the isolated account is placed");
+    assert!(at.allocation.shard_of(n777).index() < 3);
 }
 
 /// An epoch whose block only touches brand-new accounts: phase 1 places

@@ -4,16 +4,21 @@
 //!
 //! 1. **Reference equivalence** — a from-scratch re-implementation of the
 //!    G-TxAllo sweeps using ordered-map (`BTreeMap`) link gathering, no
-//!    candidate caching and no incremental node skipping must produce
-//!    **byte-identical** labels to the production path. This is the proof
-//!    that the dense scratch, the cached candidate lists and the
-//!    stamp-based skip logic are pure optimizations, not semantic changes.
+//!    candidate caching and no incremental node skipping, and with every
+//!    gain evaluated through the *raw Eq. 3/6/8 formulas* (recomputing
+//!    `σ_c`/`Λ̂_c`/`Λ_c` from `intra`/`cut` on each evaluation, never
+//!    touching the cached-scalar fast path) must produce **byte-identical**
+//!    labels to the production path. This is the proof that the dense
+//!    scratch, the cached candidate lists, the stamp-based skip logic *and
+//!    the σ/Λ̂/saturation-regime gain caches* are pure optimizations, not
+//!    semantic changes.
 //! 2. **Determinism locks** — label fingerprints on seeded workloads catch
 //!    accidental trajectory changes in future refactors (update the
 //!    constants deliberately when the algorithm itself is meant to change).
 
 use std::collections::BTreeMap;
 
+use txallo_core::state::capped_throughput;
 use txallo_core::{CommunityState, GTxAllo, GTxAlloPlan, TxAlloParams, GAIN_EPS};
 use txallo_graph::{CsrGraph, NodeId, TxGraph, WeightedGraph};
 use txallo_louvain::{louvain_csr, LouvainConfig, LouvainResult};
@@ -32,6 +37,36 @@ fn workload_graph(accounts: usize, transactions: usize, seed: u64) -> TxGraph {
     };
     let mut generator = EthereumLikeGenerator::new(cfg, seed);
     TxGraph::from_ledger(&generator.default_ledger())
+}
+
+/// Raw-formula `σ_c`, `Λ̂_c`, `Λ_c`: recomputed from `intra`/`cut` on
+/// every call — the expressions the pre-cache `CommunityState` inlined.
+/// The production fast path must agree with these bit-for-bit (its cache
+/// invariant), which the byte-identical trajectory below proves end to
+/// end.
+fn raw_scalars(state: &CommunityState, c: u32) -> (f64, f64, f64) {
+    let sigma = state.intra(c) + state.eta() * state.cut(c);
+    let hat = state.intra(c) + state.cut(c) / 2.0;
+    let thr = capped_throughput(sigma, hat, state.capacity());
+    (sigma, hat, thr)
+}
+
+/// Eq. 6 through the raw formulas (no cached scalar reads).
+fn raw_join_gain(state: &CommunityState, q: u32, self_w: f64, d_v: f64, w_vq: f64) -> f64 {
+    let eta = state.eta();
+    let (sigma, hat, thr) = raw_scalars(state, q);
+    let sigma_new = sigma + self_w + eta * (d_v - self_w - w_vq) + (1.0 - eta) * w_vq;
+    let hat_new = hat + self_w + (d_v - self_w) / 2.0;
+    capped_throughput(sigma_new, hat_new, state.capacity()) - thr
+}
+
+/// The leaving half of Eq. 8 through the raw formulas.
+fn raw_leave_gain(state: &CommunityState, p: u32, self_w: f64, d_v: f64, w_vp: f64) -> f64 {
+    let eta = state.eta();
+    let (sigma, hat, thr) = raw_scalars(state, p);
+    let sigma_new = sigma - self_w - eta * (d_v - self_w - w_vp) + (eta - 1.0) * w_vp;
+    let hat_new = hat - self_w - (d_v - self_w) / 2.0;
+    capped_throughput(sigma_new, hat_new, state.capacity()) - thr
 }
 
 /// Ordered-map gather of `w(v→c)`, ascending community order by
@@ -92,8 +127,8 @@ fn reference_allocate(
         let mut max_gain = f64::NEG_INFINITY;
         let consider =
             |q: u32, w_vq: f64, best: &mut Option<(u32, f64, f64)>, max_gain: &mut f64| {
-                let gain = state.join_gain(q, self_w, d_v, w_vq);
-                let sigma = state.sigma(q);
+                let gain = raw_join_gain(&state, q, self_w, d_v, w_vq);
+                let sigma = raw_scalars(&state, q).0;
                 if gain > *max_gain {
                     *max_gain = gain;
                 }
@@ -135,13 +170,13 @@ fn reference_allocate(
             let self_w = graph.self_loop(v);
             let d_v = graph.incident_weight(v);
             let w_vp = link.get(&p).copied().unwrap_or(0.0);
-            let leave = state.leave_gain(p, self_w, d_v, w_vp);
+            let leave = raw_leave_gain(&state, p, self_w, d_v, w_vp);
             let mut best: Option<(u32, f64, f64)> = None;
             for (&q, &w_vq) in &link {
                 if q == p {
                     continue;
                 }
-                let gain = leave + state.join_gain(q, self_w, d_v, w_vq);
+                let gain = leave + raw_join_gain(&state, q, self_w, d_v, w_vq);
                 match best {
                     Some((_, bg, _)) if gain <= bg + GAIN_EPS => {}
                     _ => best = Some((q, gain, w_vq)),

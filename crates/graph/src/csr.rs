@@ -159,37 +159,131 @@ impl CsrGraph {
 
     /// Snapshots any [`WeightedGraph`] into CSR form (used to freeze the
     /// mutable `TxGraph` before the repeated sweeps of G-TxAllo and METIS).
-    pub fn from_graph(g: &impl WeightedGraph) -> Self {
-        Self::snapshot(g, |v| v)
+    pub fn from_graph(g: &(impl WeightedGraph + Sync)) -> Self {
+        Self::snapshot(g, None)
     }
 
     /// Like [`CsrGraph::from_graph`] but with node ids remapped through
     /// `new_id` (a bijection onto `0..node_count`). Used to renumber a
     /// graph into canonical sweep order so that the sweeps walk rows
     /// sequentially.
-    pub fn from_graph_relabeled(g: &impl WeightedGraph, new_id: &[NodeId]) -> Self {
+    pub fn from_graph_relabeled(g: &(impl WeightedGraph + Sync), new_id: &[NodeId]) -> Self {
         assert_eq!(new_id.len(), g.node_count(), "one new id per node");
-        Self::snapshot(g, |v| new_id[v as usize])
+        Self::snapshot(g, Some(new_id))
     }
 
-    /// Shared edge-extraction policy behind the snapshot constructors:
-    /// positive self-loops, each unordered edge once (`v < u` in the
-    /// *source* id space), endpoints mapped through `map`.
-    fn snapshot(g: &impl WeightedGraph, map: impl Fn(NodeId) -> NodeId) -> Self {
+    /// Radix-batched snapshot behind both constructors (`new_id = None`
+    /// keeps the source ids). Counting sort over the (mapped) row ids —
+    /// two passes, no intermediate edge list, no per-row comparison sort:
+    ///
+    /// 1. **Count** each row's degree (`neighbor_count`), prefix-sum into
+    ///    the offsets, and fold self-loops + the total weight on the way.
+    /// 2. **Fill**: visit *mapped* source ids in ascending order and append
+    ///    each node to the rows of all its neighbors. Because sources
+    ///    arrive ascending, every row is sorted by construction — the
+    ///    per-row `sort_unstable` + duplicate merge of the edge-list
+    ///    constructor disappears entirely.
+    ///
+    /// Relies on the [`WeightedGraph`] contract that `for_each_neighbor`
+    /// reports each neighbor exactly once (all implementors accumulate
+    /// parallel edges at ingestion). Large fills are chunked across
+    /// threads — each thread owns a contiguous row range, so the output is
+    /// bit-identical regardless of thread count (`row_split` below).
+    fn snapshot<G: WeightedGraph + Sync>(g: &G, new_id: Option<&[NodeId]>) -> Self {
+        Self::snapshot_impl(g, new_id, None)
+    }
+
+    /// [`CsrGraph::snapshot`] with the chunk count overridable (tests force
+    /// the parallel fill on small graphs to pin serial/parallel equality).
+    fn snapshot_impl<G: WeightedGraph + Sync>(
+        g: &G,
+        new_id: Option<&[NodeId]>,
+        forced_chunks: Option<usize>,
+    ) -> Self {
         let n = g.node_count();
-        let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        let map = |v: NodeId| new_id.map_or(v, |ids| ids[v as usize]);
+        // Pass 1 is O(n), no adjacency iteration at all: `neighbor_count`
+        // and `self_loop` are O(1) accessors on every implementor, and the
+        // total weight is the source graph's own accumulator (re-summing
+        // it over the edges — what the edge-list build did — costs a full
+        // extra adjacency walk for a value the graph already maintains).
+        let mut inv: Vec<NodeId> = vec![0; n];
+        let mut self_loops = vec![0.0f64; n];
+        let mut offsets = vec![0u32; n + 1];
         for v in 0..n as NodeId {
+            let nv = map(v) as usize;
+            debug_assert!(nv < n, "new_id must map onto 0..n");
+            inv[nv] = v;
+            offsets[nv + 1] = g.neighbor_count(v) as u32;
             let loop_w = g.self_loop(v);
             if loop_w > 0.0 {
-                edges.push((map(v), map(v), loop_w));
+                self_loops[nv] = loop_w;
             }
-            g.for_each_neighbor(v, |u, w| {
-                if v < u {
-                    edges.push((map(v), map(u), w));
+        }
+        let total = g.total_weight();
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+
+        let entries = offsets[n] as usize;
+        let mut targets = vec![0 as NodeId; entries];
+        let mut weights = vec![0.0f64; entries];
+        let splits = row_split(&offsets, entries, forced_chunks);
+        if splits.len() == 2 {
+            fill_rows(g, &inv, map, 0, n, &offsets, &mut targets, &mut weights);
+        } else {
+            // Chunked parallel fill: thread t owns rows lo..hi, which map
+            // to the contiguous entry range offsets[lo]..offsets[hi] — the
+            // arrays split into disjoint &mut slices, every slot has
+            // exactly one writer, and each thread appends in the same
+            // ascending source order the serial fill uses.
+            std::thread::scope(|scope| {
+                let mut rest_t = &mut targets[..];
+                let mut rest_w = &mut weights[..];
+                let mut consumed = 0usize;
+                for pair in splits.windows(2) {
+                    let (lo, hi) = (pair[0], pair[1]);
+                    let len = offsets[hi] as usize - offsets[lo] as usize;
+                    let (chunk_t, tail_t) = rest_t.split_at_mut(len);
+                    let (chunk_w, tail_w) = rest_w.split_at_mut(len);
+                    rest_t = tail_t;
+                    rest_w = tail_w;
+                    debug_assert_eq!(consumed, offsets[lo] as usize);
+                    consumed += len;
+                    let (offsets, inv) = (&offsets, &inv);
+                    scope.spawn(move || {
+                        fill_rows(g, inv, map, lo, hi, offsets, chunk_t, chunk_w);
+                    });
                 }
             });
         }
-        Self::from_edges(n, edges)
+
+        let mut incident = vec![0.0f64; n];
+        for v in 0..n {
+            let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
+            // Same fold shape as the edge-list path: the row summed on its
+            // own from 0, then added to the self-loop.
+            incident[v] = self_loops[v] + weights[s..e].iter().sum::<f64>();
+            // Release-mode guard for the `for_each_neighbor` uniqueness
+            // contract (see `WeightedGraph`): a source graph reporting a
+            // neighbor twice would leave this row non-ascending and every
+            // binary search over it silently wrong. One predictable
+            // compare per entry, amortized into the incident fold pass.
+            assert!(
+                targets[s..e].windows(2).all(|w| w[0] < w[1]),
+                "row {v} is not strictly ascending: the source graph's \
+                 for_each_neighbor reported a duplicate neighbor"
+            );
+        }
+
+        Self {
+            offsets,
+            targets,
+            weights,
+            self_loops,
+            incident,
+            total_weight: total,
+        }
     }
 
     /// Number of distinct unordered non-loop edges.
@@ -238,6 +332,71 @@ impl CsrGraph {
             self.offsets[v as usize + 1] as usize,
         )
     }
+}
+
+/// The counting-sort fill of [`CsrGraph::snapshot`] over the row range
+/// `lo..hi` (mapped ids): visits *mapped* source ids ascending and appends
+/// each to its neighbors' rows, so rows come out sorted by construction.
+/// `targets`/`weights` cover exactly the entry range
+/// `offsets[lo]..offsets[hi]` (chunk-relative indexing).
+#[allow(clippy::too_many_arguments)]
+fn fill_rows<G: WeightedGraph>(
+    g: &G,
+    inv: &[NodeId],
+    map: impl Fn(NodeId) -> NodeId,
+    lo: usize,
+    hi: usize,
+    offsets: &[u32],
+    targets: &mut [NodeId],
+    weights: &mut [f64],
+) {
+    let base = offsets[lo] as usize;
+    let mut cursor: Vec<u32> = offsets[lo..hi].to_vec();
+    for i in 0..inv.len() as NodeId {
+        let v = inv[i as usize];
+        g.for_each_neighbor(v, |u, w| {
+            let row = map(u) as usize;
+            if (lo..hi).contains(&row) {
+                let pos = cursor[row - lo] as usize - base;
+                targets[pos] = i;
+                weights[pos] = w;
+                cursor[row - lo] += 1;
+            }
+        });
+    }
+}
+
+/// Row-range boundaries for the chunked fill: `[0, b₁, …, n]` with roughly
+/// equal entry counts per chunk. Returns the single range `[0, n]` (serial
+/// fill) for small graphs, where each extra thread re-reads the whole
+/// adjacency for a fraction of the writes and spawn overhead dominates.
+fn row_split(offsets: &[u32], entries: usize, forced_chunks: Option<usize>) -> Vec<usize> {
+    /// Entry count below which the fill stays serial.
+    const PAR_THRESHOLD: usize = 1 << 19;
+    /// Each chunk re-scans the full adjacency, so the read traffic grows
+    /// linearly with the chunk count — past a few threads the re-reads eat
+    /// the parallel-write win.
+    const MAX_CHUNKS: usize = 4;
+    let n = offsets.len() - 1;
+    let chunks = forced_chunks.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(MAX_CHUNKS)
+    });
+    if (entries < PAR_THRESHOLD && forced_chunks.is_none()) || chunks < 2 || n < chunks {
+        return vec![0, n];
+    }
+    let per = entries.div_ceil(chunks);
+    let mut bounds = vec![0usize];
+    let mut next = per;
+    for v in 0..n {
+        if offsets[v + 1] as usize >= next && v + 1 < n {
+            bounds.push(v + 1);
+            next = offsets[v + 1] as usize + per;
+        }
+    }
+    bounds.push(n);
+    bounds
 }
 
 impl WeightedGraph for CsrGraph {
@@ -314,6 +473,130 @@ mod tests {
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.total_weight(), 0.0);
+    }
+
+    /// A messy deterministic pseudo-random graph for the snapshot tests:
+    /// hubs, chords, self-loops, non-dyadic weights.
+    fn scrambled_graph(n: usize) -> CsrGraph {
+        let mut edges = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for a in 0..n as NodeId {
+            for hop in [1usize, 7, 13] {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let b = ((a as usize + hop * (1 + (x >> 60) as usize)) % n) as NodeId;
+                if a != b {
+                    edges.push((a, b, 1.0 + (x >> 40) as f64 / 3.0));
+                }
+            }
+            if a % 9 == 0 {
+                edges.push((a, a, 0.5 + a as f64 / 7.0));
+            }
+        }
+        CsrGraph::from_edges(n, edges)
+    }
+
+    /// The radix snapshot must reproduce the edge-list constructor's arrays
+    /// bit-for-bit (rows sorted by construction vs per-row sort + merge).
+    #[test]
+    fn radix_snapshot_matches_edge_list_build() {
+        let g = scrambled_graph(120);
+        // The old snapshot policy, spelled out: positive loops + each
+        // unordered edge once, then the duplicate-merging edge-list build.
+        let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        for v in 0..g.node_count() as NodeId {
+            let loop_w = g.self_loop(v);
+            if loop_w > 0.0 {
+                edges.push((v, v, loop_w));
+            }
+            g.for_each_neighbor(v, |u, w| {
+                if v < u {
+                    edges.push((v, u, w));
+                }
+            });
+        }
+        let reference = CsrGraph::from_edges(g.node_count(), edges);
+        let radix = CsrGraph::from_graph(&g);
+        assert_eq!(radix.offsets, reference.offsets);
+        assert_eq!(radix.targets, reference.targets);
+        assert_eq!(radix.weights, reference.weights, "bit-for-bit weights");
+        assert_eq!(radix.self_loops, reference.self_loops);
+        assert_eq!(radix.incident, reference.incident, "bit-for-bit incident");
+        // The total is taken from the source graph's own accumulator
+        // instead of re-summed over the extracted edges, so it agrees up
+        // to summation-order rounding (and exactly with the source).
+        let tol = 1e-12 * reference.total_weight.abs();
+        assert!((radix.total_weight - reference.total_weight).abs() < tol);
+        assert_eq!(radix.total_weight.to_bits(), g.total_weight().to_bits());
+    }
+
+    #[test]
+    fn relabeled_snapshot_permutes_rows() {
+        let g = scrambled_graph(60);
+        let n = g.node_count();
+        // Reverse permutation: new_id[v] = n - 1 - v.
+        let new_id: Vec<NodeId> = (0..n as NodeId).map(|v| (n - 1) as NodeId - v).collect();
+        let relabeled = CsrGraph::from_graph_relabeled(&g, &new_id);
+        assert_eq!(relabeled.node_count(), n);
+        assert_eq!(relabeled.edge_count(), g.edge_count());
+        for v in 0..n as NodeId {
+            let nv = new_id[v as usize];
+            assert_eq!(relabeled.self_loop(nv).to_bits(), g.self_loop(v).to_bits());
+            assert_eq!(
+                relabeled.neighbor_count(nv),
+                g.neighbor_count(v),
+                "row {v} size"
+            );
+            g.for_each_neighbor(v, |u, w| {
+                assert_eq!(
+                    relabeled.weight_between(nv, new_id[u as usize]).to_bits(),
+                    w.to_bits()
+                );
+            });
+            let ids = relabeled.neighbor_ids(nv);
+            assert!(ids.windows(2).all(|p| p[0] < p[1]), "row {nv} sorted");
+        }
+    }
+
+    /// The chunked (parallel) fill must produce exactly the serial arrays —
+    /// forced onto a small graph so the test exercises real thread chunks.
+    #[test]
+    fn chunked_fill_matches_serial_fill() {
+        let g = scrambled_graph(150);
+        let n = g.node_count();
+        let reversed: Vec<NodeId> = (0..n as NodeId).map(|v| (n - 1) as NodeId - v).collect();
+        for new_id in [None, Some(&reversed[..])] {
+            let serial = CsrGraph::snapshot_impl(&g, new_id, None);
+            for chunks in [2usize, 3, 5] {
+                let chunked = CsrGraph::snapshot_impl(&g, new_id, Some(chunks));
+                assert_eq!(chunked.offsets, serial.offsets, "{chunks} chunks");
+                assert_eq!(chunked.targets, serial.targets, "{chunks} chunks");
+                assert_eq!(chunked.weights, serial.weights, "{chunks} chunks");
+                assert_eq!(chunked.incident, serial.incident, "{chunks} chunks");
+            }
+        }
+    }
+
+    #[test]
+    fn row_split_covers_all_rows_with_balanced_chunks() {
+        // Fabricated offsets: 10 rows, skewed entry counts.
+        let offsets: Vec<u32> = vec![0, 50, 50, 60, 200, 210, 220, 400, 410, 420, 500];
+        let splits = row_split(&offsets, 500, Some(4));
+        assert_eq!(*splits.first().unwrap(), 0);
+        assert_eq!(*splits.last().unwrap(), 10);
+        assert!(
+            splits.windows(2).all(|p| p[0] < p[1]),
+            "strictly increasing"
+        );
+        // Serial fallbacks.
+        assert_eq!(
+            row_split(&offsets, 500, None),
+            vec![0, 10],
+            "below threshold"
+        );
+        assert_eq!(row_split(&offsets, 500, Some(1)), vec![0, 10]);
+        assert_eq!(row_split(&[0], 0, Some(4)), vec![0, 0], "empty graph");
     }
 
     #[test]

@@ -93,6 +93,24 @@ pub struct DeltaCsr {
     id_keys: Vec<NodeId>,
     /// Local row of `id_keys[i]`, parallel to `id_keys`.
     id_vals: Vec<u32>,
+    /// Refill-time sort scratch (canonical-key and per-row buffers), kept
+    /// so a warm snapshot's rebuild allocates nothing at all.
+    scratch: RefillScratch,
+}
+
+/// The transient buffers of a snapshot refill (never part of the
+/// snapshot's observable state — two snapshots compare equal through the
+/// public API regardless of scratch contents).
+#[derive(Debug, Clone, Default)]
+struct RefillScratch {
+    /// `(canonical key, node)` sort buffer of `fill_canonical_nodes`.
+    keyed: Vec<((u64, u64), NodeId)>,
+    /// `(node, local row)` sort buffer for the `local_of` lookup arrays.
+    pairs: Vec<(NodeId, u32)>,
+    /// Per-row neighbor staging of [`DeltaCsr::refill_touched`].
+    raw: Vec<(NodeId, f64)>,
+    /// Packed `target << 32 | slot` sort keys, parallel to `raw`.
+    keys: Vec<u64>,
 }
 
 /// The canonical sweep key of §V-B: nodes sort by account address hash,
@@ -103,21 +121,27 @@ fn canonical_key(graph: &TxGraph, v: NodeId) -> (u64, u64) {
     (a.address_hash(), a.0)
 }
 
-/// Touched nodes in canonical sweep order, plus the ascending-id lookup
-/// arrays for [`DeltaCsr::local_of`] — shared by both snapshot routes so
-/// their orderings agree exactly.
-fn canonical_nodes(graph: &TxGraph, touched: &[NodeId]) -> (Vec<NodeId>, Vec<NodeId>, Vec<u32>) {
-    let mut node: Vec<NodeId> = touched.to_vec();
-    node.sort_unstable_by_key(|&v| canonical_key(graph, v));
-    let mut pairs: Vec<(NodeId, u32)> = node
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i as u32))
-        .collect();
+/// Fills the snapshot's node-order arrays: touched nodes in canonical
+/// sweep order (`node`), plus the ascending-id lookup arrays for
+/// [`DeltaCsr::local_of`] — shared by both snapshot routes so their
+/// orderings agree exactly. The canonical keys are materialized once into
+/// the sort buffer instead of re-deriving `(hash, id)` through the
+/// interner on every comparison.
+fn fill_canonical_nodes(snap: &mut DeltaCsr, graph: &TxGraph, touched: &[NodeId]) {
+    let keyed = &mut snap.scratch.keyed;
+    keyed.clear();
+    keyed.extend(touched.iter().map(|&v| (canonical_key(graph, v), v)));
+    keyed.sort_unstable();
+    snap.node.clear();
+    snap.node.extend(keyed.iter().map(|&(_, v)| v));
+    let pairs = &mut snap.scratch.pairs;
+    pairs.clear();
+    pairs.extend(snap.node.iter().enumerate().map(|(i, &v)| (v, i as u32)));
     pairs.sort_unstable_by_key(|&(v, _)| v);
-    let id_keys = pairs.iter().map(|&(v, _)| v).collect();
-    let id_vals = pairs.iter().map(|&(_, i)| i).collect();
-    (node, id_keys, id_vals)
+    snap.id_keys.clear();
+    snap.id_keys.extend(pairs.iter().map(|&(v, _)| v));
+    snap.id_vals.clear();
+    snap.id_vals.extend(pairs.iter().map(|&(_, i)| i));
 }
 
 impl DeltaCsr {
@@ -127,22 +151,37 @@ impl DeltaCsr {
     /// `touched` may arrive in any order and must not contain duplicates
     /// (the contract of [`TxGraph::ingest_block`]).
     pub fn snapshot_touched(graph: &TxGraph, touched: &[NodeId]) -> Self {
-        let (node, id_keys, id_vals) = canonical_nodes(graph, touched);
+        let mut snap = Self::default();
+        snap.refill_touched(graph, touched);
+        snap
+    }
 
-        let t = node.len();
-        let entry_count: usize = node.iter().map(|&v| graph.neighbor_count(v)).sum();
-        let mut offsets = Vec::with_capacity(t + 1);
-        offsets.push(0u32);
-        let mut targets = Vec::with_capacity(entry_count);
-        let mut weights = Vec::with_capacity(entry_count);
-        let mut self_loops = Vec::with_capacity(t);
-        let mut incident = Vec::with_capacity(t);
+    /// [`DeltaCsr::snapshot_touched`] into `self`, reusing every buffer's
+    /// capacity — the serving path builds one snapshot per epoch, and
+    /// carrying the buffers across epochs (see `AtxAlloSession`) drops the
+    /// per-epoch allocations to zero once capacities have warmed up.
+    pub fn refill_touched(&mut self, graph: &TxGraph, touched: &[NodeId]) {
+        fill_canonical_nodes(self, graph, touched);
+        let t = self.node.len();
+        let entry_count: usize = self.node.iter().map(|&v| graph.neighbor_count(v)).sum();
+        self.offsets.clear();
+        self.offsets.reserve(t + 1);
+        self.offsets.push(0u32);
+        self.targets.clear();
+        self.targets.reserve(entry_count);
+        self.weights.clear();
+        self.weights.reserve(entry_count);
+        self.self_loops.clear();
+        self.self_loops.reserve(t);
+        self.incident.clear();
+        self.incident.reserve(t);
         // Row sort scratch: neighbors packed as `target << 32 | slot`, so
         // the sort moves single machine words; `raw[slot]` recovers the
         // weight afterwards.
-        let mut raw: Vec<(NodeId, f64)> = Vec::new();
-        let mut keys: Vec<u64> = Vec::new();
-        for &v in &node {
+        let raw = &mut self.scratch.raw;
+        let keys = &mut self.scratch.keys;
+        for i in 0..t {
+            let v = self.node[i];
             raw.clear();
             keys.clear();
             graph.for_each_neighbor(v, |u, w| {
@@ -158,26 +197,15 @@ impl DeltaCsr {
             // instead rounds differently and would break the bit-identical
             // `snapshot_full` equivalence.
             let mut row_sum = 0.0;
-            for &key in &keys {
+            for &key in keys.iter() {
                 let (u, w) = raw[(key & u32::MAX as u64) as usize];
-                targets.push(u);
-                weights.push(w);
+                self.targets.push(u);
+                self.weights.push(w);
                 row_sum += w;
             }
-            offsets.push(targets.len() as u32);
-            self_loops.push(self_w);
-            incident.push(self_w + row_sum);
-        }
-
-        Self {
-            node,
-            offsets,
-            targets,
-            weights,
-            self_loops,
-            incident,
-            id_keys,
-            id_vals,
+            self.offsets.push(self.targets.len() as u32);
+            self.self_loops.push(self_w);
+            self.incident.push(self_w + row_sum);
         }
     }
 
@@ -193,34 +221,37 @@ impl DeltaCsr {
     /// [`CsrGraph`]'s ascending-id internal order with the same weights,
     /// and the incident weights are the same left-to-right row sums.
     pub fn snapshot_full(graph: &TxGraph, touched: &[NodeId]) -> Self {
+        let mut snap = Self::default();
+        snap.refill_full(graph, touched);
+        snap
+    }
+
+    /// [`DeltaCsr::snapshot_full`] into `self`, reusing the row buffers
+    /// (the intermediate [`CsrGraph`] freeze is still paid — it is the
+    /// point of this route).
+    pub fn refill_full(&mut self, graph: &TxGraph, touched: &[NodeId]) {
         let csr = CsrGraph::from_graph(graph);
-        let (node, id_keys, id_vals) = canonical_nodes(graph, touched);
-
-        let t = node.len();
-        let entry_count: usize = node.iter().map(|&v| csr.neighbor_count(v)).sum();
-        let mut offsets = Vec::with_capacity(t + 1);
-        offsets.push(0u32);
-        let mut targets = Vec::with_capacity(entry_count);
-        let mut weights = Vec::with_capacity(entry_count);
-        let mut self_loops = Vec::with_capacity(t);
-        let mut incident = Vec::with_capacity(t);
-        for &v in &node {
-            targets.extend_from_slice(csr.neighbor_ids(v));
-            weights.extend_from_slice(csr.neighbor_weights(v));
-            offsets.push(targets.len() as u32);
-            self_loops.push(csr.self_loop(v));
-            incident.push(csr.incident_weight(v));
-        }
-
-        Self {
-            node,
-            offsets,
-            targets,
-            weights,
-            self_loops,
-            incident,
-            id_keys,
-            id_vals,
+        fill_canonical_nodes(self, graph, touched);
+        let t = self.node.len();
+        let entry_count: usize = self.node.iter().map(|&v| csr.neighbor_count(v)).sum();
+        self.offsets.clear();
+        self.offsets.reserve(t + 1);
+        self.offsets.push(0u32);
+        self.targets.clear();
+        self.targets.reserve(entry_count);
+        self.weights.clear();
+        self.weights.reserve(entry_count);
+        self.self_loops.clear();
+        self.self_loops.reserve(t);
+        self.incident.clear();
+        self.incident.reserve(t);
+        for i in 0..t {
+            let v = self.node[i];
+            self.targets.extend_from_slice(csr.neighbor_ids(v));
+            self.weights.extend_from_slice(csr.neighbor_weights(v));
+            self.offsets.push(self.targets.len() as u32);
+            self.self_loops.push(csr.self_loop(v));
+            self.incident.push(csr.incident_weight(v));
         }
     }
 
@@ -382,6 +413,70 @@ mod tests {
             let v = snap.global_id(i);
             assert_eq!(snap.self_loop(i), g.self_loop(v));
             assert!((snap.incident_weight(i) - g.incident_weight(v)).abs() < 1e-12);
+        }
+    }
+
+    /// `V̂` containing isolated accounts — degree-0 nodes whose only weight
+    /// is a self-loop (a transfer-to-self is how such accounts enter the
+    /// graph) — must produce empty rows with the self-loop carried in the
+    /// scalars, identically on both routes.
+    #[test]
+    fn isolated_new_accounts_have_empty_rows_on_both_routes() {
+        let mut g = graph();
+        // Two isolated newcomers: pure self-loop, no neighbors.
+        g.ingest_transaction(&Transaction::transfer(AccountId(50), AccountId(50)));
+        g.ingest_transaction(&Transaction::transfer(AccountId(51), AccountId(51)));
+        let i50 = g.node_of(AccountId(50)).unwrap();
+        let i51 = g.node_of(AccountId(51)).unwrap();
+        assert_eq!(g.neighbor_count(i50), 0, "fixture: degree 0");
+        let touched: Vec<NodeId> = vec![i50, g.node_of(AccountId(2)).unwrap(), i51];
+        let a = DeltaCsr::snapshot_touched(&g, &touched);
+        let b = DeltaCsr::snapshot_full(&g, &touched);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.targets, b.targets);
+        assert_eq!(a.incident, b.incident, "bit-for-bit incident");
+        for &iso in &[i50, i51] {
+            let local = a.local_of(iso).expect("isolated node is a row") as usize;
+            let (targets, weights) = a.row(local);
+            assert!(targets.is_empty() && weights.is_empty(), "empty row");
+            assert_eq!(a.self_loop(local), 1.0);
+            assert_eq!(a.incident_weight(local), 1.0, "incident = self-loop");
+        }
+        // An isolated-only touched set degenerates gracefully too.
+        let only_iso = DeltaCsr::snapshot_touched(&g, &[i50, i51]);
+        assert_eq!(only_iso.len(), 2);
+        assert!(only_iso.targets.is_empty());
+    }
+
+    /// Refilling a warm snapshot must be indistinguishable from building a
+    /// fresh one — for both routes, across differently-shaped epochs
+    /// (shrinking and growing touched sets).
+    #[test]
+    fn refill_reuses_buffers_without_changing_results() {
+        let g = graph();
+        let everyone: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
+        let small: Vec<NodeId> = vec![
+            g.node_of(AccountId(2)).unwrap(),
+            g.node_of(AccountId(7)).unwrap(),
+        ];
+        let mut warm = DeltaCsr::default();
+        for touched in [&everyone, &small, &everyone] {
+            warm.refill_touched(&g, touched);
+            let fresh = DeltaCsr::snapshot_touched(&g, touched);
+            assert_eq!(warm.node, fresh.node);
+            assert_eq!(warm.offsets, fresh.offsets);
+            assert_eq!(warm.targets, fresh.targets);
+            assert_eq!(warm.weights, fresh.weights);
+            assert_eq!(warm.self_loops, fresh.self_loops);
+            assert_eq!(warm.incident, fresh.incident);
+            assert_eq!(warm.id_keys, fresh.id_keys);
+            assert_eq!(warm.id_vals, fresh.id_vals);
+
+            warm.refill_full(&g, touched);
+            let full = DeltaCsr::snapshot_full(&g, touched);
+            assert_eq!(warm.targets, full.targets);
+            assert_eq!(warm.weights, full.weights);
+            assert_eq!(warm.incident, full.incident);
         }
     }
 

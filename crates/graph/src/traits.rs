@@ -38,6 +38,13 @@ pub trait WeightedGraph {
     ///
     /// Iteration order is unspecified; deterministic algorithms must not
     /// depend on it (they accumulate into per-community buckets instead).
+    ///
+    /// Contract: each distinct neighbor is reported **exactly once**, with
+    /// its total accumulated weight (parallel edges are merged at
+    /// ingestion), and the number of callbacks equals
+    /// [`WeightedGraph::neighbor_count`]. The counting-sort CSR snapshot
+    /// ([`crate::CsrGraph::from_graph`]) sizes and fills its rows from
+    /// this agreement and verifies it at build time.
     fn for_each_neighbor(&self, v: NodeId, f: impl FnMut(NodeId, f64));
 
     /// Number of neighbors of `v` (excluding the self-loop).

@@ -86,7 +86,7 @@ pub struct LouvainResult {
 /// aggregation level then runs on packed rows. Callers that already hold a
 /// [`CsrGraph`](txallo_graph::CsrGraph) should use [`louvain_csr`] to skip
 /// the copy.
-pub fn louvain(graph: &impl WeightedGraph, config: &LouvainConfig) -> LouvainResult {
+pub fn louvain(graph: &(impl WeightedGraph + Sync), config: &LouvainConfig) -> LouvainResult {
     let csr = AdjacencyGraph::from_graph(graph);
     louvain_csr(&csr, config)
 }
@@ -176,7 +176,7 @@ pub fn compact_labels(labels: &[u32]) -> CompactLabels {
 }
 
 /// Convenience: run Louvain with default configuration.
-pub fn louvain_default(graph: &impl WeightedGraph) -> LouvainResult {
+pub fn louvain_default(graph: &(impl WeightedGraph + Sync)) -> LouvainResult {
     louvain(graph, &LouvainConfig::default())
 }
 

@@ -40,8 +40,14 @@ pub fn local_moving_pass(graph: &impl WeightedGraph, config: &LouvainConfig) -> 
         };
     }
 
+    // Per-node strengths, gathered once — `k_v` is read on every candidate
+    // evaluation of every sweep, so it lives in a flat array instead of
+    // going through the graph accessor each time (same values bit-for-bit;
+    // the initial Σ_tot per community is the same array copied, since every
+    // node starts in its own singleton community).
+    let strength: Vec<f64> = (0..n as NodeId).map(|v| graph.strength(v)).collect();
     // Σ_tot per community (strengths, self-loops twice).
-    let mut sigma_tot: Vec<f64> = (0..n as NodeId).map(|v| graph.strength(v)).collect();
+    let mut sigma_tot: Vec<f64> = strength.clone();
     let mut moved_any = false;
     let mut sweeps = 0usize;
 
@@ -97,7 +103,7 @@ pub fn local_moving_pass(graph: &impl WeightedGraph, config: &LouvainConfig) -> 
             }
             last_eval[vi] = move_stamp;
 
-            let k_v = graph.strength(v);
+            let k_v = strength[vi];
             let cand = &cand_cache[vi];
             // Evaluate with v removed from its community.
             let sig_cur = sigma_tot[current as usize] - k_v;

@@ -222,7 +222,7 @@ fn recurse(
 
 /// K-way partitioning by recursive bisection (pmetis-style).
 pub fn recursive_bisection_partition(
-    graph: &impl WeightedGraph,
+    graph: &(impl WeightedGraph + Sync),
     config: &MetisConfig,
 ) -> crate::MetisResult {
     assert!(config.parts > 0, "parts must be positive");

@@ -86,7 +86,7 @@ pub struct MetisResult {
 }
 
 /// Partitions `graph` into `config.parts` parts.
-pub fn metis_partition(graph: &impl WeightedGraph, config: &MetisConfig) -> MetisResult {
+pub fn metis_partition(graph: &(impl WeightedGraph + Sync), config: &MetisConfig) -> MetisResult {
     assert!(config.parts > 0, "parts must be positive");
     let n = graph.node_count();
     if n == 0 {

@@ -393,6 +393,69 @@ mod tests {
         }
     }
 
+    /// An account that appears mid-epoch and is placed by `end_epoch` must
+    /// be counted exactly once — as a placement (`new_accounts`), never as
+    /// a migration (`migrated_accounts`); when it later *does* change
+    /// shard, that is one migration, not a second placement.
+    #[test]
+    fn mid_epoch_new_account_is_placement_not_migration() {
+        use txallo_model::{AccountId, Block, Transaction};
+        let clique = |base: u64| -> Vec<Transaction> {
+            let mut txs = Vec::new();
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    txs.push(Transaction::transfer(
+                        AccountId(base + i),
+                        AccountId(base + j),
+                    ));
+                }
+            }
+            txs
+        };
+        let warm: Vec<Block> = vec![
+            Block::new(0, clique(0)),
+            Block::new(1, clique(10)),
+            Block::new(2, clique(0)),
+            Block::new(3, clique(10)),
+        ];
+        let mut sim = ShardedChainSim::new(config(2, 1, HybridSchedule::AlwaysAdaptive));
+        sim.warmup(&warm);
+
+        // Epoch 0: brand-new account 100 transacts with clique 0 only.
+        let r = sim.run_epoch(&[Block::new(
+            4,
+            vec![
+                Transaction::transfer(AccountId(100), AccountId(0)),
+                Transaction::transfer(AccountId(100), AccountId(1)),
+            ],
+        )]);
+        assert_eq!(r.new_accounts, 1, "one placement");
+        assert_eq!(
+            r.metrics.migrated_accounts, 0,
+            "a first placement must not be double-counted as a migration"
+        );
+        let shard_100 = {
+            let n = sim.graph().node_of(AccountId(100)).unwrap();
+            sim.allocation().shard_of(n)
+        };
+        let shard_0 = {
+            let n = sim.graph().node_of(AccountId(0)).unwrap();
+            sim.allocation().shard_of(n)
+        };
+        assert_eq!(shard_100, shard_0, "placed with its partners");
+
+        // Epoch 1: account 100 defects to clique 10's side, heavily.
+        let defect: Vec<Transaction> = (0..40)
+            .map(|i| Transaction::transfer(AccountId(100), AccountId(10 + (i % 4))))
+            .collect();
+        let r = sim.run_epoch(&[Block::new(5, defect)]);
+        assert_eq!(r.new_accounts, 0, "no new accounts this epoch");
+        assert_eq!(
+            r.metrics.migrated_accounts, 1,
+            "the defection is exactly one migration"
+        );
+    }
+
     #[test]
     fn migration_diffs_are_surfaced() {
         let mut gen = generator();

@@ -107,6 +107,11 @@ impl BenchmarkId {
 pub struct Criterion {
     sample_size: usize,
     filter: Option<String>,
+    /// `--test` smoke mode (mirrors upstream criterion): run every
+    /// selected benchmark exactly once to prove the bench code still
+    /// compiles *and executes*, without the timing loop. CI uses this so
+    /// bench code cannot rot between snapshot PRs.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -114,6 +119,7 @@ impl Default for Criterion {
         Self {
             sample_size: 20,
             filter: None,
+            test_mode: false,
         }
     }
 }
@@ -127,10 +133,13 @@ impl Criterion {
     }
 
     /// Applies command-line arguments. Recognizes a bare benchmark name
-    /// filter; ignores harness flags (`--bench`, `--exact`, …).
+    /// filter and the `--test` smoke flag; ignores the other harness
+    /// flags (`--bench`, `--exact`, …).
     pub fn configure_from_args(mut self) -> Self {
         for arg in std::env::args().skip(1) {
-            if !arg.starts_with('-') {
+            if arg == "--test" {
+                self.test_mode = true;
+            } else if !arg.starts_with('-') {
                 self.filter = Some(arg);
             }
         }
@@ -141,12 +150,24 @@ impl Criterion {
         self.filter.as_deref().is_none_or(|f| name.contains(f))
     }
 
+    fn effective_sample_size(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+
     /// Runs one benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         if self.selected(name) {
-            let mut b = Bencher::with_sample_size(self.sample_size);
+            let mut b = Bencher::with_sample_size(self.effective_sample_size());
             f(&mut b);
-            report(name, &mut b.samples);
+            if self.test_mode {
+                println!("Testing {name}: ok");
+            } else {
+                report(name, &mut b.samples);
+            }
         }
         self
     }
@@ -182,10 +203,18 @@ impl BenchmarkGroup<'_> {
     fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
         let full = format!("{}/{}", self.name, label);
         if self.criterion.selected(&full) {
-            let size = self.sample_size.unwrap_or(self.criterion.sample_size);
+            let size = if self.criterion.test_mode {
+                1
+            } else {
+                self.sample_size.unwrap_or(self.criterion.sample_size)
+            };
             let mut b = Bencher::with_sample_size(size);
             f(&mut b);
-            report(&full, &mut b.samples);
+            if self.criterion.test_mode {
+                println!("Testing {full}: ok");
+            } else {
+                report(&full, &mut b.samples);
+            }
         }
     }
 
@@ -255,6 +284,23 @@ mod tests {
         g.sample_size(2);
         g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| b.iter(|| x * x));
         g.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut c = Criterion {
+            sample_size: 50,
+            filter: None,
+            test_mode: true,
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke/once", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert_eq!(runs, 2, "warm-up plus exactly one timed iteration");
     }
 
     #[test]
