@@ -20,7 +20,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use txallo_bench::seed_ref::{
-    gain_sweep_fast, gain_sweep_seed, seed_atxallo_update, seed_csr_from_graph,
+    gain_sweep_fast, gain_sweep_seed, seed_atxallo_update, seed_csr_from_graph, seed_delta_rows,
+    SeedDeltaRows, SeedTxGraph,
 };
 use txallo_core::{
     AdaptiveStream, AtxAllo, AtxAlloSession, CommunityState, EpochKind, GTxAllo, GTxAlloPlan,
@@ -90,8 +91,17 @@ fn bench_components(_: &mut Criterion) {
     let k = 20;
     let params = TxAlloParams::for_graph(&graph, k);
 
-    c.bench_function("graph/from_ledger", |b| {
-        b.iter(|| TxGraph::from_ledger(&ledger));
+    // Ingestion: the sorted-run slab adjacency (rows CSR-shaped by
+    // construction, one interner lookup per account) vs the preserved
+    // hash-map adjacency (per-pair hash probes + per-pair interning).
+    // `ingest/ledger` is the measurement previously named
+    // `graph/from_ledger`, moved into the group that pairs it with its
+    // same-run seed baseline.
+    c.bench_function("ingest/ledger", |b| {
+        b.iter(|| black_box(TxGraph::from_ledger(&ledger)));
+    });
+    c.bench_function("ingest/ledger_seed", |b| {
+        b.iter(|| black_box(SeedTxGraph::from_ledger(&ledger)));
     });
 
     // The snapshot build (previously named `graph/csr_snapshot`), radix
@@ -170,6 +180,28 @@ fn bench_components(_: &mut Criterion) {
     touched.sort_unstable();
     touched.dedup();
     let params2 = TxAlloParams::for_graph(&graph2, k);
+
+    // Snapshot assembly over the epoch's touched set: straight run copies
+    // out of the sorted-run adjacency vs the seed per-row hash gather +
+    // packed-key sort (bit-identical outputs, pinned in `seed_ref` tests).
+    let mut seed_graph2 = SeedTxGraph::from_ledger(&ledger);
+    for b in &new_blocks {
+        seed_graph2.ingest_block(b);
+    }
+    c.bench_function("snapshot/touched", |b| {
+        let mut snap = txallo_graph::DeltaCsr::default();
+        b.iter(|| {
+            snap.refill_touched(&graph2, &touched);
+            black_box(snap.len())
+        });
+    });
+    c.bench_function("snapshot/touched_seed", |b| {
+        let mut rows = SeedDeltaRows::default();
+        b.iter(|| {
+            seed_delta_rows(&seed_graph2, &touched, &mut rows);
+            black_box(rows.node.len())
+        });
+    });
 
     // The serving configuration (what the simulator runs): a warm
     // `AtxAlloSession` carries the community aggregates across epochs, so

@@ -647,8 +647,17 @@ pub fn bench_snapshot(out_path: &str) {
     let params = TxAlloParams::for_graph(&graph, k);
     let reps = 15;
 
-    let from_ledger = median_ms(reps, || {
+    // Ingestion: sorted-run slab adjacency vs the preserved hash-map
+    // adjacency (`ingest/` bench group; same-run ratio). Measured once and
+    // reported under both `graph_from_ledger` (the key earlier BENCH
+    // snapshots used) and `ingest_ledger` (paired with its seed) — they
+    // are the same quantity.
+    let ingest_ledger = median_ms(reps, || {
         std::hint::black_box(txallo_graph::TxGraph::from_ledger(&ledger));
+    });
+    let from_ledger = ingest_ledger;
+    let ingest_ledger_seed = median_ms(reps, || {
+        std::hint::black_box(crate::seed_ref::SeedTxGraph::from_ledger(&ledger));
     });
     let csr_snapshot = median_ms(reps, || {
         std::hint::black_box(CsrGraph::from_graph(&graph));
@@ -725,6 +734,25 @@ pub fn bench_snapshot(out_path: &str) {
     let touched_fraction = touched.len() as f64 / {
         use txallo_graph::WeightedGraph;
         graph2.node_count() as f64
+    };
+    // Snapshot assembly over the touched set: straight run copies vs the
+    // seed per-row hash gather + packed-key sort (`snapshot/` group).
+    let (snapshot_touched, snapshot_touched_seed) = {
+        let mut seed_graph2 = crate::seed_ref::SeedTxGraph::from_ledger(&ledger);
+        for b in &new_blocks {
+            seed_graph2.ingest_block(b);
+        }
+        let mut snap = txallo_graph::DeltaCsr::default();
+        let fast = median_ms(reps, || {
+            snap.refill_touched(&graph2, &touched);
+            std::hint::black_box(snap.len());
+        });
+        let mut rows = crate::seed_ref::SeedDeltaRows::default();
+        let seed = median_ms(reps, || {
+            crate::seed_ref::seed_delta_rows(&seed_graph2, &touched, &mut rows);
+            std::hint::black_box(rows.node.len());
+        });
+        (fast, seed)
     };
     // Serving configuration: warm session (aggregates carried across
     // epochs), delta folding + delta-CSR sweep per epoch.
@@ -810,6 +838,10 @@ pub fn bench_snapshot(out_path: &str) {
         "{{\n  \"workload\": {{\"accounts\": 5000, \"transactions\": 40000, \"k\": {k}, \"seed\": 42}},\n  \
          \"unit\": \"ms (median of {reps})\",\n  \
          \"graph_from_ledger\": {from_ledger:.3},\n  \
+         \"ingest_ledger\": {ingest_ledger:.3},\n  \
+         \"ingest_ledger_seed\": {ingest_ledger_seed:.3},\n  \
+         \"snapshot_touched\": {snapshot_touched:.3},\n  \
+         \"snapshot_touched_seed\": {snapshot_touched_seed:.3},\n  \
          \"csr_snapshot\": {csr_snapshot:.3},\n  \
          \"csr_snapshot_seed\": {csr_snapshot_seed:.3},\n  \
          \"plan_csr\": {plan_csr:.3},\n  \

@@ -117,8 +117,10 @@ impl ChainService {
     /// Panics if called before [`ChainService::warmup`].
     pub fn process_block(&mut self, block: &Block) -> Option<AllocationUpdate> {
         assert!(self.warmed_up, "call warmup() before process_block()");
-        self.graph.ingest_block(block);
-        self.stream.on_block(&self.graph, block);
+        // The interned view hands the stream each transaction's dense node
+        // ids straight from ingestion — no account re-hashing per epoch.
+        let nodes = self.graph.ingest_block_nodes(block);
+        self.stream.on_block_nodes(&self.graph, block, &nodes);
         // New accounts appear mid-epoch, before any boundary labels them:
         // consensus needs a shard *now*, so unlabelled accounts fall back
         // to their hash shard until the epoch closes (the same rule the

@@ -27,7 +27,7 @@
 use txallo_graph::{DeltaCsr, DenseAccumulator};
 use txallo_louvain::GAIN_EPS;
 
-use crate::state::{CommunityState, UNASSIGNED};
+use crate::state::{gather_labels_blocked, CommunityState, UNASSIGNED};
 
 /// Counters reported by one epoch sweep.
 #[derive(Debug, Clone, Copy, Default)]
@@ -87,17 +87,18 @@ fn reset_fill(buf: &mut Vec<u64>, len: usize, value: u64) {
 /// Gathers row `local`'s per-community link weights into `acc` (sorted
 /// ascending on return), mirroring `CommunityState::gather_links` but over
 /// snapshot rows: canonical neighbor order, weights toward [`UNASSIGNED`]
-/// neighbors kept out of the candidate set.
+/// neighbors kept out of the candidate set. Runs the shared blocked
+/// gather strip ([`gather_labels_blocked`]) — bit-identical to the scalar
+/// loop, addressing the PR 4 "gather dominates gain evaluation" lead.
 #[inline]
 fn gather_row(snap: &DeltaCsr, local: usize, labels: &[u32], k: usize, acc: &mut DenseAccumulator) {
     acc.begin(k);
     let (targets, weights) = snap.row(local);
-    for (&u, &w) in targets.iter().zip(weights) {
-        let cu = labels[u as usize];
+    gather_labels_blocked(targets, weights, labels, |cu, w| {
         if cu != UNASSIGNED {
             acc.add(cu, w);
         }
-    }
+    });
     acc.sort_touched();
 }
 

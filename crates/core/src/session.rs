@@ -39,7 +39,7 @@
 //!   streaming layer's `AdaptiveStream::invalidate`, and every global
 //!   G-TxAllo refresh, do exactly that).
 
-use txallo_graph::{DeltaCsr, NodeId, TxGraph, WeightedGraph};
+use txallo_graph::{BlockNodes, DeltaCsr, NodeId, TxGraph, WeightedGraph};
 use txallo_model::Block;
 
 use crate::allocation::Allocation;
@@ -174,6 +174,32 @@ impl AtxAlloSession {
                 let la = self.label_of(a);
                 for &acct_b in &set[(i + 1)..] {
                     let b = graph.node_of(acct_b).expect("block accounts are interned");
+                    self.state.apply_edge_delta(la, self.label_of(b), w);
+                }
+            }
+        }
+    }
+
+    /// [`AtxAlloSession::apply_block`] over the interned view
+    /// [`TxGraph::ingest_block_nodes`] returned for the same block: the
+    /// per-transaction dense node ids are already resolved, so the fold
+    /// pays zero interner (account-hash) lookups. Bit-identical to
+    /// [`AtxAlloSession::apply_block`]: the per-transaction weights and
+    /// the delta application order are exactly the clique expansion over
+    /// `account_set`, which is what `tx_nodes` mirrors (a plain 1↔1
+    /// transfer is a 2-element set with pair weight exactly `1.0`, the
+    /// same delta the transfer fast path applied).
+    pub fn apply_block_nodes(&mut self, nodes: &BlockNodes) {
+        for i in 0..nodes.tx_count() {
+            let set = nodes.tx_nodes(i);
+            if set.len() == 1 {
+                self.state.apply_self_loop_delta(self.label_of(set[0]), 1.0);
+                continue;
+            }
+            let w = 1.0 / (set.len() * (set.len() - 1) / 2) as f64;
+            for (a_idx, &a) in set.iter().enumerate() {
+                let la = self.label_of(a);
+                for &b in &set[(a_idx + 1)..] {
                     self.state.apply_edge_delta(la, self.label_of(b), w);
                 }
             }
@@ -361,6 +387,35 @@ mod tests {
             session.consistency_error(&g) < 1e-12,
             "delta accounting must match recomputation"
         );
+    }
+
+    #[test]
+    fn apply_block_nodes_matches_apply_block_bitwise() {
+        // The interned fold must be bit-identical to the account-hashing
+        // fold: same aggregates after the same block, transfer fast path
+        // and clique expansion included.
+        let mut g1 = base_graph();
+        let mut g2 = base_graph();
+        let params = TxAlloParams::for_graph(&g1, 2);
+        let prev = GTxAllo::new(params.clone()).allocate_graph(&g1);
+        let mut s1 = AtxAlloSession::new(&g1, &prev, &params);
+        let mut s2 = AtxAlloSession::new(&g2, &prev, &params);
+        let mut txs: Vec<Transaction> = vec![
+            Transaction::transfer(AccountId(0), AccountId(1)),
+            Transaction::transfer(AccountId(0), AccountId(10)),
+            Transaction::transfer(AccountId(300), AccountId(301)),
+            Transaction::transfer(AccountId(4), AccountId(4)),
+        ];
+        txs.push(Transaction::new(vec![AccountId(0)], vec![AccountId(11), AccountId(12)]).unwrap());
+        let block = Block::new(0, txs);
+        let nodes = g1.ingest_block_nodes(&block);
+        g2.ingest_block(&block);
+        s1.apply_block_nodes(&nodes);
+        s2.apply_block(&g2, &block);
+        for c in 0..2u32 {
+            assert_eq!(s1.state.intra(c).to_bits(), s2.state.intra(c).to_bits());
+            assert_eq!(s1.state.cut(c).to_bits(), s2.state.cut(c).to_bits());
+        }
     }
 
     #[test]

@@ -240,6 +240,15 @@ impl CommunityState {
     ///
     /// On return the scratch's candidate list is sorted ascending, ready
     /// for a deterministic sweep over `C_v`.
+    ///
+    /// Graphs exposing their rows as sorted-run slices
+    /// ([`WeightedGraph::row_view`] — the CSR snapshots and the mutable
+    /// slab graph) take a *blocked* gather: labels for a strip of targets
+    /// are loaded into a local array before the strip accumulates, so the
+    /// gather's random label loads overlap instead of serializing behind
+    /// each `acc.add`. The accumulation order is position-for-position the
+    /// row's ascending order either way — bit-identical to the callback
+    /// path.
     pub fn gather_links(
         &self,
         graph: &impl WeightedGraph,
@@ -249,14 +258,30 @@ impl CommunityState {
     ) {
         scratch.link.begin(self.intra.len());
         scratch.to_unassigned = 0.0;
-        graph.for_each_neighbor(v, |u, w| {
-            let cu = labels[u as usize];
-            if cu == UNASSIGNED {
-                scratch.to_unassigned += w;
-            } else {
-                scratch.link.add(cu, w);
+        // The blocked path requires a fully-merged row (a pending tail
+        // would have to interleave with the run to reproduce the ascending
+        // accumulation order bit-for-bit — the callback merge does that).
+        match graph.row_view(v) {
+            Some(view) if view.tail_ids.is_empty() => {
+                gather_labels_blocked(view.run_ids, view.run_ws, labels, |cu, w| {
+                    if cu == UNASSIGNED {
+                        scratch.to_unassigned += w;
+                    } else {
+                        scratch.link.add(cu, w);
+                    }
+                });
             }
-        });
+            _ => {
+                graph.for_each_neighbor(v, |u, w| {
+                    let cu = labels[u as usize];
+                    if cu == UNASSIGNED {
+                        scratch.to_unassigned += w;
+                    } else {
+                        scratch.link.add(cu, w);
+                    }
+                });
+            }
+        }
         scratch.link.sort_touched();
     }
 
@@ -433,6 +458,39 @@ impl CommunityState {
     #[cfg(test)]
     fn snapshot(&self) -> (Vec<f64>, Vec<f64>) {
         (self.intra.clone(), self.cut.clone())
+    }
+}
+
+/// The blocked gather strip shared by every row gather in this crate
+/// (`CommunityState::gather_links` here, `gather_row` in the epoch sweep
+/// kernel): labels for a strip of 8 targets are loaded into a local array
+/// first, then `f(label, weight)` runs left to right over the strip — the
+/// label loads are the gather's random accesses, and batching them breaks
+/// the load→accumulate dependency chain so they overlap. The callback
+/// sequence is position-for-position identical to the scalar loop, hence
+/// bit-identical accumulation (callers branch on [`UNASSIGNED`] inside
+/// `f`).
+#[inline]
+pub(crate) fn gather_labels_blocked(
+    ids: &[NodeId],
+    ws: &[f64],
+    labels: &[u32],
+    mut f: impl FnMut(u32, f64),
+) {
+    const BLOCK: usize = 8;
+    let mut cls = [0u32; BLOCK];
+    let mut chunks_i = ids.chunks_exact(BLOCK);
+    let mut chunks_w = ws.chunks_exact(BLOCK);
+    for (ts, strip) in chunks_i.by_ref().zip(chunks_w.by_ref()) {
+        for j in 0..BLOCK {
+            cls[j] = labels[ts[j] as usize];
+        }
+        for j in 0..BLOCK {
+            f(cls[j], strip[j]);
+        }
+    }
+    for (&u, &w) in chunks_i.remainder().iter().zip(chunks_w.remainder()) {
+        f(labels[u as usize], w);
     }
 }
 

@@ -70,8 +70,8 @@
 //! assert_eq!(allocation.labels(), stream.allocation().labels());
 //! ```
 
-use txallo_graph::{NodeId, TxGraph, WeightedGraph};
-use txallo_model::{Block, FxHashSet, ShardId};
+use txallo_graph::{BlockNodes, NodeId, TxGraph, WeightedGraph};
+use txallo_model::{Block, ShardId};
 
 use crate::allocation::Allocation;
 use crate::atxallo::UpdatePath;
@@ -223,6 +223,17 @@ pub trait StreamingAllocator: std::fmt::Debug {
     /// interned.
     fn on_block(&mut self, graph: &TxGraph, block: &Block);
 
+    /// [`on_block`](StreamingAllocator::on_block) with the interned view
+    /// [`TxGraph::ingest_block_nodes`] produced for the same block, so the
+    /// stream can reuse the dense node ids ingestion already resolved
+    /// instead of re-hashing every `AccountId`. The default delegates to
+    /// `on_block`; stateful streams override it with the zero-rehash path
+    /// (behaviour must be identical either way).
+    fn on_block_nodes(&mut self, graph: &TxGraph, block: &Block, nodes: &BlockNodes) {
+        let _ = nodes;
+        self.on_block(graph, block);
+    }
+
     /// Announces an out-of-band uniform rescale of every edge weight by
     /// `factor` (exponential decay). Stateful implementations must either
     /// rescale their aggregates to match or rebuild them; the default
@@ -244,6 +255,70 @@ pub trait StreamingAllocator: std::fmt::Debug {
     fn allocation(&self) -> Allocation;
 }
 
+/// The epoch's touched-node accumulator: a dense stamp array over node
+/// ids plus the list of nodes marked this epoch.
+///
+/// Node ids are dense by construction (the interner), so membership is an
+/// array compare — no hashing at all, which matters because the serving
+/// path used to re-hash every touched id into an `FxHashSet` per block on
+/// top of the interner lookups ingestion already paid. Draining sorts the
+/// list, reproducing exactly the sorted deduplicated set the old hash-set
+/// collection produced.
+#[derive(Debug, Clone, Default)]
+struct EpochTouched {
+    /// `stamp[v] == epoch` ⇔ `v` is marked this epoch.
+    stamp: Vec<u32>,
+    /// Current epoch stamp (0 means "no epoch yet": slots start at 0, so
+    /// the first epoch uses stamp 1).
+    epoch: u32,
+    /// Nodes marked this epoch, insertion order.
+    list: Vec<NodeId>,
+}
+
+impl EpochTouched {
+    /// Marks `v` as touched this epoch (idempotent).
+    fn mark(&mut self, v: NodeId) {
+        let i = v as usize;
+        if i >= self.stamp.len() {
+            self.stamp.resize(i + 1, 0);
+        }
+        let epoch = self.epoch.max(1);
+        self.epoch = epoch;
+        if self.stamp[i] != epoch {
+            self.stamp[i] = epoch;
+            self.list.push(v);
+        }
+    }
+
+    /// Ends the epoch: returns the marked nodes sorted ascending and
+    /// resets for the next epoch (an `O(1)` stamp bump; the stamp array
+    /// is re-zeroed only on the rare u32 wrap).
+    fn drain_sorted(&mut self) -> Vec<NodeId> {
+        let mut out = std::mem::take(&mut self.list);
+        out.sort_unstable();
+        match self.epoch.checked_add(1) {
+            Some(next) => self.epoch = next,
+            None => {
+                self.stamp.fill(0);
+                self.epoch = 1;
+            }
+        }
+        out
+    }
+
+    /// Forgets all marks without producing the list.
+    fn clear(&mut self) {
+        self.list.clear();
+        match self.epoch.checked_add(1) {
+            Some(next) => self.epoch = next,
+            None => {
+                self.stamp.fill(0);
+                self.epoch = 1;
+            }
+        }
+    }
+}
+
 /// Diffs two label vectors (`old` may be shorter — missing entries are
 /// fresh placements), in ascending node order.
 fn diff_full(old: &[u32], new: &[u32]) -> Vec<AccountMove> {
@@ -262,14 +337,15 @@ fn diff_full(old: &[u32], new: &[u32]) -> Vec<AccountMove> {
 }
 
 /// Collects the touched node ids of a block's transactions (the same set
-/// [`TxGraph::ingest_block`] reports), through the interner.
-fn collect_touched(graph: &TxGraph, block: &Block, touched: &mut FxHashSet<NodeId>) {
+/// [`TxGraph::ingest_block`] reports), through the interner — the
+/// fallback for callers without a [`BlockNodes`] view.
+fn collect_touched(graph: &TxGraph, block: &Block, touched: &mut EpochTouched) {
     for tx in block.transactions() {
         for account in tx.account_set() {
             let node = graph
                 .node_of(account)
                 .expect("on_block requires the block to be ingested first");
-            touched.insert(node);
+            touched.mark(node);
         }
     }
 }
@@ -300,7 +376,7 @@ pub struct AdaptiveStream {
     /// out-of-band (always `Some` exactly when `session` is `None` after
     /// `begin`).
     fallback: Option<Allocation>,
-    touched: FxHashSet<NodeId>,
+    touched: EpochTouched,
     rescaled_this_epoch: bool,
     began: bool,
 }
@@ -313,7 +389,7 @@ impl AdaptiveStream {
             params,
             session: None,
             fallback: None,
-            touched: FxHashSet::default(),
+            touched: EpochTouched::default(),
             rescaled_this_epoch: false,
             began: false,
         }
@@ -331,9 +407,7 @@ impl AdaptiveStream {
     }
 
     fn sorted_touched(&mut self) -> Vec<NodeId> {
-        let mut touched: Vec<NodeId> = self.touched.drain().collect();
-        touched.sort_unstable();
-        touched
+        self.touched.drain_sorted()
     }
 
     /// The adaptive epoch path: ensure a session, sweep `V̂`, diff the
@@ -431,6 +505,19 @@ impl StreamingAllocator for AdaptiveStream {
         // already counted.
         if let Some(session) = self.session.as_mut() {
             session.apply_block(graph, block);
+        }
+    }
+
+    fn on_block_nodes(&mut self, _graph: &TxGraph, _block: &Block, nodes: &BlockNodes) {
+        assert!(self.began, "call begin() before serving blocks");
+        // The interned fast path: the touched ids and every transaction's
+        // dense node set come straight from ingestion — no account
+        // re-hashing on the serving surface at all.
+        for &v in nodes.touched() {
+            self.touched.mark(v);
+        }
+        if let Some(session) = self.session.as_mut() {
+            session.apply_block_nodes(nodes);
         }
     }
 
@@ -621,6 +708,14 @@ impl StreamingAllocator for HybridStream {
             return;
         }
         self.inner.on_block(graph, block);
+    }
+
+    fn on_block_nodes(&mut self, graph: &TxGraph, block: &Block, nodes: &BlockNodes) {
+        if self.schedule.is_global_epoch(self.epoch) {
+            self.blocks_withheld = true;
+            return;
+        }
+        self.inner.on_block_nodes(graph, block, nodes);
     }
 
     fn on_reweight(&mut self, factor: f64) {
@@ -840,6 +935,49 @@ mod tests {
             assert_eq!(mirror, expect.allocation, "epoch {h} diverged");
             assert_eq!(mirror, stream.allocation(), "diffs out of sync");
             assert_eq!(update.carry, StateCarry::Warm);
+        }
+    }
+
+    #[test]
+    fn interned_block_path_matches_rehashing_path_exactly() {
+        // `on_block_nodes` (dense ids from ingestion, stamp-set touched
+        // collection, zero re-hashing) must reproduce `on_block`'s
+        // trajectory exactly — same diffs, same labels, same carry — for
+        // both the adaptive and the hybrid stream.
+        for schedule in [
+            HybridSchedule::AlwaysAdaptive,
+            HybridSchedule::Hybrid { global_gap: 2 },
+        ] {
+            let mut g1 = clique_graph();
+            let mut g2 = clique_graph();
+            let params = TxAlloParams::for_graph(&g1, 2);
+            let mut by_nodes = HybridStream::new(params.clone(), schedule);
+            let mut by_accounts = HybridStream::new(params.clone(), schedule);
+            let mut m1 = by_nodes.begin(&g1, &params);
+            let mut m2 = by_accounts.begin(&g2, &params);
+
+            let epochs: Vec<Vec<(u64, u64)>> = vec![
+                vec![(100, 0), (100, 1), (3, 12), (40, 40)],
+                vec![(100, 2), (101, 100), (13, 14)],
+                vec![(0, 10), (101, 11), (200, 200)],
+                vec![(200, 0), (200, 14)],
+            ];
+            for (h, pairs) in epochs.iter().enumerate() {
+                let block = epoch_block(h as u64, pairs);
+                let nodes = g1.ingest_block_nodes(&block);
+                by_nodes.on_block_nodes(&g1, &block, &nodes);
+                g2.ingest_block(&block);
+                by_accounts.on_block(&g2, &block);
+
+                let u1 = by_nodes.end_epoch(&g1, EpochKind::Scheduled);
+                let u2 = by_accounts.end_epoch(&g2, EpochKind::Scheduled);
+                assert_eq!(u1.moves, u2.moves, "epoch {h} ({schedule:?}) diffs");
+                assert_eq!(u1.kind, u2.kind);
+                assert_eq!(u1.carry, u2.carry);
+                m1.apply_update(&u1);
+                m2.apply_update(&u2);
+                assert_eq!(m1, m2, "epoch {h} ({schedule:?}) labels diverged");
+            }
         }
     }
 

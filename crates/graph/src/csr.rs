@@ -172,17 +172,19 @@ impl CsrGraph {
         Self::snapshot(g, Some(new_id))
     }
 
-    /// Radix-batched snapshot behind both constructors (`new_id = None`
-    /// keeps the source ids). Counting sort over the (mapped) row ids —
-    /// two passes, no intermediate edge list, no per-row comparison sort:
+    /// Snapshot behind both constructors (`new_id = None` keeps the source
+    /// ids). Two strategies, both free of per-row comparison sorts:
     ///
-    /// 1. **Count** each row's degree (`neighbor_count`), prefix-sum into
-    ///    the offsets, and fold self-loops + the total weight on the way.
-    /// 2. **Fill**: visit *mapped* source ids in ascending order and append
-    ///    each node to the rows of all its neighbors. Because sources
-    ///    arrive ascending, every row is sorted by construction — the
-    ///    per-row `sort_unstable` + duplicate merge of the edge-list
-    ///    constructor disappears entirely.
+    /// * **Straight row copy** — when the ids are kept *and* the source
+    ///   stores sorted rows ([`WeightedGraph::row_view`], i.e. the mutable
+    ///   `TxGraph`'s sorted-run slab or another CSR): each row is one
+    ///   contiguous copy/merge, sequential reads and writes, no scatter.
+    /// * **Counting-sort scatter** — for relabeled snapshots (a straight
+    ///   copy cannot produce rows sorted by *mapped* id) and sources
+    ///   without sorted rows: count each row's degree (`neighbor_count`),
+    ///   prefix-sum into the offsets, then visit *mapped* source ids in
+    ///   ascending order and append each node to the rows of all its
+    ///   neighbors — rows come out sorted by construction.
     ///
     /// Relies on the [`WeightedGraph`] contract that `for_each_neighbor`
     /// reports each neighbor exactly once (all implementors accumulate
@@ -229,7 +231,32 @@ impl CsrGraph {
         let mut targets = vec![0 as NodeId; entries];
         let mut weights = vec![0.0f64; entries];
         let splits = row_split(&offsets, entries, forced_chunks);
-        if splits.len() == 2 {
+        // Identity mapping over a sorted-row source: straight copies (the
+        // `row_view` contract is uniform across nodes, so probing one row
+        // decides for the build; the loop debug-asserts the rest).
+        let direct = new_id.is_none() && n > 0 && g.row_view(0).is_some();
+        if direct {
+            if splits.len() == 2 {
+                copy_rows(g, 0, n, &offsets, &mut targets, &mut weights);
+            } else {
+                std::thread::scope(|scope| {
+                    let mut rest_t = &mut targets[..];
+                    let mut rest_w = &mut weights[..];
+                    for pair in splits.windows(2) {
+                        let (lo, hi) = (pair[0], pair[1]);
+                        let len = offsets[hi] as usize - offsets[lo] as usize;
+                        let (chunk_t, tail_t) = rest_t.split_at_mut(len);
+                        let (chunk_w, tail_w) = rest_w.split_at_mut(len);
+                        rest_t = tail_t;
+                        rest_w = tail_w;
+                        let offsets = &offsets;
+                        scope.spawn(move || {
+                            copy_rows(g, lo, hi, offsets, chunk_t, chunk_w);
+                        });
+                    }
+                });
+            }
+        } else if splits.len() == 2 {
             fill_rows(g, &inv, map, 0, n, &offsets, &mut targets, &mut weights);
         } else {
             // Chunked parallel fill: thread t owns rows lo..hi, which map
@@ -286,6 +313,52 @@ impl CsrGraph {
         }
     }
 
+    /// Builds directly from pre-assembled CSR arrays: row boundaries,
+    /// targets/weights (rows strictly ascending by id, duplicates already
+    /// merged, each unordered non-loop edge present in both endpoint rows),
+    /// per-node self-loops and the total weight.
+    ///
+    /// This is the entry point for producers that assemble sorted rows
+    /// themselves (e.g. the Louvain aggregation's counting-sort build) —
+    /// no edge-list round trip, no re-sort. The incident cache is derived
+    /// here with the canonical fold (`self_loop + Σ row`, the row summed
+    /// on its own in ascending order), and the ascending-row invariant is
+    /// verified like in every other constructor.
+    ///
+    /// # Panics
+    /// Panics when the arrays are inconsistent or any row is not strictly
+    /// ascending.
+    pub fn from_sorted_rows(
+        offsets: Vec<u32>,
+        targets: Vec<NodeId>,
+        weights: Vec<f64>,
+        self_loops: Vec<f64>,
+        total_weight: f64,
+    ) -> Self {
+        let n = self_loops.len();
+        assert_eq!(offsets.len(), n + 1, "one offset bound per node plus end");
+        assert_eq!(offsets[0], 0, "rows start at 0");
+        assert_eq!(offsets[n] as usize, targets.len(), "offsets cover targets");
+        assert_eq!(targets.len(), weights.len(), "parallel arrays");
+        let mut incident = vec![0.0f64; n];
+        for v in 0..n {
+            let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
+            incident[v] = self_loops[v] + weights[s..e].iter().sum::<f64>();
+            assert!(
+                targets[s..e].windows(2).all(|w| w[0] < w[1]),
+                "row {v} is not strictly ascending"
+            );
+        }
+        Self {
+            offsets,
+            targets,
+            weights,
+            self_loops,
+            incident,
+            total_weight,
+        }
+    }
+
     /// Number of distinct unordered non-loop edges.
     pub fn edge_count(&self) -> usize {
         self.targets.len() / 2
@@ -331,6 +404,59 @@ impl CsrGraph {
             self.offsets[v as usize] as usize,
             self.offsets[v as usize + 1] as usize,
         )
+    }
+}
+
+/// The straight-copy fill of [`CsrGraph::snapshot`] over the row range
+/// `lo..hi` (identity mapping): each source row is already an ascending-id
+/// sorted run pair ([`WeightedGraph::row_view`]), so the fill is one
+/// two-run merge copy per row — sequential reads, sequential writes, no
+/// scatter. `targets`/`weights` cover exactly the entry range
+/// `offsets[lo]..offsets[hi]` (chunk-relative indexing).
+fn copy_rows<G: WeightedGraph>(
+    g: &G,
+    lo: usize,
+    hi: usize,
+    offsets: &[u32],
+    targets: &mut [NodeId],
+    weights: &mut [f64],
+) {
+    let base = offsets[lo] as usize;
+    for v in lo..hi {
+        let view = g
+            .row_view(v as NodeId)
+            .expect("row_view is uniform across nodes");
+        let mut pos = offsets[v] as usize - base;
+        debug_assert_eq!(
+            offsets[v + 1] as usize - offsets[v] as usize,
+            view.run_ids.len() + view.tail_ids.len(),
+            "row_view disagrees with neighbor_count for node {v}"
+        );
+        if view.tail_ids.is_empty() {
+            targets[pos..pos + view.run_ids.len()].copy_from_slice(view.run_ids);
+            weights[pos..pos + view.run_ws.len()].copy_from_slice(view.run_ws);
+            continue;
+        }
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < view.run_ids.len() && j < view.tail_ids.len() {
+            if view.run_ids[i] < view.tail_ids[j] {
+                targets[pos] = view.run_ids[i];
+                weights[pos] = view.run_ws[i];
+                i += 1;
+            } else {
+                targets[pos] = view.tail_ids[j];
+                weights[pos] = view.tail_ws[j];
+                j += 1;
+            }
+            pos += 1;
+        }
+        let run_rest = view.run_ids.len() - i;
+        targets[pos..pos + run_rest].copy_from_slice(&view.run_ids[i..]);
+        weights[pos..pos + run_rest].copy_from_slice(&view.run_ws[i..]);
+        pos += run_rest;
+        let tail_rest = view.tail_ids.len() - j;
+        targets[pos..pos + tail_rest].copy_from_slice(&view.tail_ids[j..]);
+        weights[pos..pos + tail_rest].copy_from_slice(&view.tail_ws[j..]);
     }
 }
 
@@ -427,6 +553,15 @@ impl WeightedGraph for CsrGraph {
     fn neighbor_count(&self, v: NodeId) -> usize {
         let (s, e) = self.row(v);
         e - s
+    }
+
+    fn row_view(&self, v: NodeId) -> Option<crate::traits::RowView<'_>> {
+        Some(crate::traits::RowView {
+            run_ids: self.neighbor_ids(v),
+            run_ws: self.neighbor_weights(v),
+            tail_ids: &[],
+            tail_ws: &[],
+        })
     }
 }
 

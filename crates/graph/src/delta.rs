@@ -39,9 +39,11 @@
 //! ascending by global node id — [`CsrGraph`]'s native row order — and the
 //! per-node `incident` scalar is re-derived as `self_loop + Σ row` in that
 //! order. Consequently the two constructors are interchangeable
-//! bit-for-bit: [`DeltaCsr::snapshot_touched`] assembles rows straight from
-//! the hash adjacency (cost `O(|V̂| log |V̂| + Σ_{v∈V̂} deg v · log deg v)`,
-//! independent of graph size), while [`DeltaCsr::snapshot_full`] freezes
+//! bit-for-bit: [`DeltaCsr::snapshot_touched`] copies rows straight out of
+//! the mutable graph's sorted-run adjacency (cost
+//! `O(|V̂| log |V̂| + Σ_{v∈V̂} deg v)` — a run copy/merge per row, no
+//! per-row sort — independent of graph size), while
+//! [`DeltaCsr::snapshot_full`] freezes
 //! the whole graph through [`CsrGraph::from_graph`] and extracts the
 //! touched rows (cost `O(n + m)`, the better deal once `V̂` is a large
 //! fraction of the graph). The golden tests in `txallo-core` hold the two
@@ -107,10 +109,6 @@ struct RefillScratch {
     keyed: Vec<((u64, u64), NodeId)>,
     /// `(node, local row)` sort buffer for the `local_of` lookup arrays.
     pairs: Vec<(NodeId, u32)>,
-    /// Per-row neighbor staging of [`DeltaCsr::refill_touched`].
-    raw: Vec<(NodeId, f64)>,
-    /// Packed `target << 32 | slot` sort keys, parallel to `raw`.
-    keys: Vec<u64>,
 }
 
 /// The canonical sweep key of §V-B: nodes sort by account address hash,
@@ -145,8 +143,9 @@ fn fill_canonical_nodes(snap: &mut DeltaCsr, graph: &TxGraph, touched: &[NodeId]
 }
 
 impl DeltaCsr {
-    /// Builds the snapshot directly from the hash adjacency, touching only
-    /// `touched` and its incident edges — the incremental path.
+    /// Builds the snapshot directly from the mutable graph's sorted-run
+    /// adjacency, touching only `touched` and its incident edges — the
+    /// incremental path.
     ///
     /// `touched` may arrive in any order and must not contain duplicates
     /// (the contract of [`TxGraph::ingest_block`]).
@@ -175,34 +174,18 @@ impl DeltaCsr {
         self.self_loops.reserve(t);
         self.incident.clear();
         self.incident.reserve(t);
-        // Row sort scratch: neighbors packed as `target << 32 | slot`, so
-        // the sort moves single machine words; `raw[slot]` recovers the
-        // weight afterwards.
-        let raw = &mut self.scratch.raw;
-        let keys = &mut self.scratch.keys;
         for i in 0..t {
             let v = self.node[i];
-            raw.clear();
-            keys.clear();
-            graph.for_each_neighbor(v, |u, w| {
-                keys.push(((u as u64) << 32) | raw.len() as u64);
-                raw.push((u, w));
-            });
-            keys.sort_unstable();
             let self_w = graph.self_loop(v);
-            // Re-derive the incident weight exactly as `CsrGraph` does for
-            // the same rows (`self_loop + Σ row`, the row summed on its own
-            // from 0 in ascending order, *then* added to the self-loop) —
-            // the fold shape matters: seeding the accumulator with `self_w`
-            // instead rounds differently and would break the bit-identical
-            // `snapshot_full` equivalence.
-            let mut row_sum = 0.0;
-            for &key in keys.iter() {
-                let (u, w) = raw[(key & u32::MAX as u64) as usize];
-                self.targets.push(u);
-                self.weights.push(w);
-                row_sum += w;
-            }
+            // The mutable graph's rows are sorted runs, so assembling a
+            // snapshot row is a straight run copy/merge — no gather, no
+            // per-row sort keys. The returned sum is the row folded from 0
+            // in ascending order, *then* added to the self-loop: exactly
+            // the incident fold shape `CsrGraph` uses for the same rows
+            // (seeding the accumulator with `self_w` instead would round
+            // differently and break the bit-identical `snapshot_full`
+            // equivalence).
+            let row_sum = graph.copy_row_into(v, &mut self.targets, &mut self.weights);
             self.offsets.push(self.targets.len() as u32);
             self.self_loops.push(self_w);
             self.incident.push(self_w + row_sum);

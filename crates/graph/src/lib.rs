@@ -10,15 +10,18 @@
 //! updates adjacency in `O(edges added)` and reports the set of touched
 //! nodes `V̂`, which is exactly the input A-TxAllo (Alg. 2) needs.
 //!
-//! ## Three graph forms: mutable hash adjacency, flat CSR, delta CSR
+//! ## Three graph forms: mutable sorted-run slab, flat CSR, delta CSR
 //!
 //! The crate deliberately ships the graph in three shapes, one per access
 //! pattern:
 //!
-//! * [`TxGraph`] — *ingestion form*. Per-node hash-map adjacency so that a
-//!   repeated account pair accumulates weight in `O(1)`; this is what the
-//!   block stream mutates. Implements the shared [`WeightedGraph`]
-//!   interface.
+//! * [`TxGraph`] — *ingestion form*. Per-node rows live in a shared
+//!   sorted-run slab arena ([`slab::SortedRunStore`]): ascending-id sorted
+//!   runs with a small amortized-merge tail, so a repeated account pair
+//!   accumulates weight in place (binary search, `O(1)` amortized per
+//!   edge) **and** the mutable graph is CSR-shaped by construction —
+//!   neighbor iteration is always ascending. This is what the block stream
+//!   mutates. Implements the shared [`WeightedGraph`] interface.
 //! * [`CsrGraph`] — *full-sweep form*. Offsets + packed neighbor/weight
 //!   arrays (compressed sparse row), rows sorted and duplicate-merged at
 //!   build time. Every repeated-sweep consumer — Louvain levels, the
@@ -28,10 +31,10 @@
 //!   compatibility alias of this type.
 //! * [`DeltaCsr`] — *epoch-update form*. A compact CSR over just the
 //!   epoch's touched node set `V̂` and its incident edges, rows in the
-//!   canonical sweep order, built either incrementally from the hash
-//!   adjacency or by extraction from a full [`CsrGraph`]
-//!   (see [`delta`] for the byte-identical-routes contract). This is what
-//!   A-TxAllo's epoch sweep runs on.
+//!   canonical sweep order, built either incrementally by straight run
+//!   copies out of the slab adjacency or by extraction from a full
+//!   [`CsrGraph`] (see [`delta`] for the byte-identical-routes contract).
+//!   This is what A-TxAllo's epoch sweep runs on.
 //!
 //! The split matters because the sweeps dominate running time (§VI-B6 of
 //! the paper: Louvain initialization alone is 67.6 s of G-TxAllo's
@@ -47,6 +50,7 @@ pub mod decay;
 pub mod delta;
 pub mod interner;
 pub mod scratch;
+pub mod slab;
 pub mod stats;
 pub mod traits;
 pub mod txgraph;
@@ -58,7 +62,8 @@ pub use decay::DecayingGraph;
 pub use delta::DeltaCsr;
 pub use interner::AccountInterner;
 pub use scratch::{DenseAccumulator, DenseIndexMap};
+pub use slab::SortedRunStore;
 pub use stats::GraphStats;
-pub use traits::{NodeId, WeightedGraph};
-pub use txgraph::TxGraph;
+pub use traits::{NodeId, RowView, WeightedGraph};
+pub use txgraph::{BlockNodes, TxGraph};
 pub use window::SlidingWindowGraph;

@@ -1,0 +1,490 @@
+//! The sorted-run slab store behind [`TxGraph`](crate::TxGraph)'s mutable
+//! adjacency.
+//!
+//! ## Why not a hash map per node
+//!
+//! The mutable graph used to keep one `FxHashMap<NodeId, f64>` per node.
+//! That makes ingestion `O(1)` per repeated pair, but every structure the
+//! sweep kernels actually run on — [`CsrGraph`](crate::CsrGraph) and
+//! [`DeltaCsr`](crate::DeltaCsr) — wants rows as *ascending-id sorted
+//! runs*, so each epoch paid a hash-table iteration plus a per-row sort to
+//! re-derive what the adjacency could have maintained all along.
+//!
+//! ## The layout
+//!
+//! One shared arena of `(NodeId, f64)` entries (two parallel vectors), with
+//! per-node rows carved out of it:
+//!
+//! ```text
+//! ids:  [.. row 3 ..|.. row 0 ..|   dead   |.. row 7 ..| .. ]
+//! ws:   [ parallel to ids                                   ]
+//! row:  start ──┬─ run (sorted) ─┬─ tail (sorted) ─┬─ slack ─┐
+//!               └────────────── cap ───────────────────────┘
+//! ```
+//!
+//! Each row is **two ascending-id sorted runs**: a main run and a small
+//! tail. Inserting a brand-new neighbor goes into the tail (a short
+//! memmove); once the tail exceeds a bounded fraction of the run
+//! (`max(8, run/8)`), the two runs are merged in one linear pass — the
+//! classic amortized-merge scheme, `O(1)` amortized per accumulated edge,
+//! same ingestion complexity as the hash map. Repeated pairs — the common
+//! case for transaction traffic — resolve by binary search and accumulate
+//! in place, in chronological order, so per-edge weights are bit-identical
+//! to what the hash adjacency accumulated.
+//!
+//! A row that outgrows its capacity is relocated to the end of the arena
+//! with doubled capacity; the abandoned range is dead space, reclaimed by
+//! an occasional linear compaction once it exceeds half the arena.
+//!
+//! ## The invariant the rest of the workspace builds on
+//!
+//! Iterating a row ([`SortedRunStore::for_each`]) merges the two runs on
+//! the fly, so **neighbors always come out in ascending id order** — the
+//! mutable graph is CSR-shaped by construction. `DeltaCsr` row assembly and
+//! the identity `CsrGraph` snapshot become straight run copies/merges with
+//! no sort at all, and every order-dependent float accumulation over the
+//! mutable adjacency (community aggregates, incident re-derivation) sees
+//! the same ascending order the frozen forms use.
+
+use crate::traits::NodeId;
+
+/// Tail budget of a row: merges trigger once the tail outgrows this.
+#[inline]
+fn tail_limit(run_len: usize) -> usize {
+    8usize.max(run_len >> 3)
+}
+
+/// Per-row metadata: the row occupies arena slots
+/// `start..start + cap`, with `len` live entries of which the first `run`
+/// form the main sorted run and the rest the sorted tail.
+#[derive(Debug, Clone, Copy, Default)]
+struct RowMeta {
+    start: u32,
+    cap: u32,
+    len: u32,
+    run: u32,
+}
+
+/// The shared sorted-run arena (see the [module docs](self)).
+#[derive(Debug, Clone, Default)]
+pub struct SortedRunStore {
+    ids: Vec<NodeId>,
+    ws: Vec<f64>,
+    rows: Vec<RowMeta>,
+    /// Abandoned entries from row relocations (compaction trigger).
+    dead: usize,
+    /// Merge scratch: the tail is copied here before the backward merge.
+    scratch_ids: Vec<NodeId>,
+    scratch_ws: Vec<f64>,
+}
+
+impl SortedRunStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends an empty row (capacity is allocated lazily on first insert).
+    pub fn push_row(&mut self) {
+        self.rows.push(RowMeta::default());
+    }
+
+    /// Number of live entries in row `r`.
+    #[inline]
+    pub fn row_len(&self, r: usize) -> usize {
+        self.rows[r].len as usize
+    }
+
+    /// The row's two sorted runs as `(run_ids, run_ws, tail_ids, tail_ws)`.
+    /// Both are ascending by id; their id sets are disjoint.
+    #[inline]
+    pub fn row_parts(&self, r: usize) -> (&[NodeId], &[f64], &[NodeId], &[f64]) {
+        let m = self.rows[r];
+        let (s, run, len) = (m.start as usize, m.run as usize, m.len as usize);
+        (
+            &self.ids[s..s + run],
+            &self.ws[s..s + run],
+            &self.ids[s + run..s + len],
+            &self.ws[s + run..s + len],
+        )
+    }
+
+    /// Calls `f(id, w)` for every entry of row `r` in ascending id order
+    /// (merging the two runs on the fly; a merged row iterates a plain
+    /// slice).
+    #[inline]
+    pub fn for_each(&self, r: usize, mut f: impl FnMut(NodeId, f64)) {
+        let (run_ids, run_ws, tail_ids, tail_ws) = self.row_parts(r);
+        if tail_ids.is_empty() {
+            for (&u, &w) in run_ids.iter().zip(run_ws) {
+                f(u, w);
+            }
+            return;
+        }
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < run_ids.len() && j < tail_ids.len() {
+            if run_ids[i] < tail_ids[j] {
+                f(run_ids[i], run_ws[i]);
+                i += 1;
+            } else {
+                f(tail_ids[j], tail_ws[j]);
+                j += 1;
+            }
+        }
+        for (&u, &w) in run_ids[i..].iter().zip(&run_ws[i..]) {
+            f(u, w);
+        }
+        for (&u, &w) in tail_ids[j..].iter().zip(&tail_ws[j..]) {
+            f(u, w);
+        }
+    }
+
+    /// Appends row `r` merged (ascending ids) to `out_ids`/`out_ws`,
+    /// returning the sum of the appended weights folded in that same
+    /// ascending order — the straight run copy/merge the snapshot builders
+    /// use in place of gather-and-sort.
+    pub fn copy_row_into(&self, r: usize, out_ids: &mut Vec<NodeId>, out_ws: &mut Vec<f64>) -> f64 {
+        let mut sum = 0.0f64;
+        let (run_ids, run_ws, tail_ids, _) = self.row_parts(r);
+        if tail_ids.is_empty() {
+            out_ids.extend_from_slice(run_ids);
+            out_ws.extend_from_slice(run_ws);
+            for &w in run_ws {
+                sum += w;
+            }
+            return sum;
+        }
+        self.for_each(r, |u, w| {
+            out_ids.push(u);
+            out_ws.push(w);
+            sum += w;
+        });
+        sum
+    }
+
+    /// Position of `id` in row `r` as an arena index, if present.
+    #[inline]
+    fn find(&self, r: usize, id: NodeId) -> Option<usize> {
+        let m = self.rows[r];
+        let (s, run, len) = (m.start as usize, m.run as usize, m.len as usize);
+        if let Ok(i) = self.ids[s..s + run].binary_search(&id) {
+            return Some(s + i);
+        }
+        match self.ids[s + run..s + len].binary_search(&id) {
+            Ok(i) => Some(s + run + i),
+            Err(_) => None,
+        }
+    }
+
+    /// The weight stored for `id` in row `r`, if present.
+    #[inline]
+    pub fn get(&self, r: usize, id: NodeId) -> Option<f64> {
+        self.find(r, id).map(|i| self.ws[i])
+    }
+
+    /// Mutable access to the weight stored for `id` in row `r`.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, id: NodeId) -> Option<&mut f64> {
+        self.find(r, id).map(|i| &mut self.ws[i])
+    }
+
+    /// Adds `w` to the entry `(r, id)`, creating it if absent. Returns
+    /// `true` when a new entry was created (a brand-new neighbor).
+    ///
+    /// Repeated ids accumulate in place, in call order — chronological
+    /// per-pair accumulation, the same float trajectory a hash-map entry
+    /// would produce.
+    pub fn add(&mut self, r: usize, id: NodeId, w: f64) -> bool {
+        {
+            // Fast path for the hottest ingest case: the pair already
+            // exists and sits in the main run (where merges put it), or
+            // the row's last live entry is the pair itself (immediately
+            // repeated traffic). One probe + one binary search instead of
+            // two searches.
+            let m = self.rows[r];
+            let (s, run, len) = (m.start as usize, m.run as usize, m.len as usize);
+            if len > 0 && self.ids[s + len - 1] == id {
+                self.ws[s + len - 1] += w;
+                return false;
+            }
+            if let Ok(i) = self.ids[s..s + run].binary_search(&id) {
+                self.ws[s + i] += w;
+                return false;
+            }
+            if let Ok(i) = self.ids[s + run..s + len].binary_search(&id) {
+                self.ws[s + run + i] += w;
+                return false;
+            }
+        }
+        let m = self.rows[r];
+        if m.len == m.cap {
+            self.grow_row(r);
+        }
+        let m = self.rows[r];
+        let (s, run, len) = (m.start as usize, m.run as usize, m.len as usize);
+        // Insert into the sorted tail (short memmove — the tail is small by
+        // the merge policy).
+        let pos = match self.ids[s + run..s + len].binary_search(&id) {
+            Err(p) => s + run + p,
+            Ok(_) => unreachable!("find() checked absence"),
+        };
+        self.ids.copy_within(pos..s + len, pos + 1);
+        self.ws.copy_within(pos..s + len, pos + 1);
+        self.ids[pos] = id;
+        self.ws[pos] = w;
+        self.rows[r].len += 1;
+        let tail_len = len + 1 - run;
+        if tail_len > tail_limit(run) {
+            self.merge_row(r);
+        }
+        true
+    }
+
+    /// Removes the entry `(r, id)`, returning its weight.
+    pub fn remove(&mut self, r: usize, id: NodeId) -> Option<f64> {
+        let i = self.find(r, id)?;
+        let w = self.ws[i];
+        let m = self.rows[r];
+        let (s, len) = (m.start as usize, m.len as usize);
+        self.ids.copy_within(i + 1..s + len, i);
+        self.ws.copy_within(i + 1..s + len, i);
+        self.rows[r].len -= 1;
+        if i < s + m.run as usize {
+            self.rows[r].run -= 1;
+        }
+        Some(w)
+    }
+
+    /// Multiplies every stored weight by `factor`.
+    ///
+    /// Runs over the whole arena — dead ranges included, which is harmless
+    /// (they are never read) and keeps the pass one branch-free linear
+    /// sweep.
+    pub fn scale_all(&mut self, factor: f64) {
+        for w in &mut self.ws {
+            *w *= factor;
+        }
+    }
+
+    /// Merges row `r`'s tail into its main run (one backward pass; the
+    /// tail is staged in the store-level scratch so the merge is a plain
+    /// two-array merge into the row's own storage).
+    fn merge_row(&mut self, r: usize) {
+        let m = self.rows[r];
+        let (s, run, len) = (m.start as usize, m.run as usize, m.len as usize);
+        let tail = len - run;
+        if tail == 0 {
+            return;
+        }
+        self.scratch_ids.clear();
+        self.scratch_ws.clear();
+        self.scratch_ids
+            .extend_from_slice(&self.ids[s + run..s + len]);
+        self.scratch_ws
+            .extend_from_slice(&self.ws[s + run..s + len]);
+        let (mut i, mut j) = (run as isize - 1, tail as isize - 1);
+        let mut dst = len - 1;
+        while j >= 0 {
+            if i >= 0 && self.ids[s + i as usize] > self.scratch_ids[j as usize] {
+                self.ids[s + dst] = self.ids[s + i as usize];
+                self.ws[s + dst] = self.ws[s + i as usize];
+                i -= 1;
+            } else {
+                self.ids[s + dst] = self.scratch_ids[j as usize];
+                self.ws[s + dst] = self.scratch_ws[j as usize];
+                j -= 1;
+            }
+            dst = dst.wrapping_sub(1);
+        }
+        self.rows[r].run = len as u32;
+    }
+
+    /// Relocates row `r` to the end of the arena with doubled capacity.
+    fn grow_row(&mut self, r: usize) {
+        let m = self.rows[r];
+        let (s, cap, len) = (m.start as usize, m.cap as usize, m.len as usize);
+        let new_cap = (cap * 2).max(4);
+        let new_start = self.ids.len();
+        assert!(
+            new_start + new_cap <= u32::MAX as usize,
+            "adjacency arena exceeds u32 addressing"
+        );
+        self.ids.extend_from_within(s..s + len);
+        self.ws.extend_from_within(s..s + len);
+        self.ids.resize(new_start + new_cap, 0);
+        self.ws.resize(new_start + new_cap, 0.0);
+        self.dead += cap;
+        self.rows[r].start = new_start as u32;
+        self.rows[r].cap = new_cap as u32;
+        if self.dead > self.ids.len() / 2 && self.ids.len() > 4096 {
+            self.compact();
+        }
+    }
+
+    /// Rebuilds the arena without dead space (row order by row id; per-row
+    /// capacities are preserved, so growth behaviour is unchanged).
+    fn compact(&mut self) {
+        let live_cap: usize = self.rows.iter().map(|m| m.cap as usize).sum();
+        let mut ids = Vec::with_capacity(live_cap);
+        let mut ws = Vec::with_capacity(live_cap);
+        for m in &mut self.rows {
+            let (s, cap, len) = (m.start as usize, m.cap as usize, m.len as usize);
+            m.start = ids.len() as u32;
+            ids.extend_from_slice(&self.ids[s..s + len]);
+            ws.extend_from_slice(&self.ws[s..s + len]);
+            ids.resize(m.start as usize + cap, 0);
+            ws.resize(m.start as usize + cap, 0.0);
+        }
+        self.ids = ids;
+        self.ws = ws;
+        self.dead = 0;
+    }
+
+    /// Debug check: every row's runs are strictly ascending and disjoint.
+    #[cfg(test)]
+    fn assert_sorted(&self) {
+        for r in 0..self.rows.len() {
+            let (run_ids, _, tail_ids, _) = self.row_parts(r);
+            assert!(run_ids.windows(2).all(|p| p[0] < p[1]), "run of row {r}");
+            assert!(tail_ids.windows(2).all(|p| p[0] < p[1]), "tail of row {r}");
+            for t in tail_ids {
+                assert!(run_ids.binary_search(t).is_err(), "dup across runs");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Deterministic pseudo-random stream driver.
+    fn lcg(x: &mut u64) -> u64 {
+        *x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *x
+    }
+
+    #[test]
+    fn accumulates_like_a_map_bitwise() {
+        let mut store = SortedRunStore::new();
+        store.push_row();
+        let mut reference: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut x = 7u64;
+        for step in 0..5_000 {
+            let id = (lcg(&mut x) % 300) as NodeId;
+            let w = 0.1 + (lcg(&mut x) % 97) as f64 / 13.0;
+            let fresh = store.add(0, id, w);
+            assert_eq!(fresh, !reference.contains_key(&id), "freshness at {step}");
+            *reference.entry(id).or_insert(0.0) += w;
+            if step % 617 == 0 {
+                store.assert_sorted();
+            }
+        }
+        store.assert_sorted();
+        assert_eq!(store.row_len(0), reference.len());
+        // Iteration is ascending and weights are bit-identical to the
+        // chronological per-key accumulation the map performed.
+        let mut seen: Vec<(NodeId, u64)> = Vec::new();
+        store.for_each(0, |u, w| seen.push((u, w.to_bits())));
+        let expect: Vec<(NodeId, u64)> =
+            reference.iter().map(|(&u, &w)| (u, w.to_bits())).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn add_reports_new_entries_exactly_once() {
+        let mut store = SortedRunStore::new();
+        store.push_row();
+        assert!(store.add(0, 5, 1.0));
+        assert!(!store.add(0, 5, 1.0));
+        assert!(store.add(0, 3, 1.0));
+        assert!(store.add(0, 9, 1.0));
+        assert!(!store.add(0, 3, 0.5));
+        assert_eq!(store.row_len(0), 3);
+        assert_eq!(store.get(0, 3), Some(1.5));
+        assert_eq!(store.get(0, 7), None);
+    }
+
+    #[test]
+    fn remove_keeps_runs_sorted() {
+        let mut store = SortedRunStore::new();
+        store.push_row();
+        for id in [4u32, 1, 9, 2, 7, 3, 8] {
+            store.add(0, id, id as f64);
+        }
+        assert_eq!(store.remove(0, 9), Some(9.0));
+        assert_eq!(store.remove(0, 1), Some(1.0));
+        assert_eq!(store.remove(0, 1), None);
+        store.assert_sorted();
+        let mut ids = Vec::new();
+        store.for_each(0, |u, _| ids.push(u));
+        assert_eq!(ids, vec![2, 3, 4, 7, 8]);
+    }
+
+    #[test]
+    fn many_rows_with_relocation_and_compaction() {
+        let mut store = SortedRunStore::new();
+        let rows = 50usize;
+        for _ in 0..rows {
+            store.push_row();
+        }
+        let mut x = 99u64;
+        let mut reference: Vec<BTreeMap<NodeId, f64>> = vec![BTreeMap::new(); rows];
+        for _ in 0..30_000 {
+            let r = (lcg(&mut x) as usize) % rows;
+            let id = (lcg(&mut x) % 2_000) as NodeId;
+            let w = 1.0 + (lcg(&mut x) % 5) as f64;
+            store.add(r, id, w);
+            *reference[r].entry(id).or_insert(0.0) += w;
+        }
+        store.assert_sorted();
+        for (r, map) in reference.iter().enumerate() {
+            assert_eq!(store.row_len(r), map.len(), "row {r} length");
+            let mut seen = Vec::new();
+            store.for_each(r, |u, w| seen.push((u, w.to_bits())));
+            let expect: Vec<(NodeId, u64)> = map.iter().map(|(&u, &w)| (u, w.to_bits())).collect();
+            assert_eq!(seen, expect, "row {r} contents");
+        }
+    }
+
+    #[test]
+    fn copy_row_into_matches_iteration() {
+        let mut store = SortedRunStore::new();
+        store.push_row();
+        for id in [40u32, 10, 30, 20, 50, 5, 45] {
+            store.add(0, id, 1.0 / (id as f64 + 1.0));
+        }
+        let (mut ids, mut ws) = (Vec::new(), Vec::new());
+        let sum = store.copy_row_into(0, &mut ids, &mut ws);
+        let mut it_ids = Vec::new();
+        let mut it_sum = 0.0;
+        store.for_each(0, |u, w| {
+            it_ids.push(u);
+            it_sum += w;
+        });
+        assert_eq!(ids, it_ids);
+        assert_eq!(sum.to_bits(), it_sum.to_bits());
+        assert!(ids.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn scale_all_rescales_live_entries() {
+        let mut store = SortedRunStore::new();
+        store.push_row();
+        store.push_row();
+        store.add(0, 1, 2.0);
+        store.add(1, 0, 4.0);
+        store.scale_all(0.5);
+        assert_eq!(store.get(0, 1), Some(1.0));
+        assert_eq!(store.get(1, 0), Some(2.0));
+    }
+}

@@ -5,6 +5,25 @@
 /// hashing in hot loops).
 pub type NodeId = u32;
 
+/// A borrowed view of one node's adjacency as up to two ascending-id
+/// sorted runs (see [`WeightedGraph::row_view`]).
+///
+/// The two runs are individually sorted ascending by id, their id sets are
+/// disjoint, and merging them yields exactly the node's neighbor set. A
+/// fully-merged row has an empty tail, in which case the run slices *are*
+/// the row. `run_ids`/`run_ws` and `tail_ids`/`tail_ws` are parallel.
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    /// Main sorted run: neighbor ids ascending.
+    pub run_ids: &'a [NodeId],
+    /// Weights parallel to `run_ids`.
+    pub run_ws: &'a [f64],
+    /// Pending sorted tail (empty when the row is fully merged).
+    pub tail_ids: &'a [NodeId],
+    /// Weights parallel to `tail_ids`.
+    pub tail_ws: &'a [f64],
+}
+
 /// An undirected weighted graph with optional self-loops.
 ///
 /// Conventions (these must agree across every implementor, they are what
@@ -49,4 +68,19 @@ pub trait WeightedGraph {
 
     /// Number of neighbors of `v` (excluding the self-loop).
     fn neighbor_count(&self, v: NodeId) -> usize;
+
+    /// The adjacency of `v` as sorted runs, when this graph stores rows
+    /// that way ([`RowView`]); `None` when only callback iteration is
+    /// available.
+    ///
+    /// Contract: an implementation must answer uniformly — `Some` for
+    /// every node or `None` for every node — so snapshot builders can pick
+    /// a copy strategy once per build. Consumers must produce bit-identical
+    /// results through either path (both iterate neighbors in the same
+    /// ascending order with the same weights); the view only removes the
+    /// callback indirection and enables blocked gathers over the slices.
+    fn row_view(&self, v: NodeId) -> Option<RowView<'_>> {
+        let _ = v;
+        None
+    }
 }

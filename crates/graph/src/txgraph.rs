@@ -1,9 +1,52 @@
 //! The incremental transaction graph.
 
-use txallo_model::{AccountId, Block, FxHashMap, FxHashSet, Ledger, Transaction};
+use txallo_model::{AccountId, Block, Ledger, Transaction};
 
 use crate::interner::AccountInterner;
-use crate::traits::{NodeId, WeightedGraph};
+use crate::slab::SortedRunStore;
+use crate::traits::{NodeId, RowView, WeightedGraph};
+
+/// The interned node view of one block: per-transaction dense node ids
+/// plus the deduplicated touched set `V̂` — everything an epoch consumer
+/// needs without ever re-hashing an [`AccountId`].
+///
+/// Produced by [`TxGraph::ingest_block_nodes`]. `tx_nodes(i)` is the
+/// interned image of transaction `i`'s deduplicated account set, in
+/// `account_set` order, so weight-delta folds (`AtxAlloSession`) can
+/// replay the exact clique expansion ingestion performed.
+#[derive(Debug, Clone, Default)]
+pub struct BlockNodes {
+    /// Flattened per-transaction node sets; transaction `i` owns
+    /// `tx_nodes[tx_offsets[i]..tx_offsets[i + 1]]`.
+    tx_offsets: Vec<u32>,
+    tx_nodes: Vec<NodeId>,
+    /// Deduplicated touched nodes, ascending.
+    touched: Vec<NodeId>,
+}
+
+impl BlockNodes {
+    /// Number of transactions in the block.
+    pub fn tx_count(&self) -> usize {
+        self.tx_offsets.len().saturating_sub(1)
+    }
+
+    /// Interned account set of transaction `i` (deduplicated, in
+    /// `account_set` order).
+    pub fn tx_nodes(&self, i: usize) -> &[NodeId] {
+        &self.tx_nodes[self.tx_offsets[i] as usize..self.tx_offsets[i + 1] as usize]
+    }
+
+    /// The deduplicated touched node set `V̂`, ascending — the A-TxAllo
+    /// epoch input.
+    pub fn touched(&self) -> &[NodeId] {
+        &self.touched
+    }
+
+    /// Consumes the view, keeping only the touched set.
+    pub fn into_touched(self) -> Vec<NodeId> {
+        self.touched
+    }
+}
 
 /// Weighted undirected transaction graph (Definition 2) with incremental
 /// ingestion.
@@ -19,14 +62,21 @@ use crate::traits::{NodeId, WeightedGraph};
 /// assert_eq!(g.total_weight(), 2.0); // one unit of weight per transaction
 /// ```
 ///
-/// Per-node adjacency is a hash map keyed by neighbor id so that repeated
-/// transactions between the same pair accumulate weight in `O(1)`; per-node
-/// scalars (`incident weight`, self-loop) are flat vectors, following the
-/// perf-book advice to keep hot per-node state unboxed and index-addressed.
+/// Per-node adjacency lives in a shared [`SortedRunStore`] arena: each row
+/// is an ascending-id sorted run with a small amortized-merge tail, so the
+/// mutable graph is CSR-shaped *by construction* — repeated transactions
+/// between the same pair still accumulate weight in place (binary search
+/// instead of a hash probe, chronological accumulation either way), and
+/// every snapshot the sweep kernels run on assembles its rows by straight
+/// run copies instead of hash iteration plus sorting.
+/// [`TxGraph::for_each_neighbor`] therefore always reports neighbors in
+/// ascending id order. Per-node scalars (`incident weight`, self-loop) are
+/// flat vectors, following the perf-book advice to keep hot per-node state
+/// unboxed and index-addressed.
 #[derive(Debug, Clone, Default)]
 pub struct TxGraph {
     interner: AccountInterner,
-    adjacency: Vec<FxHashMap<NodeId, f64>>,
+    adjacency: SortedRunStore,
     self_loops: Vec<f64>,
     incident: Vec<f64>,
     total_weight: f64,
@@ -62,8 +112,8 @@ impl TxGraph {
 
     fn ensure_node(&mut self, account: AccountId) -> NodeId {
         let n = self.interner.intern(account);
-        if n as usize >= self.adjacency.len() {
-            self.adjacency.push(FxHashMap::default());
+        if n as usize >= self.adjacency.rows() {
+            self.adjacency.push_row();
             self.self_loops.push(0.0);
             self.incident.push(0.0);
         }
@@ -73,24 +123,26 @@ impl TxGraph {
     /// Adds raw weight between two accounts (interning them as needed).
     /// `a == b` adds self-loop weight.
     pub fn add_weight(&mut self, a: AccountId, b: AccountId, w: f64) {
-        debug_assert!(w > 0.0, "edge weights must be positive");
         let na = self.ensure_node(a);
         let nb = self.ensure_node(b);
+        self.add_weight_nodes(na, nb, w);
+    }
+
+    /// [`TxGraph::add_weight`] over already-interned nodes — the ingestion
+    /// hot path (one interner lookup per account per transaction, not one
+    /// per clique pair).
+    fn add_weight_nodes(&mut self, na: NodeId, nb: NodeId, w: f64) {
+        debug_assert!(w > 0.0, "edge weights must be positive");
         self.total_weight += w;
         if na == nb {
             self.self_loops[na as usize] += w;
             self.incident[na as usize] += w;
             return;
         }
-        use std::collections::hash_map::Entry;
-        match self.adjacency[na as usize].entry(nb) {
-            Entry::Occupied(mut o) => *o.get_mut() += w,
-            Entry::Vacant(slot) => {
-                slot.insert(w);
-                self.edge_count += 1;
-            }
+        if self.adjacency.add(na as usize, nb, w) {
+            self.edge_count += 1;
         }
-        *self.adjacency[nb as usize].entry(na).or_insert(0.0) += w;
+        self.adjacency.add(nb as usize, na, w);
         self.incident[na as usize] += w;
         self.incident[nb as usize] += w;
     }
@@ -111,11 +163,7 @@ impl TxGraph {
 
     /// Multiplies every stored weight by `factor` (decay support).
     pub(crate) fn scale_all_weights(&mut self, factor: f64) {
-        for adj in &mut self.adjacency {
-            for w in adj.values_mut() {
-                *w *= factor;
-            }
-        }
+        self.adjacency.scale_all(factor);
         for w in &mut self.self_loops {
             *w *= factor;
         }
@@ -129,15 +177,17 @@ impl TxGraph {
     /// updating all derived weights. Returns the number of edges dropped.
     pub(crate) fn drop_edges_below(&mut self, threshold: f64) -> usize {
         let mut dropped = 0usize;
-        for a in 0..self.adjacency.len() {
-            let doomed: Vec<(NodeId, f64)> = self.adjacency[a]
-                .iter()
-                .filter(|&(&b, &w)| (a as NodeId) < b && w < threshold)
-                .map(|(&b, &w)| (b, w))
-                .collect();
-            for (b, w) in doomed {
-                self.adjacency[a].remove(&b);
-                self.adjacency[b as usize].remove(&(a as NodeId));
+        let mut doomed: Vec<(NodeId, f64)> = Vec::new();
+        for a in 0..self.adjacency.rows() {
+            doomed.clear();
+            self.adjacency.for_each(a, |b, w| {
+                if (a as NodeId) < b && w < threshold {
+                    doomed.push((b, w));
+                }
+            });
+            for &(b, w) in &doomed {
+                self.adjacency.remove(a, b);
+                self.adjacency.remove(b as usize, a as NodeId);
                 self.incident[a] = (self.incident[a] - w).max(0.0);
                 self.incident[b as usize] = (self.incident[b as usize] - w).max(0.0);
                 self.total_weight = (self.total_weight - w).max(0.0);
@@ -162,7 +212,7 @@ impl TxGraph {
         const DUST: f64 = 1e-9;
         debug_assert_ne!(a, b, "use subtract_self_loop for loops");
         let mut drop_edge = false;
-        if let Some(entry) = self.adjacency[a as usize].get_mut(&b) {
+        if let Some(entry) = self.adjacency.get_mut(a as usize, b) {
             *entry -= w;
             if *entry <= DUST {
                 drop_edge = true;
@@ -171,17 +221,35 @@ impl TxGraph {
             debug_assert!(false, "subtracting a non-existent edge");
             return;
         }
-        if let Some(entry) = self.adjacency[b as usize].get_mut(&a) {
+        if let Some(entry) = self.adjacency.get_mut(b as usize, a) {
             *entry -= w;
         }
         if drop_edge {
-            self.adjacency[a as usize].remove(&b);
-            self.adjacency[b as usize].remove(&a);
+            self.adjacency.remove(a as usize, b);
+            self.adjacency.remove(b as usize, a);
             self.edge_count -= 1;
         }
         self.incident[a as usize] = (self.incident[a as usize] - w).max(0.0);
         self.incident[b as usize] = (self.incident[b as usize] - w).max(0.0);
         self.total_weight = (self.total_weight - w).max(0.0);
+    }
+
+    /// Distributes one transaction's unit weight over the clique expansion
+    /// of its already-interned account set.
+    fn ingest_interned(&mut self, nodes: &[NodeId]) {
+        if nodes.len() == 1 {
+            let n = nodes[0];
+            self.self_loops[n as usize] += 1.0;
+            self.incident[n as usize] += 1.0;
+            self.total_weight += 1.0;
+            return;
+        }
+        let w = 1.0 / (nodes.len() * (nodes.len() - 1) / 2) as f64;
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                self.add_weight_nodes(nodes[i], nodes[j], w);
+            }
+        }
     }
 
     /// Ingests a single transaction: distributes weight `1/π(Tx)` over its
@@ -190,38 +258,41 @@ impl TxGraph {
         self.transaction_count += 1;
         let set = tx.account_set();
         let mut touched = Vec::with_capacity(set.len());
-        if set.len() == 1 {
-            let n = self.ensure_node(set[0]);
-            self.self_loops[n as usize] += 1.0;
-            self.incident[n as usize] += 1.0;
-            self.total_weight += 1.0;
-            touched.push(n);
-            return touched;
-        }
-        let w = 1.0 / (set.len() * (set.len() - 1) / 2) as f64;
         for &acct in &set {
             touched.push(self.ensure_node(acct));
         }
-        for i in 0..set.len() {
-            for j in (i + 1)..set.len() {
-                self.add_weight(set[i], set[j], w);
-            }
-        }
+        self.ingest_interned(&touched);
         touched
     }
 
     /// Ingests every transaction of a block, returning the deduplicated set
     /// of touched nodes `V̂` — the working set of A-TxAllo.
     pub fn ingest_block(&mut self, block: &Block) -> Vec<NodeId> {
-        let mut touched: FxHashSet<NodeId> = FxHashSet::default();
+        self.ingest_block_nodes(block).into_touched()
+    }
+
+    /// [`TxGraph::ingest_block`] returning the full interned view: the
+    /// deduplicated touched set *and* each transaction's dense node ids, so
+    /// epoch consumers (session delta folds, the streaming touched set)
+    /// reuse the interner work ingestion already paid instead of re-hashing
+    /// every [`AccountId`] per epoch.
+    pub fn ingest_block_nodes(&mut self, block: &Block) -> BlockNodes {
+        let mut nodes = BlockNodes::default();
+        nodes.tx_offsets.push(0);
         for tx in block.transactions() {
-            for n in self.ingest_transaction(tx) {
-                touched.insert(n);
+            self.transaction_count += 1;
+            let set = tx.account_set();
+            let start = nodes.tx_nodes.len();
+            for &acct in &set {
+                nodes.tx_nodes.push(self.ensure_node(acct));
             }
+            nodes.tx_offsets.push(nodes.tx_nodes.len() as u32);
+            self.ingest_interned(&nodes.tx_nodes[start..]);
         }
-        let mut v: Vec<NodeId> = touched.into_iter().collect();
-        v.sort_unstable();
-        v
+        nodes.touched.extend_from_slice(&nodes.tx_nodes);
+        nodes.touched.sort_unstable();
+        nodes.touched.dedup();
+        nodes
     }
 
     /// The account ↔ node mapping.
@@ -255,7 +326,20 @@ impl TxGraph {
         if a == b {
             return self.self_loops[a as usize];
         }
-        self.adjacency[a as usize].get(&b).copied().unwrap_or(0.0)
+        self.adjacency.get(a as usize, b).unwrap_or(0.0)
+    }
+
+    /// Appends node `v`'s neighbors (ascending ids, weights parallel) to
+    /// `out_ids`/`out_ws`, returning the row's weight sum folded in that
+    /// same ascending order — the straight run copy the snapshot builders
+    /// use.
+    pub fn copy_row_into(
+        &self,
+        v: NodeId,
+        out_ids: &mut Vec<NodeId>,
+        out_ws: &mut Vec<f64>,
+    ) -> f64 {
+        self.adjacency.copy_row_into(v as usize, out_ids, out_ws)
     }
 
     /// Nodes sorted by the canonical account-hash order the paper prescribes
@@ -287,14 +371,25 @@ impl WeightedGraph for TxGraph {
         self.incident[v as usize]
     }
 
-    fn for_each_neighbor(&self, v: NodeId, mut f: impl FnMut(NodeId, f64)) {
-        for (&u, &w) in &self.adjacency[v as usize] {
-            f(u, w);
-        }
+    /// Neighbors are reported in **ascending id order** (the sorted-run
+    /// invariant), so order-dependent float folds over the mutable graph
+    /// agree with the frozen CSR forms.
+    fn for_each_neighbor(&self, v: NodeId, f: impl FnMut(NodeId, f64)) {
+        self.adjacency.for_each(v as usize, f);
     }
 
     fn neighbor_count(&self, v: NodeId) -> usize {
-        self.adjacency[v as usize].len()
+        self.adjacency.row_len(v as usize)
+    }
+
+    fn row_view(&self, v: NodeId) -> Option<RowView<'_>> {
+        let (run_ids, run_ws, tail_ids, tail_ws) = self.adjacency.row_parts(v as usize);
+        Some(RowView {
+            run_ids,
+            run_ws,
+            tail_ids,
+            tail_ws,
+        })
     }
 }
 
@@ -389,6 +484,89 @@ mod tests {
     }
 
     #[test]
+    fn block_nodes_carry_per_transaction_interning() {
+        let mut g = TxGraph::new();
+        g.ingest_transaction(&Transaction::transfer(a(1), a(2)));
+        let block = Block::new(
+            0,
+            vec![
+                Transaction::transfer(a(2), a(3)),
+                Transaction::transfer(a(7), a(7)),
+                Transaction::new(vec![a(1)], vec![a(4), a(5)]).unwrap(),
+            ],
+        );
+        let nodes = g.ingest_block_nodes(&block);
+        assert_eq!(nodes.tx_count(), 3);
+        // Per-tx sets mirror account_set() through the interner.
+        for (i, tx) in block.transactions().iter().enumerate() {
+            let expect: Vec<NodeId> = tx
+                .account_set()
+                .iter()
+                .map(|&acct| g.node_of(acct).unwrap())
+                .collect();
+            assert_eq!(nodes.tx_nodes(i), expect.as_slice(), "tx {i}");
+        }
+        // Touched = sorted dedup of all per-tx sets.
+        let mut expect: Vec<NodeId> = (0..nodes.tx_count())
+            .flat_map(|i| nodes.tx_nodes(i).to_vec())
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(nodes.touched(), expect.as_slice());
+        // And matches what ingest_block reports on an identical twin.
+        let mut twin = TxGraph::new();
+        twin.ingest_transaction(&Transaction::transfer(a(1), a(2)));
+        assert_eq!(twin.ingest_block(&block), nodes.touched());
+    }
+
+    #[test]
+    fn neighbors_iterate_ascending_always() {
+        // Adversarial insertion order (descending, interleaved, repeated):
+        // the sorted-run invariant must hold after every transaction.
+        let mut g = TxGraph::new();
+        let partners: Vec<u64> = (0..60).map(|i| (997 * (i + 1)) % 61).collect();
+        for &p in &partners {
+            g.ingest_transaction(&Transaction::transfer(a(0), a(p + 1)));
+            let n0 = g.node_of(a(0)).unwrap();
+            let mut prev = None;
+            g.for_each_neighbor(n0, |u, _| {
+                assert!(prev.is_none_or(|p| p < u), "ascending after each ingest");
+                prev = Some(u);
+            });
+        }
+        let n0 = g.node_of(a(0)).unwrap();
+        assert_eq!(g.neighbor_count(n0), {
+            let mut d: Vec<u64> = partners.clone();
+            d.sort_unstable();
+            d.dedup();
+            d.len()
+        });
+    }
+
+    #[test]
+    fn self_transfers_and_repeated_pairs_degenerate_cases() {
+        // The satellite's degenerate coverage: a node whose entire history
+        // is self-transfers plus one pair accumulating many repeats.
+        let mut g = TxGraph::new();
+        for _ in 0..50 {
+            g.ingest_transaction(&Transaction::transfer(a(5), a(5)));
+        }
+        for _ in 0..50 {
+            g.ingest_transaction(&Transaction::transfer(a(1), a(2)));
+        }
+        let n5 = g.node_of(a(5)).unwrap();
+        assert_eq!(g.neighbor_count(n5), 0, "self-transfers create no edges");
+        assert_eq!(g.self_loop(n5), 50.0);
+        assert_eq!(g.incident_weight(n5), 50.0);
+        let (n1, n2) = (g.node_of(a(1)).unwrap(), g.node_of(a(2)).unwrap());
+        assert_eq!(g.weight_between(n1, n2), 50.0, "exact unit accumulation");
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.transaction_count(), 100);
+        // Both directions stored symmetrically.
+        assert_eq!(g.weight_between(n2, n1), 50.0);
+    }
+
+    #[test]
     fn canonical_order_is_a_permutation_and_stable() {
         let mut g = TxGraph::new();
         for i in 0..50u64 {
@@ -416,5 +594,33 @@ mod tests {
                 "incident weight cache out of sync for node {v}"
             );
         }
+    }
+
+    #[test]
+    fn row_view_merges_to_the_full_row() {
+        let mut g = TxGraph::new();
+        for i in 0..40u64 {
+            g.ingest_transaction(&Transaction::transfer(a(0), a((i * 7) % 41 + 1)));
+        }
+        let n0 = g.node_of(a(0)).unwrap();
+        let view = g.row_view(n0).expect("TxGraph always exposes rows");
+        assert!(view.run_ids.windows(2).all(|p| p[0] < p[1]));
+        assert!(view.tail_ids.windows(2).all(|p| p[0] < p[1]));
+        let mut merged: Vec<(NodeId, f64)> = view
+            .run_ids
+            .iter()
+            .copied()
+            .zip(view.run_ws.iter().copied())
+            .chain(
+                view.tail_ids
+                    .iter()
+                    .copied()
+                    .zip(view.tail_ws.iter().copied()),
+            )
+            .collect();
+        merged.sort_unstable_by_key(|&(u, _)| u);
+        let mut reported = Vec::new();
+        g.for_each_neighbor(n0, |u, w| reported.push((u, w)));
+        assert_eq!(merged, reported);
     }
 }

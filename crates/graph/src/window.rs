@@ -118,11 +118,13 @@ impl TxGraph {
             return;
         }
         let w = 1.0 / (set.len() * (set.len() - 1) / 2) as f64;
-        for i in 0..set.len() {
-            for j in (i + 1)..set.len() {
-                let a = self.node_of(set[i]).expect("account was interned");
-                let b = self.node_of(set[j]).expect("account was interned");
-                self.subtract_edge(a, b, w);
+        let nodes: Vec<crate::traits::NodeId> = set
+            .iter()
+            .map(|&acct| self.node_of(acct).expect("account was interned"))
+            .collect();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                self.subtract_edge(nodes[i], nodes[j], w);
             }
         }
     }

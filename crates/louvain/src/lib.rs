@@ -20,7 +20,7 @@ pub mod local_move;
 pub mod modularity;
 pub mod refine;
 
-pub use aggregate::{aggregate_graph, aggregate_graph_into};
+pub use aggregate::{aggregate_graph, aggregate_graph_into, AggregateScratch};
 pub use local_move::{local_moving_pass, LocalMoveOutcome};
 pub use modularity::modularity;
 pub use refine::{count_disconnected, split_disconnected};
@@ -109,9 +109,10 @@ pub fn louvain_csr(graph: &AdjacencyGraph, config: &LouvainConfig) -> LouvainRes
     let mut membership: Vec<u32> = (0..n as u32).collect();
     let mut owned_level: Option<AdjacencyGraph> = None;
     let mut levels = 0usize;
-    // One cross-level edge buffer: aggregation reuses it every level, so
-    // its high-water mark (set by level 0) is allocated exactly once.
-    let mut edge_buf: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    // One set of cross-level aggregation buffers (edge staging + counting
+    // scatter arrays): reused every level, so the high-water mark (set by
+    // level 0) is allocated exactly once.
+    let mut agg_scratch = AggregateScratch::default();
 
     for _ in 0..config.max_levels {
         let level_graph = owned_level.as_ref().unwrap_or(graph);
@@ -128,7 +129,12 @@ pub fn louvain_csr(graph: &AdjacencyGraph, config: &LouvainConfig) -> LouvainRes
         if compact.count == level_graph.node_count() {
             break; // No coarsening happened: converged.
         }
-        let next = aggregate_graph_into(level_graph, &compact.labels, compact.count, &mut edge_buf);
+        let next = aggregate_graph_into(
+            level_graph,
+            &compact.labels,
+            compact.count,
+            &mut agg_scratch,
+        );
         let done = compact.count <= 1;
         owned_level = Some(next);
         if done {

@@ -161,8 +161,11 @@ impl ShardedChainSim {
             self.stream.on_reweight(factor);
         }
         for b in blocks {
-            self.graph.ingest_block(b);
-            self.stream.on_block(&self.graph, b);
+            // The interned view carries each transaction's dense node ids
+            // (and the deduplicated touched set) from ingestion into the
+            // stream, so the serving surface never re-hashes an account id.
+            let nodes = self.graph.ingest_block_nodes(b);
+            self.stream.on_block_nodes(&self.graph, b, &nodes);
         }
 
         let start = Instant::now();
