@@ -834,6 +834,66 @@ pub fn bench_snapshot(out_path: &str) {
         })
     };
 
+    // Recovery (PR 6): restarting the epoch service from a checkpoint
+    // (decode + import of the serialized labels/aggregates/graph) vs the
+    // §V-B cold path (re-ingest the whole history, one global solve).
+    // Also the protocol cost a faulty run pays, from the substrate's own
+    // tallies: timeout retries and Atomix aborts under a mixed fault plan.
+    let (
+        recovery_cold_init,
+        recovery_warm_resume,
+        recovery_image_kib,
+        fault_retries,
+        fault_aborted,
+        fault_migrations_aborted,
+        fault_crash_outages,
+    ) = {
+        use txallo_chain::{ChainService, ChainServiceConfig, FaultPlan};
+        let service_cfg = || ChainServiceConfig {
+            epoch_blocks: 10,
+            ..ChainServiceConfig::new(4)
+        };
+        let trace_cfg = WorkloadConfig {
+            accounts: 5_000,
+            transactions: 40_000,
+            block_size: 100,
+            groups: 80,
+            ..WorkloadConfig::default()
+        };
+        let mut generator = EthereumLikeGenerator::new(trace_cfg, 42);
+        let warm_blocks = generator.blocks(100);
+        let live_blocks = generator.blocks(60);
+
+        let mut service = ChainService::new(service_cfg());
+        service.set_fault_plan(FaultPlan::mixed(7));
+        service.warmup(&warm_blocks);
+        service.run(&live_blocks);
+        let report = service.report();
+        let image = service.checkpoint().expect("boundary checkpoint");
+
+        // Cold: everything the checkpoint lets us skip — replaying the
+        // history into the graph and re-running the global solve.
+        let cold = median_ms(reps, || {
+            let mut cold = ChainService::new(service_cfg());
+            cold.warmup(&warm_blocks);
+            std::hint::black_box(cold.allocation().len());
+        });
+        // Warm: decode + validate + import the image; no solve at all.
+        let warm = median_ms(reps, || {
+            let resumed = ChainService::resume(service_cfg(), &image).expect("resume");
+            std::hint::black_box(resumed.allocation().len());
+        });
+        (
+            cold,
+            warm,
+            image.len() as f64 / 1024.0,
+            report.retries,
+            report.aborted,
+            report.migrations_aborted,
+            report.crash_outages,
+        )
+    };
+
     let json = format!(
         "{{\n  \"workload\": {{\"accounts\": 5000, \"transactions\": 40000, \"k\": {k}, \"seed\": 42}},\n  \
          \"unit\": \"ms (median of {reps})\",\n  \
@@ -862,7 +922,15 @@ pub fn bench_snapshot(out_path: &str) {
          \"scale_csr_build\": {scale_csr_build:.3},\n  \
          \"scale_csr_build_seed\": {scale_csr_build_seed:.3},\n  \
          \"scale_plan_csr\": {scale_plan_csr:.3},\n  \
-         \"scale_gtxallo_end_to_end\": {scale_end_to_end:.3}\n}}\n"
+         \"scale_gtxallo_end_to_end\": {scale_end_to_end:.3},\n  \
+         \"recovery_workload\": {{\"warm_blocks\": 100, \"live_blocks\": 60, \"epoch_blocks\": 10, \"k\": 4, \"fault_seed\": 7}},\n  \
+         \"recovery_cold_init\": {recovery_cold_init:.3},\n  \
+         \"recovery_warm_resume\": {recovery_warm_resume:.3},\n  \
+         \"recovery_image_kib\": {recovery_image_kib:.1},\n  \
+         \"fault_run_retries\": {fault_retries},\n  \
+         \"fault_run_aborted\": {fault_aborted},\n  \
+         \"fault_run_migrations_aborted\": {fault_migrations_aborted},\n  \
+         \"fault_run_crash_outages\": {fault_crash_outages}\n}}\n"
     );
     print!("{json}");
     if let Err(e) = std::fs::write(out_path, &json) {

@@ -13,6 +13,7 @@
 //! involved shard: processing it costs ≈ 2 consensus rounds instead of a
 //! share of one batched round, plus the client's proof relay messages.
 
+use crate::fault::FaultInjector;
 use crate::pbft::PbftShard;
 
 /// Result of running Atomix for one cross-shard transaction.
@@ -24,6 +25,9 @@ pub struct AtomixOutcome {
     pub messages: u64,
     /// Consensus rounds executed across all involved shards.
     pub rounds: u32,
+    /// Timeout-driven retries across all rounds and the proof relay
+    /// (always 0 on the fault-free path).
+    pub retries: u32,
 }
 
 /// The 2-phase cross-shard protocol over a set of shard consensus
@@ -70,6 +74,66 @@ impl AtomixProtocol {
             committed: all_locked,
             messages,
             rounds,
+            retries: 0,
+        }
+    }
+
+    /// [`AtomixProtocol::run`] under fault injection: each per-shard
+    /// consensus round runs with timeouts/retries
+    /// ([`PbftShard::run_round_faulty`]), and the client's proof-relay
+    /// bundle can itself be dropped, forcing a rebroadcast. Atomicity is
+    /// preserved by construction: any failed lock (including one that
+    /// exhausted its retries) turns phase 2 into the unlock round, so no
+    /// shard ever applies a partially-locked transaction.
+    pub fn run_faulty(
+        instances: &mut [PbftShard],
+        shards: &[u32],
+        inj: &mut FaultInjector,
+    ) -> AtomixOutcome {
+        assert!(
+            shards.len() >= 2,
+            "Atomix is only for cross-shard transactions"
+        );
+        let mut messages = 0u64;
+        let mut rounds = 0u32;
+        let mut retries = 0u32;
+        let mut all_locked = true;
+
+        // Phase 1: lock in every involved shard.
+        for &s in shards {
+            let out = instances[s as usize].run_round_faulty(inj);
+            messages += out.messages;
+            rounds += 1;
+            retries += out.retries;
+            if !out.committed {
+                all_locked = false;
+            }
+        }
+        // Client relays µ proofs to every involved shard; a lost bundle is
+        // re-sent in full (the client cannot tell which copy made it).
+        let relay = (shards.len() * shards.len()) as u64;
+        messages += relay;
+        if inj.drop_message() {
+            messages += relay;
+            retries += 1;
+        }
+
+        // Phase 2: commit (or unlock) everywhere.
+        for &s in shards {
+            let out = instances[s as usize].run_round_faulty(inj);
+            messages += out.messages;
+            rounds += 1;
+            retries += out.retries;
+            if !out.committed {
+                all_locked = false;
+            }
+        }
+
+        AtomixOutcome {
+            committed: all_locked,
+            messages,
+            rounds,
+            retries,
         }
     }
 }
@@ -141,5 +205,54 @@ mod tests {
     fn rejects_single_shard_use() {
         let mut shards = vec![healthy_shard(4)];
         let _ = AtomixProtocol::run(&mut shards, &[0]);
+    }
+
+    #[test]
+    fn faulty_run_preserves_atomicity_and_is_deterministic() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let plan = FaultPlan {
+            seed: 3,
+            drop_rate: 0.35,
+            duplicate_rate: 0.2,
+            max_retries: 1,
+            ..FaultPlan::none()
+        };
+        let run = || {
+            let mut inj = FaultInjector::new(plan);
+            let mut outs = Vec::new();
+            for _ in 0..100 {
+                let mut shards = vec![healthy_shard(4), healthy_shard(4), healthy_shard(4)];
+                outs.push(AtomixProtocol::run_faulty(
+                    &mut shards,
+                    &[0, 1, 2],
+                    &mut inj,
+                ));
+            }
+            outs
+        };
+        let outs = run();
+        assert_eq!(outs, run(), "fault schedule must be deterministic");
+        // Under this drop rate some runs abort (a lock exhausted its
+        // retries) and some commit — and an abort still pays both phases.
+        assert!(outs.iter().any(|o| o.committed));
+        let aborted: Vec<_> = outs.iter().filter(|o| !o.committed).collect();
+        assert!(!aborted.is_empty());
+        assert!(
+            aborted.iter().all(|o| o.rounds == 6),
+            "unlock phase still runs"
+        );
+        assert!(outs.iter().any(|o| o.retries > 0));
+    }
+
+    #[test]
+    fn faultless_injector_matches_plain_run() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        let mut a = vec![healthy_shard(4), broken_shard(4)];
+        let mut b = vec![healthy_shard(4), broken_shard(4)];
+        let fa = AtomixProtocol::run_faulty(&mut a, &[0, 1], &mut inj);
+        let fb = AtomixProtocol::run(&mut b, &[0, 1]);
+        assert_eq!(fa, fb);
+        assert_eq!(inj.counter(), 0);
     }
 }

@@ -9,13 +9,16 @@
 //! free relabel. The epoch loop itself lives in
 //! [`ChainService`](crate::ChainService).
 
-use txallo_core::{Allocation, AllocationUpdate};
+use txallo_core::checkpoint::{Decoder, Encoder};
+use txallo_core::{Allocation, AllocationUpdate, CheckpointError};
 use txallo_graph::TxGraph;
 use txallo_model::{Block, FxHashMap};
 
 use crate::atomix::AtomixProtocol;
+use crate::error::ChainError;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::pbft::PbftShard;
-use crate::validator::ValidatorSet;
+use crate::validator::{Validator, ValidatorSet};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -67,6 +70,15 @@ pub struct EngineReport {
     /// Atomix messages spent on those migrations (also counted in
     /// `total_messages`).
     pub migration_messages: u64,
+    /// Timeout-driven consensus retries (non-zero only under fault
+    /// injection); their message/phase cost is in `total_messages`.
+    pub retries: u64,
+    /// Migration accounts whose Atomix batch aborted even after
+    /// exhausting the fault plan's retry budget.
+    pub migrations_aborted: u64,
+    /// Validator-epochs lost to injected crashes (a validator down for
+    /// one reshuffle epoch counts once).
+    pub crash_outages: u64,
     /// Mean per-shard message cost of an intra transaction.
     pub intra_cost_per_shard: f64,
     /// Mean per-shard message cost of a cross transaction.
@@ -91,6 +103,8 @@ pub struct ChainEngine {
     validators: ValidatorSet,
     instances: Vec<PbftShard>,
     report: EngineReport,
+    /// Installed fault regime; `None` is the exact fault-free fast path.
+    fault: Option<FaultInjector>,
     // Work accumulators for the η measurement.
     intra_shard_tx_units: f64,
     intra_messages: f64,
@@ -100,25 +114,89 @@ pub struct ChainEngine {
 
 impl ChainEngine {
     /// Builds the engine (validators are assigned for epoch 0).
+    ///
+    /// # Panics
+    /// Panics on the configurations [`ChainEngine::try_new`] rejects.
     pub fn new(config: ChainEngineConfig) -> Self {
-        let validators = ValidatorSet::new(config.validators, config.byzantine, config.shards);
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ChainEngine::new`], returning a typed error on an invalid
+    /// configuration (zero shards, empty shards, quorum-breaking
+    /// Byzantine count).
+    pub fn try_new(config: ChainEngineConfig) -> Result<Self, ChainError> {
+        let validators = ValidatorSet::try_new(config.validators, config.byzantine, config.shards)?;
         let instances = Self::build_instances(&validators, config.shards);
-        Self {
+        Ok(Self {
             config,
             validators,
             instances,
             report: EngineReport::default(),
+            fault: None,
             intra_shard_tx_units: 0.0,
             intra_messages: 0.0,
             cross_shard_tx_units: 0.0,
             cross_messages: 0.0,
-        }
+        })
+    }
+
+    /// Builds the engine with a fault regime installed from block 0.
+    pub fn with_faults(config: ChainEngineConfig, plan: FaultPlan) -> Self {
+        let mut engine = Self::new(config);
+        engine.set_fault_plan(plan);
+        engine
+    }
+
+    /// Installs (or clears, with [`FaultPlan::none`]) the fault regime
+    /// and re-derives the shard instances, since the plan's crash
+    /// schedule may silence validators in the current epoch.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = if plan.is_none() {
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
+        self.rebuild_instances();
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|inj| inj.plan())
     }
 
     fn build_instances(validators: &ValidatorSet, shards: usize) -> Vec<PbftShard> {
         (0..shards as u32)
             .map(|s| PbftShard::new(validators.shard_members(s)))
             .collect()
+    }
+
+    /// Re-derives every shard instance from the current assignment,
+    /// silencing validators the fault plan's crash schedule has down this
+    /// epoch (a crashed validator is byzantine in the liveness sense:
+    /// present in the membership, never voting).
+    fn rebuild_instances(&mut self) {
+        let epoch = self.validators.epoch();
+        let mut outages = 0u64;
+        self.instances = (0..self.config.shards as u32)
+            .map(|s| {
+                let members: Vec<Validator> = self
+                    .validators
+                    .shard_members(s)
+                    .into_iter()
+                    .map(|mut v| {
+                        if let Some(inj) = &self.fault {
+                            if !v.byzantine && inj.is_crashed(v.id, epoch) {
+                                v.byzantine = true;
+                                outages += 1;
+                            }
+                        }
+                        v
+                    })
+                    .collect();
+                PbftShard::new(members)
+            })
+            .collect();
+        self.report.crash_outages += outages;
     }
 
     /// Current validator assignment.
@@ -136,7 +214,7 @@ impl ChainEngine {
         {
             let epoch = block.height() / self.config.reshuffle_interval;
             self.validators.reshuffle(epoch);
-            self.instances = Self::build_instances(&self.validators, self.config.shards);
+            self.rebuild_instances();
             self.report.reshuffles += 1;
         }
 
@@ -175,8 +253,12 @@ impl ChainEngine {
             for _ in 0..rounds {
                 let in_round = remaining.min(batch);
                 remaining -= in_round;
-                let out = self.instances[shard].run_round();
+                let out = match self.fault.as_mut() {
+                    Some(inj) => self.instances[shard].run_round_faulty(inj),
+                    None => self.instances[shard].run_round(),
+                };
                 self.report.total_messages += out.messages;
+                self.report.retries += out.retries as u64;
                 if out.committed {
                     self.report.intra_committed += in_round;
                 } else {
@@ -199,8 +281,12 @@ impl ChainEngine {
             for _ in 0..runs {
                 let in_run = remaining.min(batch);
                 remaining -= in_run;
-                let out = AtomixProtocol::run(&mut self.instances, &shards);
+                let out = match self.fault.as_mut() {
+                    Some(inj) => AtomixProtocol::run_faulty(&mut self.instances, &shards, inj),
+                    None => AtomixProtocol::run(&mut self.instances, &shards),
+                };
                 self.report.total_messages += out.messages;
+                self.report.retries += out.retries as u64;
                 if out.committed {
                     self.report.cross_committed += in_run;
                 } else {
@@ -232,16 +318,168 @@ impl ChainEngine {
         let mut pairs: Vec<((u32, u32), u64)> = pairs.into_iter().collect();
         pairs.sort_unstable(); // determinism
         let batch = self.config.batch_size.max(1) as u64;
+        let retry_budget = self
+            .fault
+            .as_ref()
+            .map(|inj| inj.plan().max_retries)
+            .unwrap_or(0);
         for ((from, to), count) in pairs {
-            self.report.migrations += count;
             let shards = if from < to { [from, to] } else { [to, from] };
             let runs = count.div_ceil(batch);
+            if self.fault.is_none() {
+                self.report.migrations += count;
+                for _ in 0..runs {
+                    let out = AtomixProtocol::run(&mut self.instances, &shards);
+                    self.report.total_messages += out.messages;
+                    self.report.migration_messages += out.messages;
+                }
+                continue;
+            }
+            // Under faults a migration batch can abort; the whole Atomix
+            // instance is re-run up to the plan's retry budget, and a
+            // batch that still cannot commit stays on its source shard
+            // (counted in `migrations_aborted`, never silently applied).
+            let mut remaining = count;
             for _ in 0..runs {
-                let out = AtomixProtocol::run(&mut self.instances, &shards);
-                self.report.total_messages += out.messages;
-                self.report.migration_messages += out.messages;
+                let in_run = remaining.min(batch);
+                remaining -= in_run;
+                let mut committed = false;
+                for _ in 0..=retry_budget {
+                    let inj = self.fault.as_mut().expect("fault path");
+                    let out = AtomixProtocol::run_faulty(&mut self.instances, &shards, inj);
+                    self.report.total_messages += out.messages;
+                    self.report.migration_messages += out.messages;
+                    self.report.retries += out.retries as u64;
+                    if out.committed {
+                        committed = true;
+                        break;
+                    }
+                }
+                if committed {
+                    self.report.migrations += in_run;
+                } else {
+                    self.report.migrations_aborted += in_run;
+                }
             }
         }
+    }
+
+    /// Serializes the engine's resumable state: report counters, the η
+    /// accumulators (raw bits — they are chronological float sums), the
+    /// reshuffle epoch, per-shard view cursors, and the fault injector's
+    /// plan + decision counter.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        let r = &self.report;
+        for v in [
+            r.blocks,
+            r.intra_committed,
+            r.cross_committed,
+            r.aborted,
+            r.total_messages,
+            r.reshuffles,
+            r.migrations,
+            r.migration_messages,
+            r.retries,
+            r.migrations_aborted,
+            r.crash_outages,
+        ] {
+            e.u64(v);
+        }
+        for v in [
+            self.intra_shard_tx_units,
+            self.intra_messages,
+            self.cross_shard_tx_units,
+            self.cross_messages,
+        ] {
+            e.f64(v);
+        }
+        e.u64(self.validators.epoch());
+        e.u64(self.instances.len() as u64);
+        for inst in &self.instances {
+            e.u64(inst.view() as u64);
+        }
+        match &self.fault {
+            None => e.u8(0),
+            Some(inj) => {
+                e.u8(1);
+                let p = inj.plan();
+                e.u64(p.seed);
+                e.f64(p.drop_rate);
+                e.f64(p.delay_rate);
+                e.f64(p.duplicate_rate);
+                e.u32(p.max_retries);
+                e.f64(p.crash_rate);
+                e.u64(p.rejoin_after);
+                e.u64(inj.counter());
+            }
+        }
+        e.finish()
+    }
+
+    /// Restores state exported by [`ChainEngine::export_state`] into an
+    /// engine built from the same configuration; afterwards the engine
+    /// behaves bit-identically to one that never stopped.
+    pub fn import_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut d = Decoder::new(bytes);
+        let report = EngineReport {
+            blocks: d.u64()?,
+            intra_committed: d.u64()?,
+            cross_committed: d.u64()?,
+            aborted: d.u64()?,
+            total_messages: d.u64()?,
+            reshuffles: d.u64()?,
+            migrations: d.u64()?,
+            migration_messages: d.u64()?,
+            retries: d.u64()?,
+            migrations_aborted: d.u64()?,
+            crash_outages: d.u64()?,
+            intra_cost_per_shard: 0.0,
+            cross_cost_per_shard: 0.0,
+        };
+        let intra_shard_tx_units = d.f64()?;
+        let intra_messages = d.f64()?;
+        let cross_shard_tx_units = d.f64()?;
+        let cross_messages = d.f64()?;
+        let epoch = d.u64()?;
+        let instances = d.u64()? as usize;
+        if instances != self.config.shards {
+            return Err(CheckpointError::Malformed("engine shard-instance count"));
+        }
+        let views: Vec<u64> = (0..instances).map(|_| d.u64()).collect::<Result<_, _>>()?;
+        let fault = match d.u8()? {
+            0 => None,
+            1 => {
+                let plan = FaultPlan {
+                    seed: d.u64()?,
+                    drop_rate: d.f64()?,
+                    delay_rate: d.f64()?,
+                    duplicate_rate: d.f64()?,
+                    max_retries: d.u32()?,
+                    crash_rate: d.f64()?,
+                    rejoin_after: d.u64()?,
+                };
+                Some(FaultInjector::restore(plan, d.u64()?))
+            }
+            _ => return Err(CheckpointError::Malformed("engine fault marker")),
+        };
+        d.finish()?;
+
+        self.fault = fault;
+        self.validators.reshuffle(epoch);
+        self.rebuild_instances();
+        for (inst, view) in self.instances.iter_mut().zip(views) {
+            inst.restore_view(view as usize);
+        }
+        // The report is restored last: `rebuild_instances` charged this
+        // epoch's crash outages, but the exported counters already
+        // include them.
+        self.report = report;
+        self.intra_shard_tx_units = intra_shard_tx_units;
+        self.intra_messages = intra_messages;
+        self.cross_shard_tx_units = cross_shard_tx_units;
+        self.cross_messages = cross_messages;
+        Ok(())
     }
 
     /// Finalizes and returns the report.
@@ -368,6 +606,144 @@ mod tests {
         e.process_block(&block, &g, &alloc);
         assert_eq!(e.report().intra_committed, 1);
         assert_eq!(e.report().aborted, 0);
+    }
+
+    fn traffic_blocks(n: u64) -> (TxGraph, Vec<Block>) {
+        let mut g = TxGraph::new();
+        let blocks: Vec<Block> = (0..n)
+            .map(|h| {
+                let mut txs = Vec::new();
+                for i in 0..6u64 {
+                    txs.push(Transaction::transfer(
+                        AccountId((h + i) % 9),
+                        AccountId((h + i * 3) % 11 + 9),
+                    ));
+                }
+                Block::new(h, txs)
+            })
+            .collect();
+        for b in &blocks {
+            g.ingest_block(b);
+        }
+        (g, blocks)
+    }
+
+    #[test]
+    fn faulty_engine_is_deterministic_and_charges_protocol_cost() {
+        use crate::fault::FaultPlan;
+        let (g, blocks) = traffic_blocks(30);
+        let alloc = Allocation::new(
+            (0..txallo_graph::WeightedGraph::node_count(&g) as u32)
+                .map(|v| v % 3)
+                .collect(),
+            3,
+        );
+        let plan = FaultPlan::mixed(21);
+        let run = |plan: FaultPlan| {
+            let mut e = ChainEngine::with_faults(
+                ChainEngineConfig {
+                    shards: 3,
+                    validators: 24,
+                    byzantine: 0,
+                    batch_size: 4,
+                    reshuffle_interval: 10,
+                },
+                plan,
+            );
+            for b in &blocks {
+                e.process_block(b, &g, &alloc);
+            }
+            e.report()
+        };
+        let faulty = run(plan);
+        let again = run(plan);
+        assert_eq!(
+            format!("{faulty:?}"),
+            format!("{again:?}"),
+            "bit-identical replays"
+        );
+        let clean = run(FaultPlan::none());
+        assert!(faulty.retries > 0, "a mixed plan must force retries");
+        assert!(
+            faulty.total_messages > clean.total_messages,
+            "faults are protocol cost, not free"
+        );
+        // Conservation holds under faults too.
+        let total = 30 * 6;
+        assert_eq!(
+            faulty.intra_committed + faulty.cross_committed + faulty.aborted,
+            total
+        );
+        assert_eq!(clean.aborted, 0);
+    }
+
+    #[test]
+    fn export_import_resumes_bit_identically() {
+        use crate::fault::FaultPlan;
+        let (g, blocks) = traffic_blocks(40);
+        let alloc = Allocation::new(
+            (0..txallo_graph::WeightedGraph::node_count(&g) as u32)
+                .map(|v| v % 2)
+                .collect(),
+            2,
+        );
+        let config = ChainEngineConfig {
+            shards: 2,
+            validators: 16,
+            byzantine: 0,
+            batch_size: 8,
+            reshuffle_interval: 7,
+        };
+        let plan = FaultPlan::mixed(5);
+        // Uninterrupted reference run.
+        let mut full = ChainEngine::with_faults(config.clone(), plan);
+        for b in &blocks {
+            full.process_block(b, &g, &alloc);
+        }
+        // Crash after 20 blocks, export, import into a fresh engine.
+        let mut first = ChainEngine::with_faults(config.clone(), plan);
+        for b in &blocks[..20] {
+            first.process_block(b, &g, &alloc);
+        }
+        let state = first.export_state();
+        let mut resumed = ChainEngine::new(config);
+        resumed.import_state(&state).unwrap();
+        for b in &blocks[20..] {
+            resumed.process_block(b, &g, &alloc);
+        }
+        assert_eq!(
+            format!("{:?}", full.report()),
+            format!("{:?}", resumed.report()),
+            "resume must be indistinguishable from never stopping"
+        );
+        assert_eq!(full.fault_plan(), resumed.fault_plan());
+    }
+
+    #[test]
+    fn corrupt_engine_state_is_a_typed_error() {
+        let e = ChainEngine::new(ChainEngineConfig::new(2));
+        let mut state = e.export_state();
+        state.truncate(state.len() / 2);
+        let mut fresh = ChainEngine::new(ChainEngineConfig::new(2));
+        assert!(fresh.import_state(&state).is_err());
+    }
+
+    #[test]
+    fn invalid_configurations_are_typed_errors() {
+        use crate::error::ChainError;
+        let bad = |shards, validators, byzantine| {
+            ChainEngine::try_new(ChainEngineConfig {
+                shards,
+                validators,
+                byzantine,
+                batch_size: 8,
+                reshuffle_interval: 0,
+            })
+            .unwrap_err()
+        };
+        assert_eq!(bad(0, 4, 0), ChainError::NoShards);
+        assert!(matches!(bad(4, 2, 0), ChainError::NoValidators { .. }));
+        assert!(matches!(bad(1, 4, 2), ChainError::QuorumViolation { .. }));
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Deterministic fault injection for the consensus substrate.
+//!
+//! The paper's determinism argument (§IV-A) only matters if it survives
+//! failure: message loss in Atomix's lock/commit phases, PBFT round
+//! timeouts, and validators crashing across reshuffle epochs. A
+//! [`FaultPlan`] describes a failure regime; a [`FaultInjector`] turns it
+//! into a *reproducible* decision stream — every drop/delay/duplication
+//! draw comes from `mix64` over `(seed, decision counter)`, so the same
+//! plan over the same event sequence yields the same faults, and the
+//! counter can be checkpointed and restored mid-run without replaying.
+//!
+//! Crash schedules are deliberately *stateless*: whether validator `v` is
+//! down at epoch `e` is a pure function of `(seed, v, e)`, so a service
+//! that restarts from a checkpoint sees exactly the outages its peers see
+//! without any crash bookkeeping in the checkpoint.
+
+use txallo_model::hash::mix64;
+
+use crate::validator::ValidatorId;
+
+/// Domain-separation salts so distinct decision kinds never share a draw.
+const SALT_DROP: u64 = 0x9E37_79B9_7F4A_7C15;
+const SALT_DELAY: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const SALT_DUPLICATE: u64 = 0x1656_67B1_9E37_79F9;
+const SALT_CRASH: u64 = 0x2545_F491_4F6C_DD1D;
+
+/// A seeded description of the failure regime to inject.
+///
+/// All rates are probabilities in `[0, 1]`; a rate of zero disables that
+/// fault class entirely (and consumes no draws, so adding a disabled
+/// class never perturbs the others).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the deterministic decision stream.
+    pub seed: u64,
+    /// Probability a protocol message round is lost, forcing a timeout
+    /// and (bounded) retry.
+    pub drop_rate: f64,
+    /// Probability a round is delayed one extra timeout-length phase
+    /// (latency cost only; no progress is lost).
+    pub delay_rate: f64,
+    /// Probability a broadcast is duplicated (extra messages on the
+    /// wire; harmless to safety, counted as protocol cost).
+    pub duplicate_rate: f64,
+    /// Retries allowed after a dropped round before the batch aborts.
+    pub max_retries: u32,
+    /// Per-epoch probability that a validator crashes at that epoch.
+    pub crash_rate: f64,
+    /// Epochs a crashed validator stays down *after* its crash epoch
+    /// (it is silent for `rejoin_after + 1` epochs, then rejoins).
+    pub rejoin_after: u64,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: every rate zero, nothing injected.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            duplicate_rate: 0.0,
+            max_retries: 0,
+            crash_rate: 0.0,
+            rejoin_after: 0,
+        }
+    }
+
+    /// A moderate mixed-failure regime under `seed`: 5% drops with up to
+    /// 3 retries, 5% delays, 5% duplicates, 2% per-epoch crashes with a
+    /// 2-epoch rejoin window.
+    pub fn mixed(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_rate: 0.05,
+            delay_rate: 0.05,
+            duplicate_rate: 0.05,
+            max_retries: 3,
+            crash_rate: 0.02,
+            rejoin_after: 2,
+        }
+    }
+
+    /// Whether this plan injects nothing at all.
+    pub fn is_none(&self) -> bool {
+        self.drop_rate <= 0.0
+            && self.delay_rate <= 0.0
+            && self.duplicate_rate <= 0.0
+            && self.crash_rate <= 0.0
+    }
+}
+
+/// Map a 64-bit draw to `[0, 1)` using its top 53 bits.
+fn unit_from(draw: u64) -> f64 {
+    (draw >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The deterministic decision stream over a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    counter: u64,
+}
+
+impl FaultInjector {
+    /// A fresh injector at decision 0.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan, counter: 0 }
+    }
+
+    /// Rebuilds an injector mid-stream (checkpoint restore).
+    pub fn restore(plan: FaultPlan, counter: u64) -> Self {
+        Self { plan, counter }
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decisions drawn so far — serialize this to resume the stream.
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// One uniform draw in `[0, 1)`, advancing the decision counter.
+    fn unit(&mut self, salt: u64) -> f64 {
+        let draw = mix64(self.plan.seed ^ mix64(self.counter ^ salt));
+        self.counter = self.counter.wrapping_add(1);
+        unit_from(draw)
+    }
+
+    /// Should the current message round be dropped?
+    pub fn drop_message(&mut self) -> bool {
+        self.plan.drop_rate > 0.0 && self.unit(SALT_DROP) < self.plan.drop_rate
+    }
+
+    /// Should the current round be delayed one timeout phase?
+    pub fn delay_message(&mut self) -> bool {
+        self.plan.delay_rate > 0.0 && self.unit(SALT_DELAY) < self.plan.delay_rate
+    }
+
+    /// Should the current broadcast be duplicated?
+    pub fn duplicate_message(&mut self) -> bool {
+        self.plan.duplicate_rate > 0.0 && self.unit(SALT_DUPLICATE) < self.plan.duplicate_rate
+    }
+
+    /// Whether `validator` is down at reshuffle `epoch` — a pure function
+    /// of the plan, never of the decision counter, so it agrees across
+    /// checkpoint/restore and across independent replicas.
+    pub fn is_crashed(&self, validator: ValidatorId, epoch: u64) -> bool {
+        if self.plan.crash_rate <= 0.0 {
+            return false;
+        }
+        // A crash at epoch e keeps the validator down through
+        // e + rejoin_after; scan the window of epochs whose crash would
+        // still cover `epoch`.
+        for back in 0..=self.plan.rejoin_after {
+            let Some(e) = epoch.checked_sub(back) else {
+                break;
+            };
+            let draw = mix64(
+                self.plan.seed
+                    ^ mix64(e ^ SALT_CRASH)
+                    ^ mix64((validator as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ SALT_CRASH),
+            );
+            if unit_from(draw) < self.plan.crash_rate {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_never_fires() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        for _ in 0..100 {
+            assert!(!inj.drop_message());
+            assert!(!inj.delay_message());
+            assert!(!inj.duplicate_message());
+        }
+        assert_eq!(inj.counter(), 0, "disabled classes consume no draws");
+        assert!(!inj.is_crashed(3, 7));
+    }
+
+    #[test]
+    fn decision_stream_is_deterministic() {
+        let plan = FaultPlan::mixed(42);
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        for _ in 0..200 {
+            assert_eq!(a.drop_message(), b.drop_message());
+            assert_eq!(a.delay_message(), b.delay_message());
+            assert_eq!(a.duplicate_message(), b.duplicate_message());
+        }
+        assert_eq!(a.counter(), b.counter());
+    }
+
+    #[test]
+    fn restore_resumes_the_exact_stream() {
+        let plan = FaultPlan::mixed(7);
+        let mut full = FaultInjector::new(plan);
+        let mut decisions = Vec::new();
+        for _ in 0..50 {
+            decisions.push(full.drop_message());
+        }
+        // Replay the first half, checkpoint, restore, replay the rest.
+        let mut first = FaultInjector::new(plan);
+        for d in decisions.iter().take(25) {
+            assert_eq!(first.drop_message(), *d);
+        }
+        let mut resumed = FaultInjector::restore(plan, first.counter());
+        for d in decisions.iter().skip(25) {
+            assert_eq!(resumed.drop_message(), *d);
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan {
+            seed: 99,
+            drop_rate: 0.3,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan);
+        let fired = (0..10_000).filter(|_| inj.drop_message()).count();
+        let rate = fired as f64 / 10_000.0;
+        assert!((0.25..0.35).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn crash_schedule_is_stateless_and_windowed() {
+        let plan = FaultPlan {
+            seed: 5,
+            crash_rate: 0.2,
+            rejoin_after: 2,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(plan);
+        // Stateless: drawing messages must not perturb the schedule.
+        let mut perturbed = FaultInjector::new(FaultPlan {
+            drop_rate: 0.5,
+            ..plan
+        });
+        for _ in 0..100 {
+            let _ = perturbed.drop_message();
+        }
+        let mut any_crash = false;
+        for id in 0..20u32 {
+            for epoch in 0..50u64 {
+                assert_eq!(inj.is_crashed(id, epoch), perturbed.is_crashed(id, epoch));
+                any_crash |= inj.is_crashed(id, epoch);
+            }
+        }
+        assert!(any_crash, "a 20% crash rate must fire somewhere");
+        // Windowed: a crash epoch covers the following rejoin_after epochs.
+        for id in 0..20u32 {
+            for epoch in 0..50u64 {
+                let crashed_now = {
+                    let draw = mix64(
+                        plan.seed
+                            ^ mix64(epoch ^ SALT_CRASH)
+                            ^ mix64((id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ SALT_CRASH),
+                    );
+                    unit_from(draw) < plan.crash_rate
+                };
+                if crashed_now {
+                    for w in 0..=plan.rejoin_after {
+                        assert!(inj.is_crashed(id, epoch + w), "down through the window");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -22,12 +22,16 @@
 
 pub mod atomix;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod pbft;
 pub mod service;
 pub mod validator;
 
 pub use atomix::{AtomixOutcome, AtomixProtocol};
 pub use engine::{ChainEngine, ChainEngineConfig, EngineReport};
+pub use error::ChainError;
+pub use fault::{FaultInjector, FaultPlan};
 pub use pbft::{ConsensusOutcome, PbftShard};
 pub use service::{ChainService, ChainServiceConfig};
 pub use validator::{Validator, ValidatorId, ValidatorSet};

@@ -7,6 +7,7 @@
 //! replicas are silent (worst case for liveness; safety is never violated
 //! because we only count real votes).
 
+use crate::fault::FaultInjector;
 use crate::validator::Validator;
 
 /// Outcome of one consensus round.
@@ -18,6 +19,8 @@ pub struct ConsensusOutcome {
     pub messages: u64,
     /// Communication phases executed (3 on success path).
     pub phases: u32,
+    /// Timeout-driven retries taken (always 0 on the fault-free path).
+    pub retries: u32,
 }
 
 /// A single shard's consensus instance.
@@ -82,6 +85,7 @@ impl PbftShard {
                 committed: false,
                 messages,
                 phases,
+                retries: 0,
             };
         }
 
@@ -101,7 +105,73 @@ impl PbftShard {
             committed,
             messages,
             phases,
+            retries: 0,
         }
+    }
+
+    /// [`PbftShard::run_round`] under fault injection: after a round
+    /// reaches quorum, the network may still duplicate the commit
+    /// broadcast (extra messages), delay it one timeout phase, or lose it
+    /// outright — a loss forces a view-change-priced timeout and a full
+    /// retry round, bounded by the plan's `max_retries`, after which the
+    /// batch aborts. Every cost lands in the outcome's message/phase
+    /// tallies so faults are *protocol cost*, never free.
+    pub fn run_round_faulty(&mut self, inj: &mut FaultInjector) -> ConsensusOutcome {
+        let n = self.n() as u64;
+        let mut messages = 0u64;
+        let mut phases = 0u32;
+        let mut retries = 0u32;
+        loop {
+            let out = self.run_round();
+            messages += out.messages;
+            phases += out.phases;
+            if !out.committed {
+                // Quorum failure: faults cannot resurrect it, no retry.
+                return ConsensusOutcome {
+                    committed: false,
+                    messages,
+                    phases,
+                    retries,
+                };
+            }
+            if inj.duplicate_message() {
+                messages += n.saturating_sub(1); // duplicated broadcast
+            }
+            if inj.delay_message() {
+                phases += 1; // timeout-length wait, nothing lost
+            }
+            if inj.drop_message() {
+                // Lost commit certificate: timeout, view change, retry.
+                messages += n;
+                phases += 1;
+                if retries >= inj.plan().max_retries {
+                    return ConsensusOutcome {
+                        committed: false,
+                        messages,
+                        phases,
+                        retries,
+                    };
+                }
+                retries += 1;
+                continue;
+            }
+            return ConsensusOutcome {
+                committed: true,
+                messages,
+                phases,
+                retries,
+            };
+        }
+    }
+
+    /// The round-robin view cursor (for checkpointing).
+    pub fn view(&self) -> usize {
+        self.view
+    }
+
+    /// Restores the view cursor (checkpoint resume).
+    pub fn restore_view(&mut self, view: usize) {
+        self.view = view;
     }
 }
 
@@ -136,10 +206,62 @@ mod tests {
 
     #[test]
     fn stalls_beyond_f_faults() {
-        // n = 4 with 2 Byzantine: quorum 3 > 2 honest → no commit.
-        let mut s = shard_with(4, 2);
+        // n = 4 with 2 Byzantine: quorum 3 > 2 honest → no commit. Such a
+        // population is rejected by `ValidatorSet::new` (quorum bound), so
+        // build it through the unchecked escape hatch.
+        let set = ValidatorSet::new_unchecked(4, 2, 1);
+        let mut s = PbftShard::new(set.shard_members(0));
         let out = s.run_round();
         assert!(!out.committed, "safety: no quorum, no commit");
+    }
+
+    #[test]
+    fn faulty_round_retries_then_commits_or_aborts() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        // A heavy drop rate with bounded retries: over many rounds we must
+        // see both committed rounds with retries > 0 and aborted rounds
+        // that exhausted the budget — each deterministically reproducible.
+        let plan = FaultPlan {
+            seed: 11,
+            drop_rate: 0.4,
+            max_retries: 2,
+            ..FaultPlan::none()
+        };
+        let run = || {
+            let mut inj = FaultInjector::new(plan);
+            let mut outs = Vec::new();
+            let mut s = shard_with(4, 0);
+            for _ in 0..200 {
+                outs.push(s.run_round_faulty(&mut inj));
+            }
+            outs
+        };
+        let outs = run();
+        assert_eq!(outs, run(), "fault schedule must be deterministic");
+        assert!(outs.iter().any(|o| o.committed && o.retries > 0));
+        let aborted: Vec<_> = outs.iter().filter(|o| !o.committed).collect();
+        assert!(
+            !aborted.is_empty(),
+            "a 0.4³ abort chance must fire in 200 rounds"
+        );
+        assert!(aborted.iter().all(|o| o.retries == plan.max_retries));
+        // Retried rounds cost more than clean ones.
+        let clean = outs.iter().find(|o| o.committed && o.retries == 0).unwrap();
+        let retried = outs.iter().find(|o| o.committed && o.retries > 0).unwrap();
+        assert!(retried.messages > clean.messages);
+        assert!(retried.phases > clean.phases);
+    }
+
+    #[test]
+    fn faultless_injector_matches_plain_rounds() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        let mut a = shard_with(7, 2);
+        let mut b = shard_with(7, 2);
+        for _ in 0..10 {
+            assert_eq!(a.run_round_faulty(&mut inj), b.run_round());
+        }
+        assert_eq!(inj.counter(), 0);
     }
 
     #[test]

@@ -13,14 +13,19 @@
 //! is therefore a measured protocol cost, exactly like the transactions
 //! it is supposed to save.
 
-use txallo_core::{
-    Allocation, AllocationUpdate, AllocatorRegistry, EpochKind, HybridSchedule, StreamingAllocator,
-    TxAlloParams,
+use txallo_core::checkpoint::{
+    decode_checkpoint, encode_checkpoint, Decoder, Encoder, StreamState,
 };
-use txallo_graph::TxGraph;
+use txallo_core::{
+    Allocation, AllocationUpdate, AllocatorRegistry, CheckpointError, Degradation, EpochKind,
+    GlobalStream, HashAllocator, HybridSchedule, StateCarry, StreamingAllocator, TxAlloParams,
+};
+use txallo_graph::{TxGraph, WeightedGraph};
 use txallo_model::Block;
 
 use crate::engine::{ChainEngine, ChainEngineConfig, EngineReport};
+use crate::error::ChainError;
+use crate::fault::FaultPlan;
 
 /// Configuration of the epoch-driven chain service.
 #[derive(Debug, Clone)]
@@ -53,6 +58,30 @@ impl ChainServiceConfig {
     }
 }
 
+/// Stable wire code of a [`Degradation`] rung (checkpoint format).
+fn degradation_code(d: Degradation) -> u8 {
+    match d {
+        Degradation::None => 0,
+        Degradation::Invalidated => 1,
+        Degradation::Rebuilt => 2,
+        Degradation::HashFallback => 3,
+    }
+}
+
+fn degradation_from_code(code: u8) -> Result<Degradation, ChainError> {
+    Ok(match code {
+        0 => Degradation::None,
+        1 => Degradation::Invalidated,
+        2 => Degradation::Rebuilt,
+        3 => Degradation::HashFallback,
+        _ => {
+            return Err(ChainError::CorruptCheckpoint(CheckpointError::Malformed(
+                "degradation rung",
+            )))
+        }
+    })
+}
+
 /// The running service (see the [module docs](self)).
 #[derive(Debug)]
 pub struct ChainService {
@@ -64,6 +93,15 @@ pub struct ChainService {
     blocks_in_epoch: usize,
     epochs_closed: u64,
     warmed_up: bool,
+    /// Health-check period in epochs (0 = disabled).
+    health_interval: u64,
+    /// Maximum tolerated aggregate divergence before degrading.
+    health_tolerance: f64,
+    /// Current rung on the recovery ladder.
+    degradation: Degradation,
+    /// How the stream state crossed the last [`ChainService::resume`]
+    /// (`None` until a resume happened).
+    resume_carry: Option<StateCarry>,
 }
 
 impl ChainService {
@@ -77,15 +115,34 @@ impl ChainService {
     }
 
     /// [`ChainService::new`] with a caller-supplied registry.
+    ///
+    /// # Panics
+    /// Panics where [`ChainService::try_with_registry`] errors.
     pub fn with_registry(config: ChainServiceConfig, registry: &AllocatorRegistry) -> Self {
-        assert!(config.epoch_blocks > 0, "epochs must contain blocks");
+        Self::try_with_registry(config, registry).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ChainService::new`]: every structurally invalid
+    /// configuration — zero-block epochs, an unknown allocation method,
+    /// an invalid validator population — is a typed [`ChainError`]
+    /// instead of a panic.
+    pub fn try_new(config: ChainServiceConfig) -> Result<Self, ChainError> {
+        Self::try_with_registry(config, &AllocatorRegistry::builtin())
+    }
+
+    /// [`ChainService::try_new`] with a caller-supplied registry.
+    pub fn try_with_registry(
+        config: ChainServiceConfig,
+        registry: &AllocatorRegistry,
+    ) -> Result<Self, ChainError> {
+        if config.epoch_blocks == 0 {
+            return Err(ChainError::EmptyEpoch);
+        }
         let shards = config.engine.shards;
         let params = TxAlloParams::for_total_weight(0.0, shards).with_eta(config.eta);
-        let stream = registry
-            .streaming(&config.method, &params, config.schedule)
-            .unwrap_or_else(|e| panic!("{e}"));
-        Self {
-            engine: ChainEngine::new(config.engine.clone()),
+        let stream = registry.streaming(&config.method, &params, config.schedule)?;
+        Ok(Self {
+            engine: ChainEngine::try_new(config.engine.clone())?,
             config,
             graph: TxGraph::new(),
             stream,
@@ -93,7 +150,30 @@ impl ChainService {
             blocks_in_epoch: 0,
             epochs_closed: 0,
             warmed_up: false,
-        }
+            health_interval: 0,
+            health_tolerance: 0.0,
+            degradation: Degradation::None,
+            resume_carry: None,
+        })
+    }
+
+    /// Installs (or clears) a deterministic fault plan on the consensus
+    /// substrate — see [`ChainEngine::set_fault_plan`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.engine.set_fault_plan(plan);
+    }
+
+    /// Enables the serving-state health check: every `interval_epochs`
+    /// closed epochs, the stream's maintained aggregates are audited
+    /// against a from-scratch recomputation
+    /// ([`StreamingAllocator::consistency_error`]); a divergence above
+    /// `tolerance` steps down the recovery ladder (see
+    /// [`Degradation`]) — first invalidating the warm session, then, on
+    /// repeated divergence, falling back to deterministic hash
+    /// allocation so epochs keep closing.
+    pub fn enable_health_check(&mut self, interval_epochs: u64, tolerance: f64) {
+        self.health_interval = interval_epochs;
+        self.health_tolerance = tolerance;
     }
 
     /// Ingests the historical prefix (not processed by consensus) and
@@ -152,7 +232,43 @@ impl ChainService {
         // it re-syncs from the stream rather than replaying the diff.
         self.allocation = self.stream.allocation();
         self.epochs_closed += 1;
+        self.run_health_check();
         Some(update)
+    }
+
+    /// The epoch-boundary health audit and its recovery ladder.
+    fn run_health_check(&mut self) {
+        if self.health_interval == 0 || !self.epochs_closed.is_multiple_of(self.health_interval) {
+            return;
+        }
+        let Some(err) = self.stream.consistency_error(&self.graph) else {
+            return; // nothing maintained, nothing to diverge
+        };
+        if err <= self.health_tolerance {
+            return;
+        }
+        if self.degradation < Degradation::Invalidated && self.stream.invalidate_state() {
+            // First strike: drop the warm aggregates, keep the labels;
+            // the next boundary rebuilds from the graph.
+            self.degradation = Degradation::Invalidated;
+            return;
+        }
+        // The rebuilt state diverged again (or there was nothing left to
+        // invalidate): last rung, swap in deterministic hash allocation.
+        // Epochs keep closing; quality is sacrificed, visibly.
+        let params = self.current_params();
+        let mut fallback = GlobalStream::new(
+            "hash-fallback",
+            params.clone(),
+            Box::new(|g, p| HashAllocator::new(p.shards).allocate_graph(g)),
+        );
+        self.allocation = fallback.begin(&self.graph, &params);
+        self.stream = Box::new(fallback);
+        self.degradation = Degradation::HashFallback;
+    }
+
+    fn current_params(&self) -> TxAlloParams {
+        TxAlloParams::for_graph(&self.graph, self.config.engine.shards).with_eta(self.config.eta)
     }
 
     /// Runs a whole block stream, returning the updates of every closed
@@ -165,7 +281,6 @@ impl ChainService {
     }
 
     fn extend_allocation_by_hash(&mut self) {
-        use txallo_graph::WeightedGraph;
         let n = self.graph.node_count();
         let shards = self.allocation.shard_count();
         for v in self.allocation.len()..n {
@@ -174,9 +289,135 @@ impl ChainService {
         }
     }
 
+    /// Serializes the whole resumable service state — graph, stream
+    /// labels + aggregates, engine counters, degradation rung — into one
+    /// versioned, checksummed image (see
+    /// [`txallo_core::checkpoint`]).
+    ///
+    /// Checkpoints are only defined at epoch boundaries: mid-epoch the
+    /// stream's touched-set and the engine's batch state are in flight
+    /// and not serializable, so the call returns
+    /// [`ChainError::MidEpochCheckpoint`] instead of a torn image.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, ChainError> {
+        if !self.warmed_up {
+            return Err(ChainError::NotWarmedUp);
+        }
+        if self.blocks_in_epoch != 0 {
+            return Err(ChainError::MidEpochCheckpoint {
+                blocks_into_epoch: self.blocks_in_epoch,
+            });
+        }
+        // Streams without checkpoint support still get a labels-only
+        // state: resume then rebuilds their internals from the graph.
+        let stream_state = self.stream.export_state().unwrap_or_else(|| StreamState {
+            epoch: self.epochs_closed,
+            shards: self.config.engine.shards,
+            labels: self.allocation.labels().to_vec(),
+            community: None,
+        });
+        let engine_blob = self.engine.export_state();
+        let mut consumer = Encoder::new();
+        consumer.u64(self.epochs_closed);
+        consumer.u8(degradation_code(self.degradation));
+        consumer.u64(engine_blob.len() as u64);
+        consumer.bytes(&engine_blob);
+        Ok(encode_checkpoint(
+            &self.graph,
+            &stream_state,
+            &consumer.finish(),
+        ))
+    }
+
+    /// Reopens a service from a [`ChainService::checkpoint`] image under
+    /// `config`, which must describe the same deployment (shard count is
+    /// verified; the rest is the caller's contract, as with any restart).
+    ///
+    /// When the stream supports warm restore the resumed service is
+    /// **bit-identical** to one that never stopped — same labels, same
+    /// aggregates, same consensus counters, same fault-injection stream —
+    /// and skips the global re-initialization entirely (the §V-B cost a
+    /// cold start pays). Otherwise it degrades to a labels-only or cold
+    /// resume and reports that through [`ChainService::resume_carry`].
+    pub fn resume(config: ChainServiceConfig, image: &[u8]) -> Result<Self, ChainError> {
+        Self::resume_with_registry(config, image, &AllocatorRegistry::builtin())
+    }
+
+    /// [`ChainService::resume`] with a caller-supplied registry.
+    pub fn resume_with_registry(
+        config: ChainServiceConfig,
+        image: &[u8],
+        registry: &AllocatorRegistry,
+    ) -> Result<Self, ChainError> {
+        let cp = decode_checkpoint(image)?;
+        if cp.stream.shards != config.engine.shards {
+            return Err(ChainError::ShardMismatch {
+                expected: config.engine.shards,
+                found: cp.stream.shards,
+            });
+        }
+        let mut service = Self::try_with_registry(config, registry)?;
+
+        let mut consumer = Decoder::new(&cp.consumer);
+        let epochs_closed = consumer.u64().map_err(ChainError::CorruptCheckpoint)?;
+        let degradation =
+            degradation_from_code(consumer.u8().map_err(ChainError::CorruptCheckpoint)?)?;
+        let engine_len = consumer.u64().map_err(ChainError::CorruptCheckpoint)? as usize;
+        let engine_blob = consumer
+            .bytes(engine_len)
+            .map_err(ChainError::CorruptCheckpoint)?;
+        service.engine.import_state(engine_blob)?;
+        consumer.finish().map_err(ChainError::CorruptCheckpoint)?;
+
+        service.graph = cp.graph;
+        let params = service.current_params();
+        if degradation == Degradation::HashFallback {
+            // The run had already fallen back to hash allocation; resuming
+            // onto the configured method would silently un-degrade it.
+            service.stream = Box::new(GlobalStream::new(
+                "hash-fallback",
+                params.clone(),
+                Box::new(|g, p| HashAllocator::new(p.shards).allocate_graph(g)),
+            ));
+        }
+        let carry = match service
+            .stream
+            .import_state(&cp.stream, &service.graph, &params)
+        {
+            Some(carry) => {
+                service.allocation = service.stream.allocation();
+                carry
+            }
+            None => {
+                // The stream cannot adopt checkpointed state (e.g. the
+                // transaction-level scheduler): cold-open it on the
+                // restored graph — a sound, visibly degraded resume.
+                service.allocation = service.stream.begin(&service.graph, &params);
+                StateCarry::Rebuilt
+            }
+        };
+        service.blocks_in_epoch = 0;
+        service.epochs_closed = epochs_closed;
+        service.warmed_up = true;
+        service.degradation = degradation;
+        service.resume_carry = Some(carry);
+        Ok(service)
+    }
+
     /// The consensus-substrate report so far.
     pub fn report(&self) -> EngineReport {
         self.engine.report()
+    }
+
+    /// The current rung on the recovery ladder (see
+    /// [`ChainService::enable_health_check`]).
+    pub fn degradation(&self) -> Degradation {
+        self.degradation
+    }
+
+    /// How stream state crossed the last [`ChainService::resume`]
+    /// (`None` for a service that never resumed).
+    pub fn resume_carry(&self) -> Option<StateCarry> {
+        self.resume_carry
     }
 
     /// The current account-shard mapping.
@@ -262,7 +503,6 @@ mod tests {
         }
         assert!(r.intra_committed + r.cross_committed > 0);
         // The served mapping covers every account.
-        use txallo_graph::WeightedGraph;
         assert_eq!(service.allocation().len(), service.graph().node_count());
     }
 
@@ -371,6 +611,190 @@ mod tests {
         );
     }
 
+    /// The golden resume test: checkpoint → crash → resume must be
+    /// bit-identical to an uninterrupted run — labels, consensus
+    /// counters, fault-injection stream, hybrid schedule phase, all of
+    /// it — with the fault injector active the whole time.
+    #[test]
+    fn checkpoint_crash_resume_is_bit_identical() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::mixed(9);
+        let config = service_config(3, 10, 2);
+        let mut gen = generator();
+        let warm = gen.blocks(40);
+        let live = gen.blocks(60);
+
+        // The uninterrupted reference run.
+        let mut reference = ChainService::new(config.clone());
+        reference.set_fault_plan(plan);
+        reference.warmup(&warm);
+        let ref_updates = reference.run(&live);
+
+        // The crashing run: 3 epochs, checkpoint, drop everything.
+        let mut doomed = ChainService::new(config.clone());
+        doomed.set_fault_plan(plan);
+        doomed.warmup(&warm);
+        let mut early = doomed.run(&live[..30]);
+        let image = doomed.checkpoint().expect("boundary checkpoint");
+        drop(doomed);
+
+        // Resume from the image and finish the stream.
+        let mut resumed = ChainService::resume(config, &image).expect("valid image");
+        assert_eq!(resumed.resume_carry(), Some(StateCarry::Warm));
+        assert_eq!(resumed.epochs_closed(), 3);
+        early.extend(resumed.run(&live[30..]));
+
+        assert_eq!(ref_updates.len(), early.len());
+        for (i, (a, b)) in ref_updates.iter().zip(&early).enumerate() {
+            assert_eq!(a.moves, b.moves, "epoch {i} diffs diverged");
+            assert_eq!(a.kind, b.kind, "epoch {i} schedule phase diverged");
+        }
+        assert_eq!(
+            reference.allocation().labels(),
+            resumed.allocation().labels(),
+            "final labels must be bit-identical"
+        );
+        assert_eq!(
+            format!("{:?}", reference.report()),
+            format!("{:?}", resumed.report()),
+            "consensus counters (including fault retries) must match"
+        );
+        assert_eq!(reference.epochs_closed(), resumed.epochs_closed());
+        // And the resumed service's own next checkpoint matches the
+        // reference's byte-for-byte.
+        assert_eq!(
+            reference.checkpoint().unwrap(),
+            resumed.checkpoint().unwrap()
+        );
+    }
+
+    #[test]
+    fn checkpoint_outside_a_boundary_is_refused() {
+        let mut gen = generator();
+        let mut service = ChainService::new(service_config(2, 10, 1000));
+        assert_eq!(
+            service.checkpoint().err(),
+            Some(crate::error::ChainError::NotWarmedUp)
+        );
+        service.warmup(&gen.blocks(10));
+        assert!(service.checkpoint().is_ok(), "warm-up ends on a boundary");
+        service.run(&gen.blocks(3));
+        assert_eq!(
+            service.checkpoint().err(),
+            Some(crate::error::ChainError::MidEpochCheckpoint {
+                blocks_into_epoch: 3
+            })
+        );
+        service.run(&gen.blocks(7));
+        assert!(service.checkpoint().is_ok(), "epoch closed again");
+    }
+
+    #[test]
+    fn corrupt_images_and_config_mismatches_are_typed_errors() {
+        use crate::error::ChainError;
+        use txallo_core::CheckpointError;
+        let mut gen = generator();
+        let mut service = ChainService::new(service_config(2, 10, 1000));
+        service.warmup(&gen.blocks(10));
+        let image = service.checkpoint().unwrap();
+
+        let mut flipped = image.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert_eq!(
+            ChainService::resume(service_config(2, 10, 1000), &flipped).err(),
+            Some(ChainError::CorruptCheckpoint(
+                CheckpointError::ChecksumMismatch
+            ))
+        );
+        assert_eq!(
+            ChainService::resume(service_config(3, 10, 1000), &image).err(),
+            Some(ChainError::ShardMismatch {
+                expected: 3,
+                found: 2
+            })
+        );
+        assert!(ChainService::resume(service_config(2, 10, 1000), &image).is_ok());
+    }
+
+    #[test]
+    fn scheduler_stream_resumes_cold_but_sound() {
+        // The transaction-level scheduler keeps unserializable state; a
+        // checkpoint degrades to labels-only and resume cold-opens the
+        // stream — visibly, via `resume_carry`.
+        let mut gen = generator();
+        let mut config = service_config(2, 10, 1000);
+        config.method = "scheduler".into();
+        let mut service = ChainService::new(config.clone());
+        service.warmup(&gen.blocks(20));
+        service.run(&gen.blocks(10));
+        let image = service.checkpoint().unwrap();
+        let resumed = ChainService::resume(config, &image).unwrap();
+        assert_eq!(resumed.resume_carry(), Some(StateCarry::Rebuilt));
+        assert_eq!(resumed.epochs_closed(), 1);
+        assert_eq!(
+            resumed.allocation().len(),
+            resumed.graph().node_count(),
+            "cold-opened stream still labels every account"
+        );
+    }
+
+    #[test]
+    fn health_check_walks_the_recovery_ladder() {
+        // A negative tolerance makes every audit "fail", deterministically
+        // driving the ladder: healthy → invalidated → hash fallback. The
+        // service must keep closing epochs the whole way down.
+        let mut gen = generator();
+        let mut service = ChainService::new(service_config(3, 10, 1000));
+        service.enable_health_check(1, -1.0);
+        service.warmup(&gen.blocks(40));
+        assert_eq!(service.degradation(), Degradation::None);
+
+        service.run(&gen.blocks(10));
+        assert_eq!(
+            service.degradation(),
+            Degradation::Invalidated,
+            "first strike drops the warm session"
+        );
+        service.run(&gen.blocks(10));
+        assert_eq!(
+            service.degradation(),
+            Degradation::HashFallback,
+            "second strike falls back to hash allocation"
+        );
+        // Life goes on at the bottom rung: epochs close, every account
+        // is labelled, and the rung is sticky.
+        let updates = service.run(&gen.blocks(20));
+        assert_eq!(updates.len(), 2);
+        assert_eq!(service.epochs_closed(), 4);
+        assert_eq!(service.allocation().len(), service.graph().node_count());
+        assert_eq!(service.degradation(), Degradation::HashFallback);
+
+        // The rung survives a checkpoint/resume cycle.
+        let image = service.checkpoint().unwrap();
+        let resumed = ChainService::resume(service_config(3, 10, 1000), &image).unwrap();
+        assert_eq!(resumed.degradation(), Degradation::HashFallback);
+    }
+
+    #[test]
+    fn invalid_service_configurations_are_typed_errors() {
+        use crate::error::ChainError;
+        let mut empty = service_config(2, 10, 1000);
+        empty.epoch_blocks = 0;
+        assert_eq!(
+            ChainService::try_new(empty).err(),
+            Some(ChainError::EmptyEpoch)
+        );
+        let mut unknown = service_config(2, 10, 1000);
+        unknown.method = "oracle".into();
+        match ChainService::try_new(unknown) {
+            Err(ChainError::UnknownMethod(e)) => {
+                assert!(e.to_string().contains("oracle"));
+            }
+            other => panic!("expected UnknownMethod, got {other:?}"),
+        }
+    }
+
     #[test]
     fn mid_epoch_new_accounts_get_transient_hash_labels() {
         let mut gen = generator();
@@ -380,7 +804,6 @@ mod tests {
         // processed every block (new accounts included).
         let updates = service.run(&gen.blocks(10));
         assert!(updates.is_empty());
-        use txallo_graph::WeightedGraph;
         assert_eq!(service.allocation().len(), service.graph().node_count());
         assert!(service.report().blocks == 10);
     }

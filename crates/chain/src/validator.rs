@@ -2,6 +2,8 @@
 
 use txallo_model::hash::mix64;
 
+use crate::error::ChainError;
+
 /// Globally unique validator id.
 pub type ValidatorId = u32;
 
@@ -33,7 +35,46 @@ pub struct ValidatorSet {
 impl ValidatorSet {
     /// Creates `total` validators, the first `byzantine` of which are
     /// faulty, split across `shard_count` shards at epoch 0.
+    ///
+    /// # Panics
+    /// Panics on the configurations [`ValidatorSet::try_new`] rejects.
     pub fn new(total: usize, byzantine: usize, shard_count: usize) -> Self {
+        Self::try_new(total, byzantine, shard_count).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ValidatorSet::new`], returning a typed error instead of
+    /// panicking. Beyond the structural checks, a population whose
+    /// Byzantine count breaks the `f < n/3` PBFT bound is rejected: with
+    /// `byzantine·3 ≥ total`, even a perfectly even reshuffle leaves some
+    /// shard below quorum, so the set is unsound by construction.
+    pub fn try_new(total: usize, byzantine: usize, shard_count: usize) -> Result<Self, ChainError> {
+        if shard_count == 0 {
+            return Err(ChainError::NoShards);
+        }
+        if total < shard_count {
+            return Err(ChainError::NoValidators {
+                total,
+                shards: shard_count,
+            });
+        }
+        if byzantine > total {
+            return Err(ChainError::TooManyFaults { byzantine, total });
+        }
+        if byzantine > 0 && byzantine * 3 >= total {
+            return Err(ChainError::QuorumViolation {
+                byzantine,
+                total,
+                shards: shard_count,
+            });
+        }
+        Ok(Self::new_unchecked(total, byzantine, shard_count))
+    }
+
+    /// [`ValidatorSet::new`] without the quorum-soundness check — for
+    /// tests and experiments that *want* an overwhelmed population (e.g.
+    /// measuring liveness loss past `f`). Structural requirements (at
+    /// least one shard, one validator per shard) still hold.
+    pub fn new_unchecked(total: usize, byzantine: usize, shard_count: usize) -> Self {
         assert!(shard_count > 0, "need at least one shard");
         assert!(
             total >= shard_count,
@@ -173,5 +214,32 @@ mod tests {
     #[should_panic(expected = "at least one validator per shard")]
     fn too_few_validators_panics() {
         let _ = ValidatorSet::new(2, 0, 3);
+    }
+
+    #[test]
+    fn quorum_breaking_population_is_rejected() {
+        // 2 of 4 Byzantine: f = 1 per the n/3 bound, so 2 is unsound.
+        let err = ValidatorSet::try_new(4, 2, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ChainError::QuorumViolation { .. }
+        ));
+        // Exactly n/3 is still too many (f must be strictly < n/3).
+        assert!(ValidatorSet::try_new(9, 3, 1).is_err());
+        // Under the bound is fine, as is a fault-free set.
+        assert!(ValidatorSet::try_new(10, 3, 1).is_ok());
+        assert!(ValidatorSet::try_new(4, 0, 2).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum")]
+    fn quorum_breaking_population_panics_via_new() {
+        let _ = ValidatorSet::new(6, 2, 2);
+    }
+
+    #[test]
+    fn unchecked_constructor_allows_overwhelmed_sets() {
+        let set = ValidatorSet::new_unchecked(4, 3, 1);
+        assert_eq!(set.byzantine_in_shard(0), 3);
     }
 }

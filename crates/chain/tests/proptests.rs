@@ -2,11 +2,13 @@
 
 use proptest::prelude::*;
 use txallo_chain::{
-    AtomixProtocol, ChainEngine, ChainEngineConfig, PbftShard, Validator, ValidatorSet,
+    AtomixProtocol, ChainEngine, ChainEngineConfig, ChainService, ChainServiceConfig,
+    FaultInjector, FaultPlan, PbftShard, Validator, ValidatorSet,
 };
-use txallo_core::Allocation;
+use txallo_core::{Allocation, HybridSchedule};
 use txallo_graph::{TxGraph, WeightedGraph};
 use txallo_model::{AccountId, Block, Transaction};
+use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
 
 fn members(n: usize, byz: usize) -> Vec<Validator> {
     (0..n as u32)
@@ -92,5 +94,168 @@ proptest! {
         prop_assert_eq!(r.intra_committed + r.cross_committed + r.aborted, n_txs);
         prop_assert_eq!(r.aborted, 0, "no faults configured");
         prop_assert!(r.total_messages > 0);
+    }
+}
+
+fn small_trace(seed: u64, blocks: u64) -> Vec<Block> {
+    let cfg = WorkloadConfig {
+        accounts: 300,
+        transactions: 10_000,
+        block_size: 25,
+        groups: 12,
+        new_account_prob: 0.01,
+        drift_interval: 15,
+        ..WorkloadConfig::default()
+    };
+    EthereumLikeGenerator::new(cfg, seed).blocks(blocks)
+}
+
+fn faulty_service(shards: usize, fault_seed: u64) -> ChainService {
+    let config = ChainServiceConfig {
+        engine: ChainEngineConfig {
+            shards,
+            validators: shards * 8,
+            byzantine: 0,
+            batch_size: 16,
+            reshuffle_interval: 0,
+        },
+        epoch_blocks: 10,
+        schedule: HybridSchedule::Hybrid { global_gap: 2 },
+        ..ChainServiceConfig::new(shards)
+    };
+    let mut service = ChainService::new(config);
+    service.set_fault_plan(FaultPlan::mixed(fault_seed));
+    service
+}
+
+proptest! {
+    // The end-to-end resume property drives two full chain services per
+    // case; keep the case count modest so the suite stays quick.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// §IV-A determinism across restarts: crashing at *any* epoch
+    /// boundary and resuming from the checkpoint yields a run
+    /// bit-identical to the uninterrupted one — same labels, same
+    /// substrate report — even with fault injection active.
+    #[test]
+    fn crash_at_any_epoch_resumes_bit_identically(
+        crash_after in 1u64..5,
+        workload_seed in 0u64..500,
+        fault_seed in 0u64..500,
+    ) {
+        let warm = small_trace(workload_seed, 90);
+        let (warmup, live) = warm.split_at(40);
+
+        let mut reference = faulty_service(3, fault_seed);
+        reference.warmup(warmup);
+        let reference_updates = reference.run(live);
+
+        let mut crashed = faulty_service(3, fault_seed);
+        crashed.warmup(warmup);
+        let crash_block = (crash_after * 10) as usize;
+        let before = crashed.run(&live[..crash_block]);
+        prop_assert_eq!(crashed.epochs_closed(), crash_after);
+        let image = crashed.checkpoint().expect("boundary checkpoint");
+        drop(crashed);
+
+        let mut resumed = ChainService::resume(
+            ChainServiceConfig {
+                engine: ChainEngineConfig {
+                    shards: 3,
+                    validators: 24,
+                    byzantine: 0,
+                    batch_size: 16,
+                    reshuffle_interval: 0,
+                },
+                epoch_blocks: 10,
+                schedule: HybridSchedule::Hybrid { global_gap: 2 },
+                ..ChainServiceConfig::new(3)
+            },
+            &image,
+        )
+        .expect("resume");
+        let after = resumed.run(&live[crash_block..]);
+
+        prop_assert_eq!(before.len() + after.len(), reference_updates.len());
+        for (i, (live_u, split_u)) in reference_updates
+            .iter()
+            .zip(before.iter().chain(after.iter()))
+            .enumerate()
+        {
+            prop_assert_eq!(live_u.kind, split_u.kind, "epoch {}", i);
+            prop_assert_eq!(live_u.migrations(), split_u.migrations(), "epoch {}", i);
+        }
+        prop_assert_eq!(
+            reference.allocation().labels(),
+            resumed.allocation().labels(),
+            "restart must not perturb the served mapping"
+        );
+        prop_assert_eq!(
+            format!("{:?}", reference.report()),
+            format!("{:?}", resumed.report()),
+            "substrate tallies (messages, retries, aborts) must survive the restart"
+        );
+    }
+}
+
+proptest! {
+    /// Atomix atomicity under arbitrary drop/duplication patterns: both
+    /// phases always run in every involved shard (no partial commit), a
+    /// quorum-less shard forces a global abort no matter what the network
+    /// does, and the same fault seed replays to the same outcome.
+    #[test]
+    fn atomix_atomicity_under_any_drop_pattern(
+        fault_seed in any::<u64>(),
+        drop_rate in 0.0f64..0.6,
+        duplicate_rate in 0.0f64..0.4,
+        healthy in prop::collection::vec(any::<bool>(), 2..5),
+    ) {
+        let plan = FaultPlan {
+            seed: fault_seed,
+            drop_rate,
+            delay_rate: 0.1,
+            duplicate_rate,
+            max_retries: 2,
+            crash_rate: 0.0,
+            rejoin_after: 0,
+        };
+        let build = || -> Vec<PbftShard> {
+            healthy
+                .iter()
+                .map(|&ok| {
+                    if ok {
+                        PbftShard::new(members(4, 0))
+                    } else {
+                        PbftShard::new(members(4, 3)) // quorum-less
+                    }
+                })
+                .collect()
+        };
+        let ids: Vec<u32> = (0..healthy.len() as u32).collect();
+
+        let mut shards = build();
+        let mut inj = FaultInjector::new(plan);
+        let out = AtomixProtocol::run_faulty(&mut shards, &ids, &mut inj);
+
+        // Atomicity: the unlock/commit phase runs everywhere even after
+        // an abort decision, so every shard always executes both rounds.
+        prop_assert_eq!(out.rounds as usize, 2 * healthy.len());
+        if !healthy.iter().all(|&h| h) {
+            prop_assert!(!out.committed, "a quorum-less shard can never lock");
+        }
+        if out.committed {
+            prop_assert!(healthy.iter().all(|&h| h), "commit implies every lock succeeded");
+        }
+        // Bounded recovery: each consensus round and the proof relay
+        // retry at most `max_retries` times.
+        prop_assert!(out.retries <= (out.rounds + healthy.len() as u32) * plan.max_retries);
+
+        // Determinism: replaying the same plan over fresh shards gives
+        // the identical outcome and draw count.
+        let mut shards2 = build();
+        let mut inj2 = FaultInjector::new(plan);
+        let out2 = AtomixProtocol::run_faulty(&mut shards2, &ids, &mut inj2);
+        prop_assert_eq!(out, out2);
+        prop_assert_eq!(inj.counter(), inj2.counter());
     }
 }

@@ -30,6 +30,7 @@ pub mod ablation;
 pub mod allocation;
 pub mod atxallo;
 pub mod broker;
+pub mod checkpoint;
 pub mod dataset;
 pub mod gtxallo;
 pub mod hash_alloc;
@@ -50,6 +51,10 @@ pub use broker::{
     allocate_with_brokers, evaluate_with_brokers, select_split_accounts, BrokerConfig,
     BrokeredReport, MaskedGraph,
 };
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, Checkpoint, CheckpointError, CommunityAggregates,
+    StreamState,
+};
 pub use dataset::Dataset;
 pub use gtxallo::{GTxAllo, GTxAlloOutcome, GTxAlloPlan};
 pub use hash_alloc::HashAllocator;
@@ -61,8 +66,8 @@ pub use scheduler::{SchedulerConfig, SchedulerState, ShardScheduler};
 pub use session::AtxAlloSession;
 pub use state::{CommunityState, MoveScratch};
 pub use streaming::{
-    AccountMove, AdaptiveStream, AllocationUpdate, EpochKind, GlobalStream, HybridSchedule,
-    HybridStream, SchedulerStream, StateCarry, StreamingAllocator, UpdateKind,
+    AccountMove, AdaptiveStream, AllocationUpdate, Degradation, EpochKind, GlobalStream,
+    HybridSchedule, HybridStream, SchedulerStream, StateCarry, StreamingAllocator, UpdateKind,
 };
 // The shared gain tie-break tolerance: one constant across Louvain and the
 // TxAllo sweeps (see its docs in `txallo_louvain` for the determinism

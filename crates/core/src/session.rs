@@ -89,6 +89,33 @@ impl AtxAlloSession {
         }
     }
 
+    /// Reopens a session from checkpointed parts: the label vector and
+    /// the maintained aggregates, both adopted bit-for-bit (never
+    /// recomputed — they are chronological float accumulations). The
+    /// snapshot and sweep buffers are per-epoch scratch, refilled before
+    /// first use, so a resumed session is indistinguishable from one that
+    /// never stopped. The caller vouches for the labels/aggregates pair
+    /// being consistent ([`AtxAlloSession::consistency_error`] audits it).
+    pub fn from_parts(shards: usize, labels: Vec<u32>, state: CommunityState) -> Self {
+        assert_eq!(
+            state.community_count(),
+            shards,
+            "aggregates must cover every shard"
+        );
+        Self {
+            shards,
+            labels,
+            state,
+            snap: DeltaCsr::default(),
+            scratch: SweepScratch::default(),
+        }
+    }
+
+    /// The maintained per-community aggregates (checkpoint export).
+    pub fn state(&self) -> &CommunityState {
+        &self.state
+    }
+
     /// The current account-shard mapping.
     pub fn allocation(&self) -> Allocation {
         Allocation::new(self.labels.clone(), self.shards)

@@ -157,6 +157,32 @@ impl CommunityState {
         state
     }
 
+    /// Rebuilds the state from checkpointed aggregates: `intra`/`cut` are
+    /// adopted bit-for-bit (they are chronological float accumulations and
+    /// must *not* be recomputed), and every cached scalar is re-derived
+    /// through the exact expressions of the cache invariant — identical to
+    /// what a state that never stopped would hold.
+    pub fn from_raw(intra: Vec<f64>, cut: Vec<f64>, eta: f64, capacity: f64) -> Self {
+        assert_eq!(
+            intra.len(),
+            cut.len(),
+            "intra/cut must cover the same communities"
+        );
+        let k = intra.len();
+        let mut state = Self {
+            intra,
+            cut,
+            eta,
+            capacity,
+            sigma: vec![0.0; k],
+            lambda_hat: vec![0.0; k],
+            throughput: vec![0.0; k],
+            saturated: vec![false; k],
+        };
+        state.refresh_throughput();
+        state
+    }
+
     /// Recomputes every cached scalar of community `c` from `intra`/`cut`.
     /// The expressions here *define* the cache invariant — every cached
     /// read must be bit-identical to evaluating them fresh.

@@ -75,11 +75,12 @@ use txallo_model::{Block, ShardId};
 
 use crate::allocation::Allocation;
 use crate::atxallo::UpdatePath;
+use crate::checkpoint::{CommunityAggregates, StreamState};
 use crate::gtxallo::GTxAllo;
 use crate::params::TxAlloParams;
 use crate::scheduler::{SchedulerConfig, SchedulerState};
 use crate::session::AtxAlloSession;
-use crate::state::UNASSIGNED;
+use crate::state::{CommunityState, UNASSIGNED};
 
 /// Which algorithm class produced an epoch's [`AllocationUpdate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +120,40 @@ pub enum StateCarry {
     /// (decay) by exact linear rescaling — see
     /// [`AtxAlloSession::apply_decay`].
     WarmRescaled,
+}
+
+/// How far down the recovery ladder a serving pipeline has stepped.
+///
+/// Ordered from healthy to worst: each rung trades allocation quality for
+/// the guarantee that epochs keep closing. Consumers (the chain service,
+/// the simulator's epoch reports) surface the rung so degradation is
+/// *visible*, never silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Degradation {
+    /// Serving normally from warm state.
+    None,
+    /// The health check found diverged aggregates; the warm session was
+    /// dropped and rebuilt from its labels at the boundary
+    /// ([`StateCarry::Rebuilt`]).
+    Invalidated,
+    /// Resume (or repeated divergence) could not produce a warm session;
+    /// the stream is serving from labels only until the next boundary
+    /// rebuild.
+    Rebuilt,
+    /// Final rung: the stream was replaced by deterministic hash
+    /// allocation — allocation quality is sacrificed, epochs still close.
+    HashFallback,
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Degradation::None => "none",
+            Degradation::Invalidated => "invalidated",
+            Degradation::Rebuilt => "rebuilt",
+            Degradation::HashFallback => "hash-fallback",
+        })
+    }
 }
 
 /// One account changing shard (or being placed for the first time).
@@ -253,6 +288,52 @@ pub trait StreamingAllocator: std::fmt::Debug {
     ///
     /// [`begin`]: StreamingAllocator::begin
     fn allocation(&self) -> Allocation;
+
+    /// Serializes the stream's resumable serving state. Call only at an
+    /// epoch boundary (after [`end_epoch`], before the next epoch's
+    /// blocks). `None` — the default — means the stream does not support
+    /// checkpointing; consumers then persist a labels-only
+    /// [`StreamState`] themselves or cold-start on resume.
+    ///
+    /// [`end_epoch`]: StreamingAllocator::end_epoch
+    fn export_state(&self) -> Option<StreamState> {
+        None
+    }
+
+    /// Restores serving state captured by
+    /// [`export_state`](StreamingAllocator::export_state) (or a
+    /// labels-only fallback), with `graph` the checkpointed graph and
+    /// `params` re-derived for it. Returns the carry the resumed stream
+    /// starts from — [`StateCarry::Warm`] when the aggregates survived
+    /// bit-for-bit, [`StateCarry::Rebuilt`] when only the labels did —
+    /// or `None` (the default) when the stream cannot adopt this state
+    /// and the consumer must cold-[`begin`](StreamingAllocator::begin).
+    fn import_state(
+        &mut self,
+        state: &StreamState,
+        graph: &TxGraph,
+        params: &TxAlloParams,
+    ) -> Option<StateCarry> {
+        let _ = (state, graph, params);
+        None
+    }
+
+    /// Audits the stream's maintained aggregates against a from-scratch
+    /// recomputation over `graph`, returning the maximum absolute
+    /// divergence — the health signal the degradation ladder keys on.
+    /// `None` (the default) for streams with no maintained aggregates to
+    /// diverge.
+    fn consistency_error(&self, graph: &TxGraph) -> Option<f64> {
+        let _ = graph;
+        None
+    }
+
+    /// Drops warm serving state while keeping the labels, forcing a
+    /// rebuild at the next epoch boundary. Returns whether any warm state
+    /// was actually dropped (the default no-op returns `false`).
+    fn invalidate_state(&mut self) -> bool {
+        false
+    }
 }
 
 /// The epoch's touched-node accumulator: a dense stamp array over node
@@ -547,6 +628,83 @@ impl StreamingAllocator for AdaptiveStream {
             (None, None) => panic!("call begin() before reading the allocation"),
         }
     }
+
+    fn export_state(&self) -> Option<StreamState> {
+        if !self.began {
+            return None;
+        }
+        let shards = self.params.shards;
+        let community = self.session.as_ref().map(|session| {
+            let state = session.state();
+            CommunityAggregates {
+                intra: (0..shards as u32).map(|c| state.intra(c)).collect(),
+                cut: (0..shards as u32).map(|c| state.cut(c)).collect(),
+                eta: state.eta(),
+                capacity: state.capacity(),
+            }
+        });
+        Some(StreamState {
+            epoch: 0,
+            shards,
+            labels: self.allocation().labels().to_vec(),
+            community,
+        })
+    }
+
+    fn import_state(
+        &mut self,
+        state: &StreamState,
+        graph: &TxGraph,
+        params: &TxAlloParams,
+    ) -> Option<StateCarry> {
+        if state.shards != params.shards || state.labels.len() != graph.node_count() {
+            return None;
+        }
+        self.params = params.clone();
+        self.touched = EpochTouched::default();
+        self.rescaled_this_epoch = false;
+        self.began = true;
+        match &state.community {
+            Some(agg) => {
+                // The warm path: adopt the checkpointed accumulations
+                // bit-for-bit; the session resumes exactly where the
+                // uninterrupted one would be.
+                let aggregates = CommunityState::from_raw(
+                    agg.intra.clone(),
+                    agg.cut.clone(),
+                    agg.eta,
+                    agg.capacity,
+                );
+                self.session = Some(AtxAlloSession::from_parts(
+                    state.shards,
+                    state.labels.clone(),
+                    aggregates,
+                ));
+                self.fallback = None;
+                Some(StateCarry::Warm)
+            }
+            None => {
+                // Labels-only state: serve from the labels and rebuild
+                // the aggregates at the next boundary — a degraded but
+                // sound resume.
+                self.session = None;
+                self.fallback = Some(Allocation::new(state.labels.clone(), state.shards));
+                Some(StateCarry::Rebuilt)
+            }
+        }
+    }
+
+    fn consistency_error(&self, graph: &TxGraph) -> Option<f64> {
+        self.session
+            .as_ref()
+            .map(|session| session.consistency_error(graph))
+    }
+
+    fn invalidate_state(&mut self) -> bool {
+        let had_session = self.session.is_some();
+        self.invalidate();
+        had_session
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -638,6 +796,35 @@ impl StreamingAllocator for GlobalStream {
     fn allocation(&self) -> Allocation {
         assert!(self.began, "call begin() before reading the allocation");
         Allocation::new(self.labels.clone(), self.params.shards)
+    }
+
+    fn export_state(&self) -> Option<StreamState> {
+        if !self.began {
+            return None;
+        }
+        // A batch stream's only serving state is its published labels —
+        // everything else is re-derived from the graph at each boundary.
+        Some(StreamState {
+            epoch: 0,
+            shards: self.params.shards,
+            labels: self.labels.clone(),
+            community: None,
+        })
+    }
+
+    fn import_state(
+        &mut self,
+        state: &StreamState,
+        graph: &TxGraph,
+        params: &TxAlloParams,
+    ) -> Option<StateCarry> {
+        if state.shards != params.shards || state.labels.len() != graph.node_count() {
+            return None;
+        }
+        self.params = params.clone();
+        self.labels = state.labels.clone();
+        self.began = true;
+        Some(StateCarry::Stateless)
     }
 }
 
@@ -751,6 +938,38 @@ impl StreamingAllocator for HybridStream {
 
     fn allocation(&self) -> Allocation {
         self.inner.allocation()
+    }
+
+    fn export_state(&self) -> Option<StreamState> {
+        // Checkpoints happen at epoch boundaries, never inside a
+        // withheld-blocks window.
+        debug_assert!(!self.blocks_withheld, "export only at epoch boundaries");
+        let mut state = self.inner.export_state()?;
+        state.epoch = self.epoch;
+        Some(state)
+    }
+
+    fn import_state(
+        &mut self,
+        state: &StreamState,
+        graph: &TxGraph,
+        params: &TxAlloParams,
+    ) -> Option<StateCarry> {
+        let carry = self.inner.import_state(state, graph, params)?;
+        // The epoch counter is what phases the schedule's global
+        // refreshes; restoring it keeps `is_global_epoch` firing on the
+        // same absolute epochs as the uninterrupted run.
+        self.epoch = state.epoch;
+        self.blocks_withheld = false;
+        Some(carry)
+    }
+
+    fn consistency_error(&self, graph: &TxGraph) -> Option<f64> {
+        self.inner.consistency_error(graph)
+    }
+
+    fn invalidate_state(&mut self) -> bool {
+        self.inner.invalidate_state()
     }
 }
 
@@ -1146,6 +1365,138 @@ mod tests {
             mirror.shard_of(n701),
             "frequent partners co-locate"
         );
+    }
+
+    #[test]
+    fn exported_state_resumes_bit_identically() {
+        // Run a hybrid stream for two epochs, checkpoint at the boundary,
+        // restore into a fresh stream, then drive both side by side: every
+        // later epoch must produce identical diffs and identical labels —
+        // the warm-resume contract the chain service builds on.
+        let mut g = clique_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let schedule = HybridSchedule::Hybrid { global_gap: 3 };
+        let mut live = HybridStream::new(params.clone(), schedule);
+        live.begin(&g, &params);
+        for h in 0..2u64 {
+            let block = epoch_block(h, &[(100 + h, h), (h, h + 10)]);
+            g.ingest_block(&block);
+            live.on_block(&g, &block);
+            live.end_epoch(&g, EpochKind::Scheduled);
+        }
+
+        let state = live.export_state().expect("adaptive streams checkpoint");
+        assert_eq!(state.epoch, 2);
+        assert!(state.community.is_some(), "warm session exports aggregates");
+
+        let mut resumed = HybridStream::new(params.clone(), schedule);
+        let carry = resumed
+            .import_state(&state, &g, &params.rescaled_for_graph(&g))
+            .expect("state fits the graph");
+        assert_eq!(carry, StateCarry::Warm);
+        let err = resumed.consistency_error(&g).expect("session restored");
+        assert!(err < 1e-9, "restored aggregates diverge by {err}");
+
+        // Epoch 3 is the scheduled global refresh: phase must be preserved.
+        for h in 2..6u64 {
+            let block = epoch_block(h, &[(200 + h, h), (h, 2 * h + 1)]);
+            g.ingest_block(&block);
+            live.on_block(&g, &block);
+            resumed.on_block(&g, &block);
+            let a = live.end_epoch(&g, EpochKind::Scheduled);
+            let b = resumed.end_epoch(&g, EpochKind::Scheduled);
+            assert_eq!(a.moves, b.moves, "epoch {h} diffs diverged");
+            assert_eq!(a.kind, b.kind, "epoch {h} schedule phase diverged");
+            assert_eq!(
+                live.allocation().labels(),
+                resumed.allocation().labels(),
+                "epoch {h} labels diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_only_state_resumes_as_rebuilt() {
+        let mut g = clique_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let mut stream = AdaptiveStream::new(params.clone());
+        stream.begin(&g, &params);
+        assert!(stream.invalidate_state(), "warm session was dropped");
+        assert!(!stream.invalidate_state(), "second drop is a no-op");
+        let state = stream.export_state().unwrap();
+        assert!(state.community.is_none(), "invalidated ⇒ labels only");
+        assert!(stream.consistency_error(&g).is_none());
+
+        let mut resumed = AdaptiveStream::new(params.clone());
+        let carry = resumed
+            .import_state(&state, &g, &params.rescaled_for_graph(&g))
+            .unwrap();
+        assert_eq!(carry, StateCarry::Rebuilt);
+        assert_eq!(resumed.allocation().labels(), state.labels.as_slice());
+        // The next boundary rebuilds the aggregates and reports it.
+        let block = epoch_block(0, &[(100, 0)]);
+        g.ingest_block(&block);
+        resumed.on_block(&g, &block);
+        let update = resumed.end_epoch(&g, EpochKind::Scheduled);
+        assert_eq!(update.carry, StateCarry::Rebuilt);
+    }
+
+    #[test]
+    fn mismatched_state_is_rejected_not_adopted() {
+        let g = clique_graph();
+        let params = TxAlloParams::for_graph(&g, 2);
+        let mut stream = AdaptiveStream::new(params.clone());
+        stream.begin(&g, &params);
+        let state = stream.export_state().unwrap();
+
+        // Wrong shard count.
+        let other = TxAlloParams::for_graph(&g, 3);
+        let mut fresh = AdaptiveStream::new(other.clone());
+        assert!(fresh.import_state(&state, &g, &other).is_none());
+        // Wrong node count (stale labels for a grown graph).
+        let mut grown = clique_graph();
+        grown.ingest_transaction(&Transaction::transfer(AccountId(500), AccountId(0)));
+        let mut fresh = AdaptiveStream::new(params.clone());
+        assert!(fresh
+            .import_state(&state, &grown, &params.rescaled_for_graph(&grown))
+            .is_none());
+        // Streams without checkpoint support say so instead of lying.
+        assert!(SchedulerStream::new().export_state().is_none());
+        let mut sched = SchedulerStream::new();
+        assert!(sched.import_state(&state, &g, &params).is_none());
+        assert!(!sched.invalidate_state());
+    }
+
+    #[test]
+    fn degradation_ladder_is_ordered_and_printable() {
+        assert!(Degradation::None < Degradation::Invalidated);
+        assert!(Degradation::Invalidated < Degradation::Rebuilt);
+        assert!(Degradation::Rebuilt < Degradation::HashFallback);
+        assert_eq!(Degradation::HashFallback.to_string(), "hash-fallback");
+        assert_eq!(Degradation::None.to_string(), "none");
+    }
+
+    #[test]
+    fn global_stream_state_round_trips_labels() {
+        let mut g = clique_graph();
+        let params = TxAlloParams::for_graph(&g, 4);
+        let solver = |g: &TxGraph, p: &TxAlloParams| -> Allocation {
+            crate::HashAllocator::new(p.shards).allocate_graph(g)
+        };
+        let mut stream = GlobalStream::new("Random", params.clone(), Box::new(solver));
+        stream.begin(&g, &params);
+        let block = epoch_block(0, &[(600, 0)]);
+        g.ingest_block(&block);
+        stream.on_block(&g, &block);
+        stream.end_epoch(&g, EpochKind::Scheduled);
+
+        let state = stream.export_state().unwrap();
+        let mut resumed = GlobalStream::new("Random", params.clone(), Box::new(solver));
+        let carry = resumed
+            .import_state(&state, &g, &params.rescaled_for_graph(&g))
+            .unwrap();
+        assert_eq!(carry, StateCarry::Stateless);
+        assert_eq!(resumed.allocation(), stream.allocation());
     }
 
     #[test]

@@ -110,6 +110,53 @@ impl TxGraph {
         g
     }
 
+    /// Rebuilds a graph from checkpointed parts: the interned accounts in
+    /// node order, the adjacency as one flat CSR triple
+    /// (`row_offsets[v]..row_offsets[v + 1]` indexes node `v`'s ascending
+    /// neighbors), and the per-node/global scalars **bit-for-bit** — the
+    /// float fields are chronological accumulations that must never be
+    /// recomputed on restore.
+    ///
+    /// The rows land fully merged in the slab
+    /// ([`SortedRunStore::push_row_from_sorted`]), so every later
+    /// ingestion, snapshot, and order-dependent float fold behaves exactly
+    /// as it would have on the uninterrupted graph.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_checkpoint_parts(
+        accounts: &[AccountId],
+        row_offsets: &[usize],
+        adj_ids: &[NodeId],
+        adj_ws: &[f64],
+        self_loops: Vec<f64>,
+        incident: Vec<f64>,
+        total_weight: f64,
+        edge_count: usize,
+        transaction_count: usize,
+    ) -> Self {
+        let n = accounts.len();
+        assert_eq!(row_offsets.len(), n + 1, "row offsets cover every node");
+        assert_eq!(self_loops.len(), n, "one self-loop slot per node");
+        assert_eq!(incident.len(), n, "one incident slot per node");
+        assert_eq!(adj_ids.len(), adj_ws.len(), "parallel adjacency arrays");
+        let mut interner = AccountInterner::default();
+        let mut adjacency = SortedRunStore::new();
+        for (v, &acct) in accounts.iter().enumerate() {
+            let node = interner.intern(acct);
+            assert_eq!(node as usize, v, "checkpointed accounts must be unique");
+            let (lo, hi) = (row_offsets[v], row_offsets[v + 1]);
+            adjacency.push_row_from_sorted(&adj_ids[lo..hi], &adj_ws[lo..hi]);
+        }
+        Self {
+            interner,
+            adjacency,
+            self_loops,
+            incident,
+            total_weight,
+            edge_count,
+            transaction_count,
+        }
+    }
+
     fn ensure_node(&mut self, account: AccountId) -> NodeId {
         let n = self.interner.intern(account);
         if n as usize >= self.adjacency.rows() {
@@ -594,6 +641,79 @@ mod tests {
                 "incident weight cache out of sync for node {v}"
             );
         }
+    }
+
+    #[test]
+    fn checkpoint_parts_round_trip_bitwise_and_keep_ingesting() {
+        // Build a messy graph, dismantle it into checkpoint parts, rebuild,
+        // and require the restored twin to be bitwise-indistinguishable —
+        // including for *future* ingestion, which is the property resume
+        // correctness rides on.
+        let mut g = TxGraph::new();
+        for i in 0..30u64 {
+            g.ingest_transaction(&Transaction::transfer(a(i % 7), a((i * 5) % 11)));
+            g.ingest_transaction(&Transaction::new(vec![a(i)], vec![a(i + 1), a(2)]).unwrap());
+        }
+        g.apply_decay(0.75);
+        g.ingest_transaction(&Transaction::transfer(a(3), a(3)));
+
+        let n = g.node_count();
+        let accounts = g.interner().accounts().to_vec();
+        let mut offsets = vec![0usize];
+        let (mut ids, mut ws) = (Vec::new(), Vec::new());
+        for v in 0..n as NodeId {
+            g.copy_row_into(v, &mut ids, &mut ws);
+            offsets.push(ids.len());
+        }
+        let self_loops: Vec<f64> = (0..n as NodeId).map(|v| g.self_loop(v)).collect();
+        let incident: Vec<f64> = (0..n as NodeId).map(|v| g.incident_weight(v)).collect();
+        let mut r = TxGraph::from_checkpoint_parts(
+            &accounts,
+            &offsets,
+            &ids,
+            &ws,
+            self_loops,
+            incident,
+            g.total_weight(),
+            g.edge_count(),
+            g.transaction_count(),
+        );
+
+        let same = |x: &TxGraph, y: &TxGraph| {
+            assert_eq!(x.node_count(), y.node_count());
+            assert_eq!(x.edge_count(), y.edge_count());
+            assert_eq!(x.transaction_count(), y.transaction_count());
+            assert_eq!(x.total_weight().to_bits(), y.total_weight().to_bits());
+            for v in 0..x.node_count() as NodeId {
+                assert_eq!(x.account(v), y.account(v));
+                assert_eq!(x.self_loop(v).to_bits(), y.self_loop(v).to_bits());
+                assert_eq!(
+                    x.incident_weight(v).to_bits(),
+                    y.incident_weight(v).to_bits()
+                );
+                let mut xr = Vec::new();
+                let mut yr = Vec::new();
+                x.for_each_neighbor(v, |u, w| xr.push((u, w.to_bits())));
+                y.for_each_neighbor(v, |u, w| yr.push((u, w.to_bits())));
+                assert_eq!(xr, yr, "row {v}");
+            }
+            assert_eq!(x.nodes_in_canonical_order(), y.nodes_in_canonical_order());
+        };
+        same(&g, &r);
+
+        // The futures coincide too: new accounts, repeats, decay.
+        let block = Block::new(
+            9,
+            vec![
+                Transaction::transfer(a(100), a(3)),
+                Transaction::transfer(a(0), a(1)),
+                Transaction::new(vec![a(101)], vec![a(102), a(0)]).unwrap(),
+            ],
+        );
+        assert_eq!(g.ingest_block(&block), r.ingest_block(&block));
+        g.apply_decay(0.5);
+        r.apply_decay(0.5);
+        same(&g, &r);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 use std::time::Instant;
 
 use txallo_core::{
-    Allocation, AllocatorRegistry, EpochKind, HybridSchedule, StreamingAllocator, TxAlloParams,
+    Allocation, AllocatorRegistry, Degradation, EpochKind, GlobalStream, HashAllocator,
+    HybridSchedule, StreamingAllocator, TxAlloParams,
 };
 use txallo_graph::TxGraph;
 use txallo_model::Block;
@@ -74,6 +75,12 @@ pub struct ShardedChainSim {
     stream: Box<dyn StreamingAllocator>,
     epoch: u64,
     warmed_up: bool,
+    /// Health-check cadence in epochs (0 = disabled).
+    health_interval: u64,
+    /// Consistency-error tolerance of the health check.
+    health_tolerance: f64,
+    /// The current rung of the recovery ladder.
+    degradation: Degradation,
 }
 
 impl ShardedChainSim {
@@ -106,6 +113,9 @@ impl ShardedChainSim {
             stream,
             epoch: 0,
             warmed_up: false,
+            health_interval: 0,
+            health_tolerance: 0.0,
+            degradation: Degradation::None,
         }
     }
 
@@ -122,6 +132,24 @@ impl ShardedChainSim {
     /// Epochs processed since warm-up.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Enables the epoch-boundary serving-state health check: every
+    /// `interval_epochs` epochs the stream's maintained aggregates are
+    /// audited against a from-scratch recomputation
+    /// ([`StreamingAllocator::consistency_error`]); a divergence above
+    /// `tolerance` steps down the recovery ladder (see [`Degradation`]) —
+    /// first invalidating the warm session, then falling back to
+    /// deterministic hash allocation. Each [`EpochReport`] records the
+    /// rung in force after its boundary.
+    pub fn enable_health_check(&mut self, interval_epochs: u64, tolerance: f64) {
+        self.health_interval = interval_epochs;
+        self.health_tolerance = tolerance;
+    }
+
+    /// The current rung of the recovery ladder.
+    pub fn degradation(&self) -> Degradation {
+        self.degradation
     }
 
     fn current_params(&self) -> TxAlloParams {
@@ -173,6 +201,7 @@ impl ShardedChainSim {
         let update_time = start.elapsed();
         let new_accounts = update.placements();
         self.allocation.apply_update(&update);
+        self.run_health_check();
 
         let mut metrics = epoch_metrics(
             blocks,
@@ -190,10 +219,42 @@ impl ShardedChainSim {
             carry: update.carry,
             update_time,
             new_accounts,
+            degradation: self.degradation,
             metrics,
         };
         self.epoch += 1;
         report
+    }
+
+    /// The epoch-boundary health audit and its recovery ladder, mirroring
+    /// `txallo_chain::ChainService`.
+    fn run_health_check(&mut self) {
+        if self.health_interval == 0 || !(self.epoch + 1).is_multiple_of(self.health_interval) {
+            return;
+        }
+        let Some(err) = self.stream.consistency_error(&self.graph) else {
+            return; // nothing maintained, nothing to diverge
+        };
+        if err <= self.health_tolerance {
+            return;
+        }
+        if self.degradation < Degradation::Invalidated && self.stream.invalidate_state() {
+            // First strike: drop the warm aggregates, keep the labels;
+            // the next boundary rebuilds from the graph.
+            self.degradation = Degradation::Invalidated;
+            return;
+        }
+        // Last rung: swap in deterministic hash allocation so the epoch
+        // loop keeps running — quality is sacrificed, visibly.
+        let params = self.current_params();
+        let mut fallback = GlobalStream::new(
+            "hash-fallback",
+            params.clone(),
+            Box::new(|g, p| HashAllocator::new(p.shards).allocate_graph(g)),
+        );
+        self.allocation = fallback.begin(&self.graph, &params);
+        self.stream = Box::new(fallback);
+        self.degradation = Degradation::HashFallback;
     }
 
     /// Convenience: run a whole stream of blocks in `epoch_blocks`-sized
@@ -457,6 +518,50 @@ mod tests {
             r.metrics.migrated_accounts, 1,
             "the defection is exactly one migration"
         );
+    }
+
+    #[test]
+    fn health_check_degrades_and_reports_the_rung() {
+        let mut gen = generator();
+        let warm = gen.blocks(40);
+        let mut sim = ShardedChainSim::new(config(3, 10, HybridSchedule::AlwaysAdaptive));
+        sim.warmup(&warm);
+        // An impossible tolerance forces a strike at every audited
+        // boundary: first Invalidated, then the hash fallback.
+        sim.enable_health_check(1, -1.0);
+        let stream = gen.blocks(30);
+        let reports = sim.run_stream(&stream);
+        assert_eq!(reports[0].degradation, Degradation::Invalidated);
+        assert_eq!(reports[1].degradation, Degradation::HashFallback);
+        assert_eq!(reports[2].degradation, Degradation::HashFallback, "sticky");
+        assert_eq!(sim.degradation(), Degradation::HashFallback);
+        // Even degraded, every epoch still closes with a full mapping.
+        for r in &reports {
+            assert!(r.metrics.throughput_normalized > 0.0);
+        }
+        assert_eq!(sim.allocation().len(), {
+            use txallo_graph::WeightedGraph;
+            sim.graph().node_count()
+        });
+    }
+
+    #[test]
+    fn healthy_stream_never_degrades() {
+        let mut gen = generator();
+        let warm = gen.blocks(40);
+        let mut sim = ShardedChainSim::new(config(3, 10, HybridSchedule::AlwaysAdaptive));
+        sim.warmup(&warm);
+        // The adaptive session's float aggregates are maintained exactly
+        // (chronological accumulation); a generous tolerance never trips.
+        sim.enable_health_check(1, 1e-6);
+        for r in sim.run_stream(&gen.blocks(30)) {
+            assert_eq!(r.degradation, Degradation::None);
+            assert_eq!(
+                r.carry,
+                StateCarry::Warm,
+                "audit must not disturb the session"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use txallo_core::{Allocation, StateCarry, UpdatePath};
+use txallo_core::{Allocation, Degradation, StateCarry, UpdatePath};
 use txallo_graph::TxGraph;
 use txallo_model::Block;
 
@@ -131,6 +131,10 @@ pub struct EpochReport {
     pub update_time: Duration,
     /// Brand-new accounts placed this epoch.
     pub new_accounts: usize,
+    /// The serving-state health rung after this boundary's audit (see
+    /// [`Degradation`]): `None` while the stream is healthy, degraded
+    /// rungs once the consistency check has tripped the recovery ladder.
+    pub degradation: Degradation,
     /// Transaction-level metrics of the epoch under the updated mapping.
     pub metrics: EpochMetrics,
 }
