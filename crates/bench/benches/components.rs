@@ -251,6 +251,27 @@ fn bench_components(_: &mut Criterion) {
     c.bench_function("atxallo/epoch_update_seed", |b| {
         b.iter(|| black_box(seed_atxallo_update(&params2, &graph2, &prev, &touched)));
     });
+
+    // The multi-core sweep engine: the same warm epoch update and the
+    // Louvain initialization at 1, 2 and 4 workers. Outputs are pinned
+    // bit-identical at every count (the `parallel_invariance` suite), so
+    // these only measure scaling — on a single-core runner the curve is
+    // flat by construction but still worth recording.
+    for threads in [1usize, 2, 4] {
+        let params_t = params2.clone().with_threads(threads);
+        c.bench_function(&format!("sweep/threads/epoch_t{threads}"), |b| {
+            b.iter(|| {
+                let mut session = warm.clone();
+                for blk in &new_blocks {
+                    session.apply_block(&graph2, blk);
+                }
+                black_box(session.update(&graph2, &touched, &params_t))
+            });
+        });
+        c.bench_function(&format!("sweep/threads/louvain_t{threads}"), |b| {
+            b.iter(|| louvain_csr(&csr, &LouvainConfig::default().with_threads(threads)));
+        });
+    }
 }
 
 /// The 50k-account / 400k-transaction scale workload: the graph is big

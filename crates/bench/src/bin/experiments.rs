@@ -15,7 +15,7 @@
 //!   broker          BrokerChain-style hot-account splitting on TxAllo
 //!   recency         full-history vs window vs decayed training graphs
 //!   headline        γ at k = 60 (98% / 28% / 12% in the paper)
-//!   bench-snapshot  hot-path component timings -> BENCH_pr6.json (or --out FILE)
+//!   bench-snapshot  hot-path component timings -> BENCH_pr7.json (or --out FILE)
 //!   all             everything above
 //! ```
 //!
@@ -33,7 +33,7 @@ fn main() {
     let mut quick = false;
     // Default snapshot name for `bench-snapshot`; later PRs bump it (or
     // pass `--out BENCH_prN.json`) so earlier baselines are never clobbered.
-    let mut out_path = String::from("BENCH_pr6.json");
+    let mut out_path = String::from("BENCH_pr7.json");
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {

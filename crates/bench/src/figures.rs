@@ -245,6 +245,7 @@ pub fn fig9(scale: ExperimentScale, quick: bool) {
             method: "txallo".into(),
             schedule: *schedule,
             decay_per_epoch: None,
+            threads: txallo_graph::par::threads_from_env(),
         });
         sim.warmup(&warm);
         let reports = sim.run_stream(&stream);
@@ -292,6 +293,7 @@ pub fn fig10(scale: ExperimentScale, quick: bool) {
             method: "txallo".into(),
             schedule,
             decay_per_epoch: None,
+            threads: txallo_graph::par::threads_from_env(),
         });
         sim.warmup(&warm);
         for r in sim.run_stream(&stream) {
@@ -797,6 +799,38 @@ pub fn bench_snapshot(out_path: &str) {
         ));
     });
 
+    // The multi-core sweep engine (PR 7): the warm epoch update and the
+    // Louvain initialization at 1/2/4 workers. The allocations are pinned
+    // bit-identical across counts, so this matrix records scaling only —
+    // on a single-core container expect a flat-or-worse curve, but record
+    // it anyway so multi-core machines accumulate a real trajectory.
+    let sweep_threads: Vec<(usize, f64, f64)> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| {
+            let params_t = params2.clone().with_threads(t);
+            let epoch = median_ms(reps, || {
+                let mut session = warm.clone();
+                for blk in &new_blocks {
+                    session.apply_block(&graph2, blk);
+                }
+                std::hint::black_box(session.update(&graph2, &touched, &params_t));
+            });
+            let lv = median_ms(reps, || {
+                std::hint::black_box(louvain_csr(&csr, &LouvainConfig::default().with_threads(t)));
+            });
+            (t, epoch, lv)
+        })
+        .collect();
+    let sweep_threads_json = sweep_threads
+        .iter()
+        .map(|(t, epoch, lv)| {
+            format!(
+                "{{\"threads\": {t}, \"atxallo_epoch_update\": {epoch:.3}, \"louvain_csr\": {lv:.3}}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+
     // The 50k/400k scale workload: where the §VI-B6 init cost actually
     // bites; the CSR build ratio at this size is the tentpole claim.
     let scale_reps = 5;
@@ -917,6 +951,7 @@ pub fn bench_snapshot(out_path: &str) {
          \"atxallo_epoch_update_full\": {atxallo_full:.3},\n  \
          \"atxallo_epoch_update_seed\": {atxallo_seed:.3},\n  \
          \"atxallo_touched_fraction\": {touched_fraction:.4},\n  \
+         \"sweep_threads\": [{sweep_threads_json}],\n  \
          \"scale_workload\": {{\"accounts\": 50000, \"transactions\": 400000, \"k\": 40, \"seed\": 42}},\n  \
          \"scale_unit\": \"ms (median of {scale_reps})\",\n  \
          \"scale_csr_build\": {scale_csr_build:.3},\n  \

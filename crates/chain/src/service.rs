@@ -42,6 +42,13 @@ pub struct ChainServiceConfig {
     /// Cross-shard workload parameter `η` of the allocation objective
     /// (the engine independently *measures* the realized η).
     pub eta: f64,
+    /// Worker threads of the allocation sweep kernels (`1` = serial,
+    /// `0` = one per core). Never changes an allocation — only how fast
+    /// epochs close — and is deliberately not part of checkpoint images,
+    /// so a checkpoint written under `N` threads resumes bit-identically
+    /// under `M`. Defaults to the `TXALLO_THREADS` environment variable
+    /// (unset = `1`).
+    pub threads: usize,
 }
 
 impl ChainServiceConfig {
@@ -54,6 +61,7 @@ impl ChainServiceConfig {
             method: "txallo".to_string(),
             schedule: HybridSchedule::Hybrid { global_gap: 20 },
             eta: 2.0,
+            threads: txallo_graph::par::threads_from_env(),
         }
     }
 }
@@ -139,7 +147,9 @@ impl ChainService {
             return Err(ChainError::EmptyEpoch);
         }
         let shards = config.engine.shards;
-        let params = TxAlloParams::for_total_weight(0.0, shards).with_eta(config.eta);
+        let params = TxAlloParams::for_total_weight(0.0, shards)
+            .with_eta(config.eta)
+            .with_threads(config.threads);
         let stream = registry.streaming(&config.method, &params, config.schedule)?;
         Ok(Self {
             engine: ChainEngine::try_new(config.engine.clone())?,
@@ -182,8 +192,7 @@ impl ChainService {
         for b in blocks {
             self.graph.ingest_block(b);
         }
-        let params = TxAlloParams::for_graph(&self.graph, self.config.engine.shards)
-            .with_eta(self.config.eta);
+        let params = self.current_params();
         self.allocation = self.stream.begin(&self.graph, &params);
         self.warmed_up = true;
     }
@@ -268,7 +277,9 @@ impl ChainService {
     }
 
     fn current_params(&self) -> TxAlloParams {
-        TxAlloParams::for_graph(&self.graph, self.config.engine.shards).with_eta(self.config.eta)
+        TxAlloParams::for_graph(&self.graph, self.config.engine.shards)
+            .with_eta(self.config.eta)
+            .with_threads(self.config.threads)
     }
 
     /// Runs a whole block stream, returning the updates of every closed

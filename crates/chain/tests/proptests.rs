@@ -110,8 +110,8 @@ fn small_trace(seed: u64, blocks: u64) -> Vec<Block> {
     EthereumLikeGenerator::new(cfg, seed).blocks(blocks)
 }
 
-fn faulty_service(shards: usize, fault_seed: u64) -> ChainService {
-    let config = ChainServiceConfig {
+fn faulty_config(shards: usize, threads: usize) -> ChainServiceConfig {
+    ChainServiceConfig {
         engine: ChainEngineConfig {
             shards,
             validators: shards * 8,
@@ -121,9 +121,16 @@ fn faulty_service(shards: usize, fault_seed: u64) -> ChainService {
         },
         epoch_blocks: 10,
         schedule: HybridSchedule::Hybrid { global_gap: 2 },
+        threads,
         ..ChainServiceConfig::new(shards)
-    };
-    let mut service = ChainService::new(config);
+    }
+}
+
+fn faulty_service(shards: usize, fault_seed: u64) -> ChainService {
+    // Env-default thread count: the CI matrix re-runs this whole suite at
+    // TXALLO_THREADS=1 and =4, and every property must hold unchanged.
+    let threads = txallo_graph::par::threads_from_env();
+    let mut service = ChainService::new(faulty_config(shards, threads));
     service.set_fault_plan(FaultPlan::mixed(fault_seed));
     service
 }
@@ -159,18 +166,7 @@ proptest! {
         drop(crashed);
 
         let mut resumed = ChainService::resume(
-            ChainServiceConfig {
-                engine: ChainEngineConfig {
-                    shards: 3,
-                    validators: 24,
-                    byzantine: 0,
-                    batch_size: 16,
-                    reshuffle_interval: 0,
-                },
-                epoch_blocks: 10,
-                schedule: HybridSchedule::Hybrid { global_gap: 2 },
-                ..ChainServiceConfig::new(3)
-            },
+            faulty_config(3, txallo_graph::par::threads_from_env()),
             &image,
         )
         .expect("resume");
@@ -194,6 +190,66 @@ proptest! {
             format!("{:?}", reference.report()),
             format!("{:?}", resumed.report()),
             "substrate tallies (messages, retries, aborts) must survive the restart"
+        );
+    }
+
+    /// Checkpoints are thread-count neutral: the image deliberately does
+    /// not record the sweep worker count (a pure performance knob), so a
+    /// checkpoint written by an `N`-thread service must resume under `M`
+    /// threads bit-identically to an uninterrupted *serial* run — same
+    /// update kinds and migrations, same final mapping, same substrate
+    /// tallies — with fault injection active throughout.
+    #[test]
+    fn checkpoint_crosses_thread_counts_bit_identically(
+        crash_after in 1u64..4,
+        workload_seed in 0u64..500,
+        fault_seed in 0u64..500,
+        write_threads in 2usize..5,
+        resume_threads in 1usize..5,
+    ) {
+        let warm = small_trace(workload_seed, 80);
+        let (warmup, live) = warm.split_at(40);
+
+        // Uninterrupted serial reference.
+        let mut reference = ChainService::new(faulty_config(3, 1));
+        reference.set_fault_plan(FaultPlan::mixed(fault_seed));
+        reference.warmup(warmup);
+        let reference_updates = reference.run(live);
+
+        // N-thread run up to the crash point, checkpoint at the boundary.
+        let mut crashed = ChainService::new(faulty_config(3, write_threads));
+        crashed.set_fault_plan(FaultPlan::mixed(fault_seed));
+        crashed.warmup(warmup);
+        let crash_block = (crash_after * 10) as usize;
+        let before = crashed.run(&live[..crash_block]);
+        let image = crashed.checkpoint().expect("boundary checkpoint");
+        drop(crashed);
+
+        // M-thread resume from the N-thread image.
+        let mut resumed =
+            ChainService::resume(faulty_config(3, resume_threads), &image).expect("resume");
+        let after = resumed.run(&live[crash_block..]);
+
+        prop_assert_eq!(before.len() + after.len(), reference_updates.len());
+        for (i, (live_u, split_u)) in reference_updates
+            .iter()
+            .zip(before.iter().chain(after.iter()))
+            .enumerate()
+        {
+            prop_assert_eq!(live_u.kind, split_u.kind, "epoch {}", i);
+            prop_assert_eq!(live_u.migrations(), split_u.migrations(), "epoch {}", i);
+        }
+        prop_assert_eq!(
+            reference.allocation().labels(),
+            resumed.allocation().labels(),
+            "{}-thread checkpoint resumed at {} threads must serve the serial mapping",
+            write_threads,
+            resume_threads
+        );
+        prop_assert_eq!(
+            format!("{:?}", reference.report()),
+            format!("{:?}", resumed.report()),
+            "substrate tallies must match the serial run across the thread switch"
         );
     }
 }

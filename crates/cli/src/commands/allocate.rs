@@ -19,7 +19,12 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
         return Err("-k must be at least 1".into());
     }
     let method = args.get("method").unwrap_or("txallo");
-    let params = TxAlloParams::for_graph(dataset.graph(), k).with_eta(eta);
+    // Sweep worker threads: 1 = serial, 0 = one per core. Never changes
+    // the allocation, only wall-clock time.
+    let threads: usize = args.parsed_or("threads", txallo_graph::par::threads_from_env())?;
+    let params = TxAlloParams::for_graph(dataset.graph(), k)
+        .with_eta(eta)
+        .with_threads(threads);
 
     // Name → algorithm resolution goes through the shared registry; an
     // unknown method reports whatever is actually registered.

@@ -15,6 +15,9 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     let gap: u64 = args.parsed_or("gap", 10)?;
     let seed: u64 = args.parsed_or("seed", 42)?;
     let eta: f64 = args.parsed_or("eta", 2.0)?;
+    // Sweep worker threads: 1 = serial, 0 = one per core. Never changes
+    // the allocation, only wall-clock time.
+    let threads: usize = args.parsed_or("threads", txallo_graph::par::threads_from_env())?;
     let method = args.get("method").unwrap_or("txallo");
     if shards == 0 || epochs == 0 || epoch_blocks == 0 {
         return Err("--shards, --epochs and --epoch-blocks must be positive".into());
@@ -52,6 +55,7 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
         method: method.to_string(),
         schedule,
         decay_per_epoch,
+        threads,
     });
     let warm_time = sim.warmup(&warm);
     eprintln!(

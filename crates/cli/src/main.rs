@@ -4,9 +4,10 @@
 //! txallo generate  --out trace.csv [--accounts N] [--transactions N] [--seed S]
 //! txallo stats     --trace trace.csv
 //! txallo allocate  --trace trace.csv --method <name>
-//!                  [-k N] [--eta F] [--out mapping.csv]
+//!                  [-k N] [--eta F] [--threads N] [--out mapping.csv]
 //! txallo evaluate  --trace trace.csv --mapping mapping.csv [--eta F]
 //! txallo simulate  [--method <name>] [--shards N] [--epochs N] [--gap N] [--seed S]
+//!                  [--threads N]
 //! txallo convert   --etl transactions.csv --out trace.csv
 //! ```
 //!
@@ -61,9 +62,14 @@ USAGE:
   txallo generate  --out trace.csv [--accounts N] [--transactions N] [--seed S]
   txallo stats     --trace trace.csv
   txallo allocate  --trace trace.csv --method {methods} \\
-                   [-k N] [--eta F] [--out mapping.csv]
+                   [-k N] [--eta F] [--threads N] [--out mapping.csv]
   txallo evaluate  --trace trace.csv --mapping mapping.csv [--eta F]
   txallo simulate  [--method {methods}] [--shards N] [--epochs N] [--gap N] [--seed S]
-  txallo convert   --etl transactions.csv --out trace.csv"
+                   [--threads N]
+  txallo convert   --etl transactions.csv --out trace.csv
+
+--threads N selects the sweep worker count (1 = serial, 0 = one per
+core; default: the TXALLO_THREADS environment variable, unset = 1).
+The count never changes an allocation, only how fast it is computed."
     )
 }

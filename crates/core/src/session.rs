@@ -290,6 +290,7 @@ impl AtxAlloSession {
             params.epsilon,
             params.max_sweeps,
             &mut self.scratch,
+            params.threads,
         );
 
         AtxAlloOutcome {

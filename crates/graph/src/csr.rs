@@ -493,9 +493,11 @@ fn fill_rows<G: WeightedGraph>(
 }
 
 /// Row-range boundaries for the chunked fill: `[0, b₁, …, n]` with roughly
-/// equal entry counts per chunk. Returns the single range `[0, n]` (serial
-/// fill) for small graphs, where each extra thread re-reads the whole
-/// adjacency for a fraction of the writes and spawn overhead dominates.
+/// equal entry counts per chunk (the shared
+/// [`entry_balanced_split`](crate::par::entry_balanced_split) rule).
+/// Returns the single range `[0, n]` (serial fill) for small graphs, where
+/// each extra thread re-reads the whole adjacency for a fraction of the
+/// writes and spawn overhead dominates.
 fn row_split(offsets: &[u32], entries: usize, forced_chunks: Option<usize>) -> Vec<usize> {
     /// Entry count below which the fill stays serial.
     const PAR_THRESHOLD: usize = 1 << 19;
@@ -512,17 +514,7 @@ fn row_split(offsets: &[u32], entries: usize, forced_chunks: Option<usize>) -> V
     if (entries < PAR_THRESHOLD && forced_chunks.is_none()) || chunks < 2 || n < chunks {
         return vec![0, n];
     }
-    let per = entries.div_ceil(chunks);
-    let mut bounds = vec![0usize];
-    let mut next = per;
-    for v in 0..n {
-        if offsets[v + 1] as usize >= next && v + 1 < n {
-            bounds.push(v + 1);
-            next = offsets[v + 1] as usize + per;
-        }
-    }
-    bounds.push(n);
-    bounds
+    crate::par::entry_balanced_split(offsets, chunks)
 }
 
 impl WeightedGraph for CsrGraph {

@@ -284,6 +284,16 @@ impl DeltaCsr {
         self.incident[local]
     }
 
+    /// The row-boundary array (`len() + 1` entries; row `i` covers
+    /// `offsets[i]..offsets[i + 1]` of the entry arrays) — the input the
+    /// deterministic partitioner
+    /// ([`par::entry_balanced_split`](crate::par::entry_balanced_split))
+    /// needs to split the sweep by canonical row ranges.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
     /// Row `local` as `(global targets, weights)`, parallel, neighbors
     /// ascending by global id.
     #[inline]

@@ -49,6 +49,7 @@ pub mod csr;
 pub mod decay;
 pub mod delta;
 pub mod interner;
+pub mod par;
 pub mod scratch;
 pub mod slab;
 pub mod stats;

@@ -1,0 +1,215 @@
+//! Deterministic fan-out primitives — the thread-pool/partition layer
+//! behind every multi-core sweep in the workspace.
+//!
+//! ## The house pattern
+//!
+//! The chunked CSR fill ([`crate::CsrGraph`]) proved the only parallelism
+//! this codebase permits: **fixed chunk partition + position-identical
+//! reduction**. Work is split by *canonical row ranges* decided up front
+//! from the data alone (never from thread timing), each chunk writes a
+//! disjoint slice of the output, and the merge is by position — so the
+//! result is bit-identical to the serial pass at any thread count. This
+//! module extracts that idiom so the sweep kernels (the A-TxAllo epoch
+//! sweep, Louvain local moving) can reuse it instead of re-deriving the
+//! `split_at_mut` plumbing:
+//!
+//! * [`entry_balanced_split`] — the `row_split` canonical-range rule:
+//!   contiguous row ranges balanced by entry count, computed from a CSR
+//!   offsets array.
+//! * [`for_each_chunk_mut`] — scoped-thread execution over those ranges,
+//!   each chunk owning a disjoint `&mut` window of one per-row output
+//!   slice plus its own scratch instance.
+//! * [`threads_from_env`] — the `TXALLO_THREADS` override backing the
+//!   default of every thread-count knob ([`TxAlloParams::threads`],
+//!   [`LouvainConfig::threads`]); unset means `1`, the exact serial
+//!   code path.
+//!
+//! What this module deliberately does **not** offer: work stealing,
+//! atomics, or any reduction whose float summation order depends on
+//! scheduling. Cross-chunk folds stay in caller code, serial, in row
+//! order — that is the determinism contract's "Parallel reduction" rule
+//! (ARCHITECTURE.md).
+//!
+//! [`TxAlloParams::threads`]: https://docs.rs/txallo-core
+//! [`LouvainConfig::threads`]: https://docs.rs/txallo-louvain
+
+/// Thread-count default shared by every sweep knob: the `TXALLO_THREADS`
+/// environment variable, parsed as `usize`. Unset, empty or unparsable
+/// values mean `1` (the serial path); `0` means "one per available core".
+///
+/// The returned count only ever changes *how* a sweep is computed, never
+/// its result — the partition layer guarantees bit-identical output at
+/// any thread count — so reading an environment variable here does not
+/// violate determinism.
+pub fn threads_from_env() -> usize {
+    match std::env::var("TXALLO_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => resolve_threads(n),
+            Err(_) => 1,
+        },
+        Err(_) => 1,
+    }
+}
+
+/// Resolves a requested thread count: `0` means "one per available core",
+/// anything else is taken literally (`1` = serial).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        requested
+    }
+}
+
+/// Canonical row-range boundaries `[0, b₁, …, n]` with roughly equal
+/// entry counts per chunk, computed from a CSR `offsets` array
+/// (`offsets.len() == n + 1`, `offsets[n]` = total entries).
+///
+/// This is the `row_split` rule of the chunked CSR fill, extracted: the
+/// split depends only on the offsets (data), never on scheduling, so the
+/// same input always partitions the same way. Degenerate requests
+/// (`chunks < 2`, fewer rows than chunks) collapse to the single serial
+/// range `[0, n]`.
+///
+/// ```
+/// use txallo_graph::par::entry_balanced_split;
+/// // 4 rows with entry counts 5, 1, 5, 1.
+/// let offsets = [0u32, 5, 6, 11, 12];
+/// assert_eq!(entry_balanced_split(&offsets, 2), vec![0, 2, 4]);
+/// assert_eq!(entry_balanced_split(&offsets, 1), vec![0, 4]);
+/// ```
+pub fn entry_balanced_split(offsets: &[u32], chunks: usize) -> Vec<usize> {
+    let n = offsets.len() - 1;
+    if chunks < 2 || n < chunks {
+        return vec![0, n];
+    }
+    let entries = offsets[n] as usize;
+    let per = entries.div_ceil(chunks).max(1);
+    let mut bounds = vec![0usize];
+    let mut next = per;
+    for v in 0..n {
+        if offsets[v + 1] as usize >= next && v + 1 < n {
+            bounds.push(v + 1);
+            next = offsets[v + 1] as usize + per;
+        }
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// Runs `f(lo, chunk, scratch)` for every chunk of `bounds`
+/// (as produced by [`entry_balanced_split`]): chunk `c` covers rows
+/// `bounds[c]..bounds[c + 1]`, receives the matching disjoint `&mut`
+/// window of `data` (so `chunk[i]` is row `lo + i`) and exclusive use of
+/// `scratch[c]`.
+///
+/// A single chunk runs inline on the calling thread — no spawn at all —
+/// which is what makes `threads == 1` the exact serial code path of
+/// every caller. Multiple chunks run under [`std::thread::scope`], one
+/// thread per chunk; because every chunk writes only its own window and
+/// the windows are assigned by position, the combined `data` is
+/// bit-identical to a serial left-to-right pass regardless of which
+/// chunk finishes first.
+///
+/// # Panics
+/// Panics when `scratch` has fewer instances than chunks or `bounds`
+/// does not cover `data`.
+pub fn for_each_chunk_mut<T, S, F>(bounds: &[usize], data: &mut [T], scratch: &mut [S], f: F)
+where
+    T: Send,
+    S: Send,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
+    let chunks = bounds.len() - 1;
+    assert!(scratch.len() >= chunks, "one scratch instance per chunk");
+    assert_eq!(*bounds.last().expect("non-empty bounds"), data.len());
+    if chunks == 1 {
+        f(bounds[0], data, &mut scratch[0]);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest: &mut [T] = data;
+        let mut rest_s: &mut [S] = scratch;
+        for pair in bounds.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            let (chunk, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let (s, tail_s) = rest_s.split_at_mut(1);
+            rest_s = tail_s;
+            let s0 = &mut s[0];
+            let f = &f;
+            scope.spawn(move || f(lo, chunk, s0));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_rows_and_balances_entries() {
+        let offsets: Vec<u32> = vec![0, 50, 50, 60, 200, 210, 220, 400, 410, 420, 500];
+        for chunks in [2usize, 3, 4] {
+            let bounds = entry_balanced_split(&offsets, chunks);
+            assert_eq!(*bounds.first().unwrap(), 0);
+            assert_eq!(*bounds.last().unwrap(), 10);
+            assert!(
+                bounds.windows(2).all(|p| p[0] < p[1]),
+                "strictly increasing"
+            );
+        }
+        assert_eq!(entry_balanced_split(&offsets, 1), vec![0, 10]);
+        assert_eq!(entry_balanced_split(&[0], 4), vec![0, 0], "empty");
+        assert_eq!(
+            entry_balanced_split(&[0, 1, 2], 5),
+            vec![0, 2],
+            "fewer rows than chunks"
+        );
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let offsets: Vec<u32> = (0..=257u32).map(|i| i * 3).collect();
+        assert_eq!(
+            entry_balanced_split(&offsets, 4),
+            entry_balanced_split(&offsets, 4)
+        );
+    }
+
+    #[test]
+    fn chunked_run_matches_serial_run() {
+        // Each row's output is a pure function of its index; the chunked
+        // pass must reproduce the serial array exactly, with every chunk
+        // seeing its own scratch.
+        let offsets: Vec<u32> = (0..=100u32).map(|i| i * i / 4).collect();
+        let mut serial = vec![0u64; 100];
+        for (i, slot) in serial.iter_mut().enumerate() {
+            *slot = (i as u64) * 17 + 3;
+        }
+        for chunks in [1usize, 2, 3, 5, 8] {
+            let bounds = entry_balanced_split(&offsets, chunks);
+            let mut data = vec![0u64; 100];
+            let mut scratch = vec![0usize; bounds.len() - 1];
+            for_each_chunk_mut(&bounds, &mut data, &mut scratch, |lo, chunk, used| {
+                for (idx, slot) in chunk.iter_mut().enumerate() {
+                    *slot = ((lo + idx) as u64) * 17 + 3;
+                }
+                *used += chunk.len();
+            });
+            assert_eq!(data, serial, "{chunks} chunks");
+            assert_eq!(
+                scratch.iter().sum::<usize>(),
+                100,
+                "chunks partition the rows"
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_threads_semantics() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(0) >= 1, "0 resolves to the core count");
+    }
+}

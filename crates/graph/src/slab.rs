@@ -71,6 +71,15 @@ pub struct SortedRunStore {
     ids: Vec<NodeId>,
     ws: Vec<f64>,
     rows: Vec<RowMeta>,
+    /// One membership fingerprint byte per row: bit `id & 7` is set when
+    /// an id with that residue was ever inserted. A clear bit proves the
+    /// id is absent, letting [`SortedRunStore::add`] skip both membership
+    /// binary searches on the brand-new-neighbor path (the common case
+    /// early in a trace, when rows are still meeting fresh peers).
+    /// Removals leave the byte stale-but-safe: a set bit only ever means
+    /// "maybe present", which degrades the shortcut, never correctness —
+    /// and the filter never changes a stored weight's bits either way.
+    fps: Vec<u8>,
     /// Abandoned entries from row relocations (compaction trigger).
     dead: usize,
     /// Merge scratch: the tail is copied here before the backward merge.
@@ -93,6 +102,7 @@ impl SortedRunStore {
     /// Appends an empty row (capacity is allocated lazily on first insert).
     pub fn push_row(&mut self) {
         self.rows.push(RowMeta::default());
+        self.fps.push(0);
     }
 
     /// Appends a row pre-filled from an ascending-id sorted `(ids, ws)`
@@ -121,6 +131,13 @@ impl SortedRunStore {
             len: len as u32,
             run: len as u32,
         });
+        // Rebuild the membership fingerprint from scratch — a restored
+        // row starts with an exact (no stale bits) filter.
+        let mut fp = 0u8;
+        for &id in ids {
+            fp |= 1 << (id & 7);
+        }
+        self.fps.push(fp);
     }
 
     /// Number of live entries in row `r`.
@@ -199,6 +216,9 @@ impl SortedRunStore {
     /// Position of `id` in row `r` as an arena index, if present.
     #[inline]
     fn find(&self, r: usize, id: NodeId) -> Option<usize> {
+        if self.fps[r] & (1 << (id & 7)) == 0 {
+            return None; // Fingerprint proves absence.
+        }
         let m = self.rows[r];
         let (s, run, len) = (m.start as usize, m.run as usize, m.len as usize);
         if let Ok(i) = self.ids[s..s + run].binary_search(&id) {
@@ -229,12 +249,14 @@ impl SortedRunStore {
     /// per-pair accumulation, the same float trajectory a hash-map entry
     /// would produce.
     pub fn add(&mut self, r: usize, id: NodeId, w: f64) -> bool {
-        {
+        let bit = 1u8 << (id & 7);
+        if self.fps[r] & bit != 0 {
             // Fast path for the hottest ingest case: the pair already
             // exists and sits in the main run (where merges put it), or
             // the row's last live entry is the pair itself (immediately
             // repeated traffic). One probe + one binary search instead of
-            // two searches.
+            // two searches. A clear fingerprint bit proves the id absent
+            // and skips all of this — straight to the insert below.
             let m = self.rows[r];
             let (s, run, len) = (m.start as usize, m.run as usize, m.len as usize);
             if len > 0 && self.ids[s + len - 1] == id {
@@ -250,6 +272,7 @@ impl SortedRunStore {
                 return false;
             }
         }
+        self.fps[r] |= bit;
         let m = self.rows[r];
         if m.len == m.cap {
             self.grow_row(r);
@@ -383,6 +406,12 @@ impl SortedRunStore {
             assert!(tail_ids.windows(2).all(|p| p[0] < p[1]), "tail of row {r}");
             for t in tail_ids {
                 assert!(run_ids.binary_search(t).is_err(), "dup across runs");
+            }
+            for id in run_ids.iter().chain(tail_ids) {
+                assert!(
+                    self.fps[r] & (1 << (id & 7)) != 0,
+                    "fingerprint of row {r} must cover live id {id}"
+                );
             }
         }
     }
@@ -533,6 +562,51 @@ mod tests {
         store.add(0, 10, 0.5);
         restored.add(0, 10, 0.5);
         assert_eq!(collect(&store), collect(&restored));
+    }
+
+    #[test]
+    fn fingerprint_filter_is_bitwise_transparent() {
+        // Interleaved adds and removes against a reference map: the
+        // membership fingerprint (including stale bits left by removes)
+        // must never change what is stored — same freshness verdicts,
+        // same bit-exact weights, same ascending iteration.
+        let mut store = SortedRunStore::new();
+        store.push_row();
+        let mut reference: BTreeMap<NodeId, f64> = BTreeMap::new();
+        let mut x = 31u64;
+        for step in 0..8_000 {
+            let id = (lcg(&mut x) % 64) as NodeId; // dense residue reuse
+            match lcg(&mut x) % 5 {
+                0 => {
+                    // Remove leaves the fingerprint bit stale on purpose.
+                    assert_eq!(
+                        store.remove(0, id),
+                        reference.remove(&id),
+                        "remove at {step}"
+                    );
+                }
+                _ => {
+                    let w = 0.25 + (lcg(&mut x) % 41) as f64 / 7.0;
+                    let fresh = store.add(0, id, w);
+                    assert_eq!(fresh, !reference.contains_key(&id), "freshness at {step}");
+                    *reference.entry(id).or_insert(0.0) += w;
+                }
+            }
+            if step % 911 == 0 {
+                store.assert_sorted();
+            }
+        }
+        store.assert_sorted();
+        let mut seen: Vec<(NodeId, u64)> = Vec::new();
+        store.for_each(0, |u, w| seen.push((u, w.to_bits())));
+        let expect: Vec<(NodeId, u64)> =
+            reference.iter().map(|(&u, &w)| (u, w.to_bits())).collect();
+        assert_eq!(seen, expect);
+        // Absent ids answer through the filter exactly like before.
+        for id in 0..64u32 {
+            assert_eq!(store.get(0, id), reference.get(&id).copied(), "get {id}");
+        }
+        assert_eq!(store.get(0, 1_000), None, "never-seen residue class");
     }
 
     #[test]

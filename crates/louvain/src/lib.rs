@@ -54,6 +54,14 @@ pub struct LouvainConfig {
     pub min_gain: f64,
     /// Resolution parameter γ of generalized modularity (1.0 = classic).
     pub resolution: f64,
+    /// Worker threads of the local-moving gather pass (`1` = the exact
+    /// serial code path; `0` = one per core). The count never changes the
+    /// result — the parallel pass partitions rows by canonical ranges and
+    /// is bit-identical to the serial sweep (see
+    /// [`local_moving_pass`]) — only how fast it runs. Defaults to the
+    /// `TXALLO_THREADS` environment variable
+    /// ([`txallo_graph::par::threads_from_env`]), i.e. `1` when unset.
+    pub threads: usize,
 }
 
 impl Default for LouvainConfig {
@@ -63,7 +71,17 @@ impl Default for LouvainConfig {
             max_sweeps: 64,
             min_gain: 1e-9,
             resolution: 1.0,
+            threads: txallo_graph::par::threads_from_env(),
         }
+    }
+}
+
+impl LouvainConfig {
+    /// Returns a copy with a different thread count (`1` = serial,
+    /// `0` = one per core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -285,6 +303,43 @@ mod tests {
         assert_eq!(groups[0], vec![0, 2]);
         assert_eq!(groups[1], vec![1, 4]);
         assert_eq!(groups[2], vec![3]);
+    }
+
+    /// Golden thread-invariance test over the *whole* pipeline: local
+    /// moving at the configured thread count, label compaction, and the
+    /// counting-sort aggregation (which stays serial precisely so its
+    /// first-seen label order and float fold order cannot depend on
+    /// scheduling) must give bitwise-equal coarse levels, final labels
+    /// and modularity at every thread count.
+    #[test]
+    fn louvain_csr_is_bit_identical_at_every_thread_count() {
+        // Ring of cliques + cross-chords: several aggregation levels.
+        let (r, s) = (8u32, 5u32);
+        let mut edges = Vec::new();
+        for c in 0..r {
+            let base = c * s;
+            for a in 0..s {
+                for b in (a + 1)..s {
+                    edges.push((base + a, base + b, 1.0));
+                }
+            }
+            let next_base = ((c + 1) % r) * s;
+            edges.push((base, next_base, 0.05));
+            edges.push((base + 1, ((c + 3) % r) * s + 2, 0.02));
+        }
+        let g = AdjacencyGraph::from_edges((r * s) as usize, edges);
+        let serial = louvain_csr(&g, &LouvainConfig::default().with_threads(1));
+        for threads in [2usize, 3, 8] {
+            let par = louvain_csr(&g, &LouvainConfig::default().with_threads(threads));
+            assert_eq!(par.communities, serial.communities, "{threads} threads");
+            assert_eq!(par.community_count, serial.community_count);
+            assert_eq!(par.levels, serial.levels, "{threads} threads");
+            assert_eq!(
+                par.modularity.to_bits(),
+                serial.modularity.to_bits(),
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]

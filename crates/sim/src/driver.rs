@@ -40,6 +40,11 @@ pub struct SimConfig {
     /// `txallo_graph::decay` — recency weighting per §VI-A's "recent
     /// history" recommendation.
     pub decay_per_epoch: Option<f64>,
+    /// Worker threads of the allocation sweep kernels (`1` = serial,
+    /// `0` = one per core; never changes an allocation, only wall-clock
+    /// time). Defaults to the `TXALLO_THREADS` environment variable
+    /// (unset = `1`).
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -53,6 +58,7 @@ impl SimConfig {
             method: "txallo".to_string(),
             schedule: HybridSchedule::Hybrid { global_gap: 20 },
             decay_per_epoch: None,
+            threads: txallo_graph::par::threads_from_env(),
         }
     }
 }
@@ -102,7 +108,9 @@ impl ShardedChainSim {
         // Placeholder hyper-parameters until warm-up: every stream
         // re-derives the weight-dependent fields from the graph it is
         // begun on.
-        let params = TxAlloParams::for_total_weight(0.0, shards).with_eta(config.eta);
+        let params = TxAlloParams::for_total_weight(0.0, shards)
+            .with_eta(config.eta)
+            .with_threads(config.threads);
         let stream = registry
             .streaming(&config.method, &params, config.schedule)
             .unwrap_or_else(|e| panic!("{e}"));
@@ -153,7 +161,9 @@ impl ShardedChainSim {
     }
 
     fn current_params(&self) -> TxAlloParams {
-        TxAlloParams::for_graph(&self.graph, self.config.shards).with_eta(self.config.eta)
+        TxAlloParams::for_graph(&self.graph, self.config.shards)
+            .with_eta(self.config.eta)
+            .with_threads(self.config.threads)
     }
 
     /// Ingests the historical prefix and opens the allocation service on

@@ -29,6 +29,7 @@ fn main() {
         method: "txallo".into(),
         schedule: HybridSchedule::Hybrid { global_gap: 5 },
         decay_per_epoch: None,
+        ..SimConfig::new(12)
     });
     let warm_time = sim.warmup(&warmup_blocks);
     println!(

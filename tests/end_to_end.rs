@@ -133,6 +133,7 @@ fn adaptive_tracks_global_quality() {
         method: "txallo".into(),
         schedule: HybridSchedule::AlwaysAdaptive,
         decay_per_epoch: None,
+        ..SimConfig::new(6)
     });
     sim.warmup(&warm);
     let stream = generator.blocks(300);
