@@ -15,7 +15,9 @@
 //!   broker          BrokerChain-style hot-account splitting on TxAllo
 //!   recency         full-history vs window vs decayed training graphs
 //!   headline        γ at k = 60 (98% / 28% / 12% in the paper)
-//!   bench-snapshot  hot-path component timings -> BENCH_pr7.json (or --out FILE)
+//!   scale-stream    out-of-core streaming replay (--accounts/--epochs/--window;
+//!                   --max-resident-mib F exits nonzero on a ceiling breach)
+//!   bench-snapshot  hot-path component timings -> BENCH_pr8.json (or --out FILE)
 //!   all             everything above
 //! ```
 //!
@@ -24,7 +26,7 @@
 //! redirects the bench-snapshot JSON.
 
 use txallo_bench::figures;
-use txallo_bench::{build_dataset, ExperimentScale};
+use txallo_bench::{build_dataset, run_stream_bench, ExperimentScale, StreamBenchConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +35,12 @@ fn main() {
     let mut quick = false;
     // Default snapshot name for `bench-snapshot`; later PRs bump it (or
     // pass `--out BENCH_prN.json`) so earlier baselines are never clobbered.
-    let mut out_path = String::from("BENCH_pr7.json");
+    let mut out_path = String::from("BENCH_pr8.json");
+    // `scale-stream` knobs.
+    let mut stream_accounts: usize = 1_000_000;
+    let mut stream_epochs: u64 = 60;
+    let mut stream_window: u32 = 4;
+    let mut max_resident_mib: Option<f64> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -56,6 +63,31 @@ fn main() {
                     .next()
                     .cloned()
                     .unwrap_or_else(|| die("--out needs a file path"));
+            }
+            "--accounts" => {
+                stream_accounts = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--accounts needs an integer"));
+            }
+            "--epochs" => {
+                stream_epochs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--epochs needs an integer"));
+            }
+            "--window" => {
+                stream_window = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--window needs an integer"));
+            }
+            "--max-resident-mib" => {
+                max_resident_mib = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--max-resident-mib needs a number")),
+                );
             }
             name if experiment.is_none() && !name.starts_with('-') => {
                 experiment = Some(name.to_string());
@@ -107,6 +139,40 @@ fn main() {
         "broker" => figures::broker(scale),
         "recency" => figures::recency(scale),
         "headline" => figures::headline(scale),
+        "scale-stream" => {
+            let config = StreamBenchConfig {
+                accounts: stream_accounts,
+                epochs: stream_epochs,
+                window: stream_window,
+                seed: scale.seed,
+                ..StreamBenchConfig::at_scale(stream_accounts)
+            };
+            eprintln!(
+                "# out-of-core replay: {} accounts, {} epochs, window {}...",
+                config.accounts, config.epochs, config.window
+            );
+            let report = run_stream_bench(&config);
+            println!("{}", report.to_json());
+            let peak_mib = report.peak_resident_bytes as f64 / (1024.0 * 1024.0);
+            eprintln!(
+                "# peak resident {peak_mib:.1} MiB ({} distinct accounts, {} evictions, \
+                 {:.1} MiB spilled)",
+                report.distinct_accounts,
+                report.final_footprint.evicted_rows,
+                report.final_footprint.spill_bytes as f64 / (1024.0 * 1024.0),
+            );
+            if let Some(ceiling) = max_resident_mib {
+                if config.window > 0 && report.final_footprint.evicted_rows == 0 {
+                    die("residency window evicted nothing — eviction layer inactive");
+                }
+                if peak_mib > ceiling {
+                    die(&format!(
+                        "peak resident {peak_mib:.1} MiB exceeds the {ceiling:.1} MiB ceiling"
+                    ));
+                }
+                eprintln!("# ceiling ok: {peak_mib:.1} <= {ceiling:.1} MiB");
+            }
+        }
         "bench-snapshot" => figures::bench_snapshot(&out_path),
         "all" => {
             let rows = sweep_rows.as_deref().expect("sweep computed");
@@ -131,7 +197,7 @@ fn main() {
         }
         other => die(&format!(
             "unknown experiment {other:?} (expected fig1..fig10, runtime-table, ablation, \
-             headline, bench-snapshot, all)"
+             headline, scale-stream, bench-snapshot, all)"
         )),
     }
 }

@@ -246,6 +246,7 @@ pub fn fig9(scale: ExperimentScale, quick: bool) {
             schedule: *schedule,
             decay_per_epoch: None,
             threads: txallo_graph::par::threads_from_env(),
+            residency: None,
         });
         sim.warmup(&warm);
         let reports = sim.run_stream(&stream);
@@ -294,6 +295,7 @@ pub fn fig10(scale: ExperimentScale, quick: bool) {
             schedule,
             decay_per_epoch: None,
             threads: txallo_graph::par::threads_from_env(),
+            residency: None,
         });
         sim.warmup(&warm);
         for r in sim.run_stream(&stream) {
@@ -928,6 +930,22 @@ pub fn bench_snapshot(out_path: &str) {
         )
     };
 
+    // Memory accounting of the component workload's graph and warm
+    // session (PR 8: the `MemoryFootprint` surface, reported in every
+    // snapshot from here on).
+    let footprint = graph2.memory_footprint();
+    let session_bytes = warm.approx_bytes();
+
+    // Out-of-core streaming replay (PR 8): a million-account epoch loop
+    // through the full service surface, ledger never materialized, cold
+    // rows evicted past the residency window. Per-phase decomposition in
+    // seconds (§VI-B6 style).
+    eprintln!("# running out-of-core stream replay (1M accounts; this is the slow part)...");
+    let stream_replay = crate::stream_bench::run_stream_bench(
+        &crate::stream_bench::StreamBenchConfig::at_scale(1_000_000),
+    )
+    .to_json();
+
     let json = format!(
         "{{\n  \"workload\": {{\"accounts\": 5000, \"transactions\": 40000, \"k\": {k}, \"seed\": 42}},\n  \
          \"unit\": \"ms (median of {reps})\",\n  \
@@ -965,7 +983,16 @@ pub fn bench_snapshot(out_path: &str) {
          \"fault_run_retries\": {fault_retries},\n  \
          \"fault_run_aborted\": {fault_aborted},\n  \
          \"fault_run_migrations_aborted\": {fault_migrations_aborted},\n  \
-         \"fault_run_crash_outages\": {fault_crash_outages}\n}}\n"
+         \"fault_run_crash_outages\": {fault_crash_outages},\n  \
+         \"memory_footprint\": {{\"slab_arena_bytes\": {slab_arena}, \"slab_live_entries\": {slab_live}, \
+         \"node_scalar_bytes\": {node_scalar}, \"interner_bytes\": {interner}, \
+         \"graph_resident_bytes\": {graph_resident}, \"session_bytes\": {session_bytes}}},\n  \
+         \"stream_replay\": {stream_replay}\n}}\n",
+        slab_arena = footprint.slab_arena_bytes,
+        slab_live = footprint.slab_live_entries,
+        node_scalar = footprint.node_scalar_bytes,
+        interner = footprint.interner_bytes,
+        graph_resident = footprint.resident_bytes(),
     );
     print!("{json}");
     if let Err(e) = std::fs::write(out_path, &json) {

@@ -8,8 +8,10 @@
 pub mod figures;
 pub mod harness;
 pub mod seed_ref;
+pub mod stream_bench;
 
 pub use harness::{
     build_dataset, eta_sweep, k_sweep, run_allocator, AllocatorKind, ExperimentScale, ResultWriter,
     ALL_ALLOCATORS,
 };
+pub use stream_bench::{run_stream_bench, StreamBenchConfig, StreamBenchReport};

@@ -291,6 +291,21 @@ impl ChainService {
             .collect()
     }
 
+    /// [`ChainService::run`] from a block *iterator*: each block is
+    /// processed and dropped before the next is produced, so the chain
+    /// can replay a synthesized ledger
+    /// (`txallo_workload::StreamingWorkload`) of any length without ever
+    /// materializing it.
+    pub fn run_streamed<I>(&mut self, blocks: I) -> Vec<AllocationUpdate>
+    where
+        I: IntoIterator<Item = Block>,
+    {
+        blocks
+            .into_iter()
+            .filter_map(|b| self.process_block(&b))
+            .collect()
+    }
+
     fn extend_allocation_by_hash(&mut self) {
         let n = self.graph.node_count();
         let shards = self.allocation.shard_count();

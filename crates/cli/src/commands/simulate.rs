@@ -1,9 +1,9 @@
 //! `txallo simulate` — run the epoch simulator on a synthetic stream.
 
 use txallo_core::AllocatorRegistry;
-use txallo_graph::WeightedGraph;
+use txallo_graph::{ResidencyConfig, WeightedGraph};
 use txallo_sim::{HybridSchedule, ShardedChainSim, SimConfig, UpdateKind};
-use txallo_workload::{EthereumLikeGenerator, WorkloadConfig};
+use txallo_workload::{EthereumLikeGenerator, StreamingWorkload, WorkloadConfig};
 
 use crate::args::ArgMap;
 
@@ -18,9 +18,18 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     // Sweep worker threads: 1 = serial, 0 = one per core. Never changes
     // the allocation, only wall-clock time.
     let threads: usize = args.parsed_or("threads", txallo_graph::par::threads_from_env())?;
+    // Out-of-core replay: synthesize blocks on demand (`--stream true`)
+    // instead of materializing the whole ledger up front, and optionally
+    // evict graph rows idle for more than `--window W` epochs.
+    let stream_mode: bool = args.parsed_or("stream", false)?;
+    let window: u32 = args.parsed_or("window", 0)?;
+    let accounts: usize = args.parsed_or("accounts", WorkloadConfig::default().accounts)?;
     let method = args.get("method").unwrap_or("txallo");
     if shards == 0 || epochs == 0 || epoch_blocks == 0 {
         return Err("--shards, --epochs and --epoch-blocks must be positive".into());
+    }
+    if window > 0 && !stream_mode {
+        return Err("--window needs --stream true (out-of-core replay)".into());
     }
     // Validate the method up front (the simulator would panic later);
     // unknown names report the registered set.
@@ -33,13 +42,11 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     }
 
     let config = WorkloadConfig {
+        accounts,
         block_size: 100,
         new_account_prob: 0.004,
         ..WorkloadConfig::default()
     };
-    let mut generator = EthereumLikeGenerator::new(config, seed);
-    let warm = generator.blocks(epoch_blocks as u64 * epochs);
-    let stream = generator.blocks(epoch_blocks as u64 * epochs);
 
     let schedule = if gap == 0 {
         HybridSchedule::AlwaysAdaptive
@@ -48,6 +55,7 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
     };
     let decay: f64 = args.parsed_or("decay", 1.0)?;
     let decay_per_epoch = if decay < 1.0 { Some(decay) } else { None };
+    let residency = (window > 0).then(|| ResidencyConfig::in_memory(window));
     let mut sim = ShardedChainSim::new(SimConfig {
         shards,
         eta,
@@ -56,16 +64,32 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
         schedule,
         decay_per_epoch,
         threads,
+        residency,
     });
-    let warm_time = sim.warmup(&warm);
-    eprintln!(
-        "warm-up: {} accounts, initial {method} solve in {warm_time:.2?}",
-        sim.graph().node_count()
-    );
 
-    println!("epoch,algo,gamma,throughput_times,new_accounts,migrated,update_seconds");
+    let warm_blocks = epoch_blocks as u64 * epochs;
+    let reports = if stream_mode {
+        let w = StreamingWorkload::new(config, seed);
+        let warm_time = sim.warmup_streamed(w.block_iter(0..warm_blocks));
+        eprintln!(
+            "warm-up: {} accounts, initial {method} solve in {warm_time:.2?}",
+            sim.graph().node_count()
+        );
+        println!("epoch,algo,gamma,throughput_times,new_accounts,migrated,update_seconds");
+        sim.run_stream_with(epochs, |e| w.epoch_blocks(e + epochs, epoch_blocks as u64))
+    } else {
+        let mut generator = EthereumLikeGenerator::new(config, seed);
+        let warm = generator.blocks(warm_blocks);
+        let stream = generator.blocks(warm_blocks);
+        let warm_time = sim.warmup(&warm);
+        eprintln!(
+            "warm-up: {} accounts, initial {method} solve in {warm_time:.2?}",
+            sim.graph().node_count()
+        );
+        println!("epoch,algo,gamma,throughput_times,new_accounts,migrated,update_seconds");
+        sim.run_stream(&stream)
+    };
     let mut sum_tp = 0.0;
-    let reports = sim.run_stream(&stream);
     for r in &reports {
         sum_tp += r.metrics.throughput_normalized;
         println!(
@@ -86,5 +110,19 @@ pub fn run(args: &ArgMap) -> Result<(), String> {
         "average throughput: {:.3}× unsharded",
         sum_tp / reports.len().max(1) as f64
     );
+    if window > 0 {
+        let fp = sim.memory_footprint();
+        eprintln!(
+            "residency: {} resident / {} cold rows, {} evictions, \
+             {:.1} MiB resident graph + {:.1} MiB allocator state, \
+             {:.1} MiB spilled",
+            fp.resident_rows,
+            fp.cold_rows,
+            fp.evicted_rows,
+            fp.resident_bytes() as f64 / (1024.0 * 1024.0),
+            sim.allocator_state_bytes() as f64 / (1024.0 * 1024.0),
+            fp.spill_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
     Ok(())
 }

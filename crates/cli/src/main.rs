@@ -7,7 +7,7 @@
 //!                  [-k N] [--eta F] [--threads N] [--out mapping.csv]
 //! txallo evaluate  --trace trace.csv --mapping mapping.csv [--eta F]
 //! txallo simulate  [--method <name>] [--shards N] [--epochs N] [--gap N] [--seed S]
-//!                  [--threads N]
+//!                  [--threads N] [--stream true] [--window W] [--accounts N]
 //! txallo convert   --etl transactions.csv --out trace.csv
 //! ```
 //!
@@ -65,11 +65,16 @@ USAGE:
                    [-k N] [--eta F] [--threads N] [--out mapping.csv]
   txallo evaluate  --trace trace.csv --mapping mapping.csv [--eta F]
   txallo simulate  [--method {methods}] [--shards N] [--epochs N] [--gap N] [--seed S]
-                   [--threads N]
+                   [--threads N] [--stream true] [--window W] [--accounts N]
   txallo convert   --etl transactions.csv --out trace.csv
 
 --threads N selects the sweep worker count (1 = serial, 0 = one per
 core; default: the TXALLO_THREADS environment variable, unset = 1).
-The count never changes an allocation, only how fast it is computed."
+The count never changes an allocation, only how fast it is computed.
+
+--stream true synthesizes simulate's blocks on demand (out-of-core
+replay, any --accounts scale) instead of materializing the ledger;
+--window W additionally evicts graph rows idle for more than W epochs.
+Both are bit-transparent: they change memory use, never an allocation."
     )
 }

@@ -79,6 +79,26 @@ impl SweepScratch {
             self.cand_cache.resize_with(t, Vec::new);
         }
     }
+
+    /// Approximate resident bytes across every retained buffer
+    /// (capacity-based), including the per-worker accumulator pool and the
+    /// candidate-cache inner vectors.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let stamps = (self.last_eval.capacity()
+            + self.gathered_at.capacity()
+            + self.links_dirty.capacity()
+            + self.comm_stamp.capacity())
+            * size_of::<u64>();
+        let caches = self.cand_cache.capacity() * size_of::<Vec<(u32, f64)>>()
+            + self
+                .cand_cache
+                .iter()
+                .map(|c| c.capacity() * size_of::<(u32, f64)>())
+                .sum::<usize>();
+        let pool = self.pool.iter().map(|a| a.approx_bytes()).sum::<usize>();
+        self.acc.approx_bytes() + stamps + caches + pool
+    }
 }
 
 /// `vec![value; len]` semantics over a retained buffer.

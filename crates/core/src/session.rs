@@ -128,6 +128,17 @@ impl AtxAlloSession {
         &self.labels
     }
 
+    /// Approximate resident bytes of the whole session: labels, community
+    /// aggregates, the warm snapshot buffer, and the sweep scratch. All
+    /// capacity-based, so it reports the high-water mark a long-lived
+    /// session actually holds.
+    pub fn approx_bytes(&self) -> usize {
+        self.labels.capacity() * std::mem::size_of::<u32>()
+            + self.state.approx_bytes()
+            + self.snap.approx_bytes()
+            + self.scratch.approx_bytes()
+    }
+
     /// Folds a uniform out-of-band rescale of every edge weight (decay
     /// factor `f ∈ (0, 1]`) into the maintained aggregates.
     ///

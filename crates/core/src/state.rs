@@ -261,6 +261,19 @@ impl CommunityState {
             .sum()
     }
 
+    /// Approximate resident bytes of the per-community aggregate arrays
+    /// (capacity-based; all six caches are `O(communities)`).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.intra.capacity()
+            + self.cut.capacity()
+            + self.sigma.capacity()
+            + self.lambda_hat.capacity()
+            + self.throughput.capacity())
+            * size_of::<f64>()
+            + self.saturated.capacity() * size_of::<bool>()
+    }
+
     /// Gathers the per-community link weights of `v` into `scratch`
     /// (weights toward [`UNASSIGNED`] neighbors are summed separately).
     ///

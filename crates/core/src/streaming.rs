@@ -334,6 +334,15 @@ pub trait StreamingAllocator: std::fmt::Debug {
     fn invalidate_state(&mut self) -> bool {
         false
     }
+
+    /// Approximate resident bytes of the allocator's own state (session
+    /// aggregates, snapshot buffers, scratch) — the allocator-side half of
+    /// the out-of-core memory story, alongside
+    /// [`TxGraph::memory_footprint`](txallo_graph::TxGraph). Diagnostics
+    /// only; the default reports `0` for stateless allocators.
+    fn state_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// The epoch's touched-node accumulator: a dense stamp array over node
@@ -397,6 +406,13 @@ impl EpochTouched {
                 self.epoch = 1;
             }
         }
+    }
+
+    /// Approximate resident bytes (capacity-based): the stamp array is
+    /// `O(nodes)`, the list `O(touched)`.
+    fn approx_bytes(&self) -> usize {
+        self.stamp.capacity() * std::mem::size_of::<u32>()
+            + self.list.capacity() * std::mem::size_of::<NodeId>()
     }
 }
 
@@ -705,6 +721,15 @@ impl StreamingAllocator for AdaptiveStream {
         self.invalidate();
         had_session
     }
+
+    fn state_bytes(&self) -> usize {
+        let session = self.session.as_ref().map_or(0, |s| s.approx_bytes());
+        let fallback = self
+            .fallback
+            .as_ref()
+            .map_or(0, |a| std::mem::size_of_val(a.labels()));
+        session + fallback + self.touched.approx_bytes()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -825,6 +850,10 @@ impl StreamingAllocator for GlobalStream {
         self.labels = state.labels.clone();
         self.began = true;
         Some(StateCarry::Stateless)
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.labels.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -970,6 +999,10 @@ impl StreamingAllocator for HybridStream {
 
     fn invalidate_state(&mut self) -> bool {
         self.inner.invalidate_state()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.inner.state_bytes()
     }
 }
 

@@ -304,6 +304,23 @@ impl DeltaCsr {
         );
         (&self.targets[s..e], &self.weights[s..e])
     }
+
+    /// Approximate resident bytes of the snapshot: every buffer's
+    /// *capacity* (the warm-session high-water mark), including the refill
+    /// scratch that survives between epochs.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.node.capacity() * size_of::<NodeId>()
+            + self.offsets.capacity() * size_of::<u32>()
+            + self.targets.capacity() * size_of::<NodeId>()
+            + self.weights.capacity() * size_of::<f64>()
+            + self.self_loops.capacity() * size_of::<f64>()
+            + self.incident.capacity() * size_of::<f64>()
+            + self.id_keys.capacity() * size_of::<NodeId>()
+            + self.id_vals.capacity() * size_of::<u32>()
+            + self.scratch.keyed.capacity() * size_of::<((u64, u64), NodeId)>()
+            + self.scratch.pairs.capacity() * size_of::<(NodeId, u32)>()
+    }
 }
 
 #[cfg(test)]

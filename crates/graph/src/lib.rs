@@ -50,6 +50,7 @@ pub mod decay;
 pub mod delta;
 pub mod interner;
 pub mod par;
+pub mod residency;
 pub mod scratch;
 pub mod slab;
 pub mod stats;
@@ -61,7 +62,8 @@ pub use adjacency::AdjacencyGraph;
 pub use csr::CsrGraph;
 pub use decay::DecayingGraph;
 pub use delta::DeltaCsr;
-pub use interner::AccountInterner;
+pub use interner::{AccountInterner, IdSpaceExhausted};
+pub use residency::{MemoryFootprint, ResidencyConfig, SpillTarget};
 pub use scratch::{DenseAccumulator, DenseIndexMap};
 pub use slab::SortedRunStore;
 pub use stats::GraphStats;

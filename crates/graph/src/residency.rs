@@ -1,0 +1,415 @@
+//! Cold-row eviction: bounded-memory graph residency for out-of-core
+//! streaming replay.
+//!
+//! A long replay interns every account it ever sees, but an epoch only
+//! *writes* the rows of accounts that transacted recently — the decay
+//! window already encodes that recency. This module retires the adjacency
+//! rows of accounts untouched for more than `window` completed epochs to
+//! an append-only spill (in memory or on disk) and rehydrates them
+//! **bitwise-transparently** when traffic returns, keeping resident slab
+//! bytes `O(active set)` instead of `O(all accounts ever seen)`.
+//!
+//! ## The determinism story
+//!
+//! Eviction serializes the row's *merged* copy — the exact form the
+//! snapshot builders read and [`checkpoint restore`] rebuilds from — and
+//! records how many decay factors had been applied at eviction time.
+//! Rehydration replays the missed factors **stepwise, in application
+//! order** (one multiply per factor per entry, never a combined product:
+//! `w·f₁·f₂ ≠ w·(f₁·f₂)` in floats), then lands the row fully merged via
+//! [`SortedRunStore::restore_row`]. Both sides of a symmetric edge
+//! therefore hold bit-identical weights whether one of them spent epochs
+//! cold or not, and every future accumulation proceeds from identical
+//! bits — the `with-eviction == without-eviction` proptests pin this.
+//!
+//! ## The residency read invariant
+//!
+//! Reads take `&self` and cannot rehydrate, so a cold row reads as
+//! *empty* (`neighbor_count == 0`, no entries). Correctness rests on one
+//! invariant: **a cold row is never read**. The write paths uphold it
+//! internally — every ingestion touch rehydrates through
+//! [`TxGraph::ensure_node`], and edge removal rehydrates both endpoints —
+//! but whole-graph readers (a global G-TxAllo re-solve, a session
+//! rebuild, a consistency audit, a checkpoint, dust pruning) must call
+//! [`TxGraph::ensure_all_resident`] first. The simulator driver does so at
+//! exactly those boundaries; per-node scalars (self-loops, incident
+//! weight, `total_weight`) always stay resident, so epoch parameter
+//! rescaling and metrics need no rehydration at all.
+//!
+//! [`checkpoint restore`]: crate::TxGraph::from_checkpoint_parts
+//! [`SortedRunStore::restore_row`]: crate::SortedRunStore::restore_row
+//! [`TxGraph::ensure_node`]: crate::TxGraph
+//! [`TxGraph::ensure_all_resident`]: crate::TxGraph::ensure_all_resident
+
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use crate::slab::SortedRunStore;
+use crate::traits::NodeId;
+
+/// Where evicted rows spill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpillTarget {
+    /// An in-memory byte log — bounds the *slab* (the structure whose
+    /// per-entry overhead and compaction passes scale with residency)
+    /// while keeping everything in RAM; the right choice for tests and
+    /// mid-size runs.
+    Memory,
+    /// An append-only file — true out-of-core operation for replays whose
+    /// cold history exceeds RAM. Created (truncated) on enable.
+    File(PathBuf),
+}
+
+/// Configuration of the residency layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResidencyConfig {
+    /// Evict a row once its account has gone more than this many completed
+    /// epochs without a write. Must be ≥ 1 (an account's row always
+    /// survives the epoch it transacted in plus `window` full epochs).
+    pub window: u32,
+    /// Where evicted rows go.
+    pub spill: SpillTarget,
+}
+
+impl ResidencyConfig {
+    /// In-memory spill with the given eviction window.
+    pub fn in_memory(window: u32) -> Self {
+        Self {
+            window,
+            spill: SpillTarget::Memory,
+        }
+    }
+
+    /// File-backed spill with the given eviction window.
+    pub fn file(window: u32, path: impl Into<PathBuf>) -> Self {
+        Self {
+            window,
+            spill: SpillTarget::File(path.into()),
+        }
+    }
+}
+
+/// The append-only spill log. Records are self-describing via the cold
+/// slot (`offset`, entry count), so the log itself is headerless:
+/// `len × 4` id bytes followed by `len × 8` weight bytes, little-endian.
+/// Re-evicting a row appends a fresh record; superseded ranges are dead
+/// log space, acceptable for a replay log (the log grows with eviction
+/// *traffic*, not with live state).
+#[derive(Debug)]
+enum Spill {
+    Memory(Vec<u8>),
+    File { file: fs::File, len: u64 },
+}
+
+impl Spill {
+    fn open(target: &SpillTarget) -> Self {
+        match target {
+            SpillTarget::Memory => Spill::Memory(Vec::new()),
+            SpillTarget::File(path) => {
+                let file = fs::OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(path)
+                    .expect("open residency spill file");
+                Spill::File { file, len: 0 }
+            }
+        }
+    }
+
+    /// Appends `bytes`, returning their offset.
+    fn append(&mut self, bytes: &[u8]) -> u64 {
+        match self {
+            Spill::Memory(buf) => {
+                let off = buf.len() as u64;
+                buf.extend_from_slice(bytes);
+                off
+            }
+            Spill::File { file, len } => {
+                let off = *len;
+                file.seek(SeekFrom::Start(off)).expect("seek spill");
+                file.write_all(bytes).expect("write spill");
+                *len += bytes.len() as u64;
+                off
+            }
+        }
+    }
+
+    fn read_at(&mut self, offset: u64, out: &mut [u8]) {
+        match self {
+            Spill::Memory(buf) => {
+                let s = offset as usize;
+                out.copy_from_slice(&buf[s..s + out.len()]);
+            }
+            Spill::File { file, .. } => {
+                file.seek(SeekFrom::Start(offset)).expect("seek spill");
+                file.read_exact(out).expect("read spill");
+            }
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        match self {
+            Spill::Memory(buf) => buf.len() as u64,
+            Spill::File { len, .. } => *len,
+        }
+    }
+}
+
+impl Clone for Spill {
+    /// Cloning a file-backed spill materializes it in memory: the log is
+    /// self-contained, and sharing one append-only file between two
+    /// diverging graphs would corrupt both. Clones of residency-enabled
+    /// graphs are a test/checkpoint convenience, not a hot path.
+    fn clone(&self) -> Self {
+        match self {
+            Spill::Memory(buf) => Spill::Memory(buf.clone()),
+            Spill::File { file, len } => {
+                let mut buf = vec![0u8; *len as usize];
+                let mut f = file;
+                f.seek(SeekFrom::Start(0)).expect("seek spill");
+                f.read_exact(&mut buf).expect("read spill");
+                Spill::Memory(buf)
+            }
+        }
+    }
+}
+
+/// Sentinel offset marking a resident row.
+const RESIDENT: u64 = u64::MAX;
+
+/// Spill location of one cold row.
+#[derive(Debug, Clone, Copy)]
+struct ColdSlot {
+    /// Byte offset in the spill, or [`RESIDENT`].
+    offset: u64,
+    /// Entry count of the spilled row.
+    len: u32,
+    /// `scale_log` length at eviction time: the factors logged past this
+    /// mark are replayed stepwise on rehydration.
+    scale_mark: u32,
+}
+
+impl ColdSlot {
+    const IN_CORE: ColdSlot = ColdSlot {
+        offset: RESIDENT,
+        len: 0,
+        scale_mark: 0,
+    };
+}
+
+/// Per-graph residency state (owned by `TxGraph` when enabled).
+#[derive(Debug, Clone)]
+pub(crate) struct Residency {
+    window: u32,
+    /// Completed epochs since residency was enabled.
+    epoch: u32,
+    /// Last epoch stamp each node's row was written.
+    last_touch: Vec<u32>,
+    slots: Vec<ColdSlot>,
+    /// Every decay factor applied since enable, in order — the replay
+    /// tape for cold rows (8 bytes per decay epoch).
+    scale_log: Vec<f64>,
+    spill: Spill,
+    cold_rows: usize,
+    evicted_total: u64,
+    restored_total: u64,
+    // Serialization scratch, reused across evictions/rehydrations.
+    buf: Vec<u8>,
+    ids_scratch: Vec<NodeId>,
+    ws_scratch: Vec<f64>,
+}
+
+impl Residency {
+    pub(crate) fn new(config: &ResidencyConfig, nodes: usize) -> Self {
+        assert!(config.window >= 1, "eviction window must be ≥ 1 epoch");
+        Self {
+            window: config.window,
+            epoch: 0,
+            last_touch: vec![0; nodes],
+            slots: vec![ColdSlot::IN_CORE; nodes],
+            scale_log: Vec::new(),
+            spill: Spill::open(&config.spill),
+            cold_rows: 0,
+            evicted_total: 0,
+            restored_total: 0,
+            buf: Vec::new(),
+            ids_scratch: Vec::new(),
+            ws_scratch: Vec::new(),
+        }
+    }
+
+    /// Registers a brand-new node (resident, touched now).
+    pub(crate) fn push_node(&mut self) {
+        self.last_touch.push(self.epoch);
+        self.slots.push(ColdSlot::IN_CORE);
+    }
+
+    /// Stamps a write touch on `v`'s row.
+    #[inline]
+    pub(crate) fn touch(&mut self, v: NodeId) {
+        self.last_touch[v as usize] = self.epoch;
+    }
+
+    #[inline]
+    pub(crate) fn is_cold(&self, v: NodeId) -> bool {
+        self.slots[v as usize].offset != RESIDENT
+    }
+
+    pub(crate) fn cold_rows(&self) -> usize {
+        self.cold_rows
+    }
+
+    pub(crate) fn evicted_total(&self) -> u64 {
+        self.evicted_total
+    }
+
+    pub(crate) fn restored_total(&self) -> u64 {
+        self.restored_total
+    }
+
+    pub(crate) fn spill_bytes(&self) -> u64 {
+        self.spill.bytes()
+    }
+
+    /// Records a decay factor every cold row still owes.
+    pub(crate) fn on_scale(&mut self, factor: f64) {
+        self.scale_log.push(factor);
+    }
+
+    /// Brings `v`'s row back into the slab, bitwise-transparently. No-op
+    /// when already resident.
+    pub(crate) fn rehydrate(&mut self, adjacency: &mut SortedRunStore, v: NodeId) {
+        let slot = self.slots[v as usize];
+        if slot.offset == RESIDENT {
+            return;
+        }
+        let n = slot.len as usize;
+        self.buf.resize(n * 12, 0);
+        self.spill.read_at(slot.offset, &mut self.buf);
+        self.ids_scratch.clear();
+        self.ws_scratch.clear();
+        for c in self.buf[..n * 4].chunks_exact(4) {
+            self.ids_scratch
+                .push(NodeId::from_le_bytes(c.try_into().unwrap()));
+        }
+        for c in self.buf[n * 4..].chunks_exact(8) {
+            self.ws_scratch
+                .push(f64::from_le_bytes(c.try_into().unwrap()));
+        }
+        // Replay the decay factors the row missed while cold — stepwise,
+        // in application order, matching the in-place multiplies its
+        // resident twin received (a combined product would not be
+        // bit-identical).
+        for &f in &self.scale_log[slot.scale_mark as usize..] {
+            for w in &mut self.ws_scratch {
+                *w *= f;
+            }
+        }
+        adjacency.restore_row(v as usize, &self.ids_scratch, &self.ws_scratch);
+        self.slots[v as usize] = ColdSlot::IN_CORE;
+        self.cold_rows -= 1;
+        self.restored_total += 1;
+    }
+
+    /// Marks an epoch boundary: evicts every resident, non-empty row whose
+    /// account has gone more than `window` completed epochs without a
+    /// write. Returns the number of rows evicted.
+    pub(crate) fn advance_epoch(&mut self, adjacency: &mut SortedRunStore) -> usize {
+        self.epoch += 1;
+        let mut evicted = 0usize;
+        for v in 0..self.slots.len() {
+            if self.slots[v].offset != RESIDENT
+                || self.epoch - self.last_touch[v] <= self.window
+                || adjacency.row_len(v) == 0
+            {
+                continue;
+            }
+            self.ids_scratch.clear();
+            self.ws_scratch.clear();
+            let n = adjacency.evict_row(v, &mut self.ids_scratch, &mut self.ws_scratch);
+            self.buf.clear();
+            for id in &self.ids_scratch {
+                self.buf.extend_from_slice(&id.to_le_bytes());
+            }
+            for w in &self.ws_scratch {
+                self.buf.extend_from_slice(&w.to_le_bytes());
+            }
+            let offset = self.spill.append(&self.buf);
+            self.slots[v] = ColdSlot {
+                offset,
+                len: n as u32,
+                scale_mark: self.scale_log.len() as u32,
+            };
+            self.cold_rows += 1;
+            self.evicted_total += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    pub(crate) fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Resident bytes of the residency index itself (stamps, slots, the
+    /// decay tape and scratch) — reported so the accounting surface can't
+    /// hide its own overhead.
+    pub(crate) fn index_bytes(&self) -> usize {
+        self.last_touch.capacity() * 4
+            + self.slots.capacity() * std::mem::size_of::<ColdSlot>()
+            + self.scale_log.capacity() * 8
+            + self.buf.capacity()
+            + self.ids_scratch.capacity() * 4
+            + self.ws_scratch.capacity() * 8
+    }
+}
+
+/// A point-in-time memory accounting of a [`TxGraph`](crate::TxGraph) —
+/// the surface every BENCH snapshot reports, and what the streaming-replay
+/// smoke test asserts its resident-bytes ceiling against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoryFootprint {
+    /// Allocated slab arena bytes (entry storage + row metadata +
+    /// fingerprints + merge scratch, by vector capacity).
+    pub slab_arena_bytes: usize,
+    /// Live `(id, weight)` entries across resident rows.
+    pub slab_live_entries: usize,
+    /// Per-node scalar vectors (self-loops, incident weights).
+    pub node_scalar_bytes: usize,
+    /// Account interner (id vector + hash map estimate).
+    pub interner_bytes: usize,
+    /// Residency bookkeeping (touch stamps, cold slots, decay tape), zero
+    /// when residency is disabled.
+    pub residency_index_bytes: usize,
+    /// Bytes in the spill log (not resident when file-backed).
+    pub spill_bytes: u64,
+    /// Rows currently resident in the slab.
+    pub resident_rows: usize,
+    /// Rows currently evicted to the spill.
+    pub cold_rows: usize,
+    /// Cumulative rows evicted since residency was enabled.
+    pub evicted_rows: u64,
+    /// Cumulative rows rehydrated since residency was enabled.
+    pub restored_rows: u64,
+}
+
+impl MemoryFootprint {
+    /// Live slab entry bytes — the `O(active set)` quantity the eviction
+    /// layer bounds (12 bytes per entry: u32 id + f64 weight).
+    pub fn slab_live_bytes(&self) -> usize {
+        self.slab_live_entries * 12
+    }
+
+    /// Total resident bytes of the graph: slab arena, scalars, interner
+    /// and residency index (the spill is excluded — it is the part that
+    /// left residency).
+    pub fn resident_bytes(&self) -> usize {
+        self.slab_arena_bytes
+            + self.node_scalar_bytes
+            + self.interner_bytes
+            + self.residency_index_bytes
+    }
+}

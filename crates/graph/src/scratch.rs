@@ -116,6 +116,13 @@ impl DenseAccumulator {
             .iter()
             .map(move |&b| (b, self.weight[b as usize]))
     }
+
+    /// Approximate resident bytes (capacity, not length, of each buffer).
+    pub fn approx_bytes(&self) -> usize {
+        self.weight.capacity() * std::mem::size_of::<f64>()
+            + self.stamp.capacity() * std::mem::size_of::<u64>()
+            + self.touched.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
 /// A reusable `u32 → u32` map over dense keys, invalidated in O(1) —

@@ -54,6 +54,31 @@ fn tail_limit(run_len: usize) -> usize {
     8usize.max(run_len >> 3)
 }
 
+/// Branch-free lower bound: the first index of `ids` whose value is `>= id`
+/// (equivalently `slice::binary_search`'s `Ok(i)` when present and `Err(i)`
+/// when absent — the slice never holds duplicates).
+///
+/// The half-splitting probe advances `base` by an arithmetic select instead
+/// of a taken/not-taken branch, so the row lookups on the ingest hot path
+/// pay no branch mispredictions (the probe outcome is a coin flip the
+/// predictor can't learn). Identical index results as the stdlib search by
+/// construction — weight placement, and therefore every accumulated float,
+/// is untouched.
+#[inline]
+fn lower_bound(ids: &[NodeId], id: NodeId) -> usize {
+    if ids.is_empty() {
+        return 0;
+    }
+    let mut base = 0usize;
+    let mut size = ids.len();
+    while size > 1 {
+        let half = size / 2;
+        base += usize::from(ids[base + half - 1] < id) * half;
+        size -= half;
+    }
+    base + usize::from(ids[base] < id)
+}
+
 /// Per-row metadata: the row occupies arena slots
 /// `start..start + cap`, with `len` live entries of which the first `run`
 /// form the main sorted run and the rest the sorted tail.
@@ -221,12 +246,15 @@ impl SortedRunStore {
         }
         let m = self.rows[r];
         let (s, run, len) = (m.start as usize, m.run as usize, m.len as usize);
-        if let Ok(i) = self.ids[s..s + run].binary_search(&id) {
+        let i = lower_bound(&self.ids[s..s + run], id);
+        if i < run && self.ids[s + i] == id {
             return Some(s + i);
         }
-        match self.ids[s + run..s + len].binary_search(&id) {
-            Ok(i) => Some(s + run + i),
-            Err(_) => None,
+        let j = lower_bound(&self.ids[s + run..s + len], id);
+        if run + j < len && self.ids[s + run + j] == id {
+            Some(s + run + j)
+        } else {
+            None
         }
     }
 
@@ -263,12 +291,14 @@ impl SortedRunStore {
                 self.ws[s + len - 1] += w;
                 return false;
             }
-            if let Ok(i) = self.ids[s..s + run].binary_search(&id) {
+            let i = lower_bound(&self.ids[s..s + run], id);
+            if i < run && self.ids[s + i] == id {
                 self.ws[s + i] += w;
                 return false;
             }
-            if let Ok(i) = self.ids[s + run..s + len].binary_search(&id) {
-                self.ws[s + run + i] += w;
+            let j = lower_bound(&self.ids[s + run..s + len], id);
+            if run + j < len && self.ids[s + run + j] == id {
+                self.ws[s + run + j] += w;
                 return false;
             }
         }
@@ -280,11 +310,9 @@ impl SortedRunStore {
         let m = self.rows[r];
         let (s, run, len) = (m.start as usize, m.run as usize, m.len as usize);
         // Insert into the sorted tail (short memmove — the tail is small by
-        // the merge policy).
-        let pos = match self.ids[s + run..s + len].binary_search(&id) {
-            Err(p) => s + run + p,
-            Ok(_) => unreachable!("find() checked absence"),
-        };
+        // the merge policy). The id is absent (checked above), so the lower
+        // bound is its insertion slot.
+        let pos = s + run + lower_bound(&self.ids[s + run..s + len], id);
         self.ids.copy_within(pos..s + len, pos + 1);
         self.ws.copy_within(pos..s + len, pos + 1);
         self.ids[pos] = id;
@@ -395,6 +423,84 @@ impl SortedRunStore {
         self.ids = ids;
         self.ws = ws;
         self.dead = 0;
+    }
+
+    /// Extracts row `r` merged (ascending ids) into `out_ids`/`out_ws` and
+    /// releases its arena range — the cold-row eviction hook. The row
+    /// becomes empty (`len == cap == 0`) with an exact-empty fingerprint;
+    /// its abandoned capacity is dead space until the next compaction,
+    /// same as a relocation's. Returns the number of entries extracted.
+    ///
+    /// Pair with [`SortedRunStore::restore_row`] to bring the row back;
+    /// the extracted form is the same merged copy the snapshot builders
+    /// read, so the round trip is bitwise-lossless.
+    pub fn evict_row(
+        &mut self,
+        r: usize,
+        out_ids: &mut Vec<NodeId>,
+        out_ws: &mut Vec<f64>,
+    ) -> usize {
+        let before = out_ids.len();
+        self.copy_row_into(r, out_ids, out_ws);
+        self.dead += self.rows[r].cap as usize;
+        self.rows[r] = RowMeta::default();
+        self.fps[r] = 0;
+        if self.dead > self.ids.len() / 2 && self.ids.len() > 4096 {
+            self.compact();
+        }
+        out_ids.len() - before
+    }
+
+    /// Re-fills an evicted (empty) row from an ascending-id sorted
+    /// `(ids, ws)` pair. The row lands fully merged at the end of the
+    /// arena (`run == len == cap`) with an exact fingerprint — the same
+    /// landed state [`SortedRunStore::push_row_from_sorted`] produces, so
+    /// a rehydrated row is bitwise-indistinguishable from a
+    /// checkpoint-restored one and accumulates identically from there on.
+    pub fn restore_row(&mut self, r: usize, ids: &[NodeId], ws: &[f64]) {
+        assert_eq!(ids.len(), ws.len(), "parallel row arrays");
+        assert_eq!(self.rows[r].len, 0, "restore targets an evicted row");
+        debug_assert!(
+            ids.windows(2).all(|p| p[0] < p[1]),
+            "restored rows must be strictly ascending"
+        );
+        // Release any leftover capacity of the empty row before relocating.
+        self.dead += self.rows[r].cap as usize;
+        let start = self.ids.len();
+        let len = ids.len();
+        assert!(
+            start + len <= u32::MAX as usize,
+            "adjacency arena exceeds u32 addressing"
+        );
+        self.ids.extend_from_slice(ids);
+        self.ws.extend_from_slice(ws);
+        self.rows[r] = RowMeta {
+            start: start as u32,
+            cap: len as u32,
+            len: len as u32,
+            run: len as u32,
+        };
+        let mut fp = 0u8;
+        for &id in ids {
+            fp |= 1 << (id & 7);
+        }
+        self.fps[r] = fp;
+    }
+
+    /// Arena bytes currently allocated (entry storage plus per-row
+    /// metadata), by vector capacity — what the process actually holds.
+    pub fn arena_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<NodeId>()
+            + self.ws.capacity() * std::mem::size_of::<f64>()
+            + self.rows.capacity() * std::mem::size_of::<RowMeta>()
+            + self.fps.capacity()
+            + self.scratch_ids.capacity() * std::mem::size_of::<NodeId>()
+            + self.scratch_ws.capacity() * std::mem::size_of::<f64>()
+    }
+
+    /// Live entries across all rows (12 bytes each: id + weight).
+    pub fn live_entries(&self) -> usize {
+        self.rows.iter().map(|m| m.len as usize).sum()
     }
 
     /// Debug check: every row's runs are strictly ascending and disjoint.
@@ -607,6 +713,96 @@ mod tests {
             assert_eq!(store.get(0, id), reference.get(&id).copied(), "get {id}");
         }
         assert_eq!(store.get(0, 1_000), None, "never-seen residue class");
+    }
+
+    #[test]
+    fn lower_bound_matches_stdlib_binary_search() {
+        // The branch-free search must land on the exact same indices as
+        // `slice::binary_search` (Ok and Err alike) on arbitrary sorted
+        // duplicate-free arrays — the pin that keeps weight placement, and
+        // therefore every accumulated float, bitwise unchanged.
+        let mut x = 1234u64;
+        for trial in 0..200 {
+            let n = (lcg(&mut x) % 40) as usize;
+            let mut ids: Vec<NodeId> = (0..n).map(|_| (lcg(&mut x) % 97) as NodeId).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            for probe in 0..100u32 {
+                let expect = match ids.binary_search(&probe) {
+                    Ok(i) | Err(i) => i,
+                };
+                assert_eq!(
+                    lower_bound(&ids, probe),
+                    expect,
+                    "trial {trial}, probe {probe}, ids {ids:?}"
+                );
+            }
+        }
+        assert_eq!(lower_bound(&[], 5), 0);
+    }
+
+    #[test]
+    fn evict_then_restore_is_bitwise_lossless() {
+        let mut store = SortedRunStore::new();
+        let mut twin = SortedRunStore::new();
+        store.push_row();
+        store.push_row();
+        twin.push_row();
+        twin.push_row();
+        let mut x = 55u64;
+        fn feed(x: &mut u64, s: &mut SortedRunStore, t: &mut SortedRunStore, steps: usize) {
+            for _ in 0..steps {
+                let r = (lcg(x) % 2) as usize;
+                let id = (lcg(x) % 500) as NodeId;
+                let w = 0.5 + (lcg(x) % 31) as f64 / 9.0;
+                s.add(r, id, w);
+                t.add(r, id, w);
+            }
+        }
+        feed(&mut x, &mut store, &mut twin, 2_000);
+
+        // Evict row 0, keep feeding row 1 in both stores, then restore.
+        let (mut ids, mut ws) = (Vec::new(), Vec::new());
+        let n = store.evict_row(0, &mut ids, &mut ws);
+        assert_eq!(n, ids.len());
+        assert_eq!(store.row_len(0), 0);
+        assert_eq!(store.get(0, ids[0]), None, "evicted rows read empty");
+        for _ in 0..500 {
+            let id = (lcg(&mut x) % 500) as NodeId;
+            let w = (lcg(&mut x) % 7) as f64;
+            store.add(1, id, w);
+            twin.add(1, id, w);
+        }
+        store.restore_row(0, &ids, &ws);
+        store.assert_sorted();
+
+        // Both rows bitwise-match the never-evicted twin, and future adds
+        // keep matching.
+        feed(&mut x, &mut store, &mut twin, 2_000);
+        store.assert_sorted();
+        for r in 0..2 {
+            let collect = |s: &SortedRunStore| {
+                let mut out = Vec::new();
+                s.for_each(r, |u, w| out.push((u, w.to_bits())));
+                out
+            };
+            assert_eq!(collect(&store), collect(&twin), "row {r}");
+        }
+    }
+
+    #[test]
+    fn footprint_accessors_track_the_arena() {
+        let mut store = SortedRunStore::new();
+        store.push_row();
+        assert_eq!(store.live_entries(), 0);
+        for id in 0..100u32 {
+            store.add(0, id, 1.0);
+        }
+        assert_eq!(store.live_entries(), 100);
+        assert!(store.arena_bytes() >= 100 * 12);
+        let (mut ids, mut ws) = (Vec::new(), Vec::new());
+        store.evict_row(0, &mut ids, &mut ws);
+        assert_eq!(store.live_entries(), 0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use txallo_model::{AccountId, Block, Ledger, Transaction};
 
 use crate::interner::AccountInterner;
+use crate::residency::{MemoryFootprint, Residency, ResidencyConfig};
 use crate::slab::SortedRunStore;
 use crate::traits::{NodeId, RowView, WeightedGraph};
 
@@ -82,6 +83,9 @@ pub struct TxGraph {
     total_weight: f64,
     edge_count: usize,
     transaction_count: usize,
+    /// Cold-row eviction state (out-of-core replay); `None` keeps every
+    /// row resident forever — the historical behavior.
+    residency: Option<Box<Residency>>,
 }
 
 impl TxGraph {
@@ -154,6 +158,7 @@ impl TxGraph {
             total_weight,
             edge_count,
             transaction_count,
+            residency: None,
         }
     }
 
@@ -163,8 +168,83 @@ impl TxGraph {
             self.adjacency.push_row();
             self.self_loops.push(0.0);
             self.incident.push(0.0);
+            if let Some(res) = self.residency.as_deref_mut() {
+                res.push_node();
+            }
+        }
+        // Residency hook on the ingestion hot path: stamp the write touch
+        // and rehydrate first if traffic returned to a cold account, so
+        // the clique expansion below only ever writes resident rows. One
+        // predictable branch when residency is off.
+        if let Some(res) = self.residency.as_deref_mut() {
+            res.touch(n);
+            if res.is_cold(n) {
+                res.rehydrate(&mut self.adjacency, n);
+            }
         }
         n
+    }
+
+    /// Enables cold-row eviction (see [`crate::residency`]). Call once,
+    /// before or after ingestion starts; existing rows count as touched
+    /// now. [`TxGraph::advance_residency_epoch`] drives the window.
+    pub fn enable_residency(&mut self, config: &ResidencyConfig) {
+        assert!(self.residency.is_none(), "residency already enabled");
+        self.residency = Some(Box::new(Residency::new(config, self.node_count())));
+    }
+
+    /// Whether cold-row eviction is active.
+    pub fn residency_enabled(&self) -> bool {
+        self.residency.is_some()
+    }
+
+    /// Marks an epoch boundary for the residency window, evicting rows of
+    /// accounts untouched for more than the configured number of completed
+    /// epochs. Returns the number of rows evicted. No-op when residency is
+    /// disabled.
+    pub fn advance_residency_epoch(&mut self) -> usize {
+        match self.residency.as_deref_mut() {
+            Some(res) => res.advance_epoch(&mut self.adjacency),
+            None => 0,
+        }
+    }
+
+    /// Rehydrates `v`'s row if it is cold (no-op otherwise, or when
+    /// residency is disabled). Does not count as a write touch.
+    pub fn ensure_resident(&mut self, v: NodeId) {
+        if let Some(res) = self.residency.as_deref_mut() {
+            res.rehydrate(&mut self.adjacency, v);
+        }
+    }
+
+    /// Rehydrates every cold row — required before any whole-graph read
+    /// (global re-solve, session rebuild, consistency audit, checkpoint,
+    /// dust pruning); see the [residency read invariant](crate::residency).
+    pub fn ensure_all_resident(&mut self) {
+        if let Some(res) = self.residency.as_deref_mut() {
+            for v in 0..res.node_count() as NodeId {
+                res.rehydrate(&mut self.adjacency, v);
+            }
+        }
+    }
+
+    /// The current memory accounting of the graph (see
+    /// [`MemoryFootprint`]).
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let cold = self.residency.as_deref().map_or(0, |r| r.cold_rows());
+        MemoryFootprint {
+            slab_arena_bytes: self.adjacency.arena_bytes(),
+            slab_live_entries: self.adjacency.live_entries(),
+            node_scalar_bytes: (self.self_loops.capacity() + self.incident.capacity())
+                * std::mem::size_of::<f64>(),
+            interner_bytes: self.interner.approx_bytes(),
+            residency_index_bytes: self.residency.as_deref().map_or(0, |r| r.index_bytes()),
+            spill_bytes: self.residency.as_deref().map_or(0, |r| r.spill_bytes()),
+            resident_rows: self.node_count() - cold,
+            cold_rows: cold,
+            evicted_rows: self.residency.as_deref().map_or(0, |r| r.evicted_total()),
+            restored_rows: self.residency.as_deref().map_or(0, |r| r.restored_total()),
+        }
     }
 
     /// Adds raw weight between two accounts (interning them as needed).
@@ -209,7 +289,14 @@ impl TxGraph {
     }
 
     /// Multiplies every stored weight by `factor` (decay support).
+    ///
+    /// Cold rows are not touched here: the factor is logged and replayed
+    /// stepwise on rehydration, which produces the identical multiply
+    /// sequence (and therefore identical bits) their resident twins got.
     pub(crate) fn scale_all_weights(&mut self, factor: f64) {
+        if let Some(res) = self.residency.as_deref_mut() {
+            res.on_scale(factor);
+        }
         self.adjacency.scale_all(factor);
         for w in &mut self.self_loops {
             *w *= factor;
@@ -223,6 +310,9 @@ impl TxGraph {
     /// Drops edges (and zeroes self-loops) lighter than `threshold`,
     /// updating all derived weights. Returns the number of edges dropped.
     pub(crate) fn drop_edges_below(&mut self, threshold: f64) -> usize {
+        // Pruning reads and mutates every row symmetrically; a cold row
+        // would silently desync from its resident partners.
+        self.ensure_all_resident();
         let mut dropped = 0usize;
         let mut doomed: Vec<(NodeId, f64)> = Vec::new();
         for a in 0..self.adjacency.rows() {
@@ -258,6 +348,10 @@ impl TxGraph {
     pub(crate) fn subtract_edge(&mut self, a: NodeId, b: NodeId, w: f64) {
         const DUST: f64 = 1e-9;
         debug_assert_ne!(a, b, "use subtract_self_loop for loops");
+        // Both endpoint rows must be resident: the subtraction is
+        // symmetric and a cold side would rehydrate stale weights later.
+        self.ensure_resident(a);
+        self.ensure_resident(b);
         let mut drop_edge = false;
         if let Some(entry) = self.adjacency.get_mut(a as usize, b) {
             *entry -= w;
@@ -714,6 +808,83 @@ mod tests {
         g.apply_decay(0.5);
         r.apply_decay(0.5);
         same(&g, &r);
+    }
+
+    #[test]
+    fn residency_eviction_is_bitwise_transparent_through_decay() {
+        use crate::residency::ResidencyConfig;
+        // Two graphs fed identical epochs; one evicts with a 1-epoch
+        // window and in-memory spill. After rehydrating everything, every
+        // row, scalar and total must match bitwise — including rows that
+        // sat cold through several decay epochs.
+        let mut plain = TxGraph::new();
+        let mut evicting = TxGraph::new();
+        evicting.enable_residency(&ResidencyConfig::in_memory(1));
+
+        let epoch_txs = |e: u64| -> Vec<Transaction> {
+            // Three disjoint traffic pockets that go hot and cold: pocket
+            // `e % 3` is active this epoch, everything else idles.
+            let base = (e % 3) * 10;
+            (0..12)
+                .map(|i| Transaction::transfer(a(base + i % 5), a(base + (i * 3) % 7)))
+                .collect()
+        };
+        for e in 0..12u64 {
+            let block = Block::new(e, epoch_txs(e));
+            plain.apply_decay(0.9);
+            evicting.apply_decay(0.9);
+            assert_eq!(plain.ingest_block(&block), evicting.ingest_block(&block));
+            let evicted = evicting.advance_residency_epoch();
+            if e >= 3 {
+                // By now at least one pocket has idled past the window.
+                let fp = evicting.memory_footprint();
+                assert!(fp.cold_rows > 0 || evicted == 0 || fp.restored_rows > 0);
+            }
+        }
+        assert!(
+            evicting.memory_footprint().evicted_rows > 0,
+            "the eviction window must have fired"
+        );
+
+        evicting.ensure_all_resident();
+        assert_eq!(evicting.memory_footprint().cold_rows, 0);
+        assert_eq!(plain.node_count(), evicting.node_count());
+        assert_eq!(plain.edge_count(), evicting.edge_count());
+        assert_eq!(
+            plain.total_weight().to_bits(),
+            evicting.total_weight().to_bits()
+        );
+        for v in 0..plain.node_count() as NodeId {
+            assert_eq!(
+                plain.self_loop(v).to_bits(),
+                evicting.self_loop(v).to_bits()
+            );
+            assert_eq!(
+                plain.incident_weight(v).to_bits(),
+                evicting.incident_weight(v).to_bits()
+            );
+            let mut pr = Vec::new();
+            let mut er = Vec::new();
+            plain.for_each_neighbor(v, |u, w| pr.push((u, w.to_bits())));
+            evicting.for_each_neighbor(v, |u, w| er.push((u, w.to_bits())));
+            assert_eq!(pr, er, "row {v}");
+        }
+    }
+
+    #[test]
+    fn memory_footprint_reports_the_slab() {
+        let mut g = TxGraph::new();
+        for i in 0..50u64 {
+            g.ingest_transaction(&Transaction::transfer(a(i), a(i + 1)));
+        }
+        let fp = g.memory_footprint();
+        assert_eq!(fp.resident_rows, g.node_count());
+        assert_eq!(fp.cold_rows, 0);
+        assert!(fp.slab_live_entries >= 100, "two entries per edge");
+        assert!(fp.slab_arena_bytes >= fp.slab_live_bytes());
+        assert!(fp.interner_bytes > 0);
+        assert!(fp.resident_bytes() > 0);
+        assert_eq!(fp.spill_bytes, 0);
     }
 
     #[test]

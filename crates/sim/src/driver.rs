@@ -14,7 +14,7 @@ use txallo_core::{
     Allocation, AllocatorRegistry, Degradation, EpochKind, GlobalStream, HashAllocator,
     HybridSchedule, StreamingAllocator, TxAlloParams,
 };
-use txallo_graph::TxGraph;
+use txallo_graph::{MemoryFootprint, ResidencyConfig, TxGraph};
 use txallo_model::Block;
 
 use crate::epoch::{epoch_metrics, EpochReport};
@@ -45,6 +45,11 @@ pub struct SimConfig {
     /// time). Defaults to the `TXALLO_THREADS` environment variable
     /// (unset = `1`).
     pub threads: usize,
+    /// Out-of-core mode: evict graph rows of accounts idle for more than
+    /// the configured window of epochs (see `txallo_graph::residency`).
+    /// Changes no allocation — eviction/rehydration is bit-transparent —
+    /// only the resident footprint. `None` keeps every row in the slab.
+    pub residency: Option<ResidencyConfig>,
 }
 
 impl SimConfig {
@@ -59,6 +64,7 @@ impl SimConfig {
             schedule: HybridSchedule::Hybrid { global_gap: 20 },
             decay_per_epoch: None,
             threads: txallo_graph::par::threads_from_env(),
+            residency: None,
         }
     }
 }
@@ -108,15 +114,26 @@ impl ShardedChainSim {
         // Placeholder hyper-parameters until warm-up: every stream
         // re-derives the weight-dependent fields from the graph it is
         // begun on.
-        let params = TxAlloParams::for_total_weight(0.0, shards)
+        let mut params = TxAlloParams::for_total_weight(0.0, shards)
             .with_eta(config.eta)
             .with_threads(config.threads);
+        if config.residency.is_some() {
+            // Cold rows read as empty through `&TxGraph`, so the adaptive
+            // update must take the touched-rows-only snapshot route —
+            // exactly the rows ingestion just rehydrated. (Route choice is
+            // result-identical either way; see `TxAlloParams`.)
+            params = params.with_incremental_threshold(1.0);
+        }
         let stream = registry
             .streaming(&config.method, &params, config.schedule)
             .unwrap_or_else(|e| panic!("{e}"));
+        let mut graph = TxGraph::new();
+        if let Some(res) = &config.residency {
+            graph.enable_residency(res);
+        }
         Self {
             config,
-            graph: TxGraph::new(),
+            graph,
             allocation: Allocation::new(Vec::new(), shards),
             stream,
             epoch: 0,
@@ -161,9 +178,14 @@ impl ShardedChainSim {
     }
 
     fn current_params(&self) -> TxAlloParams {
-        TxAlloParams::for_graph(&self.graph, self.config.shards)
+        let params = TxAlloParams::for_graph(&self.graph, self.config.shards)
             .with_eta(self.config.eta)
-            .with_threads(self.config.threads)
+            .with_threads(self.config.threads);
+        if self.config.residency.is_some() {
+            params.with_incremental_threshold(1.0)
+        } else {
+            params
+        }
     }
 
     /// Ingests the historical prefix and opens the allocation service on
@@ -206,12 +228,14 @@ impl ShardedChainSim {
             self.stream.on_block_nodes(&self.graph, b, &nodes);
         }
 
+        self.rehydrate_for_boundary();
         let start = Instant::now();
         let update = self.stream.end_epoch(&self.graph, EpochKind::Scheduled);
         let update_time = start.elapsed();
         let new_accounts = update.placements();
         self.allocation.apply_update(&update);
         self.run_health_check();
+        self.graph.advance_residency_epoch();
 
         let mut metrics = epoch_metrics(
             blocks,
@@ -234,6 +258,29 @@ impl ShardedChainSim {
         };
         self.epoch += 1;
         report
+    }
+
+    /// Rehydrates every cold row ahead of an epoch boundary that will read
+    /// the whole graph (the residency read invariant —
+    /// `txallo_graph::residency`): a scheduled global re-solve, a
+    /// consistency audit, any degraded state (whose rebuild/fallback paths
+    /// re-solve globally), or a non-adaptive method (the batch baselines
+    /// re-read the full graph at every boundary). Purely-adaptive epochs
+    /// skip this: their incremental snapshot only reads rows ingestion
+    /// just rehydrated.
+    fn rehydrate_for_boundary(&mut self) {
+        if !self.graph.residency_enabled() {
+            return;
+        }
+        let audit_epoch =
+            self.health_interval != 0 && (self.epoch + 1).is_multiple_of(self.health_interval);
+        let full_read = self.config.method != "txallo"
+            || self.config.schedule.is_global_epoch(self.epoch)
+            || self.degradation != Degradation::None
+            || audit_epoch;
+        if full_read {
+            self.graph.ensure_all_resident();
+        }
     }
 
     /// The epoch-boundary health audit and its recovery ladder, mirroring
@@ -276,6 +323,54 @@ impl ShardedChainSim {
             .filter(|chunk| chunk.len() == epoch_blocks)
             .map(|chunk| self.run_epoch(chunk))
             .collect()
+    }
+
+    /// [`ShardedChainSim::warmup`] from a block *iterator*: each block is
+    /// ingested and dropped before the next is produced, so the warm-up
+    /// prefix is never materialized — the out-of-core entry point for
+    /// synthesized workloads (`txallo_workload::StreamingWorkload`).
+    pub fn warmup_streamed<I>(&mut self, blocks: I) -> std::time::Duration
+    where
+        I: IntoIterator<Item = Block>,
+    {
+        for b in blocks {
+            self.graph.ingest_block(&b);
+        }
+        let start = Instant::now();
+        let params = self.current_params();
+        self.allocation = self.stream.begin(&self.graph, &params);
+        self.warmed_up = true;
+        start.elapsed()
+    }
+
+    /// Runs `epochs` epochs, synthesizing each epoch's blocks on demand
+    /// via `epoch_blocks` (called with the absolute epoch index, i.e.
+    /// continuing from [`ShardedChainSim::epoch`]). Only one epoch of
+    /// blocks is ever alive at a time — with a [`SimConfig::residency`]
+    /// window this is the full out-of-core replay loop.
+    pub fn run_stream_with<F>(&mut self, epochs: u64, mut epoch_blocks: F) -> Vec<EpochReport>
+    where
+        F: FnMut(u64) -> Vec<Block>,
+    {
+        (0..epochs)
+            .map(|_| {
+                let blocks = epoch_blocks(self.epoch);
+                self.run_epoch(&blocks)
+            })
+            .collect()
+    }
+
+    /// The graph's current memory accounting (see
+    /// [`MemoryFootprint`]) — slab arena, interner, residency index,
+    /// spill.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        self.graph.memory_footprint()
+    }
+
+    /// Approximate resident bytes of the allocator's own serving state
+    /// (session aggregates, snapshot buffer, sweep scratch).
+    pub fn allocator_state_bytes(&self) -> usize {
+        self.stream.state_bytes()
     }
 }
 
@@ -528,6 +623,63 @@ mod tests {
             r.metrics.migrated_accounts, 1,
             "the defection is exactly one migration"
         );
+    }
+
+    #[test]
+    fn residency_mode_reproduces_the_in_core_run() {
+        use txallo_graph::ResidencyConfig;
+        use txallo_workload::StreamingWorkload;
+        // Deterministic drifting workload, synthesized per epoch — the
+        // same generator feeds an in-core sim and an out-of-core twin
+        // (1-epoch window, decay, hybrid schedule with global refreshes
+        // and health audits, so every rehydration path runs).
+        let cfg = WorkloadConfig {
+            accounts: 1_200,
+            transactions: 60_000,
+            block_size: 50,
+            groups: 24,
+            ..WorkloadConfig::default()
+        };
+        let w = StreamingWorkload::new(cfg, 77);
+        let base = SimConfig {
+            decay_per_epoch: Some(0.8),
+            ..config(4, 10, HybridSchedule::Hybrid { global_gap: 4 })
+        };
+        let run = |residency: Option<ResidencyConfig>| {
+            let mut sim = ShardedChainSim::new(SimConfig {
+                residency,
+                ..base.clone()
+            });
+            sim.enable_health_check(3, 1e-6);
+            sim.warmup_streamed(w.blocks(0..40));
+            let reports = sim.run_stream_with(12, |e| w.epoch_blocks(e + 4, 10));
+            (reports, sim)
+        };
+        let (plain, plain_sim) = run(None);
+        let (evicted, evicted_sim) = run(Some(ResidencyConfig::in_memory(1)));
+        assert!(
+            evicted_sim.memory_footprint().evicted_rows > 0,
+            "the window must actually evict"
+        );
+        assert_eq!(plain.len(), evicted.len());
+        for (a, b) in plain.iter().zip(&evicted) {
+            assert_eq!(a.update, b.update, "epoch {}", a.epoch);
+            assert_eq!(a.metrics.cross_shard, b.metrics.cross_shard);
+            assert_eq!(
+                a.metrics.throughput_normalized.to_bits(),
+                b.metrics.throughput_normalized.to_bits(),
+                "epoch {}: out-of-core replay must be bit-identical",
+                a.epoch
+            );
+            assert_eq!(a.metrics.migrated_accounts, b.metrics.migrated_accounts);
+            assert_eq!(a.degradation, b.degradation);
+        }
+        assert_eq!(
+            plain_sim.allocation().labels(),
+            evicted_sim.allocation().labels(),
+            "final mappings must match label-for-label"
+        );
+        assert!(evicted_sim.allocator_state_bytes() > 0);
     }
 
     #[test]

@@ -21,10 +21,12 @@ pub mod config;
 pub mod csvio;
 pub mod etl;
 pub mod generator;
+pub mod stream;
 pub mod zipf;
 
 pub use config::WorkloadConfig;
 pub use csvio::{read_ledger_csv, write_ledger_csv, CsvError};
 pub use etl::{address_to_account, read_ethereum_etl_csv};
 pub use generator::EthereumLikeGenerator;
+pub use stream::StreamingWorkload;
 pub use zipf::ZipfTable;

@@ -53,8 +53,15 @@ impl ZipfTable {
 
     /// Draws one rank.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        self.sample_at(rng.gen::<f64>())
+    }
+
+    /// Maps a uniform draw `x01 ∈ [0, 1)` to a rank — the deterministic
+    /// core of [`ZipfTable::sample`], exposed so counter-based RNG streams
+    /// (which produce their own uniforms) can share the exact table walk.
+    pub fn sample_at(&self, x01: f64) -> usize {
         let total = *self.cdf.last().expect("non-empty");
-        let x: f64 = rng.gen::<f64>() * total;
+        let x = x01 * total;
         // partition_point returns the first rank whose cumulative weight
         // exceeds x.
         self.cdf

@@ -106,3 +106,39 @@ proptest! {
         }
     }
 }
+
+use txallo_workload::StreamingWorkload;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The streaming workload is a pure function of `(config, seed,
+    /// height)`: any epoch regenerated in isolation — even out of order —
+    /// is the exact slice of the contiguous stream, and the lazy iterator
+    /// is the materialized range. This is the out-of-core replay
+    /// guarantee: no epoch's blocks depend on having generated any other.
+    #[test]
+    fn streaming_epochs_regenerate_bit_identically(
+        seed in any::<u64>(),
+        accounts in 200usize..1_500,
+        groups in 2usize..40,
+        epoch_blocks in 1u64..8,
+    ) {
+        let config = WorkloadConfig {
+            accounts,
+            transactions: 4_000,
+            block_size: 40,
+            groups,
+            ..WorkloadConfig::default()
+        };
+        let w = StreamingWorkload::new(config, seed);
+        let all = w.blocks(0..4 * epoch_blocks);
+        for epoch in (0..4u64).rev() {
+            let chunk = w.epoch_blocks(epoch, epoch_blocks);
+            let s = (epoch * epoch_blocks) as usize;
+            prop_assert_eq!(&chunk[..], &all[s..s + epoch_blocks as usize]);
+        }
+        let lazy: Vec<_> = w.block_iter(0..all.len() as u64).collect();
+        prop_assert_eq!(lazy, all);
+    }
+}
