@@ -5,6 +5,9 @@
 //! printed as CSV rows (same axes as the paper) and mirrored into
 //! `results/<experiment>.csv`.
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod figures;
 pub mod harness;
 pub mod seed_ref;

@@ -229,7 +229,7 @@ impl ChainEngine {
             for account in tx.account_set() {
                 let node = graph
                     .node_of(account)
-                    .expect("accounts ingested before processing");
+                    .expect("accounts ingested before processing"); // txallo-lint: allow(lib-unwrap) — the engine ingests every block before routing it, so all accounts are interned
                 scratch.push(allocation.shard_of(node).0);
             }
             scratch.sort_unstable();
@@ -345,7 +345,7 @@ impl ChainEngine {
                 remaining -= in_run;
                 let mut committed = false;
                 for _ in 0..=retry_budget {
-                    let inj = self.fault.as_mut().expect("fault path");
+                    let inj = self.fault.as_mut().expect("fault path"); // txallo-lint: allow(lib-unwrap) — this loop only runs on the faulty branch, which is gated on fault.is_some() by the caller
                     let out = AtomixProtocol::run_faulty(&mut self.instances, &shards, inj);
                     self.report.total_messages += out.messages;
                     self.report.migration_messages += out.messages;

@@ -20,6 +20,9 @@
 //! `experiments measure-eta` harness reports the observed ratio — landing
 //! in the 2–10 band the paper sweeps.
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod atomix;
 pub mod engine;
 pub mod error;

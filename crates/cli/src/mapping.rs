@@ -3,7 +3,7 @@
 use std::io::{BufRead, Write};
 
 use txallo_core::Allocation;
-use txallo_graph::{TxGraph, WeightedGraph};
+use txallo_graph::{fit_u32, TxGraph, WeightedGraph};
 
 /// Writes an allocation as `account_id,shard` rows.
 pub fn write_mapping(
@@ -11,7 +11,7 @@ pub fn write_mapping(
     allocation: &Allocation,
     mut out: impl Write,
 ) -> std::io::Result<()> {
-    for v in 0..graph.node_count() as u32 {
+    for v in 0..fit_u32(graph.node_count()) {
         writeln!(out, "{},{}", graph.account(v).0, allocation.shard_of(v).0)?;
     }
     Ok(())

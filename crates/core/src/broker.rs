@@ -82,7 +82,7 @@ pub fn select_split_accounts(
         graph
             .incident_weight(b)
             .partial_cmp(&graph.incident_weight(a))
-            .expect("finite weights")
+            .expect("finite weights") // txallo-lint: allow(lib-unwrap) — incident weights are finite sums of finite transaction weights, so partial_cmp is total
             .then(a.cmp(&b))
     });
     hot.truncate(config.max_split_accounts);
@@ -270,7 +270,15 @@ pub fn evaluate_with_brokers(
         let mut remaining = floating_pool * unit_cost;
         // Greedy exact water-fill over sorted levels.
         let mut order: Vec<usize> = (0..k).collect();
-        order.sort_unstable_by(|&a, &b| sigmas[a].partial_cmp(&sigmas[b]).expect("finite"));
+        // Tie-break on shard id: with equal σ levels the unstable sort
+        // would otherwise scramble which shard falls inside the
+        // `take(filled + 1)` window, and the fill would not replay.
+        order.sort_unstable_by(|&a, &b| {
+            sigmas[a]
+                .partial_cmp(&sigmas[b])
+                .expect("finite") // txallo-lint: allow(lib-unwrap) — σ is a finite sum of finite workloads, so partial_cmp is total here
+                .then(a.cmp(&b))
+        });
         let mut filled = 0usize;
         while remaining > 0.0 && filled < k {
             let level = sigmas[order[filled]];

@@ -27,7 +27,7 @@
 //! wrong-file-entirely all surface as a typed [`CheckpointError`] instead
 //! of a silently wrong resume.
 
-use txallo_graph::{NodeId, TxGraph, WeightedGraph};
+use txallo_graph::{fit_u32, NodeId, TxGraph, WeightedGraph};
 use txallo_model::AccountId;
 
 /// File magic: `b"TXALLOCP"` as a little-endian u64.
@@ -168,12 +168,12 @@ impl<'a> Decoder<'a> {
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap())) // txallo-lint: allow(lib-unwrap) — take(4) returned exactly 4 bytes, so the array conversion is infallible
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap())) // txallo-lint: allow(lib-unwrap) — take(8) returned exactly 8 bytes, so the array conversion is infallible
     }
 
     /// Reads an `f64` from its raw IEEE-754 bits.
@@ -269,7 +269,7 @@ fn encode_graph(e: &mut Encoder, graph: &TxGraph) {
         ids.clear();
         ws.clear();
         graph.copy_row_into(v, &mut ids, &mut ws);
-        e.u32(ids.len() as u32);
+        e.u32(fit_u32(ids.len()));
         for &u in &ids {
             e.u32(u);
         }
@@ -311,7 +311,7 @@ fn decode_graph(d: &mut Decoder<'_>) -> Result<TxGraph, CheckpointError> {
         for _ in 0..len {
             adj_ws.push(d.f64()?);
         }
-        let row = &adj_ids[*offsets.last().expect("non-empty")..];
+        let row = &adj_ids[*offsets.last().expect("non-empty")..]; // txallo-lint: allow(lib-unwrap) — offsets starts with a pushed 0 sentinel a few lines up, so last() always exists
         if !row.windows(2).all(|p| p[0] < p[1]) {
             return Err(CheckpointError::Malformed("adjacency row order"));
         }
@@ -434,7 +434,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
         return Err(CheckpointError::Truncated);
     }
     let (content, footer) = bytes.split_at(bytes.len() - FOOTER);
-    let stored = u64::from_le_bytes(footer.try_into().unwrap());
+    let stored = u64::from_le_bytes(footer.try_into().unwrap()); // txallo-lint: allow(lib-unwrap) — split_at(len - FOOTER) makes footer exactly FOOTER == 8 bytes
     if fnv1a(content) != stored {
         return Err(CheckpointError::ChecksumMismatch);
     }

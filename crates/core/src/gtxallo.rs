@@ -1,6 +1,6 @@
 //! G-TxAllo — the global allocation algorithm (Algorithm 1).
 
-use txallo_graph::{CsrGraph, NodeId, TxGraph, WeightedGraph};
+use txallo_graph::{fit_u32, CsrGraph, NodeId, TxGraph, WeightedGraph};
 use txallo_louvain::{louvain_csr, LouvainConfig, LouvainResult, GAIN_EPS};
 
 use crate::allocation::Allocation;
@@ -153,12 +153,12 @@ impl GTxAllo {
             by_sigma.sort_unstable_by(|&a, &b| {
                 full.sigma(b)
                     .partial_cmp(&full.sigma(a))
-                    .expect("finite workloads")
+                    .expect("finite workloads") // txallo-lint: allow(lib-unwrap) — sigma values are finite sums of finite per-account workloads, so partial_cmp is total
                     .then(a.cmp(&b))
             });
             let mut remap = vec![UNASSIGNED; l];
             for (new_id, &old_id) in by_sigma.iter().take(k).enumerate() {
-                remap[old_id as usize] = new_id as u32;
+                remap[old_id as usize] = fit_u32(new_id);
             }
             for label in labels.iter_mut() {
                 *label = remap[*label as usize];
@@ -308,7 +308,7 @@ impl GTxAllo {
         state.gather_links(graph, labels, v, scratch);
         let self_w = graph.self_loop(v);
         let d_v = graph.incident_weight(v);
-        let k = state.community_count() as u32;
+        let k = fit_u32(state.community_count());
         // Ties are judged against the running *maximum* gain (not the
         // selected candidate's gain), so the selected community is always
         // within GAIN_EPS of the true best — the tie window cannot slide
@@ -343,7 +343,7 @@ impl GTxAllo {
                 consider(q, w_vq, &mut best, &mut max_gain);
             }
         }
-        best.expect("k ≥ 1 guarantees a candidate").0
+        best.expect("k ≥ 1 guarantees a candidate").0 // txallo-lint: allow(lib-unwrap) — the loop above visits every shard 0..k and k >= 1, so best is always set
     }
 }
 

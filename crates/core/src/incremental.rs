@@ -215,7 +215,7 @@ fn epoch_sweep_serial(
                 consider(q, w_vq, &mut best);
             }
         }
-        let q = best.expect("k ≥ 1").0;
+        let q = best.expect("k ≥ 1").0; // txallo-lint: allow(lib-unwrap) — the candidate scan visits every shard 0..k and k >= 1, so best is always set
         let w_vq = acc.get(q);
         state.apply_join(q, self_w, d_v, w_vq);
         labels[g] = q;
@@ -417,6 +417,7 @@ fn epoch_sweep_parallel(
                 consider(q, w_vq, &mut best);
             }
         }
+        // txallo-lint: allow(lib-unwrap) — the candidate scan visits every shard 0..k and k >= 1, so best is always set
         let q = best.expect("k ≥ 1").0;
         // Equals the serial `acc.get(q)`: the cache holds exactly the
         // touched buckets and `get` reads 0.0 for untouched ones.

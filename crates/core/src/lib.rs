@@ -26,6 +26,9 @@
 //! Consumers resolve either entry point by name through the
 //! [`AllocatorRegistry`] instead of constructing algorithms directly.
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod ablation;
 pub mod allocation;
 pub mod atxallo;

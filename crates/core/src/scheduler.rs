@@ -214,7 +214,7 @@ impl SchedulerState {
         let accounts = tx.account_set();
         let nodes: Vec<NodeId> = accounts
             .iter()
-            .map(|&a| graph.node_of(a).expect("account in graph"))
+            .map(|&a| graph.node_of(a).expect("account in graph")) // txallo-lint: allow(lib-unwrap) — callers schedule only accounts already ingested into the graph this epoch
             .collect();
 
         // Place new accounts into the least-loaded shard (rule 1).

@@ -190,11 +190,11 @@ impl AtxAlloSession {
             // is one unit edge (or one unit self-loop), exactly what the
             // general clique-expansion path below computes for it.
             if let ([a], [b]) = (tx.inputs(), tx.outputs()) {
-                let na = graph.node_of(*a).expect("block accounts are interned");
+                let na = graph.node_of(*a).expect("block accounts are interned"); // txallo-lint: allow(lib-unwrap) — on_block's contract: ingest_block interned every account of this block first
                 if a == b {
                     self.state.apply_self_loop_delta(self.label_of(na), 1.0);
                 } else {
-                    let nb = graph.node_of(*b).expect("block accounts are interned");
+                    let nb = graph.node_of(*b).expect("block accounts are interned"); // txallo-lint: allow(lib-unwrap) — on_block's contract: ingest_block interned every account of this block first
                     self.state
                         .apply_edge_delta(self.label_of(na), self.label_of(nb), 1.0);
                 }
@@ -202,16 +202,16 @@ impl AtxAlloSession {
             }
             let set = tx.account_set();
             if set.len() == 1 {
-                let n = graph.node_of(set[0]).expect("block accounts are interned");
+                let n = graph.node_of(set[0]).expect("block accounts are interned"); // txallo-lint: allow(lib-unwrap) — on_block's contract: ingest_block interned every account of this block first
                 self.state.apply_self_loop_delta(self.label_of(n), 1.0);
                 continue;
             }
             let w = 1.0 / (set.len() * (set.len() - 1) / 2) as f64;
             for (i, &acct_a) in set.iter().enumerate() {
-                let a = graph.node_of(acct_a).expect("block accounts are interned");
+                let a = graph.node_of(acct_a).expect("block accounts are interned"); // txallo-lint: allow(lib-unwrap) — on_block's contract: ingest_block interned every account of this block first
                 let la = self.label_of(a);
                 for &acct_b in &set[(i + 1)..] {
-                    let b = graph.node_of(acct_b).expect("block accounts are interned");
+                    let b = graph.node_of(acct_b).expect("block accounts are interned"); // txallo-lint: allow(lib-unwrap) — on_block's contract: ingest_block interned every account of this block first
                     self.state.apply_edge_delta(la, self.label_of(b), w);
                 }
             }

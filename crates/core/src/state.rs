@@ -1,6 +1,6 @@
 //! Per-community workload/throughput accounting and the §V-B gain formulas.
 
-use txallo_graph::{DenseAccumulator, NodeId, WeightedGraph};
+use txallo_graph::{fit_u32, DenseAccumulator, NodeId, WeightedGraph};
 
 /// Label value for nodes not yet assigned to any community.
 ///
@@ -256,7 +256,7 @@ impl CommunityState {
 
     /// Total system throughput `Λ = Σ Λᵢ` (Eq. 2).
     pub fn total_throughput(&self) -> f64 {
-        (0..self.intra.len() as u32)
+        (0..fit_u32(self.intra.len()))
             .map(|c| self.throughput(c))
             .sum()
     }
@@ -461,7 +461,7 @@ impl CommunityState {
     /// saturation regime) from the current `intra`/`cut` (`O(k)`), closing
     /// a batch of `apply_*_delta` calls.
     pub fn refresh_throughput(&mut self) {
-        for c in 0..self.intra.len() as u32 {
+        for c in 0..fit_u32(self.intra.len()) {
             self.recompute_community(c);
         }
     }

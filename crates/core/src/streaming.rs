@@ -441,7 +441,7 @@ fn collect_touched(graph: &TxGraph, block: &Block, touched: &mut EpochTouched) {
         for account in tx.account_set() {
             let node = graph
                 .node_of(account)
-                .expect("on_block requires the block to be ingested first");
+                .expect("on_block requires the block to be ingested first"); // txallo-lint: allow(lib-unwrap) — documented on_block precondition: the driver ingests the block before notifying
             touched.mark(node);
         }
     }
@@ -516,11 +516,12 @@ impl AdaptiveStream {
             StateCarry::Warm
         };
         if self.session.is_none() {
-            let prev = self.fallback.take().expect("invalidate stored the labels");
+            let prev = self.fallback.take().expect("invalidate stored the labels"); // txallo-lint: allow(lib-unwrap) — invalidate() is the only path that clears the session, and it stores fallback first
             self.session = Some(AtxAlloSession::new(graph, &prev, params));
             carry = StateCarry::Rebuilt;
         }
         let touched = self.sorted_touched();
+        // txallo-lint: allow(lib-unwrap) — the branch directly above rebuilds the session when it is None
         let session = self.session.as_mut().expect("ensured above");
         // Only snapshot rows (touched ∪ new) can move, so diffing the
         // touched set is complete — and keeps the boundary `O(|V̂|)`.
@@ -1068,7 +1069,7 @@ impl StreamingAllocator for SchedulerStream {
     }
 
     fn on_block(&mut self, graph: &TxGraph, block: &Block) {
-        let state = self.state.as_mut().expect("call begin() first");
+        let state = self.state.as_mut().expect("call begin() first"); // txallo-lint: allow(lib-unwrap) — documented trait contract: begin() runs before on_block/end_epoch
         for tx in block.transactions() {
             state.process_transaction(graph, tx);
         }
@@ -1085,6 +1086,7 @@ impl StreamingAllocator for SchedulerStream {
     }
 
     fn end_epoch(&mut self, graph: &TxGraph, _kind: EpochKind) -> AllocationUpdate {
+        // txallo-lint: allow(lib-unwrap) — documented trait contract: begin() runs before on_block/end_epoch
         let state = self.state.as_mut().expect("call begin() first");
         // λ = |T|/k grows with the accumulated history; refresh the
         // migration capacity buffer once per epoch, like the other

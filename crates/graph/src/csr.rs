@@ -239,6 +239,7 @@ impl CsrGraph {
             if splits.len() == 2 {
                 copy_rows(g, 0, n, &offsets, &mut targets, &mut weights);
             } else {
+                // txallo-lint: allow(D5-thread-spawn) — data-parallel straight copies into disjoint &mut chunks, no cross-chunk float fold; bit-identity at every chunk count is pinned by chunked_fill_matches_serial_fill
                 std::thread::scope(|scope| {
                     let mut rest_t = &mut targets[..];
                     let mut rest_w = &mut weights[..];
@@ -264,6 +265,7 @@ impl CsrGraph {
             // arrays split into disjoint &mut slices, every slot has
             // exactly one writer, and each thread appends in the same
             // ascending source order the serial fill uses.
+            // txallo-lint: allow(D5-thread-spawn) — each thread writes its own disjoint entry range in serial order, no shared mutation or cross-chunk float fold; pinned by chunked_fill_matches_serial_fill
             std::thread::scope(|scope| {
                 let mut rest_t = &mut targets[..];
                 let mut rest_w = &mut weights[..];
@@ -425,7 +427,7 @@ fn copy_rows<G: WeightedGraph>(
     for v in lo..hi {
         let view = g
             .row_view(v as NodeId)
-            .expect("row_view is uniform across nodes");
+            .expect("row_view is uniform across nodes"); // txallo-lint: allow(lib-unwrap) — the direct path is taken only after probing row_view(0), and the trait contract makes the answer uniform across nodes
         let mut pos = offsets[v] as usize - base;
         debug_assert_eq!(
             offsets[v + 1] as usize - offsets[v] as usize,
@@ -507,6 +509,7 @@ fn row_split(offsets: &[u32], entries: usize, forced_chunks: Option<usize>) -> V
     const MAX_CHUNKS: usize = 4;
     let n = offsets.len() - 1;
     let chunks = forced_chunks.unwrap_or_else(|| {
+        // txallo-lint: allow(D5-thread-spawn) — reads core count only to size chunks; the fill output is bit-identical at every chunk count, so parallelism never leaks into results
         std::thread::available_parallelism()
             .map_or(1, |p| p.get())
             .min(MAX_CHUNKS)

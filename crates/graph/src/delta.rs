@@ -50,7 +50,7 @@
 //! routes to byte-identical allocations.
 
 use crate::csr::CsrGraph;
-use crate::traits::{NodeId, WeightedGraph};
+use crate::traits::{fit_u32, NodeId, WeightedGraph};
 use crate::txgraph::TxGraph;
 
 /// Compact CSR over an epoch's touched node set (see the module docs).
@@ -186,7 +186,7 @@ impl DeltaCsr {
             // differently and break the bit-identical `snapshot_full`
             // equivalence).
             let row_sum = graph.copy_row_into(v, &mut self.targets, &mut self.weights);
-            self.offsets.push(self.targets.len() as u32);
+            self.offsets.push(fit_u32(self.targets.len()));
             self.self_loops.push(self_w);
             self.incident.push(self_w + row_sum);
         }
@@ -232,7 +232,7 @@ impl DeltaCsr {
             let v = self.node[i];
             self.targets.extend_from_slice(csr.neighbor_ids(v));
             self.weights.extend_from_slice(csr.neighbor_weights(v));
-            self.offsets.push(self.targets.len() as u32);
+            self.offsets.push(fit_u32(self.targets.len()));
             self.self_loops.push(csr.self_loop(v));
             self.incident.push(csr.incident_weight(v));
         }

@@ -79,7 +79,7 @@ impl AccountInterner {
     /// [`AccountInterner::try_intern`] to handle that case.
     pub fn intern(&mut self, account: AccountId) -> NodeId {
         self.try_intern(account)
-            .expect("node-id space exhausted (u32 ids)")
+            .expect("node-id space exhausted (u32 ids)") // txallo-lint: allow(lib-unwrap) — intern() is the documented panicking convenience over try_intern for callers that accept the 4-billion-account cap
     }
 
     /// Looks up the node id of an already-interned account.

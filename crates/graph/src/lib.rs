@@ -44,6 +44,9 @@
 //! from a [`scratch::DenseAccumulator`] without per-node hashing, allocation
 //! or full candidate sorts.
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod adjacency;
 pub mod csr;
 pub mod decay;
@@ -67,6 +70,6 @@ pub use residency::{MemoryFootprint, ResidencyConfig, SpillTarget};
 pub use scratch::{DenseAccumulator, DenseIndexMap};
 pub use slab::SortedRunStore;
 pub use stats::GraphStats;
-pub use traits::{NodeId, RowView, WeightedGraph};
+pub use traits::{fit_u32, NodeId, RowView, WeightedGraph};
 pub use txgraph::{BlockNodes, TxGraph};
 pub use window::SlidingWindowGraph;

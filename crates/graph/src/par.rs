@@ -122,7 +122,7 @@ where
 {
     let chunks = bounds.len() - 1;
     assert!(scratch.len() >= chunks, "one scratch instance per chunk");
-    assert_eq!(*bounds.last().expect("non-empty bounds"), data.len());
+    assert_eq!(*bounds.last().expect("non-empty bounds"), data.len()); // txallo-lint: allow(lib-unwrap) — chunks = bounds.len() - 1 did not underflow, so bounds has at least one element
     if chunks == 1 {
         f(bounds[0], data, &mut scratch[0]);
         return;

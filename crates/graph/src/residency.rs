@@ -46,7 +46,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 
 use crate::slab::SortedRunStore;
-use crate::traits::NodeId;
+use crate::traits::{fit_u32, NodeId};
 
 /// Where evicted rows spill.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,7 +113,7 @@ impl Spill {
                     .create(true)
                     .truncate(true)
                     .open(path)
-                    .expect("open residency spill file");
+                    .expect("open residency spill file"); // txallo-lint: allow(lib-unwrap) — spill I/O failure leaves no consistent half-spilled state to roll back; aborting is the residency contract
                 Spill::File { file, len: 0 }
             }
         }
@@ -129,8 +129,8 @@ impl Spill {
             }
             Spill::File { file, len } => {
                 let off = *len;
-                file.seek(SeekFrom::Start(off)).expect("seek spill");
-                file.write_all(bytes).expect("write spill");
+                file.seek(SeekFrom::Start(off)).expect("seek spill"); // txallo-lint: allow(lib-unwrap) — spill I/O failure leaves no consistent half-spilled state to roll back; aborting is the residency contract
+                file.write_all(bytes).expect("write spill"); // txallo-lint: allow(lib-unwrap) — spill I/O failure leaves no consistent half-spilled state to roll back; aborting is the residency contract
                 *len += bytes.len() as u64;
                 off
             }
@@ -144,8 +144,8 @@ impl Spill {
                 out.copy_from_slice(&buf[s..s + out.len()]);
             }
             Spill::File { file, .. } => {
-                file.seek(SeekFrom::Start(offset)).expect("seek spill");
-                file.read_exact(out).expect("read spill");
+                file.seek(SeekFrom::Start(offset)).expect("seek spill"); // txallo-lint: allow(lib-unwrap) — spill I/O failure leaves no consistent half-spilled state to roll back; aborting is the residency contract
+                file.read_exact(out).expect("read spill"); // txallo-lint: allow(lib-unwrap) — spill I/O failure leaves no consistent half-spilled state to roll back; aborting is the residency contract
             }
         }
     }
@@ -169,8 +169,8 @@ impl Clone for Spill {
             Spill::File { file, len } => {
                 let mut buf = vec![0u8; *len as usize];
                 let mut f = file;
-                f.seek(SeekFrom::Start(0)).expect("seek spill");
-                f.read_exact(&mut buf).expect("read spill");
+                f.seek(SeekFrom::Start(0)).expect("seek spill"); // txallo-lint: allow(lib-unwrap) — spill I/O failure leaves no consistent half-spilled state to roll back; aborting is the residency contract
+                f.read_exact(&mut buf).expect("read spill"); // txallo-lint: allow(lib-unwrap) — spill I/O failure leaves no consistent half-spilled state to roll back; aborting is the residency contract
                 Spill::Memory(buf)
             }
         }
@@ -293,11 +293,11 @@ impl Residency {
         self.ws_scratch.clear();
         for c in self.buf[..n * 4].chunks_exact(4) {
             self.ids_scratch
-                .push(NodeId::from_le_bytes(c.try_into().unwrap()));
+                .push(NodeId::from_le_bytes(c.try_into().unwrap())); // txallo-lint: allow(lib-unwrap) — chunks_exact(4) yields exactly 4 bytes per chunk, so the array conversion is infallible
         }
         for c in self.buf[n * 4..].chunks_exact(8) {
             self.ws_scratch
-                .push(f64::from_le_bytes(c.try_into().unwrap()));
+                .push(f64::from_le_bytes(c.try_into().unwrap())); // txallo-lint: allow(lib-unwrap) — chunks_exact(8) yields exactly 8 bytes per chunk, so the array conversion is infallible
         }
         // Replay the decay factors the row missed while cold — stepwise,
         // in application order, matching the in-place multiplies its
@@ -341,7 +341,7 @@ impl Residency {
             self.slots[v] = ColdSlot {
                 offset,
                 len: n as u32,
-                scale_mark: self.scale_log.len() as u32,
+                scale_mark: fit_u32(self.scale_log.len()),
             };
             self.cold_rows += 1;
             self.evicted_total += 1;

@@ -46,7 +46,7 @@
 //! mutable adjacency (community aggregates, incident re-derivation) sees
 //! the same ascending order the frozen forms use.
 
-use crate::traits::NodeId;
+use crate::traits::{fit_u32, NodeId};
 
 /// Tail budget of a row: merges trigger once the tail outgrows this.
 #[inline]
@@ -150,11 +150,12 @@ impl SortedRunStore {
         );
         self.ids.extend_from_slice(ids);
         self.ws.extend_from_slice(ws);
+        let len = fit_u32(len);
         self.rows.push(RowMeta {
             start: start as u32,
-            cap: len as u32,
-            len: len as u32,
-            run: len as u32,
+            cap: len,
+            len,
+            run: len,
         });
         // Rebuild the membership fingerprint from scratch — a restored
         // row starts with an exact (no stale bits) filter.
@@ -381,7 +382,7 @@ impl SortedRunStore {
             }
             dst = dst.wrapping_sub(1);
         }
-        self.rows[r].run = len as u32;
+        self.rows[r].run = fit_u32(len);
     }
 
     /// Relocates row `r` to the end of the arena with doubled capacity.
@@ -414,7 +415,7 @@ impl SortedRunStore {
         let mut ws = Vec::with_capacity(live_cap);
         for m in &mut self.rows {
             let (s, cap, len) = (m.start as usize, m.cap as usize, m.len as usize);
-            m.start = ids.len() as u32;
+            m.start = fit_u32(ids.len());
             ids.extend_from_slice(&self.ids[s..s + len]);
             ws.extend_from_slice(&self.ws[s..s + len]);
             ids.resize(m.start as usize + cap, 0);
@@ -474,11 +475,12 @@ impl SortedRunStore {
         );
         self.ids.extend_from_slice(ids);
         self.ws.extend_from_slice(ws);
+        let len = fit_u32(len);
         self.rows[r] = RowMeta {
             start: start as u32,
-            cap: len as u32,
-            len: len as u32,
-            run: len as u32,
+            cap: len,
+            len,
+            run: len,
         };
         let mut fp = 0u8;
         for &id in ids {

@@ -5,6 +5,20 @@
 /// hashing in hot loops).
 pub type NodeId = u32;
 
+/// Checked `usize → u32` conversion for id/count boundaries.
+///
+/// Node ids and per-node counts are `u32` by design (the interner refuses
+/// to mint ids past `u32::MAX` with [`crate::IdSpaceExhausted`]), so any
+/// in-range length derived from them fits. This helper is the sanctioned
+/// way to cross that boundary: it keeps the check visible instead of a
+/// silent `as` truncation, and panics with a clear message if a future
+/// change ever violates the id-space invariant.
+#[inline]
+pub fn fit_u32(n: usize) -> u32 {
+    // txallo-lint: allow(lib-unwrap) — this IS the checked boundary: the interner caps ids at u32::MAX, so in-range lengths always fit and an overflow here is a program bug worth stopping on
+    u32::try_from(n).expect("count exceeds the u32 id space")
+}
+
 /// A borrowed view of one node's adjacency as up to two ascending-id
 /// sorted runs (see [`WeightedGraph::row_view`]).
 ///

@@ -5,7 +5,7 @@ use txallo_model::{AccountId, Block, Ledger, Transaction};
 use crate::interner::AccountInterner;
 use crate::residency::{MemoryFootprint, Residency, ResidencyConfig};
 use crate::slab::SortedRunStore;
-use crate::traits::{NodeId, RowView, WeightedGraph};
+use crate::traits::{fit_u32, NodeId, RowView, WeightedGraph};
 
 /// The interned node view of one block: per-transaction dense node ids
 /// plus the deduplicated touched set `V̂` — everything an epoch consumer
@@ -346,6 +346,7 @@ impl TxGraph {
     /// Subtracts edge weight between two distinct nodes, dropping the edge
     /// when its weight reaches zero (up to float dust).
     pub(crate) fn subtract_edge(&mut self, a: NodeId, b: NodeId, w: f64) {
+        // txallo-lint: allow(D2-eps-literal) — named, documented weight-dust floor for edge removal, not a tie-break tolerance; value pinned by the decay/unlearn golden tests
         const DUST: f64 = 1e-9;
         debug_assert_ne!(a, b, "use subtract_self_loop for loops");
         // Both endpoint rows must be resident: the subtraction is
@@ -427,7 +428,7 @@ impl TxGraph {
             for &acct in &set {
                 nodes.tx_nodes.push(self.ensure_node(acct));
             }
-            nodes.tx_offsets.push(nodes.tx_nodes.len() as u32);
+            nodes.tx_offsets.push(fit_u32(nodes.tx_nodes.len()));
             self.ingest_interned(&nodes.tx_nodes[start..]);
         }
         nodes.touched.extend_from_slice(&nodes.tx_nodes);

@@ -1,0 +1,149 @@
+//! Golden tests: every fixture under `tests/fixtures/` is scanned with the
+//! virtual repo path from its `//@ path:` header, and the findings must
+//! match the inline expectation markers exactly.
+//!
+//! Marker syntax (standalone comment lines, compile-test style):
+//!
+//! * `//~^ rule-id` — an **active** finding of `rule-id` on the line one
+//!   caret-count above the marker (`^^` = two lines up, etc.);
+//! * `//~^ SUPPRESSED rule-id` — a finding of `rule-id` on that line that
+//!   was silenced by a well-formed `txallo-lint: allow(..)` comment.
+//!
+//! Matching is exhaustive in both directions: an unexpected finding or an
+//! unmatched expectation fails the test, so fixtures double as regression
+//! tests for false positives on their negative cases.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// (line, rule, suppressed) triple used for exact comparison.
+type Expectation = (usize, String, bool);
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Parse `//~^ [SUPPRESSED] rule-id` markers; returns expectations keyed to
+/// the marked (caret-offset) line.
+fn parse_expectations(source: &str) -> BTreeSet<Expectation> {
+    let mut out = BTreeSet::new();
+    for (idx, line) in source.lines().enumerate() {
+        let t = line.trim_start();
+        let Some(rest) = t.strip_prefix("//~") else {
+            continue;
+        };
+        let carets = rest.chars().take_while(|&c| c == '^').count();
+        assert!(carets > 0, "marker without carets on line {}", idx + 1);
+        let rest = rest[carets..].trim();
+        let (suppressed, rule) = match rest.strip_prefix("SUPPRESSED ") {
+            Some(r) => (true, r.trim()),
+            None => (false, rest),
+        };
+        assert!(
+            !rule.is_empty(),
+            "marker without a rule on line {}",
+            idx + 1
+        );
+        let target = idx + 1 - carets; // marker is 1-based idx+1; ^ = one up
+        out.insert((target, rule.to_owned(), suppressed));
+    }
+    out
+}
+
+/// The `//@ path:` header naming the virtual repo-relative path the
+/// fixture is scanned under (rule scoping is path-based).
+fn virtual_path(source: &str) -> String {
+    let first = source.lines().next().expect("fixture is non-empty");
+    first
+        .strip_prefix("//@ path:")
+        .expect("fixture must start with a `//@ path:` header")
+        .trim()
+        .to_owned()
+}
+
+fn check_fixture(name: &str, source: &str) -> BTreeSet<Expectation> {
+    let path = virtual_path(source);
+    let expected = parse_expectations(source);
+    let actual: BTreeSet<Expectation> = txallo_lint::analyze(&path, source)
+        .into_iter()
+        .map(|f| (f.line, f.rule, f.suppressed.is_some()))
+        .collect();
+    let missing: Vec<_> = expected.difference(&actual).collect();
+    let unexpected: Vec<_> = actual.difference(&expected).collect();
+    assert!(
+        missing.is_empty() && unexpected.is_empty(),
+        "fixture {name} (as {path}):\n  expected but not reported: {missing:?}\n  \
+         reported but not expected: {unexpected:?}"
+    );
+    expected
+}
+
+#[test]
+fn fixtures_match_expectations_exactly() {
+    let dir = fixtures_dir();
+    let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("fixtures directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "no fixtures found in {dir:?}");
+
+    let mut all: BTreeSet<(String, bool)> = BTreeSet::new();
+    for path in &names {
+        let source = std::fs::read_to_string(path).expect("readable fixture");
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        for (_, rule, suppressed) in check_fixture(&name, &source) {
+            all.insert((rule, suppressed));
+        }
+    }
+
+    // Coverage floor: every source rule has at least one triggering AND one
+    // suppressed case across the fixture set; both meta rules have at least
+    // one triggering case (they are never suppressible / self-exempt only).
+    for rule in txallo_lint::rules::RULES {
+        assert!(
+            all.contains(&(rule.id.to_owned(), false)),
+            "no fixture triggers rule {}",
+            rule.id
+        );
+        assert!(
+            all.contains(&(rule.id.to_owned(), true)),
+            "no fixture exercises a suppressed case for rule {}",
+            rule.id
+        );
+    }
+    for meta in ["suppression-hygiene", "unused-suppression"] {
+        assert!(
+            all.contains(&(meta.to_owned(), false)),
+            "no fixture triggers meta rule {meta}"
+        );
+    }
+}
+
+#[test]
+fn fixture_paths_stay_out_of_real_crates() {
+    // Virtual paths must look like workspace files (so scoping applies)
+    // but never collide with a file that actually exists.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    for entry in std::fs::read_dir(fixtures_dir()).expect("fixtures dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).expect("readable");
+        let vp = virtual_path(&source);
+        assert!(
+            vp.starts_with("crates/"),
+            "virtual path {vp} not in crates/"
+        );
+        assert!(
+            !root.join(&vp).exists(),
+            "virtual path {vp} collides with a real workspace file"
+        );
+    }
+}

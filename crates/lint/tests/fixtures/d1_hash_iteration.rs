@@ -1,0 +1,34 @@
+//@ path: crates/louvain/src/fixture_d1.rs
+// Fixture: D1-hash-iteration — iterating a hash container inside a kernel
+// crate. Never compiled; scanned lexically by the golden test.
+
+fn trigger(gain: FxHashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (&_u, &g) in &gain {
+    //~^ D1-hash-iteration
+        total += g;
+    }
+    total
+}
+
+fn trigger_method(seen: FxHashSet<u32>) -> usize {
+    seen.iter().count()
+    //~^ D1-hash-iteration
+}
+
+fn suppressed(active: FxHashSet<u32>) -> Vec<u32> {
+    // txallo-lint: allow(D1-hash-iteration) — collect-and-sort: the next line sorts ascending, so hash order never escapes
+    let mut v: Vec<u32> = active.into_iter().collect();
+    //~^ SUPPRESSED D1-hash-iteration
+    v.sort_unstable();
+    v
+}
+
+fn negative_dense(gains: Vec<f64>) -> f64 {
+    // Dense structures iterate in index order — no finding expected.
+    let mut total = 0.0;
+    for g in &gains {
+        total += g;
+    }
+    total
+}

@@ -1,0 +1,24 @@
+//@ path: crates/metis/src/fixture_d2.rs
+// Fixture: D2-eps-literal — ad-hoc negative-exponent epsilon literals
+// outside the sanctioned GAIN_EPS definition site.
+
+fn trigger(gain: f64) -> bool {
+    gain > 1e-12
+    //~^ D2-eps-literal
+}
+
+// txallo-lint: allow(D2-eps-literal) — named, documented magnitude floor with a written invariant
+const NAMED_FLOOR: f64 = 1e-9;
+//~^ SUPPRESSED D2-eps-literal
+
+fn negative_positive_exponent(x: f64) -> f64 {
+    // Positive exponents are scale factors, not tolerances — no finding.
+    x * 1e6
+}
+
+fn negative_identifier() -> u32 {
+    // An identifier containing `e` followed by a dash in a later token is
+    // not a literal.
+    let x1e = 3;
+    x1e - 1
+}

@@ -1,0 +1,29 @@
+//@ path: crates/graph/src/fixture_d5.rs
+// Fixture: D5-thread-spawn — threading primitives outside the sanctioned
+// txallo_graph::par layer.
+
+fn trigger(chunks: Vec<Vec<u32>>) {
+    std::thread::scope(|scope| {
+    //~^ D5-thread-spawn
+        for c in chunks {
+            scope.spawn(move || drop(c));
+        }
+    });
+}
+
+fn trigger_sync_primitive() {
+    let shared: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+    //~^ D5-thread-spawn
+    drop(shared);
+}
+
+fn suppressed_core_count() -> usize {
+    // txallo-lint: allow(D5-thread-spawn) — reads core count only to size chunks; output is bit-identical at every chunk count
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+    //~^ SUPPRESSED D5-thread-spawn
+}
+
+fn negative_serial(data: &[f64]) -> f64 {
+    // Serial folds are always fine.
+    data.iter().sum()
+}

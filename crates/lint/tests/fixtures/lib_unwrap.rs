@@ -1,0 +1,22 @@
+//@ path: crates/chain/src/fixture_unwrap.rs
+// Fixture: lib-unwrap — unwrap/expect in non-test library code.
+
+fn trigger(x: Option<u32>) -> u32 {
+    x.unwrap()
+    //~^ lib-unwrap
+}
+
+fn trigger_expect(x: Option<u32>) -> u32 {
+    x.expect("present")
+    //~^ lib-unwrap
+}
+
+fn suppressed(x: Option<u32>) -> u32 {
+    x.unwrap() // txallo-lint: allow(lib-unwrap) — caller validated x is Some on the line above
+    //~^ SUPPRESSED lib-unwrap
+}
+
+fn negative_typed_error(x: Option<u32>) -> Result<u32, String> {
+    // The typed-error form the rule asks for — no finding.
+    x.ok_or_else(|| "missing".to_owned())
+}

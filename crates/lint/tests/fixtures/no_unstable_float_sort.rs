@@ -1,0 +1,31 @@
+//@ path: crates/sim/src/fixture_sort.rs
+// Fixture: no-unstable-float-sort — unstable sorts keyed on floats without
+// an integer tie-break (the PR 5 Louvain aggregation bug shape).
+
+fn trigger(xs: &mut Vec<f64>) {
+    xs.sort_unstable_by(|a, b| a.total_cmp(b));
+    //~^ no-unstable-float-sort
+}
+
+fn trigger_multiline(pairs: &mut Vec<(u32, f64)>) {
+    pairs.sort_unstable_by(|a, b| {
+    //~^ no-unstable-float-sort
+        b.1.total_cmp(&a.1)
+    });
+}
+
+fn suppressed_bare_values(ws: &mut Vec<f64>) {
+    // txallo-lint: allow(no-unstable-float-sort) — sorting bare f64 values; equal keys are indistinguishable, no payload to scramble
+    ws.sort_unstable_by(|a, b| a.total_cmp(b));
+    //~^ SUPPRESSED no-unstable-float-sort
+}
+
+fn negative_tie_broken(pairs: &mut Vec<(u32, f64)>) {
+    // The `.then(..)` integer tie-break makes equal float keys ordered.
+    pairs.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+}
+
+fn negative_integer_sort(ids: &mut Vec<u32>) {
+    // Integer keys are total — no finding.
+    ids.sort_unstable();
+}

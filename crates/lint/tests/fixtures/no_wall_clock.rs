@@ -1,0 +1,24 @@
+//@ path: crates/sim/src/fixture_clock.rs
+// Fixture: no-wall-clock — wall-clock reads in library (non-bench, non-CLI)
+// code.
+
+use std::time::Instant;
+//~^ no-wall-clock
+
+fn trigger() -> u64 {
+    let epoch = SystemTime::now();
+    //~^ no-wall-clock
+    drop(epoch);
+    0
+}
+
+fn suppressed_reporting() {
+    let t0 = Instant::now(); // txallo-lint: allow(no-wall-clock) — measures solve latency for the report only; no algorithm decision reads it
+    //~^ SUPPRESSED no-wall-clock
+    drop(t0);
+}
+
+fn negative_logical_clock(height: u64) -> u64 {
+    // Block heights are the only clock the algorithms may read.
+    height + 1
+}

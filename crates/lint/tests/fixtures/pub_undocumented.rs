@@ -1,0 +1,23 @@
+//@ path: crates/core/src/fixture_doc.rs
+// Fixture: pub-undocumented — public API surface in the documented crates
+// must carry doc comments.
+
+pub fn trigger() {}
+//~^ pub-undocumented
+
+pub struct TriggerStruct;
+//~^ pub-undocumented
+
+pub fn suppressed() {} // txallo-lint: allow(pub-undocumented) — internal-only helper pending the API split
+//~^ SUPPRESSED pub-undocumented
+
+/// Documented items pass.
+pub fn negative_documented() {}
+
+/// Attributes between the doc comment and the item are walked over.
+#[inline]
+pub fn negative_documented_with_attr() {}
+
+pub(crate) fn negative_crate_private() {}
+
+pub mod negative_out_of_line;

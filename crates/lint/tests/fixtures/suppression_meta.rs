@@ -1,0 +1,34 @@
+//@ path: crates/chain/src/fixture_meta.rs
+// Fixture: the engine's meta rules — suppression-hygiene (reasonless,
+// malformed, or unknown-rule suppressions are themselves findings, and are
+// not suppressible) and unused-suppression (stale annotations are flagged
+// unless self-exempted).
+
+fn reasonless(x: Option<u32>) -> u32 {
+    x.unwrap() // txallo-lint: allow(lib-unwrap)
+    //~^ lib-unwrap
+    //~^^ suppression-hygiene
+}
+
+fn short_reason(x: Option<u32>) -> u32 {
+    x.unwrap() // txallo-lint: allow(lib-unwrap) — ok
+    //~^ lib-unwrap
+    //~^^ suppression-hygiene
+}
+
+fn unknown_rule() {} // txallo-lint: allow(no-such-rule) — a perfectly long reason for a rule that does not exist
+//~^ suppression-hygiene
+
+fn hygiene_is_not_suppressible(x: Option<u32>) -> u32 {
+    // Naming the meta rule cannot silence the hygiene finding: with no
+    // written reason the unwrap stays active too, and the audit failure
+    // survives alongside it.
+    x.unwrap() // txallo-lint: allow(lib-unwrap, suppression-hygiene)
+    //~^ lib-unwrap
+    //~^^ suppression-hygiene
+}
+
+fn stale() {} // txallo-lint: allow(lib-unwrap) — nothing on this line unwraps anymore
+//~^ unused-suppression
+
+fn stale_but_kept() {} // txallo-lint: allow(lib-unwrap, unused-suppression) — annotation kept deliberately for the cfg'd-out debug path

@@ -23,7 +23,7 @@
 //! pinned byte-identical against a stable-sorted reference merge in the
 //! tests below.
 
-use txallo_graph::{AdjacencyGraph, CsrGraph, NodeId, WeightedGraph};
+use txallo_graph::{fit_u32, AdjacencyGraph, CsrGraph, NodeId, WeightedGraph};
 
 /// Reusable buffers of the counting-sort aggregation — one set per Louvain
 /// run, reused across every level (high-water mark set by level 0).
@@ -165,7 +165,7 @@ pub fn aggregate_graph_into(
             let w = scratch.b_w[i];
             match targets.last() {
                 Some(&last) if targets.len() > row_start && last == t => {
-                    *weights.last_mut().expect("parallel to targets") += w;
+                    *weights.last_mut().expect("parallel to targets") += w; // txallo-lint: allow(lib-unwrap) — guarded by targets.last() == Some in the match arm, and weights grows in lockstep with targets
                 }
                 _ => {
                     targets.push(t);
@@ -173,7 +173,7 @@ pub fn aggregate_graph_into(
                 }
             }
         }
-        final_offsets[row + 1] = targets.len() as u32;
+        final_offsets[row + 1] = fit_u32(targets.len());
     }
 
     CsrGraph::from_sorted_rows(final_offsets, targets, weights, self_loops, total)

@@ -15,6 +15,9 @@
 //! assignment), gains tie-break toward the smallest community id, and no
 //! randomness is used anywhere.
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod aggregate;
 pub mod local_move;
 pub mod modularity;

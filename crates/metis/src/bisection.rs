@@ -26,7 +26,7 @@ fn grow_bisection(graph: &AdjacencyGraph, vertex_weights: &[f64], frac: f64) -> 
     by_weight.sort_unstable_by(|&a, &b| {
         vertex_weights[b as usize]
             .partial_cmp(&vertex_weights[a as usize])
-            .expect("finite weights")
+            .expect("finite weights") // txallo-lint: allow(lib-unwrap) — vertex weights are finite strengths (floored positive), so partial_cmp is total
             .then(a.cmp(&b))
     });
 
@@ -57,7 +57,7 @@ fn grow_bisection(graph: &AdjacencyGraph, vertex_weights: &[f64], frac: f64) -> 
                 continue;
             }
             let g = gain[u as usize];
-            let ratio = g / graph.strength(u).max(1e-12);
+            let ratio = g / graph.strength(u).max(crate::RATIO_FLOOR);
             let better = match best {
                 None => true,
                 Some((bu, bg, br)) => {
@@ -108,7 +108,7 @@ fn multilevel_bisect(
     let targets = [total * frac, total * (1.0 - frac)];
     let floor = config.coarsen_target.clamp(40, 4_000);
     let hierarchy = coarsen(graph, vertex_weights, floor);
-    let coarsest = hierarchy.last().expect("base level exists");
+    let coarsest = hierarchy.last().expect("base level exists"); // txallo-lint: allow(lib-unwrap) — coarsen() always returns at least the base level
 
     let mut parts = grow_bisection(&coarsest.graph, &coarsest.vertex_weights, frac);
     fm_refine_with_targets(
@@ -124,7 +124,7 @@ fn multilevel_bisect(
         let map = hierarchy[level + 1]
             .fine_to_coarse
             .as_ref()
-            .expect("projection map");
+            .expect("projection map"); // txallo-lint: allow(lib-unwrap) — every non-base level is built by coarsen() with its projection map populated
         let mut fine_parts = vec![0u32; fine.graph.node_count()];
         for (v, p) in fine_parts.iter_mut().enumerate() {
             *p = parts[map[v] as usize];
@@ -238,7 +238,7 @@ pub fn recursive_bisection_partition(
     let vertex_weights: Vec<f64> = match config.weighting {
         crate::VertexWeighting::Unit => vec![1.0; n],
         crate::VertexWeighting::Strength => (0..n as NodeId)
-            .map(|v| graph.strength(v).max(1e-9))
+            .map(|v| graph.strength(v).max(crate::STRENGTH_FLOOR))
             .collect(),
     };
     let mut parts = vec![0u32; n];

@@ -107,7 +107,7 @@ pub fn coarsen(base: AdjacencyGraph, vertex_weights: Vec<f64>, floor: usize) -> 
     }];
     let mut arena = CoarsenArena::new();
     loop {
-        let current = levels.last().expect("at least the base level");
+        let current = levels.last().expect("at least the base level"); // txallo-lint: allow(lib-unwrap) — levels is seeded with the base level right above and never drained
         let n = current.graph.node_count();
         if n <= floor {
             break;

@@ -1,7 +1,6 @@
 //! Initial partitioning via greedy graph growing (GGGP).
 
 use txallo_graph::{AdjacencyGraph, NodeId, WeightedGraph};
-use txallo_model::FxHashMap;
 
 /// Produces an initial `k`-way partition of (the coarsest) `graph`.
 ///
@@ -33,12 +32,44 @@ pub fn greedy_growing_partition(
     by_weight.sort_unstable_by(|&a, &b| {
         vertex_weights[b as usize]
             .partial_cmp(&vertex_weights[a as usize])
-            .expect("finite weights")
+            .expect("finite weights") // txallo-lint: allow(lib-unwrap) — vertex weights are finite strengths (floored positive), so partial_cmp is total
             .then(a.cmp(&b))
     });
 
     let mut part_weight = vec![0.0f64; k];
     let mut seed_cursor = 0usize;
+
+    // Dense frontier state, reused across parts (sparse-reset through the
+    // frontier list — same structure as `bisection::grow_bisection`, no
+    // hash map, so the candidate scan order is canonical per contract D1).
+    // `in_map` mirrors membership of the old gain map exactly: removal
+    // zeroes the gain, and a later absorb re-inserts the node with freshly
+    // accumulated gain, which is what `entry().or_insert(0.0)` did after a
+    // `remove`. Selection is a strict total order on (gain desc, ratio
+    // desc, id asc), so the chosen node is scan-order independent and the
+    // produced partition is bit-identical to the hash-map implementation.
+    let mut gain = vec![0.0f64; n];
+    let mut in_map = vec![false; n];
+    let mut frontier: Vec<NodeId> = Vec::new();
+
+    fn absorb_frontier(
+        graph: &AdjacencyGraph,
+        v: NodeId,
+        parts: &[u32],
+        gain: &mut [f64],
+        in_map: &mut [bool],
+        frontier: &mut Vec<NodeId>,
+    ) {
+        graph.for_each_neighbor(v, |u, w| {
+            if parts[u as usize] == u32::MAX {
+                gain[u as usize] += w;
+                if !in_map[u as usize] {
+                    in_map[u as usize] = true;
+                    frontier.push(u);
+                }
+            }
+        });
+    }
 
     for part in 0..k as u32 {
         // Find the next unassigned seed.
@@ -52,25 +83,28 @@ pub fn greedy_growing_partition(
         parts[seed as usize] = part;
         part_weight[part as usize] += vertex_weights[seed as usize];
 
-        // Gain map: connectivity of unassigned nodes to the growing region.
-        let mut gain: FxHashMap<NodeId, f64> = FxHashMap::default();
-        let absorb_frontier = |v: NodeId, gain: &mut FxHashMap<NodeId, f64>, parts: &[u32]| {
-            graph.for_each_neighbor(v, |u, w| {
-                if parts[u as usize] == u32::MAX {
-                    *gain.entry(u).or_insert(0.0) += w;
-                }
-            });
-        };
-        absorb_frontier(seed, &mut gain, &parts);
+        // Reset the previous part's frontier state sparsely.
+        for &u in &frontier {
+            gain[u as usize] = 0.0;
+            in_map[u as usize] = false;
+        }
+        frontier.clear();
+        absorb_frontier(graph, seed, &parts, &mut gain, &mut in_map, &mut frontier);
 
         while part_weight[part as usize] < target {
             // Deterministic max: largest gain; ties prefer the node whose
             // gain is the largest fraction of its strength (an "absorption"
             // preference that keeps the region from leaking across weak
             // bridge edges into foreign clusters); final tie → smallest id.
+            // (Re-inserted nodes appear twice in `frontier`; the duplicate
+            // evaluates the identical candidate, so the max is unaffected.)
             let mut best: Option<(NodeId, f64, f64)> = None;
-            for (&u, &g) in &gain {
-                let ratio = g / graph.strength(u).max(1e-12);
+            for &u in &frontier {
+                if !in_map[u as usize] || parts[u as usize] != u32::MAX {
+                    continue;
+                }
+                let g = gain[u as usize];
+                let ratio = g / graph.strength(u).max(crate::RATIO_FLOOR);
                 let better = match best {
                     None => true,
                     Some((bu, bg, br)) => {
@@ -82,17 +116,16 @@ pub fn greedy_growing_partition(
                 }
             }
             let Some((u, _, _)) = best else { break };
-            gain.remove(&u);
-            if parts[u as usize] != u32::MAX {
-                continue;
-            }
+            // Remove from the candidate set (mirrors `gain.remove`).
+            in_map[u as usize] = false;
+            gain[u as usize] = 0.0;
             if part_weight[part as usize] + vertex_weights[u as usize] > cap {
                 // Too big for this part; leave it for later parts.
                 continue;
             }
             parts[u as usize] = part;
             part_weight[part as usize] += vertex_weights[u as usize];
-            absorb_frontier(u, &mut gain, &parts);
+            absorb_frontier(graph, u, &parts, &mut gain, &mut in_map, &mut frontier);
         }
     }
 
@@ -100,8 +133,8 @@ pub fn greedy_growing_partition(
     for v in 0..n {
         if parts[v] == u32::MAX {
             let lightest = (0..k)
-                .min_by(|&a, &b| part_weight[a].partial_cmp(&part_weight[b]).expect("finite"))
-                .expect("k > 0");
+                .min_by(|&a, &b| part_weight[a].partial_cmp(&part_weight[b]).expect("finite")) // txallo-lint: allow(lib-unwrap) — part weights are finite sums of finite vertex weights, so partial_cmp is total
+                .expect("k > 0"); // txallo-lint: allow(lib-unwrap) — the k == 0 assert and k == 1 early return above guarantee a non-empty range
             parts[v] = lightest as u32;
             part_weight[lightest] += vertex_weights[v];
         }

@@ -18,6 +18,9 @@
 //! weights**, not blockchain workload — that mismatch (plus no η-awareness)
 //! is exactly why TxAllo outperforms it on workload balance and throughput.
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod bisection;
 pub mod coarsen;
 pub mod initial;
@@ -31,6 +34,20 @@ pub use initial::greedy_growing_partition;
 pub use refine::{edge_cut, fm_refine, fm_refine_with_targets};
 
 use txallo_graph::{AdjacencyGraph, NodeId, WeightedGraph};
+
+/// Floor applied to vertex strengths when they become balance weights, so
+/// isolated (zero-strength) nodes keep a nonzero weight and ratio
+/// denominators stay positive. A magnitude guard, not a gain tolerance —
+/// tie-breaking is `txallo_louvain::GAIN_EPS` territory (contract D2).
+// txallo-lint: allow(D2-eps-literal) — named, documented magnitude floor; the one sanctioned definition site in this crate
+pub(crate) const STRENGTH_FLOOR: f64 = 1e-9;
+
+/// Floor on the gain/strength ratio denominator in the greedy growers
+/// (initial partitioning and bisection seeding). Smaller than
+/// [`STRENGTH_FLOOR`] because it guards a division, not a weight; the
+/// value is preserved exactly — changing it changes growth trajectories.
+// txallo-lint: allow(D2-eps-literal) — named, documented divide-by-zero guard; value pinned by the golden suites
+pub(crate) const RATIO_FLOOR: f64 = 1e-12;
 
 /// How vertices are weighted for the balance constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -108,7 +125,7 @@ pub fn metis_partition(graph: &(impl WeightedGraph + Sync), config: &MetisConfig
     let vertex_weights: Vec<f64> = match config.weighting {
         VertexWeighting::Unit => vec![1.0; n],
         VertexWeighting::Strength => (0..n as NodeId)
-            .map(|v| graph.strength(v).max(1e-9))
+            .map(|v| graph.strength(v).max(STRENGTH_FLOOR))
             .collect(),
     };
 
@@ -118,7 +135,7 @@ pub fn metis_partition(graph: &(impl WeightedGraph + Sync), config: &MetisConfig
     let levels = hierarchy.len();
     let coarsest = hierarchy
         .last()
-        .expect("hierarchy always has the base level");
+        .expect("hierarchy always has the base level"); // txallo-lint: allow(lib-unwrap) — coarsen() always returns at least the base level
 
     // Phase 2: initial partition of the coarsest graph.
     let mut parts = greedy_growing_partition(
@@ -142,7 +159,7 @@ pub fn metis_partition(graph: &(impl WeightedGraph + Sync), config: &MetisConfig
         let coarse_map = hierarchy[level + 1]
             .fine_to_coarse
             .as_ref()
-            .expect("non-base levels store their projection map");
+            .expect("non-base levels store their projection map"); // txallo-lint: allow(lib-unwrap) — every non-base level is built by coarsen() with its projection map populated
         let mut fine_parts = vec![0u32; fine.graph.node_count()];
         for (v, p) in fine_parts.iter_mut().enumerate() {
             *p = parts[coarse_map[v] as usize];

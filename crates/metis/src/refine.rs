@@ -2,6 +2,13 @@
 
 use txallo_graph::{AdjacencyGraph, DenseAccumulator, NodeId, WeightedGraph};
 
+/// Minimum cut improvement for an FM move to count as a gain. A
+/// magnitude floor against float dust from the link accumulator, not a
+/// tie-break tolerance; the value is preserved exactly — raising it
+/// changes which moves fire and therefore the refined partitions.
+// txallo-lint: allow(D2-eps-literal) — named, documented gain floor; value pinned by the metis golden/property tests
+const FM_GAIN_MIN: f64 = 1e-12;
+
 /// Total weight of edges whose endpoints lie in different parts.
 pub fn edge_cut(graph: &AdjacencyGraph, parts: &[u32]) -> f64 {
     let mut cut = 0.0;
@@ -100,7 +107,7 @@ pub fn fm_refine_with_targets(
                     continue;
                 }
                 let gain = external - internal;
-                if gain <= 1e-12 {
+                if gain <= FM_GAIN_MIN {
                     continue;
                 }
                 // A move is admissible if the destination stays within the

@@ -14,6 +14,9 @@
 //!   the transaction graph are computed here so every consumer agrees on
 //!   them.
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod account;
 pub mod block;
 pub mod error;

@@ -8,6 +8,7 @@
 //! [`AllocationUpdate`](txallo_core::AllocationUpdate) diff into its
 //! mapping with [`Allocation::apply_update`].
 
+// txallo-lint: allow(no-wall-clock) — measures solve latency for EpochReport only; no allocation decision reads the clock
 use std::time::Instant;
 
 use txallo_core::{
@@ -195,7 +196,7 @@ impl ShardedChainSim {
         for b in blocks {
             self.graph.ingest_block(b);
         }
-        let start = Instant::now();
+        let start = Instant::now(); // txallo-lint: allow(no-wall-clock) — measures solve latency for EpochReport only; no allocation decision reads the clock
         let params = self.current_params();
         self.allocation = self.stream.begin(&self.graph, &params);
         self.warmed_up = true;
@@ -229,7 +230,7 @@ impl ShardedChainSim {
         }
 
         self.rehydrate_for_boundary();
-        let start = Instant::now();
+        let start = Instant::now(); // txallo-lint: allow(no-wall-clock) — measures solve latency for EpochReport only; no allocation decision reads the clock
         let update = self.stream.end_epoch(&self.graph, EpochKind::Scheduled);
         let update_time = start.elapsed();
         let new_accounts = update.placements();
@@ -336,7 +337,7 @@ impl ShardedChainSim {
         for b in blocks {
             self.graph.ingest_block(&b);
         }
-        let start = Instant::now();
+        let start = Instant::now(); // txallo-lint: allow(no-wall-clock) — measures solve latency for EpochReport only; no allocation decision reads the clock
         let params = self.current_params();
         self.allocation = self.stream.begin(&self.graph, &params);
         self.warmed_up = true;

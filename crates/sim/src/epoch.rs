@@ -63,7 +63,7 @@ pub fn epoch_metrics(
             for account in tx.account_set() {
                 let node = graph
                     .node_of(account)
-                    .expect("epoch accounts are ingested before scoring");
+                    .expect("epoch accounts are ingested before scoring"); // txallo-lint: allow(lib-unwrap) — the epoch loop ingests every block before scoring it, so all accounts are interned
                 shard_scratch.push(allocation.shard_of(node).0);
             }
             shard_scratch.sort_unstable();

@@ -10,6 +10,9 @@
 //! throughput). Wall-clock time of every update is recorded, reproducing
 //! Fig. 9 (throughput evolution) and Fig. 10 (running time).
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod driver;
 pub mod epoch;
 pub mod queue;

@@ -12,7 +12,7 @@
 //! closed form folds into `η`.
 
 use txallo_core::Allocation;
-use txallo_graph::TxGraph;
+use txallo_graph::{fit_u32, TxGraph};
 use txallo_model::Block;
 
 /// One pending unit of work in a shard's queue.
@@ -89,12 +89,12 @@ impl ShardQueueSim {
     pub fn step_block(&mut self, block: &Block, graph: &TxGraph, allocation: &Allocation) {
         let mut shards_scratch: Vec<u32> = Vec::with_capacity(8);
         for tx in block.transactions() {
-            let id = self.remaining.len() as u32;
+            let id = fit_u32(self.remaining.len());
             shards_scratch.clear();
             for account in tx.account_set() {
                 let node = graph
                     .node_of(account)
-                    .expect("accounts ingested before simulation");
+                    .expect("accounts ingested before simulation"); // txallo-lint: allow(lib-unwrap) — step_block's contract: the caller ingests the block before stepping the queue
                 shards_scratch.push(allocation.shard_of(node).0);
             }
             shards_scratch.sort_unstable();
@@ -174,6 +174,7 @@ impl ShardQueueSim {
                 None => unconfirmed += 1,
             }
         }
+        // txallo-lint: allow(no-unstable-float-sort, lib-unwrap) — sorting bare u64-derived f64 latencies with no payload to scramble; confirmation heights are finite by construction
         latencies.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
         let confirmed = latencies.len();
         let pct = |p: f64| -> f64 {

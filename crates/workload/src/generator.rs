@@ -269,7 +269,7 @@ impl EthereumLikeGenerator {
             outputs.sort_unstable();
             outputs.dedup();
             return Transaction::new(vec![AccountId(sender)], outputs)
-                .expect("non-empty endpoints by construction");
+                .expect("non-empty endpoints by construction"); // txallo-lint: allow(lib-unwrap) — inputs and outputs are built non-empty a few lines above, the only Transaction::new error
         }
 
         Transaction::transfer(AccountId(sender), AccountId(receiver))
@@ -293,6 +293,7 @@ impl EthereumLikeGenerator {
 
     /// Generates a whole ledger of `count` blocks.
     pub fn ledger(&mut self, count: u64) -> Ledger {
+        // txallo-lint: allow(lib-unwrap) — blocks() numbers heights 0..count contiguously, the only Ledger::from_blocks error
         Ledger::from_blocks(self.blocks(count)).expect("heights are contiguous by construction")
     }
 

@@ -17,6 +17,9 @@
 //! Real traces can also be round-tripped through a simple CSV format
 //! ([`csvio`]) for replaying actual Ethereum exports.
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod config;
 pub mod csvio;
 pub mod etl;

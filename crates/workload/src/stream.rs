@@ -309,7 +309,7 @@ impl StreamingWorkload {
             outputs.sort_unstable();
             outputs.dedup();
             return Transaction::new(vec![AccountId(sender)], outputs)
-                .expect("non-empty endpoints by construction");
+                .expect("non-empty endpoints by construction"); // txallo-lint: allow(lib-unwrap) — inputs and outputs are built non-empty a few lines above, the only Transaction::new error
         }
 
         Transaction::transfer(AccountId(sender), AccountId(receiver))
@@ -348,6 +348,7 @@ impl StreamingWorkload {
     /// Materializes the first `count` blocks as a [`Ledger`] (for tests
     /// and small-scale comparisons against the streamed path).
     pub fn ledger(&self, count: u64) -> Ledger {
+        // txallo-lint: allow(lib-unwrap) — blocks() numbers heights contiguously from 0, the only Ledger::from_blocks error
         Ledger::from_blocks(self.blocks(0..count)).expect("heights are contiguous by construction")
     }
 }

@@ -60,7 +60,7 @@ impl ZipfTable {
     /// core of [`ZipfTable::sample`], exposed so counter-based RNG streams
     /// (which produce their own uniforms) can share the exact table walk.
     pub fn sample_at(&self, x01: f64) -> usize {
-        let total = *self.cdf.last().expect("non-empty");
+        let total = *self.cdf.last().expect("non-empty"); // txallo-lint: allow(lib-unwrap) — both constructors assert a non-empty support and push one cdf entry per rank
         let x = x01 * total;
         // partition_point returns the first rank whose cumulative weight
         // exceeds x.
@@ -71,7 +71,7 @@ impl ZipfTable {
 
     /// Probability of a given rank.
     pub fn probability(&self, rank: usize) -> f64 {
-        let total = *self.cdf.last().expect("non-empty");
+        let total = *self.cdf.last().expect("non-empty"); // txallo-lint: allow(lib-unwrap) — both constructors assert a non-empty support and push one cdf entry per rank
         let prev = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
         (self.cdf[rank] - prev) / total
     }

@@ -50,6 +50,9 @@
 //! assert!(report.throughput_normalized > 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub use txallo_chain as chain;
 pub use txallo_core as core;
 pub use txallo_graph as graph;
