@@ -35,7 +35,7 @@ fn main() {
     let mut quick = false;
     // Default snapshot name for `bench-snapshot`; later PRs bump it (or
     // pass `--out BENCH_prN.json`) so earlier baselines are never clobbered.
-    let mut out_path = String::from("BENCH_pr8.json");
+    let mut out_path = String::from("BENCH_pr10.json");
     // `scale-stream` knobs.
     let mut stream_accounts: usize = 1_000_000;
     let mut stream_epochs: u64 = 60;

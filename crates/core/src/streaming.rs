@@ -614,8 +614,9 @@ impl StreamingAllocator for AdaptiveStream {
         for &v in nodes.touched() {
             self.touched.mark(v);
         }
+        let threads = self.params.threads;
         if let Some(session) = self.session.as_mut() {
-            session.apply_block_nodes(nodes);
+            session.apply_block_nodes_threaded(nodes, threads);
         }
     }
 

@@ -133,6 +133,33 @@ fn replay_stream(stream: &DeltaStream, threads: usize) -> Vec<(String, Allocatio
     out
 }
 
+/// [`replay_stream`] on the interned route: blocks enter through
+/// [`TxGraph::ingest_block_nodes`] and the stream through
+/// [`StreamingAllocator::on_block_nodes`], so a warm session folds each
+/// block's clique-expansion deltas through the canonical reduction tree
+/// at `threads` workers.
+fn replay_stream_nodes(stream: &DeltaStream, threads: usize) -> Vec<(String, Allocation)> {
+    let (base, epochs, k) = stream;
+    let mut g = build_graph(base);
+    let params = TxAlloParams::for_graph(&g, *k).with_threads(threads);
+    let mut alloc = AdaptiveStream::new(params.clone());
+    let _ = alloc.begin(&g, &params);
+    let mut out = Vec::new();
+    for (h, pairs) in epochs.iter().enumerate() {
+        let block = block_of(h as u64, pairs);
+        let nodes = g.ingest_block_nodes(&block);
+        alloc.on_block_nodes(&g, &block, &nodes);
+        let kind = if h % 2 == 0 {
+            EpochKind::Adaptive
+        } else {
+            EpochKind::Global
+        };
+        let update = alloc.end_epoch(&g, kind);
+        out.push((format!("{update:?}"), alloc.allocation()));
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -166,6 +193,65 @@ proptest! {
                     epoch
                 );
             }
+        }
+    }
+    /// The interned ingestion surface: block folding through the
+    /// canonical reduction tree must match the serial fold at every
+    /// thread count, *and* match the re-hashing `on_block` route (the
+    /// two ingestion surfaces are contractually identical).
+    #[test]
+    fn block_node_folding_is_identical_at_every_thread_count(stream in stream_strategy()) {
+        let serial = replay_stream_nodes(&stream, THREADS[0]);
+        let rehash = replay_stream(&stream, THREADS[0]);
+        prop_assert_eq!(serial.len(), rehash.len());
+        for (epoch, (a, b)) in serial.iter().zip(&rehash).enumerate() {
+            prop_assert_eq!(&a.0, &b.0, "interned vs re-hash, epoch {}: diffs", epoch);
+            prop_assert_eq!(a.1.labels(), b.1.labels(), "interned vs re-hash, epoch {}", epoch);
+        }
+        for &t in &THREADS[1..] {
+            let traced = replay_stream_nodes(&stream, t);
+            prop_assert_eq!(traced.len(), serial.len());
+            for (epoch, (got, want)) in traced.iter().zip(&serial).enumerate() {
+                prop_assert_eq!(&got.0, &want.0, "{} threads, epoch {}: diffs", t, epoch);
+                prop_assert_eq!(
+                    got.1.labels(),
+                    want.1.labels(),
+                    "{} threads, epoch {}: mapping",
+                    t,
+                    epoch
+                );
+            }
+        }
+    }
+}
+
+/// A block big enough to cross the ingestion chunk quantum (2048 work
+/// units), fed through the public interned surface: the warm session's
+/// clique-expansion fold genuinely splits into canonical chunks and
+/// merges through the reduction tree, and must land on the serial bits.
+#[test]
+fn oversized_block_folds_identically_at_every_thread_count() {
+    let base: Vec<(u64, u64)> = (0..60).map(|i| (i % 19, (i * 11) % 29)).collect();
+    // ~2700 transfers + 1300 three-account txs: > 6600 work units,
+    // several canonical chunks.
+    let big: Vec<(u64, u64)> = (0..4000)
+        .map(|i| ((i * 7) % 211, (i * 13 + 5) % 197))
+        .collect();
+    let run = |threads: usize| {
+        let stream: DeltaStream = (base.clone(), vec![big.clone()], 4);
+        replay_stream_nodes(&stream, threads)
+    };
+    let serial = run(1);
+    for t in [2usize, 3, 8] {
+        let traced = run(t);
+        assert_eq!(traced.len(), serial.len());
+        for (epoch, (got, want)) in traced.iter().zip(&serial).enumerate() {
+            assert_eq!(got.0, want.0, "{t} threads, epoch {epoch}: diffs");
+            assert_eq!(
+                got.1.labels(),
+                want.1.labels(),
+                "{t} threads, epoch {epoch}"
+            );
         }
     }
 }

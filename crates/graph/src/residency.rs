@@ -90,12 +90,15 @@ impl ResidencyConfig {
     }
 }
 
-/// The append-only spill log. Records are self-describing via the cold
-/// slot (`offset`, entry count), so the log itself is headerless:
-/// `len × 4` id bytes followed by `len × 8` weight bytes, little-endian.
-/// Re-evicting a row appends a fresh record; superseded ranges are dead
-/// log space, acceptable for a replay log (the log grows with eviction
-/// *traffic*, not with live state).
+/// The append-only spill log. Records are self-describing: an 8-byte
+/// header (`len: u32` entry count, `scale_mark: u32` decay-tape position
+/// at eviction time) followed by `len × 4` id bytes and `len × 8` weight
+/// bytes, all little-endian. Keeping the per-row metadata in the record
+/// means the in-RAM cold directory stores one `u64` offset per cold row
+/// and nothing else — the header rides the rehydration read the row pays
+/// anyway. Re-evicting a row appends a fresh record; superseded ranges
+/// are dead log space, acceptable for a replay log (the log grows with
+/// eviction *traffic*, not with live state).
 #[derive(Debug)]
 enum Spill {
     Memory(Vec<u8>),
@@ -177,30 +180,17 @@ impl Clone for Spill {
     }
 }
 
-/// Sentinel offset marking a resident row.
-const RESIDENT: u64 = u64::MAX;
-
-/// Spill location of one cold row.
-#[derive(Debug, Clone, Copy)]
-struct ColdSlot {
-    /// Byte offset in the spill, or [`RESIDENT`].
-    offset: u64,
-    /// Entry count of the spilled row.
-    len: u32,
-    /// `scale_log` length at eviction time: the factors logged past this
-    /// mark are replayed stepwise on rehydration.
-    scale_mark: u32,
-}
-
-impl ColdSlot {
-    const IN_CORE: ColdSlot = ColdSlot {
-        offset: RESIDENT,
-        len: 0,
-        scale_mark: 0,
-    };
-}
-
 /// Per-graph residency state (owned by `TxGraph` when enabled).
+///
+/// The index is keyed on **cold rows only**: always-resident accounts cost
+/// one touch stamp (4 B) plus one residency bit. A cold row costs 12 B
+/// (its id plus a `u64` spill offset — entry count and decay-tape mark
+/// live in the spill record's header, read back with the row). The cold
+/// directory (`cold_ids`/`cold_offsets`, ascending by node id) is
+/// consulted only after the bit test says a row is cold, so the hot
+/// resident path never searches it; rehydration just clears the bit and
+/// leaves a dead directory entry behind, and the next epoch boundary
+/// merges dead entries out together with the freshly evicted rows.
 #[derive(Debug, Clone)]
 pub(crate) struct Residency {
     window: u32,
@@ -208,7 +198,15 @@ pub(crate) struct Residency {
     epoch: u32,
     /// Last epoch stamp each node's row was written.
     last_touch: Vec<u32>,
-    slots: Vec<ColdSlot>,
+    /// One bit per node, set while the row is cold (O(1) residency test).
+    cold_bits: Vec<u64>,
+    /// Node ids of the cold directory, ascending. Entries whose bit has
+    /// been cleared since the last merge are dead (superseded).
+    cold_ids: Vec<NodeId>,
+    /// Spill record offsets parallel to `cold_ids`.
+    cold_offsets: Vec<u64>,
+    /// Dead entries in the directory since the last epoch merge.
+    dead: usize,
     /// Every decay factor applied since enable, in order — the replay
     /// tape for cold rows (8 bytes per decay epoch).
     scale_log: Vec<f64>,
@@ -220,6 +218,10 @@ pub(crate) struct Residency {
     buf: Vec<u8>,
     ids_scratch: Vec<NodeId>,
     ws_scratch: Vec<f64>,
+    // Directory-merge scratch: this epoch's staged evictions, freed after
+    // each merge so its capacity never lingers in the footprint.
+    merge_ids: Vec<NodeId>,
+    merge_offsets: Vec<u64>,
 }
 
 impl Residency {
@@ -229,7 +231,10 @@ impl Residency {
             window: config.window,
             epoch: 0,
             last_touch: vec![0; nodes],
-            slots: vec![ColdSlot::IN_CORE; nodes],
+            cold_bits: vec![0; nodes.div_ceil(64)],
+            cold_ids: Vec::new(),
+            cold_offsets: Vec::new(),
+            dead: 0,
             scale_log: Vec::new(),
             spill: Spill::open(&config.spill),
             cold_rows: 0,
@@ -238,13 +243,17 @@ impl Residency {
             buf: Vec::new(),
             ids_scratch: Vec::new(),
             ws_scratch: Vec::new(),
+            merge_ids: Vec::new(),
+            merge_offsets: Vec::new(),
         }
     }
 
     /// Registers a brand-new node (resident, touched now).
     pub(crate) fn push_node(&mut self) {
         self.last_touch.push(self.epoch);
-        self.slots.push(ColdSlot::IN_CORE);
+        if self.last_touch.len() > self.cold_bits.len() * 64 {
+            self.cold_bits.push(0);
+        }
     }
 
     /// Stamps a write touch on `v`'s row.
@@ -255,7 +264,7 @@ impl Residency {
 
     #[inline]
     pub(crate) fn is_cold(&self, v: NodeId) -> bool {
-        self.slots[v as usize].offset != RESIDENT
+        (self.cold_bits[v as usize / 64] >> (v as usize % 64)) & 1 == 1
     }
 
     pub(crate) fn cold_rows(&self) -> usize {
@@ -282,13 +291,20 @@ impl Residency {
     /// Brings `v`'s row back into the slab, bitwise-transparently. No-op
     /// when already resident.
     pub(crate) fn rehydrate(&mut self, adjacency: &mut SortedRunStore, v: NodeId) {
-        let slot = self.slots[v as usize];
-        if slot.offset == RESIDENT {
+        if !self.is_cold(v) {
             return;
         }
-        let n = slot.len as usize;
+        let at = self
+            .cold_ids
+            .binary_search(&v)
+            .expect("cold bit set but row missing from the cold directory"); // txallo-lint: allow(lib-unwrap) — the bit and the directory are updated together (evict sets both, rehydrate clears the bit and leaves the entry for the next merge), so a set bit always has its entry
+        let offset = self.cold_offsets[at];
+        let mut header = [0u8; 8];
+        self.spill.read_at(offset, &mut header);
+        let n = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize; // txallo-lint: allow(lib-unwrap) — a 4-byte slice of an 8-byte array converts infallibly
+        let scale_mark = u32::from_le_bytes(header[4..].try_into().unwrap()) as usize; // txallo-lint: allow(lib-unwrap) — a 4-byte slice of an 8-byte array converts infallibly
         self.buf.resize(n * 12, 0);
-        self.spill.read_at(slot.offset, &mut self.buf);
+        self.spill.read_at(offset + 8, &mut self.buf);
         self.ids_scratch.clear();
         self.ws_scratch.clear();
         for c in self.buf[..n * 4].chunks_exact(4) {
@@ -303,25 +319,31 @@ impl Residency {
         // in application order, matching the in-place multiplies its
         // resident twin received (a combined product would not be
         // bit-identical).
-        for &f in &self.scale_log[slot.scale_mark as usize..] {
+        for &f in &self.scale_log[scale_mark..] {
             for w in &mut self.ws_scratch {
                 *w *= f;
             }
         }
         adjacency.restore_row(v as usize, &self.ids_scratch, &self.ws_scratch);
-        self.slots[v as usize] = ColdSlot::IN_CORE;
+        self.cold_bits[v as usize / 64] &= !(1u64 << (v as usize % 64));
+        self.dead += 1;
         self.cold_rows -= 1;
         self.restored_total += 1;
     }
 
     /// Marks an epoch boundary: evicts every resident, non-empty row whose
     /// account has gone more than `window` completed epochs without a
-    /// write. Returns the number of rows evicted.
+    /// write, then compacts the cold directory (freshly evicted rows merge
+    /// in, entries rehydrated since the last boundary merge out). Returns
+    /// the number of rows evicted.
     pub(crate) fn advance_epoch(&mut self, adjacency: &mut SortedRunStore) -> usize {
         self.epoch += 1;
-        let mut evicted = 0usize;
-        for v in 0..self.slots.len() {
-            if self.slots[v].offset != RESIDENT
+        // Stage this epoch's evictions in the merge scratch: the loop runs
+        // ascending, so the staged ids arrive sorted.
+        self.merge_ids.clear();
+        self.merge_offsets.clear();
+        for v in 0..self.last_touch.len() {
+            if self.is_cold(v as NodeId)
                 || self.epoch - self.last_touch[v] <= self.window
                 || adjacency.row_len(v) == 0
             {
@@ -331,6 +353,9 @@ impl Residency {
             self.ws_scratch.clear();
             let n = adjacency.evict_row(v, &mut self.ids_scratch, &mut self.ws_scratch);
             self.buf.clear();
+            self.buf.extend_from_slice(&fit_u32(n).to_le_bytes());
+            self.buf
+                .extend_from_slice(&fit_u32(self.scale_log.len()).to_le_bytes());
             for id in &self.ids_scratch {
                 self.buf.extend_from_slice(&id.to_le_bytes());
             }
@@ -338,28 +363,81 @@ impl Residency {
                 self.buf.extend_from_slice(&w.to_le_bytes());
             }
             let offset = self.spill.append(&self.buf);
-            self.slots[v] = ColdSlot {
-                offset,
-                len: n as u32,
-                scale_mark: fit_u32(self.scale_log.len()),
-            };
+            self.merge_ids.push(v as NodeId);
+            self.merge_offsets.push(offset);
+            self.cold_bits[v / 64] |= 1u64 << (v % 64);
             self.cold_rows += 1;
             self.evicted_total += 1;
-            evicted += 1;
+        }
+        let evicted = self.merge_ids.len();
+        if evicted > 0 || self.dead > 0 {
+            self.merge_directory();
         }
         evicted
     }
 
-    pub(crate) fn node_count(&self) -> usize {
-        self.slots.len()
+    /// Merges the staged evictions (in `merge_*`) with the surviving old
+    /// directory entries, dropping dead ones, then ping-pongs the merged
+    /// directory back into `cold_*`. A staged entry supersedes an old
+    /// entry with the same id (the old one is necessarily dead: the row
+    /// was rehydrated before it could be evicted again).
+    fn merge_directory(&mut self) {
+        let mut merged_ids = Vec::with_capacity(self.cold_ids.len() + self.merge_ids.len());
+        let mut merged_offsets = Vec::with_capacity(merged_ids.capacity());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.cold_ids.len() || j < self.merge_ids.len() {
+            let take_old = match (self.cold_ids.get(i), self.merge_ids.get(j)) {
+                (Some(&o), Some(&s)) => {
+                    if o == s {
+                        i += 1; // superseded: the staged entry wins
+                        false
+                    } else {
+                        o < s
+                    }
+                }
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_old {
+                let v = self.cold_ids[i];
+                if self.is_cold(v) {
+                    merged_ids.push(v);
+                    merged_offsets.push(self.cold_offsets[i]);
+                }
+                i += 1;
+            } else {
+                merged_ids.push(self.merge_ids[j]);
+                merged_offsets.push(self.merge_offsets[j]);
+                j += 1;
+            }
+        }
+        // The with_capacity above is an upper bound (dead and superseded
+        // entries never land); shrink so the footprint tracks the live
+        // directory, and free the staging scratch outright — both are
+        // rebuilt from scratch next boundary, one realloc per epoch.
+        merged_ids.shrink_to_fit();
+        merged_offsets.shrink_to_fit();
+        self.cold_ids = merged_ids;
+        self.cold_offsets = merged_offsets;
+        self.merge_ids = Vec::new();
+        self.merge_offsets = Vec::new();
+        self.dead = 0;
     }
 
-    /// Resident bytes of the residency index itself (stamps, slots, the
-    /// decay tape and scratch) — reported so the accounting surface can't
-    /// hide its own overhead.
+    pub(crate) fn node_count(&self) -> usize {
+        self.last_touch.len()
+    }
+
+    /// Resident bytes of the residency index itself (stamps, the cold
+    /// bitmap, the cold-row directory, the decay tape and scratch) —
+    /// reported so the accounting surface can't hide its own overhead.
     pub(crate) fn index_bytes(&self) -> usize {
         self.last_touch.capacity() * 4
-            + self.slots.capacity() * std::mem::size_of::<ColdSlot>()
+            + self.cold_bits.capacity() * 8
+            + self.cold_ids.capacity() * 4
+            + self.cold_offsets.capacity() * 8
+            + self.merge_ids.capacity() * 4
+            + self.merge_offsets.capacity() * 8
             + self.scale_log.capacity() * 8
             + self.buf.capacity()
             + self.ids_scratch.capacity() * 4

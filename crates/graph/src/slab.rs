@@ -54,6 +54,13 @@ fn tail_limit(run_len: usize) -> usize {
     8usize.max(run_len >> 3)
 }
 
+/// Arena length (in entries) past which growth switches from amortized
+/// doubling to bounded 25% headroom — 2 Mi entries ≈ 24 MB of arena, the
+/// point where a doubling spike starts to matter against the
+/// peak-resident accounting and the extra realloc copies stop mattering
+/// against ingest throughput.
+const ARENA_BOUNDED_GROWTH_MIN: usize = 1 << 21;
+
 /// Branch-free lower bound: the first index of `ids` whose value is `>= id`
 /// (equivalently `slice::binary_search`'s `Ok(i)` when present and `Err(i)`
 /// when absent — the slice never holds duplicates).
@@ -130,6 +137,30 @@ impl SortedRunStore {
         self.fps.push(0);
     }
 
+    /// Grows the entry arena for `extra` more slots. Small arenas keep
+    /// `Vec`'s amortized doubling (a realloc's copy work is trivial
+    /// there, and doubling minimizes realloc count on the from-scratch
+    /// ingest path); past [`ARENA_BOUNDED_GROWTH_MIN`] entries the
+    /// overshoot is bounded to 25% headroom past the current length —
+    /// the arena is the largest allocation in the process, and the
+    /// doubling policy's transient capacity spikes (old length × 2 at
+    /// the reallocation moment) dominated the peak-resident accounting
+    /// of million-account replays. Amortization stays linear — each
+    /// bounded reallocation still buys `len / 4` appends. Entry values
+    /// never depend on capacity, so this is footprint-only.
+    fn reserve_arena(&mut self, extra: usize) {
+        let len = self.ids.len();
+        if len + extra > self.ids.capacity() {
+            let grow = if len < ARENA_BOUNDED_GROWTH_MIN {
+                extra.max(len)
+            } else {
+                extra.max(len / 4)
+            };
+            self.ids.reserve_exact(grow);
+            self.ws.reserve_exact(grow);
+        }
+    }
+
     /// Appends a row pre-filled from an ascending-id sorted `(ids, ws)`
     /// pair — the checkpoint-restore path. The row lands fully merged
     /// (`run == len == cap`), which is exactly the state
@@ -148,6 +179,7 @@ impl SortedRunStore {
             start + len <= u32::MAX as usize,
             "adjacency arena exceeds u32 addressing"
         );
+        self.reserve_arena(len);
         self.ids.extend_from_slice(ids);
         self.ws.extend_from_slice(ws);
         let len = fit_u32(len);
@@ -395,6 +427,7 @@ impl SortedRunStore {
             new_start + new_cap <= u32::MAX as usize,
             "adjacency arena exceeds u32 addressing"
         );
+        self.reserve_arena(new_cap);
         self.ids.extend_from_within(s..s + len);
         self.ws.extend_from_within(s..s + len);
         self.ids.resize(new_start + new_cap, 0);
@@ -473,6 +506,7 @@ impl SortedRunStore {
             start + len <= u32::MAX as usize,
             "adjacency arena exceeds u32 addressing"
         );
+        self.reserve_arena(len);
         self.ids.extend_from_slice(ids);
         self.ws.extend_from_slice(ws);
         let len = fit_u32(len);

@@ -50,6 +50,12 @@ pub const RULES: &[Rule] = &[
         check: d5_thread_spawn,
     },
     Rule {
+        id: "D5-adhoc-reduction",
+        summary: "no ad-hoc float folds over per-chunk/per-worker partials; exact combines go through txallo_graph::par::reduce_tree",
+        contract: "D5 parallel reduction",
+        check: d5_adhoc_reduction,
+    },
+    Rule {
         id: "no-wall-clock",
         summary: "no SystemTime/Instant feeding algorithm state (bench/CLI measurement code is exempt)",
         contract: "D1-D5 (replayability)",
@@ -473,6 +479,83 @@ fn d5_thread_spawn(view: &FileView, out: &mut Vec<RawFinding>) {
     }
 }
 
+/// Identifier fragments marking a value as per-chunk/per-worker output of
+/// a parallel phase — the inputs whose fold order would depend on the
+/// chunk shape if combined with floats outside the canonical tree.
+const PARTIAL_FRAGMENTS: &[&str] = &[
+    "partial", "partials", "chunk", "chunks", "chunked", "worker", "workers", "stage", "stages",
+    "shard", "shards",
+];
+
+/// Iterator adapters that fold a stream into one value.
+const REDUCER_TOKENS: &[&str] = &[".sum(", ".sum::<", ".product(", ".product::<", ".fold("];
+
+fn d5_adhoc_reduction(view: &FileView, out: &mut Vec<RawFinding>) {
+    if !in_scope(view, KERNEL_PREFIXES) || view.path == PAR_HOME {
+        return;
+    }
+    for (lineno, code) in code_lines(view) {
+        let Some(reducer) = REDUCER_TOKENS.iter().find(|t| code.contains(*t)) else {
+            continue;
+        };
+        // Assemble the full statement. Reducers end dotted chains, so the
+        // receiver is usually on an *earlier* line: walk back to the
+        // statement head first, then forward to the `;`.
+        let mut start = lineno - 1;
+        while start > 0 && lineno - start < 11 {
+            let prev = view.code[start - 1].trim_end();
+            if view.in_test[start - 1]
+                || prev.is_empty()
+                || prev.ends_with(';')
+                || prev.ends_with('{')
+                || prev.ends_with('}')
+            {
+                break;
+            }
+            start -= 1;
+        }
+        let mut stmt = String::new();
+        let mut i = start;
+        loop {
+            if view.in_test[i] {
+                break;
+            }
+            stmt.push_str(&view.code[i]);
+            stmt.push(' ');
+            if view.code[i].contains(';') || i + 1 >= view.len() || i >= lineno + 11 {
+                break;
+            }
+            i += 1;
+        }
+        if stmt.contains("reduce_tree") {
+            continue; // the sanctioned combiner itself
+        }
+        let floaty = ["f64", "f32"].iter().any(|t| has_token(&stmt, t)) || stmt.contains("0.0");
+        if !floaty {
+            continue; // integer folds are exact in any order
+        }
+        let over_partials = stmt
+            .split(|c: char| !(c == '_' || c.is_ascii_alphanumeric()))
+            .any(|word| {
+                word.split('_')
+                    .any(|seg| PARTIAL_FRAGMENTS.contains(&seg.to_ascii_lowercase().as_str()))
+            });
+        if over_partials {
+            out.push((
+                lineno,
+                "D5-adhoc-reduction",
+                format!(
+                    "float `{}..)` over per-chunk partials — a cross-chunk float fold's \
+                     bits depend on the chunk shape; combine through \
+                     txallo_graph::par::reduce_tree with an exact merge, or fold serially \
+                     in canonical order in caller code (D5)",
+                    reducer.trim_end_matches(['(', ':', '<'])
+                ),
+            ));
+        }
+    }
+}
+
 /// Measurement-side code where wall-clock reads are the point.
 const CLOCK_EXEMPT: &[&str] = &["crates/bench/src", "crates/cli/src"];
 
@@ -721,6 +804,45 @@ mod tests {
             1
         );
         assert!(run_rule("D5-thread-spawn", "crates/graph/src/par.rs", src).is_empty());
+    }
+
+    #[test]
+    fn adhoc_reduction_flags_float_folds_over_partials() {
+        let bad = "let total: f64 = partials.iter().sum();";
+        assert_eq!(
+            run_rule("D5-adhoc-reduction", "crates/core/src/x.rs", bad).len(),
+            1
+        );
+        let bad_fold = "let t = chunk_sums.iter().fold(0.0, |a, b| a + b);";
+        assert_eq!(
+            run_rule("D5-adhoc-reduction", "crates/louvain/src/x.rs", bad_fold).len(),
+            1
+        );
+        let multiline = "let total = worker_gains\n    .iter()\n    .fold(0.0, |acc, g| acc + g);";
+        assert_eq!(
+            run_rule("D5-adhoc-reduction", "crates/metis/src/x.rs", multiline).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn adhoc_reduction_allows_sanctioned_and_exact_folds() {
+        // Through the canonical tree: fine.
+        let tree = "let total = reduce_tree(partials, |a, b| a + b);";
+        assert!(run_rule("D5-adhoc-reduction", "crates/core/src/x.rs", tree).is_empty());
+        // Integer folds are exact in any order.
+        let ints = "let n: usize = chunk_counts.iter().sum();";
+        assert!(run_rule("D5-adhoc-reduction", "crates/core/src/x.rs", ints).is_empty());
+        // Float folds over non-chunk data are ordinary serial code.
+        let serial = "let m: f64 = weights.iter().sum();";
+        assert!(run_rule("D5-adhoc-reduction", "crates/core/src/x.rs", serial).is_empty());
+        // Out of kernel scope, and the par layer itself.
+        assert!(run_rule("D5-adhoc-reduction", "crates/chain/src/x.rs", bad()).is_empty());
+        assert!(run_rule("D5-adhoc-reduction", "crates/graph/src/par.rs", bad()).is_empty());
+    }
+
+    fn bad() -> &'static str {
+        "let total: f64 = partials.iter().sum();"
     }
 
     #[test]

@@ -23,8 +23,10 @@ pub mod local_move;
 pub mod modularity;
 pub mod refine;
 
-pub use aggregate::{aggregate_graph, aggregate_graph_into, AggregateScratch};
-pub use local_move::{local_moving_pass, LocalMoveOutcome};
+pub use aggregate::{
+    aggregate_graph, aggregate_graph_into, aggregate_graph_threaded, AggregateScratch,
+};
+pub use local_move::{local_moving_condensed, local_moving_pass, LocalMoveOutcome};
 pub use modularity::modularity;
 pub use refine::{count_disconnected, split_disconnected};
 
@@ -137,7 +139,19 @@ pub fn louvain_csr(graph: &AdjacencyGraph, config: &LouvainConfig) -> LouvainRes
 
     for _ in 0..config.max_levels {
         let level_graph = owned_level.as_ref().unwrap_or(graph);
-        let outcome = local_moving_pass(level_graph, config);
+        // Level 0 sweeps the borrowed graph with the stamp/re-gather pass
+        // (serial or multi-core per `config.threads`). The owned deep
+        // levels switch to condensed rows: aggregated graphs are dense
+        // community-to-community strips whose rows the stamp scheme
+        // re-gathers over and over, and the condensed pass relocates
+        // buckets instead — bit-identical to the re-gather path (pinned in
+        // `local_move::tests`), so the switch is invisible to results at
+        // every thread count.
+        let outcome = if owned_level.is_some() {
+            local_moving_condensed(level_graph, config)
+        } else {
+            local_moving_pass(level_graph, config)
+        };
         levels += 1;
         if !outcome.moved_any {
             break;
@@ -150,11 +164,17 @@ pub fn louvain_csr(graph: &AdjacencyGraph, config: &LouvainConfig) -> LouvainRes
         if compact.count == level_graph.node_count() {
             break; // No coarsening happened: converged.
         }
-        let next = aggregate_graph_into(
+        // Aggregation runs the canonical-chunk parallel counting sort
+        // (`threads <= 1` is the exact serial build): chunk boundaries
+        // are a pure function of the level data and every float fold
+        // stays in chunk (= walk) order, so the condensed level is
+        // bit-identical at every thread count.
+        let next = aggregate_graph_threaded(
             level_graph,
             &compact.labels,
             compact.count,
             &mut agg_scratch,
+            config.threads,
         );
         let done = compact.count <= 1;
         owned_level = Some(next);
@@ -310,10 +330,12 @@ mod tests {
 
     /// Golden thread-invariance test over the *whole* pipeline: local
     /// moving at the configured thread count, label compaction, and the
-    /// counting-sort aggregation (which stays serial precisely so its
-    /// first-seen label order and float fold order cannot depend on
-    /// scheduling) must give bitwise-equal coarse levels, final labels
-    /// and modularity at every thread count.
+    /// counting-sort aggregation (parallel over canonical chunks whose
+    /// boundaries are a pure function of the level data, float folds
+    /// kept in chunk = walk order — so neither first-seen label order
+    /// nor any fold order can depend on scheduling) must give
+    /// bitwise-equal coarse levels, final labels and modularity at
+    /// every thread count.
     #[test]
     fn louvain_csr_is_bit_identical_at_every_thread_count() {
         // Ring of cliques + cross-chords: several aggregation levels.

@@ -1,6 +1,6 @@
 //! The local-moving phase of Louvain.
 
-use txallo_graph::{par, DenseAccumulator, NodeId, WeightedGraph};
+use txallo_graph::{fit_u32, par, DenseAccumulator, NodeId, WeightedGraph};
 
 use crate::{LouvainConfig, GAIN_EPS};
 
@@ -336,6 +336,248 @@ fn local_moving_parallel(
     }
 }
 
+/// One community bucket of a condensed row: the weight toward `comm`,
+/// plus the row positions (into the flat neighbor arrays) of the members
+/// currently labelled `comm`, kept in ascending position order so a refold
+/// replays the exact add sequence a fresh row gather would execute.
+struct CondensedGroup {
+    comm: u32,
+    sum: f64,
+    members: Vec<u32>,
+}
+
+/// Refolds a group's weight from scratch, in ascending member-position
+/// order — bitwise the same sequence of `+=` a [`DenseAccumulator`] gather
+/// over the full row would apply to this community's slot.
+fn refold(group: &mut CondensedGroup, row_w: &[f64]) {
+    let mut sum = 0.0;
+    for &p in &group.members {
+        sum += row_w[p as usize];
+    }
+    group.sum = sum;
+}
+
+/// Moves every entry for neighbor `v` in one condensed row from the bucket
+/// of community `from` to the bucket of `to`, refolding only those two
+/// buckets. A row that does not list `v` (asymmetric input) is untouched —
+/// exactly what a full re-gather would compute for it.
+fn relocate_member(
+    groups: &mut Vec<CondensedGroup>,
+    row_nbr: &[u32],
+    row_w: &[f64],
+    v: u32,
+    from: u32,
+    to: u32,
+) {
+    let Ok(ai) = groups.binary_search_by_key(&from, |g| g.comm) else {
+        return;
+    };
+    let mut moved: Vec<u32> = Vec::new();
+    groups[ai].members.retain(|&p| {
+        if row_nbr[p as usize] == v {
+            moved.push(p);
+            false
+        } else {
+            true
+        }
+    });
+    if moved.is_empty() {
+        return;
+    }
+    if groups[ai].members.is_empty() {
+        groups.remove(ai);
+    } else {
+        refold(&mut groups[ai], row_w);
+    }
+    match groups.binary_search_by_key(&to, |g| g.comm) {
+        Ok(bi) => {
+            // Merge the relocated positions back in ascending order.
+            for p in moved {
+                let at = groups[bi].members.partition_point(|&q| q < p);
+                groups[bi].members.insert(at, p);
+            }
+            refold(&mut groups[bi], row_w);
+        }
+        Err(bi) => {
+            let mut group = CondensedGroup {
+                comm: to,
+                sum: 0.0,
+                members: moved,
+            };
+            refold(&mut group, row_w);
+            groups.insert(bi, group);
+        }
+    }
+}
+
+/// Local moving with *condensed rows*: instead of re-gathering a node's
+/// full row whenever any neighbor moved (the [`local_moving_pass`]
+/// scheme), every row is kept pre-grouped by neighbor community across
+/// sweeps. A committed move then relocates just the mover's entries inside
+/// each adjacent row — O(affected bucket sizes), not O(degree) — and
+/// refolds the two touched buckets in member order.
+///
+/// **Why this is bit-identical to the re-gather path.** A fresh gather
+/// computes, for each community `c`, the fold of the row's weights whose
+/// neighbor is labelled `c`, in row-walk order. The condensed invariant is
+/// exactly that: each bucket holds the positions currently labelled with
+/// its community, ascending, and its sum is the fold over them in that
+/// order. Relocation preserves the invariant (positions move buckets when
+/// their label changes; both touched buckets refold from scratch in
+/// position order), so every candidate list the decision loop reads equals
+/// the re-gathered one float for float — and the decision loop itself is
+/// the serial one, unchanged.
+///
+/// Intended for the *aggregated* (deep) Louvain levels, where rows are
+/// dense community-to-community strips that the stamp scheme re-gathers
+/// many times per level; the pass is serial and thread-count independent,
+/// so it slots under every `config.threads` without affecting bits.
+pub fn local_moving_condensed(
+    graph: &impl WeightedGraph,
+    config: &LouvainConfig,
+) -> LocalMoveOutcome {
+    let n = graph.node_count();
+    let m = graph.total_weight();
+    let mut communities: Vec<u32> = (0..n as u32).collect();
+    if n == 0 || m <= 0.0 {
+        return LocalMoveOutcome {
+            communities,
+            moved_any: false,
+            sweeps: 0,
+        };
+    }
+
+    let strength: Vec<f64> = (0..n as NodeId).map(|v| graph.strength(v)).collect();
+    let mut sigma_tot: Vec<f64> = strength.clone();
+    let mut moved_any = false;
+    let mut sweeps = 0usize;
+
+    // Materialize the rows once: the relocation walk needs flat
+    // position-indexed access, and deep-level graphs are small.
+    let mut offsets: Vec<usize> = vec![0; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = offsets[v] + graph.neighbor_count(v as NodeId);
+    }
+    let mut row_nbr: Vec<u32> = Vec::with_capacity(offsets[n]);
+    let mut row_w: Vec<f64> = Vec::with_capacity(offsets[n]);
+    for v in 0..n as NodeId {
+        graph.for_each_neighbor(v, |u, w| {
+            row_nbr.push(u);
+            row_w.push(w);
+        });
+    }
+
+    // Initial condensation under the identity labels. Sorting the
+    // (community, position) pairs groups each bucket's members in
+    // ascending position = row-walk order, matching the gather fold.
+    let mut groups: Vec<Vec<CondensedGroup>> = (0..n)
+        .map(|v| {
+            let mut tagged: Vec<(u32, u32)> = (offsets[v]..offsets[v + 1])
+                .map(|p| (communities[row_nbr[p] as usize], fit_u32(p)))
+                .collect();
+            tagged.sort_unstable();
+            let mut gs: Vec<CondensedGroup> = Vec::new();
+            for (c, p) in tagged {
+                match gs.last_mut() {
+                    Some(g) if g.comm == c => g.members.push(p),
+                    _ => gs.push(CondensedGroup {
+                        comm: c,
+                        sum: 0.0,
+                        members: vec![p],
+                    }),
+                }
+            }
+            for g in gs.iter_mut() {
+                refold(g, &row_w);
+            }
+            gs
+        })
+        .collect();
+
+    // Same incremental-skip machinery as the re-gather passes, minus the
+    // links-dirty half: condensed rows are never stale, and any membership
+    // change freshens the stamp of a community the row now lists.
+    let mut move_stamp: u64 = 1;
+    let mut last_eval: Vec<u64> = vec![0; n];
+    let mut comm_stamp: Vec<u64> = vec![1; n];
+
+    for _ in 0..config.max_sweeps {
+        sweeps += 1;
+        let mut moved_this_sweep = false;
+
+        for v in 0..n as NodeId {
+            let vi = v as usize;
+            let current = communities[vi];
+            let seen = last_eval[vi];
+            if comm_stamp[current as usize] <= seen
+                && groups[vi]
+                    .iter()
+                    .all(|g| comm_stamp[g.comm as usize] <= seen)
+            {
+                continue; // Inputs unchanged: evaluation would no-op.
+            }
+            last_eval[vi] = move_stamp;
+
+            let k_v = strength[vi];
+            let sig_cur = sigma_tot[current as usize] - k_v;
+            let w_current = groups[vi]
+                .iter()
+                .find(|g| g.comm == current)
+                .map_or(0.0, |g| g.sum);
+            let gain_stay = w_current / m - config.resolution * sig_cur * k_v / (2.0 * m * m);
+
+            let mut best_comm = current;
+            let mut best_gain = gain_stay;
+            for g in &groups[vi] {
+                if g.comm == current {
+                    continue;
+                }
+                let gain = g.sum / m
+                    - config.resolution * sigma_tot[g.comm as usize] * k_v / (2.0 * m * m);
+                if gain > best_gain + GAIN_EPS {
+                    best_gain = gain;
+                    best_comm = g.comm;
+                }
+            }
+
+            if best_comm != current {
+                sigma_tot[current as usize] = sig_cur;
+                sigma_tot[best_comm as usize] += k_v;
+                communities[vi] = best_comm;
+                moved_this_sweep = true;
+                moved_any = true;
+                move_stamp += 1;
+                comm_stamp[current as usize] = move_stamp;
+                comm_stamp[best_comm as usize] = move_stamp;
+                // Relocate v inside every adjacent condensed row (v's own
+                // row too, when it carries a self-edge — a re-gather would
+                // rebucket that entry the same way).
+                for p in offsets[vi]..offsets[vi + 1] {
+                    let x = row_nbr[p] as usize;
+                    relocate_member(
+                        &mut groups[x],
+                        &row_nbr,
+                        &row_w,
+                        v,
+                        current,
+                        best_comm,
+                    );
+                }
+            }
+        }
+
+        if !moved_this_sweep {
+            break;
+        }
+    }
+
+    LocalMoveOutcome {
+        communities,
+        moved_any,
+        sweeps,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,6 +719,68 @@ mod tests {
         assert_eq!(dense.communities, reference.communities);
         assert_eq!(dense.sweeps, reference.sweeps);
         assert_eq!(dense.moved_any, reference.moved_any);
+    }
+
+    /// A weighted mess with exercised self-loops and hubs, scrambled per
+    /// seed so the condensed pass sees varied float folds and tie shapes.
+    fn weighted_mess(seed: u64) -> AdjacencyGraph {
+        let n = 48u32;
+        let mut edges = Vec::new();
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for a in 0..n {
+            edges.push((a, (a + 1) % n, 1.0 + (next() % 7) as f64 * 0.125));
+            edges.push((a, (a + 5) % n, 0.25 + (next() % 5) as f64 * 0.0625));
+            if a % 4 == 0 {
+                edges.push((a, a, 0.5 + (next() % 3) as f64 * 0.25));
+            }
+            if a % 6 == 0 {
+                edges.push((a, (a + n / 2) % n, 0.1));
+            }
+        }
+        AdjacencyGraph::from_edges(n as usize, edges)
+    }
+
+    /// The condensed-row pass must replay the re-gather pass move for
+    /// move: identical labels, sweep counts and convergence flags, with
+    /// every gather bit reproduced by bucket relocation + refold instead
+    /// of full-row re-gathers.
+    #[test]
+    fn condensed_pass_matches_regather_pass_byte_for_byte() {
+        let config = LouvainConfig::default().with_threads(1);
+        for seed in 0..5u64 {
+            let g = weighted_mess(seed);
+            let regather = local_moving_pass(&g, &config);
+            let condensed = local_moving_condensed(&g, &config);
+            assert_eq!(condensed.communities, regather.communities, "seed {seed}");
+            assert_eq!(condensed.sweeps, regather.sweeps, "seed {seed}");
+            assert_eq!(condensed.moved_any, regather.moved_any, "seed {seed}");
+        }
+        // And on the standing messy graph, against the hash-map reference.
+        let g = messy_graph();
+        let condensed = local_moving_condensed(&g, &config);
+        let reference = reference_local_moving(&g, &config);
+        assert_eq!(condensed.communities, reference.communities);
+        assert_eq!(condensed.sweeps, reference.sweeps);
+    }
+
+    #[test]
+    fn condensed_pass_degenerate_shapes() {
+        let empty = AdjacencyGraph::from_edges(0, Vec::new());
+        let out = local_moving_condensed(&empty, &LouvainConfig::default());
+        assert!(!out.moved_any);
+        assert!(out.communities.is_empty());
+
+        // Isolated nodes only: zero total weight, nothing moves.
+        let isolated = AdjacencyGraph::from_edges(3, Vec::new());
+        let out = local_moving_condensed(&isolated, &LouvainConfig::default());
+        assert!(!out.moved_any);
+        assert_eq!(out.communities, vec![0, 1, 2]);
     }
 
     /// Golden thread-invariance test: the multi-core pass must reproduce

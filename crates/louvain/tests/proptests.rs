@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use txallo_graph::{AdjacencyGraph, NodeId, WeightedGraph};
-use txallo_louvain::{aggregate_graph, compact_labels, louvain_default, modularity};
+use txallo_louvain::{
+    aggregate_graph, aggregate_graph_threaded, compact_labels, louvain_default, modularity,
+    AggregateScratch,
+};
 
 fn edges_strategy(n: u32, len: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
     prop::collection::vec((0..n, 0..n, 0.1f64..5.0), 1..len)
@@ -102,4 +105,67 @@ fn modularity_hand_computed() {
     let q = modularity(&g, &[0, 0, 1, 1], 1.0);
     assert!((q - 0.5).abs() < 1e-12, "Q = {q}");
     let _ = (0..4 as NodeId).count();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Determinism rule D5 on the aggregation kernel: the canonical-chunk
+    /// parallel counting sort must reproduce the serial build bit for bit
+    /// at every thread count. The random base is tiled far past the chunk
+    /// quantum (8192 entries) so the threaded path genuinely splits and
+    /// merges through the reduction tree rather than falling back to the
+    /// serial build.
+    #[test]
+    fn aggregation_is_bit_identical_at_every_thread_count(
+        base_edges in edges_strategy(40, 120),
+        base_labels in prop::collection::vec(0u32..8, 40),
+    ) {
+        let copies = 80u32;
+        let mut edges = Vec::with_capacity(base_edges.len() * copies as usize);
+        for c in 0..copies {
+            let off = c * 40;
+            for &(a, b, w) in &base_edges {
+                edges.push((a + off, b + off, w));
+            }
+        }
+        let n = copies as usize * 40;
+        let g = AdjacencyGraph::from_edges(n, edges);
+        // Communities span copies (modulo) *and* stay copy-local (offset),
+        // mixing intra- and cross-chunk community structure.
+        let raw: Vec<u32> = (0..n)
+            .map(|v| {
+                let label = base_labels[v % 40];
+                if v % 3 == 0 { label } else { label + (v as u32 / 40) * 8 }
+            })
+            .collect();
+        let compact = compact_labels(&raw);
+        let serial = aggregate_graph(&g, &compact.labels, compact.count);
+        for threads in [2usize, 3, 8] {
+            let mut scratch = AggregateScratch::default();
+            let par =
+                aggregate_graph_threaded(&g, &compact.labels, compact.count, &mut scratch, threads);
+            prop_assert_eq!(par.node_count(), serial.node_count(), "{} threads", threads);
+            prop_assert_eq!(
+                par.total_weight().to_bits(),
+                serial.total_weight().to_bits(),
+                "{} threads",
+                threads
+            );
+            for v in 0..par.node_count() as u32 {
+                prop_assert_eq!(
+                    par.strength(v).to_bits(),
+                    serial.strength(v).to_bits(),
+                    "{} threads, node {}",
+                    threads,
+                    v
+                );
+                let mut row_par = Vec::new();
+                par.for_each_neighbor(v, |u, w| row_par.push((u, w.to_bits())));
+                let mut row_serial = Vec::new();
+                serial.for_each_neighbor(v, |u, w| row_serial.push((u, w.to_bits())));
+                prop_assert_eq!(row_par, row_serial, "{} threads, node {}", threads, v);
+            }
+        }
+    }
 }

@@ -7,8 +7,8 @@
 
 use txallo_graph::{AdjacencyGraph, DenseIndexMap, NodeId, WeightedGraph};
 
-use crate::coarsen::coarsen;
-use crate::refine::fm_refine_with_targets;
+use crate::coarsen::coarsen_threaded;
+use crate::refine::fm_refine_with_targets_threaded;
 use crate::MetisConfig;
 
 /// Grows one region to `frac` of the total vertex weight (2-way greedy
@@ -107,17 +107,18 @@ fn multilevel_bisect(
     let total: f64 = vertex_weights.iter().sum();
     let targets = [total * frac, total * (1.0 - frac)];
     let floor = config.coarsen_target.clamp(40, 4_000);
-    let hierarchy = coarsen(graph, vertex_weights, floor);
+    let hierarchy = coarsen_threaded(graph, vertex_weights, floor, config.threads);
     let coarsest = hierarchy.last().expect("base level exists"); // txallo-lint: allow(lib-unwrap) — coarsen() always returns at least the base level
 
     let mut parts = grow_bisection(&coarsest.graph, &coarsest.vertex_weights, frac);
-    fm_refine_with_targets(
+    fm_refine_with_targets_threaded(
         &coarsest.graph,
         &coarsest.vertex_weights,
         &mut parts,
         &targets,
         config.balance_factor,
         config.refine_passes,
+        config.threads,
     );
     for level in (0..hierarchy.len() - 1).rev() {
         let fine = &hierarchy[level];
@@ -130,13 +131,14 @@ fn multilevel_bisect(
             *p = parts[map[v] as usize];
         }
         parts = fine_parts;
-        fm_refine_with_targets(
+        fm_refine_with_targets_threaded(
             &fine.graph,
             &fine.vertex_weights,
             &mut parts,
             &targets,
             config.balance_factor,
             config.refine_passes,
+            config.threads,
         );
     }
     parts

@@ -28,10 +28,14 @@ pub mod refine;
 
 pub use bisection::recursive_bisection_partition;
 pub use coarsen::{
-    coarsen, heavy_edge_matching, heavy_edge_matching_in, CoarseLevel, CoarsenArena,
+    coarsen, coarsen_threaded, heavy_edge_matching, heavy_edge_matching_in,
+    heavy_edge_matching_threaded, CoarseLevel, CoarsenArena,
 };
 pub use initial::greedy_growing_partition;
-pub use refine::{edge_cut, fm_refine, fm_refine_with_targets};
+pub use refine::{
+    edge_cut, fm_refine, fm_refine_threaded, fm_refine_with_targets,
+    fm_refine_with_targets_threaded,
+};
 
 use txallo_graph::{AdjacencyGraph, NodeId, WeightedGraph};
 
@@ -76,6 +80,11 @@ pub struct MetisConfig {
     pub refine_passes: usize,
     /// Vertex weighting scheme.
     pub weighting: VertexWeighting,
+    /// Worker threads for matching and refinement (determinism rule D5:
+    /// a performance knob, never an algorithm input — the partition is
+    /// bit-identical at every count, `<= 1` is the exact serial path).
+    /// Defaults to the `TXALLO_THREADS` override.
+    pub threads: usize,
 }
 
 impl MetisConfig {
@@ -87,7 +96,14 @@ impl MetisConfig {
             coarsen_target: 2_000,
             refine_passes: 8,
             weighting: VertexWeighting::default(),
+            threads: txallo_graph::par::threads_from_env(),
         }
+    }
+
+    /// Returns the config with the worker-thread knob set.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -131,7 +147,7 @@ pub fn metis_partition(graph: &(impl WeightedGraph + Sync), config: &MetisConfig
 
     // Phase 1: coarsen.
     let coarsen_floor = config.coarsen_target.max(20 * config.parts);
-    let hierarchy = coarsen(base, vertex_weights, coarsen_floor);
+    let hierarchy = coarsen_threaded(base, vertex_weights, coarsen_floor, config.threads);
     let levels = hierarchy.len();
     let coarsest = hierarchy
         .last()
@@ -144,13 +160,14 @@ pub fn metis_partition(graph: &(impl WeightedGraph + Sync), config: &MetisConfig
         config.parts,
         config.balance_factor,
     );
-    fm_refine(
+    fm_refine_threaded(
         &coarsest.graph,
         &coarsest.vertex_weights,
         &mut parts,
         config.parts,
         config.balance_factor,
         config.refine_passes,
+        config.threads,
     );
 
     // Phase 3: project back and refine at every level.
@@ -165,13 +182,14 @@ pub fn metis_partition(graph: &(impl WeightedGraph + Sync), config: &MetisConfig
             *p = parts[coarse_map[v] as usize];
         }
         parts = fine_parts;
-        fm_refine(
+        fm_refine_threaded(
             &fine.graph,
             &fine.vertex_weights,
             &mut parts,
             config.parts,
             config.balance_factor,
             config.refine_passes,
+            config.threads,
         );
     }
 
